@@ -1,0 +1,220 @@
+(* Benchmark harness.
+
+   Two jobs, per DESIGN.md:
+   1. regenerate every experiment table (E1-E14) — the paper-shaped
+      results — and fail loudly if any check regressed;
+   2. time one representative kernel per experiment with Bechamel, so
+      the cost of each reproduction step is visible. *)
+
+open Bechamel
+open Toolkit
+
+(* ---- kernels, one per experiment ---- *)
+
+let sigma3 =
+  Simplex.of_list [ (1, Value.Int 1); (2, Value.Int 2); (3, Value.Int 3) ]
+
+let edge01 = Simplex.of_list [ (1, Value.frac 0 1); (2, Value.frac 1 1) ]
+
+let binary_inputs n =
+  Complex.all_simplices (Approx_agreement.binary_input_complex ~n)
+
+let consensus3 = Consensus.binary ~n:3
+let aa_2_9 = Approx_agreement.task ~n:2 ~m:9 ~eps:(Frac.make 1 9)
+let laa_3_4 = Approx_agreement.liberal ~n:3 ~m:4 ~eps:(Frac.make 1 4)
+let relaxed3 = Consensus.relaxed ~n:3 ~values:[ Value.Int 0; Value.Int 1 ]
+
+(* Fresh closure computations each run: a per-call renamed task
+   bypasses the memo table, so Bechamel measures real work. *)
+let counter = ref 0
+
+let fresh task =
+  incr counter;
+  Task.with_name (Printf.sprintf "%s#%d" task.Task.name !counter) task
+
+let kernels =
+  [
+    ( "e1/collect-matrices-n3",
+      fun () -> ignore (Collect_matrix.enumerate [ 1; 2; 3 ]) );
+    ( "e1/one-round-immediate-n4",
+      fun () ->
+        ignore
+          (Model.one_round_facets Model.Immediate
+             (Simplex.of_list (List.init 4 (fun i -> (i + 1, Value.Int i))))) );
+    ( "e2/speedup-verify-aa-n2",
+      fun () ->
+        ignore
+          (Speedup.verify
+             (Speedup.of_model Model.Immediate)
+             (fresh (Approx_agreement.task ~n:2 ~m:3 ~eps:(Frac.make 1 3)))
+             ~rounds:1 ~inputs:(binary_inputs 2)) );
+    ( "e3/closure-consensus-n3",
+      fun () ->
+        ignore
+          (Closure.delta ~op:(Round_op.plain Model.Immediate) (fresh consensus3)
+             (Simplex.of_list
+                [ (1, Value.Int 0); (2, Value.Int 1); (3, Value.Int 0) ])) );
+    ( "e4/solve-tas-consensus2",
+      fun () ->
+        ignore
+          (Solvability.task_in_augmented ~box:Black_box.test_and_set
+             ~alpha:(Augmented.alpha_const Value.Unit)
+             (Consensus.binary ~n:2) ~rounds:1) );
+    ( "e5/augmented-complex-tas-n3",
+      fun () ->
+        ignore
+          (Augmented.one_round_facets ~box:Black_box.test_and_set
+             ~alpha:(Augmented.alpha_const Value.Unit) ~round:1 sigma3) );
+    ( "e5/relaxed-consensus-closure-tas",
+      fun () ->
+        ignore
+          (Closure.delta ~op:Round_op.test_and_set (fresh relaxed3)
+             (Simplex.of_list
+                [ (1, Value.Int 0); (2, Value.Int 1); (3, Value.Int 1) ])) );
+    ( "e6/closure-aa-edge-n2",
+      fun () ->
+        ignore
+          (Closure.delta ~op:(Round_op.plain Model.Immediate) (fresh aa_2_9)
+             edge01) );
+    ( "e7/closure-liberal-aa-facet-n3",
+      fun () ->
+        ignore
+          (Closure.delta ~op:(Round_op.plain Model.Immediate) (fresh laa_3_4)
+             (Simplex.of_list
+                [ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ])) );
+    ( "e8/min-rounds-aa-n2",
+      fun () ->
+        ignore
+          (Solvability.min_rounds ~inputs:(binary_inputs 2) ~max_rounds:3
+             Model.Immediate (fresh aa_2_9)) );
+    ( "e9/halving-2197-schedules",
+      fun () ->
+        let eps = Frac.make 1 8 in
+        let protocol = Aa_halving.protocol ~m:8 ~eps in
+        let task = Approx_agreement.task ~n:3 ~m:8 ~eps in
+        ignore
+          (Adversary.check_task protocol task
+             ~inputs:[ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ]
+             ~schedules:
+               (Adversary.exhaustive_is ~boxed:false ~participants:[ 1; 2; 3 ]
+                  ~rounds:3)) );
+    ( "e10/closure-tas-liberal-aa",
+      fun () ->
+        ignore
+          (Closure.delta ~op:Round_op.test_and_set (fresh laa_3_4)
+             (Simplex.of_list
+                [ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ])) );
+    ( "e11/closure-beta-bincons",
+      fun () ->
+        ignore
+          (Closure.delta
+             ~op:(Round_op.bin_consensus_beta (fun i -> i mod 2 = 0))
+             (fresh laa_3_4)
+             (Simplex.of_list
+                [ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ])) );
+    ( "e12/bc-consensus-n5-100-runs",
+      fun () ->
+        let n = 5 in
+        let participants = List.init n (fun i -> i + 1) in
+        let protocol = Bc_consensus.protocol ~n in
+        let task =
+          Consensus.multi ~n ~values:(List.map (fun i -> Value.Int i) participants)
+        in
+        ignore
+          (Adversary.check_task ~box:Sim_object.consensus protocol task
+             ~inputs:(List.map (fun i -> (i, Value.Int i)) participants)
+             ~schedules:
+               (Adversary.random_suite ~model:Model.Immediate ~boxed:true
+                  ~participants ~rounds:3 ~seed:17 ~count:100)) );
+    ( "e13/cross-check-immediate-n3",
+      fun () -> ignore (Cross_check.immediate sigma3) );
+    ( "e14/protocol-complex-t2-n3",
+      fun () ->
+        (* Bypass the protocol cache via fresh input values. *)
+        incr counter;
+        let sigma =
+          Simplex.of_list
+            [ (1, Value.Int !counter); (2, Value.Int (!counter + 1));
+              (3, Value.Int (!counter + 2)) ]
+        in
+        ignore (Model.protocol_complex Model.Immediate sigma 2) );
+    ( "e15/homology-betti-p1-n3",
+      fun () ->
+        ignore (Homology.betti (Complex.of_facets (Model.one_round_facets Model.Immediate sigma3))) );
+    ( "e16/d-solo-complex-n4",
+      fun () ->
+        ignore
+          (Affine.d_solo 2
+             (Simplex.of_list (List.init 4 (fun i -> (i + 1, Value.Int i))))) );
+    ( "e17/closure-any-beta",
+      fun () ->
+        ignore
+          (Closure.delta_any
+             ~ops:(Closure.bin_consensus_ops [ 1; 2; 3 ])
+             ~name:(Printf.sprintf "bench-any-%d" !counter)
+             (fresh (Approx_agreement.liberal ~n:3 ~m:2 ~eps:Frac.half))
+             (Simplex.of_list
+                [ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ])) );
+    ( "e19/collect-solvability-t1",
+      fun () ->
+        ignore
+          (Solvability.task_in_model ~inputs:(binary_inputs 3) Model.Collect
+             (fresh (Approx_agreement.task ~n:3 ~m:2 ~eps:Frac.half))
+             ~rounds:1) );
+    ( "e18/non-iterated-emulated-sweep",
+      fun () ->
+        let spec = Aa_halving.spec ~m:4 ~rounds:2 in
+        let inputs = [ (1, Value.frac 0 1); (2, Value.frac 1 1) ] in
+        List.iter
+          (fun s -> ignore (Non_iterated.run_emulated spec ~inputs ~schedule:s))
+          (Non_iterated.exhaustive ~participants:[ 1; 2 ] ~rounds:2) );
+  ]
+
+let tests = List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) kernels
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.6) ~kde:(Some 500) () in
+  let grouped = Test.make_grouped ~name:"speedup" ~fmt:"%s %s" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let print_timings results =
+  Printf.printf "\n=== Kernel timings (monotonic clock, ns/run) ===\n";
+  Printf.printf "%-45s %15s %10s\n" "kernel" "ns/run" "r^2";
+  Printf.printf "%s\n" (String.make 72 '-');
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> Printf.sprintf "%15.0f" e
+        | Some [] | None -> Printf.sprintf "%15s" "n/a"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "%10.4f" r
+        | None -> Printf.sprintf "%10s" "n/a"
+      in
+      rows := (name, est, r2) :: !rows)
+    results;
+  List.iter
+    (fun (name, est, r2) -> Printf.printf "%-45s %s %s\n" name est r2)
+    (List.sort compare !rows)
+
+let () =
+  (* Part 1: the reproduction tables. *)
+  let t0 = Unix.gettimeofday () in
+  let tables = Suite.run_all () in
+  Suite.print_tables tables;
+  let all_ok = Suite.all_ok tables in
+  Printf.printf "\n=== Reproduction summary: %d tables, %s (%.1fs) ===\n"
+    (List.length tables)
+    (if all_ok then "ALL OK" else "FAILURES PRESENT")
+    (Unix.gettimeofday () -. t0);
+  (* Part 2: kernel timings. *)
+  print_timings (benchmark ());
+  if not all_ok then exit 1

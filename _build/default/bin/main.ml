@@ -1,0 +1,362 @@
+(* speedup — command-line front end to the reproduction.
+
+   Subcommands: experiment, complex, solve, closure, run-algo, list. *)
+
+open Cmdliner
+
+let model_conv =
+  let parse s =
+    match Model.of_string s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "unknown model %S" s))
+  in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Model.name m))
+
+let frac_conv =
+  let parse s =
+    match String.split_on_char '/' s with
+    | [ n ] -> (
+        match int_of_string_opt n with
+        | Some n -> Ok (Frac.of_int n)
+        | None -> Error (`Msg "bad fraction"))
+    | [ n; d ] -> (
+        match (int_of_string_opt n, int_of_string_opt d) with
+        | Some n, Some d when d <> 0 -> Ok (Frac.make n d)
+        | _ -> Error (`Msg "bad fraction"))
+    | _ -> Error (`Msg "bad fraction")
+  in
+  Arg.conv (parse, fun ppf q -> Frac.pp ppf q)
+
+(* ---- experiment ---- *)
+
+let experiment_cmd =
+  let id =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"ID" ~doc:"Experiment id (e1..e14) or 'all'.")
+  in
+  let run id =
+    let tables =
+      if id = "all" then Suite.run_all ()
+      else
+        match Suite.find id with
+        | Some e -> e.Suite.run ()
+        | None ->
+            Printf.eprintf "unknown experiment %s; try 'speedup list'\n" id;
+            exit 2
+    in
+    Suite.print_tables tables;
+    if Suite.all_ok tables then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run a reproduction experiment (see DESIGN.md).")
+    Term.(const run $ id)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e -> Printf.printf "%-4s %s\n" e.Suite.id e.Suite.description)
+      Suite.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the experiments.") Term.(const run $ const ())
+
+(* ---- complex ---- *)
+
+let complex_cmd =
+  let model =
+    Arg.(value & opt model_conv Model.Immediate
+         & info [ "model" ] ~docv:"MODEL" ~doc:"collect, snapshot, or immediate.")
+  in
+  let n = Arg.(value & opt int 3 & info [ "n" ] ~doc:"Number of processes.") in
+  let rounds = Arg.(value & opt int 1 & info [ "rounds"; "t" ] ~doc:"Rounds.") in
+  let tas = Arg.(value & flag & info [ "tas" ] ~doc:"Augment IIS with test\\&set.") in
+  let dot =
+    Arg.(value & opt (some string) None
+         & info [ "dot" ] ~docv:"FILE" ~doc:"Write the 1-skeleton as Graphviz DOT.")
+  in
+  let run model n rounds tas dot =
+    let sigma = Simplex.of_list (List.init n (fun i -> (i + 1, Value.Int (i + 1)))) in
+    let c =
+      if tas then
+        Augmented.protocol_complex ~box:Black_box.test_and_set
+          ~alpha:(Augmented.alpha_const Value.Unit) sigma rounds
+      else Model.protocol_complex model sigma rounds
+    in
+    Format.printf "P^(%d)(σ) in %s%s: %a@." rounds (Model.name model)
+      (if tas then "+test&set" else "")
+      Complex.pp_stats c;
+    (match dot with
+    | Some path ->
+        Dot.write_file path c;
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "complex" ~doc:"Protocol complex statistics and DOT export.")
+    Term.(const run $ model $ n $ rounds $ tas $ dot)
+
+(* ---- solve ---- *)
+
+let task_of ~name ~n ~m ~eps =
+  match name with
+  | "consensus" -> Consensus.binary ~n
+  | "relaxed-consensus" ->
+      Consensus.relaxed ~n ~values:[ Value.Int 0; Value.Int 1 ]
+  | "aa" -> Approx_agreement.task ~n ~m ~eps
+  | "liberal-aa" -> Approx_agreement.liberal ~n ~m ~eps
+  | "2set" -> Set_agreement.task ~n ~k:2 ~values:[ Value.Int 0; Value.Int 1; Value.Int 2 ]
+  | other -> failwith (Printf.sprintf "unknown task %S" other)
+
+let task_arg =
+  Arg.(value & opt string "consensus"
+       & info [ "task" ] ~docv:"TASK"
+           ~doc:"consensus, relaxed-consensus, aa, liberal-aa, or 2set.")
+
+let n_arg = Arg.(value & opt int 3 & info [ "n" ] ~doc:"Number of processes.")
+let m_arg = Arg.(value & opt int 4 & info [ "m" ] ~doc:"Grid denominator for AA tasks.")
+
+let eps_arg =
+  Arg.(value & opt frac_conv (Frac.make 1 4)
+       & info [ "eps" ] ~docv:"EPS" ~doc:"Precision for AA tasks, e.g. 1/4.")
+
+let solve_cmd =
+  let model =
+    Arg.(value & opt model_conv Model.Immediate & info [ "model" ] ~doc:"Iterated model.")
+  in
+  let rounds = Arg.(value & opt int 1 & info [ "rounds"; "t" ] ~doc:"Rounds.") in
+  let tas = Arg.(value & flag & info [ "tas" ] ~doc:"Augment IIS with test\\&set.") in
+  let binary_inputs =
+    Arg.(value & flag
+         & info [ "binary-inputs" ] ~doc:"Restrict AA inputs to {0,1} (lower-bound family).")
+  in
+  let run task n m eps model rounds tas binary_inputs =
+    let task = task_of ~name:task ~n ~m ~eps in
+    let inputs =
+      if binary_inputs then
+        Some (Complex.all_simplices (Approx_agreement.binary_input_complex ~n))
+      else None
+    in
+    let verdict =
+      if tas then
+        Solvability.task_in_augmented ?inputs ~box:Black_box.test_and_set
+          ~alpha:(Augmented.alpha_const Value.Unit) task ~rounds
+      else Solvability.task_in_model ?inputs model task ~rounds
+    in
+    (match verdict with
+    | Solvability.Solvable _ ->
+        Printf.printf "%s: SOLVABLE in %d round(s)\n" task.Task.name rounds
+    | Solvability.Unsolvable ->
+        Printf.printf "%s: UNSOLVABLE in %d round(s)\n" task.Task.name rounds
+    | Solvability.Undecided -> Printf.printf "%s: undecided (node limit)\n" task.Task.name);
+    0
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Decide t-round solvability of a task.")
+    Term.(const run $ task_arg $ n_arg $ m_arg $ eps_arg $ model $ rounds $ tas
+          $ binary_inputs)
+
+(* ---- closure ---- *)
+
+let closure_cmd =
+  let model =
+    Arg.(value & opt model_conv Model.Immediate & info [ "model" ] ~doc:"Iterated model.")
+  in
+  let tas = Arg.(value & flag & info [ "tas" ] ~doc:"Augment IIS with test\\&set.") in
+  let run task n m eps model tas =
+    let task = task_of ~name:task ~n ~m ~eps in
+    let op = if tas then Round_op.test_and_set else Round_op.plain model in
+    let inputs = Task.input_simplices task in
+    let fixed = ref true in
+    List.iter
+      (fun sigma ->
+        let d' = Closure.delta ~op task sigma in
+        let d = Task.delta task sigma in
+        if not (Complex.equal d' d) then begin
+          fixed := false;
+          Format.printf "σ = %a: Δ has %d facets, Δ' has %d facets@." Simplex.pp
+            sigma (Complex.facet_count d) (Complex.facet_count d')
+        end)
+      inputs;
+    if !fixed then
+      Printf.printf "%s is a fixed point of CL_[%s] (Δ' = Δ on all %d input simplices)\n"
+        task.Task.name (Round_op.name op) (List.length inputs)
+    else Printf.printf "%s is NOT a fixed point of CL_[%s]\n" task.Task.name (Round_op.name op);
+    0
+  in
+  Cmd.v
+    (Cmd.info "closure" ~doc:"Compute the closure of a task and test the fixed-point property.")
+    Term.(const run $ task_arg $ n_arg $ m_arg $ eps_arg $ model $ tas)
+
+(* ---- run-algo ---- *)
+
+let run_algo_cmd =
+  let algo =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"ALGO"
+             ~doc:"halving, thirds, tas-consensus, bc-consensus, or bc-bitwise.")
+  in
+  let n = n_arg and m = m_arg and eps = eps_arg in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let count = Arg.(value & opt int 200 & info [ "count" ] ~doc:"Random schedules.") in
+  let run algo n m eps seed count =
+    let participants = List.init n (fun i -> i + 1) in
+    let describe task protocol box rounds inputs =
+      let schedules =
+        Adversary.random_suite ~model:Model.Immediate ~boxed:(box <> None)
+          ~participants ~rounds ~seed ~count
+      in
+      let failures = Adversary.check_task ?box protocol task ~inputs ~schedules in
+      Printf.printf "%s: %d rounds, %d random schedules, %d violations\n"
+        protocol.Protocol.name rounds (List.length schedules) (List.length failures);
+      List.iteri
+        (fun k f -> if k < 3 then Printf.printf "  %s\n" f.Adversary.reason)
+        failures;
+      if failures = [] then 0 else 1
+    in
+    let aa_inputs =
+      List.mapi
+        (fun idx i -> (i, Value.frac (if idx = n - 1 then m else idx * m / n) m))
+        participants
+    in
+    match algo with
+    | "halving" ->
+        let rounds = Aa_halving.rounds_needed ~eps in
+        describe (Approx_agreement.task ~n ~m ~eps) (Aa_halving.protocol ~m ~eps)
+          None rounds aa_inputs
+    | "thirds" ->
+        let rounds = Aa_thirds.rounds_needed ~eps in
+        describe (Approx_agreement.task ~n:2 ~m ~eps) (Aa_thirds.protocol ~m ~eps)
+          None rounds
+          [ (1, Value.frac 0 1); (2, Value.frac 1 1) ]
+    | "tas-consensus" ->
+        describe (Consensus.binary ~n:2) Tas_consensus2.protocol
+          (Some Sim_object.test_and_set) 1
+          [ (1, Value.Int 0); (2, Value.Int 1) ]
+    | "bc-consensus" ->
+        let rounds = Bc_consensus.rounds_needed ~n in
+        describe
+          (Consensus.multi ~n ~values:(List.map (fun i -> Value.Int i) participants))
+          (Bc_consensus.protocol ~n)
+          (Some Sim_object.consensus) rounds
+          (List.map (fun i -> (i, Value.Int i)) participants)
+    | "bc-bitwise" ->
+        let k = Frac.ceil_log ~base:2 (Frac.of_int m) in
+        let rounds = Bc_bitwise_aa.rounds_needed ~eps in
+        describe (Approx_agreement.task ~n ~m ~eps)
+          (Bc_bitwise_aa.protocol ~k ~eps)
+          (Some Sim_object.consensus) rounds aa_inputs
+    | other ->
+        Printf.eprintf "unknown algorithm %S\n" other;
+        2
+  in
+  Cmd.v
+    (Cmd.info "run-algo" ~doc:"Run a paper algorithm in the simulator under random adversaries.")
+    Term.(const run $ algo $ n $ m $ eps $ seed $ count)
+
+(* ---- figure ---- *)
+
+let figure_cmd =
+  let which =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FIGURE"
+             ~doc:"One of: 4 (2-proc consensus with test\\&set), 5 (3-proc IIS+test\\&set), 7 (IIS+binary consensus), 8a/8b/8c/8d (collect / snapshot / immediate complexes).")
+  in
+  let out =
+    Arg.(value & opt string "figure.dot"
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output DOT file.")
+  in
+  let run which out =
+    let sigma3 =
+      Simplex.of_list [ (1, Value.Int 1); (2, Value.Int 2); (3, Value.Int 3) ]
+    in
+    let sigma2 = Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 1) ] in
+    let unit_alpha = Augmented.alpha_const Value.Unit in
+    let complex =
+      match which with
+      | "4" ->
+          Some
+            (Complex.of_facets
+               (Augmented.one_round_facets ~box:Black_box.test_and_set
+                  ~alpha:unit_alpha ~round:1 sigma2))
+      | "5" ->
+          Some
+            (Complex.of_facets
+               (Augmented.one_round_facets ~box:Black_box.test_and_set
+                  ~alpha:unit_alpha ~round:1 sigma3))
+      | "7" ->
+          Some
+            (Complex.of_facets
+               (Augmented.one_round_facets ~box:Black_box.bin_consensus
+                  ~alpha:(Augmented.alpha_of_beta (fun i -> i > 1))
+                  ~round:1 sigma3))
+      | "8a" | "8b" ->
+          Some (Complex.of_facets (Model.one_round_facets Model.Immediate sigma3))
+      | "8c" ->
+          Some (Complex.of_facets (Model.one_round_facets Model.Snapshot sigma3))
+      | "8d" ->
+          Some (Complex.of_facets (Model.one_round_facets Model.Collect sigma3))
+      | _ -> None
+    in
+    match complex with
+    | None ->
+        Printf.eprintf "unknown figure %S (try 4, 5, 7, 8a, 8b, 8c, 8d)\n" which;
+        2
+    | Some c ->
+        Dot.write_file out c;
+        Format.printf "figure %s -> %s (%a)@." which out Complex.pp_stats c;
+        0
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Export a paper figure's complex as Graphviz DOT.")
+    Term.(const run $ which $ out)
+
+(* ---- svg ---- *)
+
+let svg_cmd =
+  let model =
+    Arg.(value & opt model_conv Model.Immediate & info [ "model" ] ~doc:"Iterated model.")
+  in
+  let n = Arg.(value & opt int 3 & info [ "n" ] ~doc:"Number of processes (2 or 3).") in
+  let rounds = Arg.(value & opt int 1 & info [ "rounds"; "t" ] ~doc:"Rounds.") in
+  let size = Arg.(value & opt int 640 & info [ "size" ] ~doc:"Image size in pixels.") in
+  let out =
+    Arg.(value & opt string "complex.svg"
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output SVG file.")
+  in
+  let run model n rounds size out =
+    if n < 2 || n > 3 then begin
+      Printf.eprintf "svg rendering supports n = 2 or 3\n";
+      2
+    end
+    else begin
+      let sigma =
+        Simplex.of_list (List.init n (fun i -> (i + 1, Value.Int (i + 1))))
+      in
+      let c = Model.protocol_complex model sigma rounds in
+      Geometry.write_svg ~size out sigma c;
+      Format.printf "P^(%d) in %s -> %s (%a)@." rounds (Model.name model) out
+        Complex.pp_stats c;
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "svg" ~doc:"Render an iterated protocol complex as SVG (Figure 8 style).")
+    Term.(const run $ model $ n $ rounds $ size $ out)
+
+let main_cmd =
+  let doc = "Reproduction of the PODC'22 asynchronous speedup theorem paper." in
+  Cmd.group
+    (Cmd.info "speedup" ~version:"1.0.0" ~doc)
+    [ experiment_cmd; list_cmd; complex_cmd; solve_cmd; closure_cmd;
+      run_algo_cmd; figure_cmd; svg_cmd ]
+
+let () =
+  (* Debug logging is opt-in via the environment so that every
+     subcommand honors it without threading a flag. *)
+  (match Sys.getenv_opt "SPEEDUP_DEBUG" with
+  | Some ("1" | "true" | "yes") ->
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level (Some Logs.Debug)
+  | Some _ | None -> Logs.set_level (Some Logs.Warning));
+  exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/approx_agreement_rounds.ml: Aa_halving Adversary Approx_agreement Executor Frac List Printf Schedule Speedup_theory State_protocol String Value

@@ -1,0 +1,1 @@
+examples/approx_agreement_rounds.mli:

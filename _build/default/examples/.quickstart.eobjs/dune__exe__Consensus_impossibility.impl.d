@@ -1,0 +1,1 @@
+examples/consensus_impossibility.ml: Augmented Black_box Closure Complex Connectivity Consensus Format List Model Printf Round_op Simplex Solvability Task Value Vertex

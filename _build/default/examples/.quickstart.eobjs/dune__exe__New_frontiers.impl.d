@@ -1,0 +1,1 @@
+examples/new_frontiers.ml: Aa_halving Approx_agreement Closure Complex Consensus Frac List Model Non_iterated Printf Renaming Round_op Simplex Solvability Task Value

@@ -1,0 +1,1 @@
+examples/new_frontiers.mli:

@@ -1,0 +1,1 @@
+examples/objects_power.ml: Adversary Approx_agreement Augmented Bc_bitwise_aa Bc_consensus Black_box Complex Consensus Frac List Model Printf Sim_object Solvability Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Frac List Printf Speedup_theory

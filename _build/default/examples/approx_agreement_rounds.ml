@@ -1,0 +1,96 @@
+(* Approximate agreement: lower bounds by closure-chaining, upper
+   bounds by running the matching algorithms.
+
+   Run with:  dune exec examples/approx_agreement_rounds.exe
+
+   The paper's Section 5 story end to end, for concrete ε:
+   - chain CL(ε-AA) = 2ε-AA (or 3ε for two processes) until the task
+     trivializes: the chain length is a round lower bound;
+   - measure the true round complexity with the direct solver;
+   - run Eq-(2)/(3) algorithms under every immediate-snapshot schedule
+     and watch the spread contract geometrically. *)
+
+let () =
+  Printf.printf "-- Lower bounds by iterating the closure (Cor 3) --\n";
+
+  (* n = 2: the closure triples epsilon, so 1/9 needs 2 rounds. *)
+  let pow b e =
+    let rec go acc e = if e = 0 then acc else go (acc * b) (e - 1) in
+    go 1 e
+  in
+  let reference2 k =
+    Approx_agreement.task ~n:2 ~m:9 ~eps:(Frac.make (min 9 (pow 3 k)) 9)
+  in
+  let aa2 = Approx_agreement.task ~n:2 ~m:9 ~eps:(Frac.make 1 9) in
+  let bound2 =
+    Speedup_theory.lower_bound_by_closure aa2 ~reference:reference2 ~max:4
+  in
+  Printf.printf "  n=2, eps=1/9 : closure chain gives >= %d rounds (paper: %d)\n"
+    bound2
+    (Frac.ceil_log ~base:3 (Frac.of_int 9));
+
+  (* n = 3 (liberal version): the closure doubles epsilon. *)
+  let reference3 k =
+    let num = min 4 (1 lsl k) in
+    Approx_agreement.liberal ~n:3 ~m:4 ~eps:(Frac.make num 4)
+  in
+  let aa3 = Approx_agreement.liberal ~n:3 ~m:4 ~eps:(Frac.make 1 4) in
+  let bound3 =
+    Speedup_theory.lower_bound_by_closure aa3 ~reference:reference3 ~max:4
+  in
+  Printf.printf "  n=3, eps=1/4 : closure chain gives >= %d rounds (paper: %d)\n"
+    bound3
+    (Frac.ceil_log ~base:2 (Frac.of_int 4));
+
+  Printf.printf "\n-- Exact round complexity (direct solver) --\n";
+  List.iter
+    (fun (n, m, k) ->
+      let eps = Frac.make k m in
+      let task = Approx_agreement.task ~n ~m ~eps in
+      match Speedup_theory.min_rounds ~binary_inputs:true task with
+      | Speedup_theory.Exact t ->
+          Printf.printf "  n=%d eps=%s : exactly %d rounds\n" n
+            (Frac.to_string eps) t
+      | Speedup_theory.At_least t ->
+          Printf.printf "  n=%d eps=%s : at least %d rounds\n" n
+            (Frac.to_string eps) t)
+    [ (2, 9, 1); (3, 4, 1) ];
+
+  Printf.printf "\n-- Matching upper bounds in the simulator --\n";
+  let run_halving () =
+    let m = 8 in
+    let eps = Frac.make 1 8 in
+    let spec = Aa_halving.spec ~m ~rounds:(Aa_halving.rounds_needed ~eps) in
+    let protocol = State_protocol.protocol spec in
+    let inputs = [ (1, Value.frac 0 1); (2, Value.frac 3 8); (3, Value.frac 1 1) ] in
+    let schedules =
+      Adversary.exhaustive_is ~boxed:false ~participants:[ 1; 2; 3 ]
+        ~rounds:spec.State_protocol.rounds
+    in
+    let task = Approx_agreement.task ~n:3 ~m ~eps in
+    let failures = Adversary.check_task protocol task ~inputs ~schedules in
+    Printf.printf
+      "  halving, n=3, eps=1/8: %d exhaustive IS schedules, %d violations\n"
+      (List.length schedules) (List.length failures);
+    (* Show one run round by round. *)
+    let schedule =
+      [ Schedule.Is_round [ [ 1 ]; [ 2; 3 ] ];
+        Schedule.Is_round [ [ 2 ]; [ 1; 3 ] ];
+        Schedule.Is_round [ [ 3 ]; [ 1; 2 ] ] ]
+    in
+    let result = Executor.run protocol ~inputs ~schedule in
+    List.iteri
+      (fun idx profile ->
+        let r = idx + 1 in
+        let states =
+          List.map
+            (fun (i, view) ->
+              Frac.to_string
+                (Value.as_frac (State_protocol.state_of_view spec ~round:r i view)))
+            profile
+        in
+        Printf.printf "    after round %d: values = %s\n" r
+          (String.concat " " states))
+      result.Executor.round_views
+  in
+  run_halving ()

@@ -1,0 +1,70 @@
+(* Consensus impossibility, the long way around.
+
+   Run with:  dune exec examples/consensus_impossibility.exe
+
+   This example retraces Section 3.3 in full: it builds the protocol
+   complexes, walks the 3-edge path of the Corollary 1 proof inside
+   P^(1)(τ), computes the closure in all three iterated models, and
+   finishes with Corollary 2 (test&set does not help for n >= 3). *)
+
+let section title = Printf.printf "\n== %s ==\n" title
+
+let () =
+  section "Protocol complexes (Figure 8)";
+  let sigma =
+    Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 1); (3, Value.Int 1) ]
+  in
+  List.iter
+    (fun model ->
+      let c = Complex.of_facets (Model.one_round_facets model sigma) in
+      Format.printf "  one round of %-9s: %a@." (Model.name model)
+        Complex.pp_stats c)
+    [ Model.Immediate; Model.Snapshot; Model.Collect ];
+
+  section "The path argument of Corollary 1";
+  (* Take a hypothetical disagreeing output pair τ = {(1,0),(2,1)} and
+     exhibit the path of the proof inside P^(1)(τ): its existence is
+     what forces any 1-round local-task solution to collapse the two
+     values. *)
+  let tau = Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 1) ] in
+  let p1 = Complex.of_facets (Model.one_round_facets Model.Immediate tau) in
+  let v_start = Model.solo_vertex tau 1 and v_end = Model.solo_vertex tau 2 in
+  (match Connectivity.path p1 v_start v_end with
+  | Some path ->
+      Printf.printf "  path from solo(1) to solo(2) in P^1(τ), %d vertices:\n"
+        (List.length path);
+      List.iter (fun v -> Printf.printf "    %s\n" (Vertex.to_string v)) path
+  | None -> Printf.printf "  unexpected: P^1(τ) disconnected!\n");
+
+  section "Closure fixed point in all three models (Corollary 1)";
+  let consensus = Consensus.binary ~n:3 in
+  let inputs = Task.input_simplices consensus in
+  List.iter
+    (fun model ->
+      let fp =
+        Closure.fixed_point_on ~op:(Round_op.plain model) consensus inputs
+      in
+      Printf.printf "  CL_%-9s(consensus) = consensus: %b\n" (Model.name model) fp)
+    [ Model.Immediate; Model.Snapshot; Model.Collect ];
+
+  section "Direct solver cross-check";
+  List.iter
+    (fun t ->
+      let v = Solvability.task_in_model Model.Immediate consensus ~rounds:t in
+      Printf.printf "  3-process consensus, %d round(s): %s\n" t
+        (match v with
+        | Solvability.Solvable _ -> "solvable (?!)"
+        | Solvability.Unsolvable -> "unsolvable"
+        | Solvability.Undecided -> "undecided"))
+    [ 0; 1; 2 ];
+
+  section "Corollary 2: test&set does not rescue n = 3";
+  let relaxed = Consensus.relaxed ~n:3 ~values:[ Value.Int 0; Value.Int 1 ] in
+  Printf.printf "  relaxed consensus fixed point of CL_{IIS+T&S}: %b\n"
+    (Closure.fixed_point_on ~op:Round_op.test_and_set relaxed
+       (Task.input_simplices relaxed));
+  Printf.printf "  ... while 2-process consensus with test&set takes one round: %b\n"
+    (Solvability.is_solvable
+       (Solvability.task_in_augmented ~box:Black_box.test_and_set
+          ~alpha:(Augmented.alpha_const Value.Unit)
+          (Consensus.binary ~n:2) ~rounds:1))

@@ -1,0 +1,93 @@
+(* Past the paper's edge: the open questions of its conclusion, run as
+   experiments.
+
+   Run with:  dune exec examples/new_frontiers.exe
+
+   1. What happens to the closure when binary-consensus proposals may
+      depend on values, not just IDs (the hypothesis Theorem 4 needs)?
+   2. Does the speedup machinery survive on the affine and d-solo
+      models the introduction mentions?
+   3. What changes in non-iterated memory? *)
+
+let section title = Printf.printf "\n== %s ==\n" title
+
+let () =
+  section "1. Unrestricted binary consensus: why Theorem 4 restricts inputs";
+  let m = 4 in
+  let laa = Approx_agreement.liberal ~n:3 ~m ~eps:(Frac.make 1 m) in
+  let sigma =
+    Simplex.of_list [ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ]
+  in
+  let id_only = Closure.delta ~op:(Round_op.bin_consensus_beta (fun _ -> false)) laa sigma in
+  let unrestricted =
+    Closure.delta_any
+      ~ops:(Closure.bin_consensus_ops [ 1; 2; 3 ])
+      ~name:"frontier-any" laa sigma
+  in
+  Printf.printf
+    "  closure of liberal (1/4)-AA at (0,1/2,1):\n\
+    \    ID-only proposals   : %d facets  (= the 2eps task, Claim 6)\n\
+    \    unrestricted proposals: %d facets  (= everything in range!)\n"
+    (Complex.facet_count id_only)
+    (Complex.facet_count unrestricted);
+  Printf.printf
+    "  -> one unrestricted closure step erases the precision constraint;\n\
+    \     the closure technique cannot bound value-dependent algorithms,\n\
+    \     which is exactly why Theorem 4 assumes ID-only inputs.\n";
+
+  section "2. Affine and d-solo models (paper §1.2)";
+  let consensus = Consensus.binary ~n:3 in
+  Printf.printf "  consensus still a fixed point under 2-concurrency: %b\n"
+    (Closure.fixed_point_on ~op:(Round_op.k_concurrency 2) consensus
+       (Task.input_simplices consensus));
+  let aa = Approx_agreement.task ~n:2 ~m:3 ~eps:(Frac.make 1 3) in
+  let inputs = Complex.all_simplices (Approx_agreement.binary_input_complex ~n:2) in
+  Printf.printf "  (1/3)-AA under 2-solo: fixed point (hence unsolvable): %b\n"
+    (Closure.fixed_point_on ~op:(Round_op.d_solo 2) aa inputs);
+  Printf.printf "  ... while one round of plain IIS solves it: %b\n"
+    (Solvability.is_solvable
+       (Solvability.task_in_model ~inputs Model.Immediate aa ~rounds:1));
+
+  section "3. Non-iterated memory: breakage and repair";
+  let spec = Aa_halving.spec ~m:4 ~rounds:2 in
+  let run_inputs = [ (1, Value.frac 0 1); (2, Value.frac 1 1) ] in
+  let task = Approx_agreement.task ~n:2 ~m:4 ~eps:(Frac.make 1 4) in
+  let sigma2 = Simplex.of_list run_inputs in
+  let violations runner =
+    List.length
+      (List.filter
+         (fun s ->
+           match runner spec ~inputs:run_inputs ~schedule:s with
+           | [] -> false
+           | outs -> not (Complex.mem (Simplex.of_list outs) (Task.delta task sigma2)))
+         (Non_iterated.exhaustive ~participants:[ 1; 2 ] ~rounds:2))
+  in
+  Printf.printf "  halving over all 70 interleavings of reused registers:\n";
+  Printf.printf "    raw port          : %d violations\n" (violations Non_iterated.run);
+  Printf.printf "    round-tagged port : %d violations\n"
+    (violations Non_iterated.run_emulated);
+  let profiles =
+    Non_iterated.one_round_profiles ~participants:[ 1; 2; 3 ]
+      ~inputs:[ (1, Value.Int 1); (2, Value.Int 2); (3, Value.Int 3) ]
+  in
+  Printf.printf
+    "  one emulated round realizes %d view profiles = the snapshot complex\n"
+    (List.length profiles);
+
+  section "4. A solvable companion: adaptive renaming";
+  List.iter
+    (fun n ->
+      let t = Renaming.task ~n in
+      let min_rounds =
+        let rec scan r =
+          if r > 3 then "?"
+          else if
+            Solvability.is_solvable
+              (Solvability.task_in_model Model.Immediate t ~rounds:r)
+          then string_of_int r
+          else scan (r + 1)
+        in
+        scan 0
+      in
+      Printf.printf "  adaptive (2p-1)-renaming, n=%d: %s round(s)\n" n min_rounds)
+    [ 2; 3 ]

@@ -1,0 +1,41 @@
+(* Quickstart: the asynchronous speedup theorem in a dozen lines.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   The paper's recipe for the FLP/Herlihy impossibility: binary
+   consensus is a fixed point of the closure operator, and it is not
+   solvable in zero rounds, so (Lemma 1) it is not wait-free solvable
+   at all.  Both facts — plus an independent direct check — are
+   machine-verified below. *)
+
+let () =
+  let consensus = Speedup_theory.consensus ~n:3 in
+
+  (* 1. The closure of consensus is consensus itself (Corollary 1). *)
+  let fixed = Speedup_theory.is_fixed_point consensus in
+  Printf.printf "CL_IIS(consensus) = consensus?        %b\n" fixed;
+
+  (* 2. Consensus is not solvable in zero rounds. *)
+  let zero = Speedup_theory.solvable ~rounds:0 consensus in
+  Printf.printf "consensus solvable in 0 rounds?       %b\n" zero;
+
+  (* 3. Hence unsolvable in any number of rounds; cross-check a few. *)
+  List.iter
+    (fun t ->
+      Printf.printf "consensus solvable in %d round(s)?     %b\n" t
+        (Speedup_theory.solvable ~rounds:t consensus))
+    [ 1; 2 ];
+
+  (* 4. Approximate agreement, in contrast, is solvable — and the
+        speedup theorem relates its round complexities. *)
+  let aa = Speedup_theory.approximate_agreement ~n:3 ~m:4 ~eps:(Frac.make 1 4) in
+  (match Speedup_theory.min_rounds ~binary_inputs:true aa with
+  | Speedup_theory.Exact t ->
+      Printf.printf "(1/4)-agreement needs exactly %d rounds (paper: ceil(log2 4) = 2)\n" t
+  | Speedup_theory.At_least t ->
+      Printf.printf "(1/4)-agreement needs at least %d rounds\n" t);
+  Printf.printf "speedup theorem holds on this instance? %b\n"
+    (Speedup_theory.check_speedup ~rounds:2
+       (Speedup_theory.liberal_approximate_agreement ~n:3 ~m:4 ~eps:(Frac.make 1 4)));
+
+  if not fixed || zero then exit 1

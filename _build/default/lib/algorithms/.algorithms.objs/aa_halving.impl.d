@@ -1,0 +1,1 @@
+lib/algorithms/aa_halving.ml: Frac List Printf State_protocol Value

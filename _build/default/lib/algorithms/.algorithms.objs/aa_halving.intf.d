@@ -1,0 +1,1 @@
+lib/algorithms/aa_halving.mli: Frac Protocol State_protocol

@@ -1,0 +1,1 @@
+lib/algorithms/aa_thirds.ml: Frac Printf State_protocol Value

@@ -1,0 +1,1 @@
+lib/algorithms/aa_thirds.mli: Frac Protocol State_protocol

@@ -1,0 +1,1 @@
+lib/algorithms/bc_bitwise_aa.ml: Frac List Printf State_protocol Value

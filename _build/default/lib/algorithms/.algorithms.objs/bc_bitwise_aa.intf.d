@@ -1,0 +1,1 @@
+lib/algorithms/bc_bitwise_aa.mli: Frac Protocol State_protocol

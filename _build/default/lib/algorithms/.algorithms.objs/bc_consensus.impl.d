@@ -1,0 +1,1 @@
+lib/algorithms/bc_consensus.ml: Frac List Printf State_protocol Value

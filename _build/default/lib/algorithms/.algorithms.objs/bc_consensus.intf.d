@@ -1,0 +1,1 @@
+lib/algorithms/bc_consensus.mli: Protocol

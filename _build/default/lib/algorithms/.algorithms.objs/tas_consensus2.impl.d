@@ -1,0 +1,1 @@
+lib/algorithms/tas_consensus2.ml: List Protocol Value

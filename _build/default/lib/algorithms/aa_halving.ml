@@ -1,0 +1,35 @@
+let rounds_needed ~eps = Frac.ceil_log ~base:2 (Frac.inv eps)
+
+let pow b e =
+  let rec go acc e = if e = 0 then acc else go (acc * b) (e - 1) in
+  go 1 e
+
+let fracs states = List.map (fun (_, v) -> Value.as_frac v) states
+
+let min_max values =
+  match values with
+  | [] -> invalid_arg "Aa_halving: empty view"
+  | v :: _ ->
+      ( List.fold_left Frac.min v values,
+        List.fold_left Frac.max v values )
+
+let spec ~m ~rounds =
+  if rounds < 0 then invalid_arg "Aa_halving.spec: negative rounds";
+  if m mod pow 2 rounds <> 0 then
+    invalid_arg "Aa_halving.spec: 2^rounds must divide m";
+  {
+    State_protocol.name = Printf.sprintf "aa-halving(m=%d,t=%d)" m rounds;
+    rounds;
+    init = (fun _i input -> input);
+    step =
+      (fun ~round _i ~box:_ states ->
+        let lo, hi = min_max (fracs states) in
+        let eps_r = Frac.make 1 (pow 2 round) in
+        Value.Frac (Frac.min hi (Frac.add lo eps_r)));
+    box_input = (fun ~round:_ _i _state -> Value.Unit);
+    output = (fun _i state -> state);
+  }
+
+let protocol ~m ~eps =
+  let rounds = rounds_needed ~eps in
+  State_protocol.protocol (spec ~m ~rounds)

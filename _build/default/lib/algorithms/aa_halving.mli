@@ -1,0 +1,20 @@
+(** The halving approximate-agreement algorithm (Equation (3)).
+
+    At round [r] every process replaces its value by
+    [min(max seen, min seen + 2^{-r})].  Under immediate snapshot the
+    spread halves each round, so [⌈log₂ 1/ε⌉] rounds solve
+    ε-approximate agreement for any number of processes — the upper
+    bound matching Corollary 3 (n ≥ 3) and Theorem 3.  Outputs stay on
+    the 1/m grid provided [2^rounds] divides [m] (no averaging, as
+    required by Definition 3). *)
+
+val rounds_needed : eps:Frac.t -> int
+(** [⌈log₂ 1/ε⌉]. *)
+
+val spec : m:int -> rounds:int -> State_protocol.spec
+(** @raise Invalid_argument unless [2^rounds] divides [m]. *)
+
+val protocol : m:int -> eps:Frac.t -> Protocol.t
+(** The full protocol with [rounds_needed eps] rounds.
+    @raise Invalid_argument unless [ε] and all the per-round bounds
+    are on the 1/m grid. *)

@@ -1,0 +1,39 @@
+let rounds_needed ~eps = Frac.ceil_log ~base:3 (Frac.inv eps)
+
+let pow b e =
+  let rec go acc e = if e = 0 then acc else go (acc * b) (e - 1) in
+  go 1 e
+
+let spec ~m ~rounds =
+  if rounds < 0 then invalid_arg "Aa_thirds.spec: negative rounds";
+  if m mod pow 3 rounds <> 0 then
+    invalid_arg "Aa_thirds.spec: 3^rounds must divide m";
+  {
+    State_protocol.name = Printf.sprintf "aa-thirds(m=%d,t=%d)" m rounds;
+    rounds;
+    init = (fun _i input -> input);
+    step =
+      (fun ~round i ~box:_ states ->
+        let eps_r = Frac.make 1 (pow 3 round) in
+        match states with
+        | [ (_, v) ] -> v (* solo: keep the current value *)
+        | [ (i1, v1); (i2, v2) ] ->
+            let y1 = Value.as_frac v1 and y2 = Value.as_frac v2 in
+            (* Identify the owners of the low and high values; ties are
+               broken by id so both processes pick consistently. *)
+            let lo_owner, lo, hi =
+              if Frac.(y1 < y2) || (Frac.equal y1 y2 && i1 < i2) then (i1, y1, y2)
+              else (i2, y2, y1)
+            in
+            let z = Frac.min hi (Frac.add lo eps_r) in
+            let w = Frac.min hi (Frac.add z eps_r) in
+            Value.Frac (if i = lo_owner then w else z)
+        | [] | _ :: _ -> invalid_arg "Aa_thirds: more than two processes")
+    ;
+    box_input = (fun ~round:_ _i _state -> Value.Unit);
+    output = (fun _i state -> state);
+  }
+
+let protocol ~m ~eps =
+  let rounds = rounds_needed ~eps in
+  State_protocol.protocol (spec ~m ~rounds)

@@ -1,0 +1,16 @@
+(** Two-process approximate agreement by thirds (Equation (2)).
+
+    One round shrinks the spread from [3ε] to [ε]: with [lo ≤ hi] the
+    current values, [z = min(hi, lo + ε)] and [w = min(hi, z + ε)], the
+    owner of [hi] moves to [z] when it sees both values, the owner of
+    [lo] moves to [w]; solo processes keep their values.  Iterating
+    gives the tight [⌈log₃ 1/ε⌉]-round algorithm for [n = 2]
+    (Corollary 3).  Grid preservation needs [3^rounds | m]. *)
+
+val rounds_needed : eps:Frac.t -> int
+(** [⌈log₃ 1/ε⌉]. *)
+
+val spec : m:int -> rounds:int -> State_protocol.spec
+(** @raise Invalid_argument unless [3^rounds] divides [m]. *)
+
+val protocol : m:int -> eps:Frac.t -> Protocol.t

@@ -1,0 +1,48 @@
+let rounds_needed ~eps = Frac.ceil_log ~base:2 (Frac.inv eps)
+
+let pow2 e = 1 lsl e
+
+(* Numerator of a grid value over m = 2^k, clamped to m - 1. *)
+let clamped_num ~m state =
+  let q = Value.as_frac state in
+  let num = Frac.num q * (m / Frac.den q) in
+  min num (m - 1)
+
+let digit ~k ~r num = num lsr (k - r) land 1
+
+let spec ~k ~rounds =
+  if rounds > k then invalid_arg "Bc_bitwise_aa.spec: rounds > k";
+  if rounds < 0 then invalid_arg "Bc_bitwise_aa.spec: negative rounds";
+  let m = pow2 k in
+  {
+    State_protocol.name = Printf.sprintf "bc-bitwise-aa(m=%d,t=%d)" m rounds;
+    rounds;
+    init = (fun _i input -> input);
+    step =
+      (fun ~round _i ~box states ->
+        let decided =
+          match box with
+          | Some (Value.Bool b) -> if b then 1 else 0
+          | Some _ | None -> invalid_arg "Bc_bitwise_aa: missing box output"
+        in
+        let matching =
+          List.filter
+            (fun (_, st) -> digit ~k ~r:round (clamped_num ~m st) = decided)
+            states
+        in
+        match matching with
+        | (_, st) :: _ -> st
+        | [] ->
+            (* The box winner's value is always collected. *)
+            invalid_arg "Bc_bitwise_aa: no adoptable value")
+    ;
+    box_input =
+      (fun ~round _i state ->
+        Value.Bool (digit ~k ~r:round (clamped_num ~m state) = 1));
+    output = (fun _i state -> state);
+  }
+
+let protocol ~k ~eps =
+  let rounds = rounds_needed ~eps in
+  if rounds > k then invalid_arg "Bc_bitwise_aa.protocol: eps below grid resolution";
+  State_protocol.protocol (spec ~k ~rounds)

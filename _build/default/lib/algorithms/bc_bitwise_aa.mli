@@ -1,0 +1,21 @@
+(** ε-approximate agreement from binary consensus in [⌈log₂ 1/ε⌉]
+    rounds (Section 5.3, second technique).
+
+    Values live on the grid [k/m] with [m = 2^K].  At round [r] every
+    process proposes the [r]-th binary digit (MSB first) of its current
+    value — clamped to [m − 1] so that the value 1 shares the digits of
+    [1 − 1/m] — and adopts any collected value whose [r]-th digit
+    matches the box decision.  After [t] rounds all current values
+    share their first [t] digits, hence are within [2^{-t}]; outputs
+    are always some participant's original-range value, so validity
+    holds.  Note the box input depends on the {e value}, not the ID —
+    this is the algorithm family to which the Theorem 4 lower bound
+    deliberately does {b not} apply. *)
+
+val rounds_needed : eps:Frac.t -> int
+
+val spec : k:int -> rounds:int -> State_protocol.spec
+(** Grid [m = 2^k]; requires [rounds <= k]. *)
+
+val protocol : k:int -> eps:Frac.t -> Protocol.t
+(** @raise Invalid_argument if [ε < 2^{-k}]. *)

@@ -1,0 +1,53 @@
+let rounds_needed ~n =
+  if n < 1 then invalid_arg "Bc_consensus: n < 1";
+  Frac.ceil_log ~base:2 (Frac.of_int n)
+
+(* The r-th bit, MSB first, of [id - 1] written with [k] bits. *)
+let id_bit ~k ~r id = (id - 1) lsr (k - r) land 1
+
+let state_candidate state =
+  match state with
+  | Value.Pair (Value.Int id, input) -> (id, input)
+  | Value.Pair _ | Value.Unit | Value.Bool _ | Value.Int _ | Value.Frac _
+  | Value.Str _ | Value.View _ ->
+      invalid_arg "Bc_consensus: malformed state"
+
+let spec ~n =
+  let k = rounds_needed ~n in
+  {
+    State_protocol.name = Printf.sprintf "bc-consensus(n=%d)" n;
+    rounds = k;
+    init = (fun i input -> Value.Pair (Value.Int i, input));
+    step =
+      (fun ~round _i ~box states ->
+        let decided =
+          match box with
+          | Some (Value.Bool b) -> if b then 1 else 0
+          | Some _ | None -> invalid_arg "Bc_consensus: missing box output"
+        in
+        let matching =
+          List.filter
+            (fun (_, st) ->
+              let id, _ = state_candidate st in
+              id_bit ~k ~r:round id = decided)
+            states
+        in
+        match matching with
+        | (_, st) :: _ -> st
+        | [] ->
+            (* The box winner proposed [decided] and its write precedes
+               every collect, so a match always exists. *)
+            invalid_arg "Bc_consensus: no adoptable candidate")
+    ;
+    box_input =
+      (fun ~round i state ->
+        ignore i;
+        let id, _ = state_candidate state in
+        Value.Bool (id_bit ~k ~r:round id = 1));
+    output =
+      (fun _i state ->
+        let _, input = state_candidate state in
+        input);
+  }
+
+let protocol ~n = State_protocol.protocol (spec ~n)

@@ -1,0 +1,18 @@
+(** Multi-valued consensus from binary consensus in [⌈log₂ n⌉] rounds
+    (Section 5.3, first technique; cf. [34, 36]).
+
+    The processes agree bit by bit on the identity of a participating
+    process and decide its input.  Every process carries a candidate
+    [(id, input)]; at round [r] it proposes the [r]-th bit (MSB first)
+    of [candidate id − 1] — {e a value that depends only on its state,
+    and in round 1 only on its own ID} — and then adopts any collected
+    candidate whose [r]-th bit matches the box decision.  The box
+    winner's candidate is always visible (it wrote before invoking), so
+    adoption never fails; after [⌈log₂ n⌉] rounds all candidates
+    coincide. *)
+
+val rounds_needed : n:int -> int
+(** [⌈log₂ n⌉] (and 0 for [n = 1]). *)
+
+val protocol : n:int -> Protocol.t
+(** Run with [Sim_object.consensus]. *)

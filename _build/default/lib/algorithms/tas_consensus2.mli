@@ -1,0 +1,14 @@
+(** One-round 2-process (multi-valued) consensus with test&set
+    (Section 4.3, Figure 4).
+
+    Write the input, invoke test&set, collect.  The winner outputs its
+    own input; a loser outputs the other process's input, which is
+    guaranteed to be visible: the winner wrote before invoking, and the
+    loser's collect follows its own (later) invocation. *)
+
+val protocol : Protocol.t
+(** A 1-round protocol; run it with [Sim_object.test_and_set]. *)
+
+val decide : int -> Value.t -> Value.t
+(** The decision map, exposed for direct inspection against the
+    simplicial map of Figure 4. *)

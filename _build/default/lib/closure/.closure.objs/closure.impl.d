@@ -1,0 +1,1 @@
+lib/closure/closure.ml: Complex Hashtbl List Logs Printf Round_op Simplex Solvability Task

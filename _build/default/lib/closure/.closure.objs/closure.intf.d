@@ -1,0 +1,1 @@
+lib/closure/closure.mli: Complex Round_op Simplex Simplicial_map Task

@@ -1,0 +1,1 @@
+lib/closure/round_op.ml: Affine Augmented Black_box Complex Model Printf Simplex Value

@@ -1,0 +1,1 @@
+lib/closure/round_op.mli: Augmented Black_box Complex Model Simplex Vertex

@@ -1,0 +1,1 @@
+lib/closure/speedup.ml: Augmented Black_box Closure Complex List Model Round_op Simplex Simplicial_map Solvability Task Value Vertex

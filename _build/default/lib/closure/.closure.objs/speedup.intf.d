@@ -1,0 +1,1 @@
+lib/closure/speedup.mli: Complex Model Round_op Simplex Simplicial_map Solvability Task

@@ -1,0 +1,123 @@
+let src = Logs.Src.create "speedup.closure" ~doc:"Closure computation"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let memo : (string * string, Complex.t Simplex.Map.t ref) Hashtbl.t =
+  Hashtbl.create 32
+
+let tau_member ?node_limit ~op task ~sigma ~tau =
+  (* Zero-round shortcut: simplices of Δ(σ) are always in Δ'(σ)
+     (Remark after Definition 2). *)
+  Complex.mem tau (Task.delta task sigma)
+  ||
+  match
+    Solvability.local_task_solvable ?node_limit ~one_round:(Round_op.facets op)
+      task ~sigma ~tau
+  with
+  | Solvability.Solvable _ -> true
+  | Solvability.Unsolvable -> false
+  | Solvability.Undecided ->
+      failwith "Closure: local task solvability undecided (node limit)"
+
+let witness ?node_limit ~op task ~sigma ~tau =
+  match
+    Solvability.local_task_solvable ?node_limit ~one_round:(Round_op.facets op)
+      task ~sigma ~tau
+  with
+  | Solvability.Solvable f -> Some f
+  | Solvability.Undecided -> None
+  | Solvability.Unsolvable ->
+      (* The search may be vacuously unsolvable only because τ was not
+         a legal chromatic set; tau_member's zero-round shortcut case
+         (τ ∈ Δ(σ)) is always solvable, so reaching here with a Δ(σ)
+         member cannot happen: the CSP covers that map too. *)
+      None
+
+let delta ?node_limit ~op task sigma =
+  let key = (Round_op.name op, task.Task.name) in
+  let slot =
+    match Hashtbl.find_opt memo key with
+    | Some r -> r
+    | None ->
+        let r = ref Simplex.Map.empty in
+        Hashtbl.add memo key r;
+        r
+  in
+  match Simplex.Map.find_opt sigma !slot with
+  | Some c -> c
+  | None ->
+      let taus = Task.chromatic_output_sets task sigma in
+      let members =
+        List.filter (fun tau -> tau_member ?node_limit ~op task ~sigma ~tau) taus
+      in
+      let c = Complex.of_facets members in
+      Log.debug (fun m ->
+          m "Δ'[%s](%a): %d of %d candidate sets admitted"
+            (Round_op.name op) Simplex.pp sigma (List.length members)
+            (List.length taus));
+      slot := Simplex.Map.add sigma c !slot;
+      c
+
+let delta_any ?node_limit ~ops ~name task sigma =
+  let key = (name, task.Task.name) in
+  let slot =
+    match Hashtbl.find_opt memo key with
+    | Some r -> r
+    | None ->
+        let r = ref Simplex.Map.empty in
+        Hashtbl.add memo key r;
+        r
+  in
+  match Simplex.Map.find_opt sigma !slot with
+  | Some c -> c
+  | None ->
+      let members =
+        List.filter
+          (fun tau ->
+            List.exists (fun op -> tau_member ?node_limit ~op task ~sigma ~tau) ops)
+          (Task.chromatic_output_sets task sigma)
+      in
+      let c = Complex.of_facets members in
+      slot := Simplex.Map.add sigma c !slot;
+      c
+
+let bin_consensus_ops ids =
+  let rec betas = function
+    | [] -> [ [] ]
+    | i :: rest ->
+        let tails = betas rest in
+        List.concat_map
+          (fun b -> List.map (fun tl -> (i, b) :: tl) tails)
+          [ false; true ]
+  in
+  List.map
+    (fun beta ->
+      Round_op.bin_consensus_beta (fun i ->
+          match List.assoc_opt i beta with Some b -> b | None -> false))
+    (betas ids)
+
+let task ?node_limit ~op t =
+  let name = Printf.sprintf "CL[%s](%s)" (Round_op.name op) t.Task.name in
+  let delta' = delta ?node_limit ~op t in
+  Task.make ~name ~arity:t.Task.arity ~inputs:t.Task.inputs
+    ~outputs:
+      (lazy
+        (List.fold_left
+           (fun acc sigma -> Complex.union acc (delta' sigma))
+           Complex.empty (Task.input_simplices t)))
+    ~delta:delta'
+
+let fixed_point_on ?node_limit ~op t simplices =
+  List.for_all
+    (fun sigma -> Complex.equal (delta ?node_limit ~op t sigma) (Task.delta t sigma))
+    simplices
+
+let iterate ?node_limit ~op k t =
+  let rec go k acc = if k <= 0 then acc else go (k - 1) (task ?node_limit ~op acc) in
+  go k t
+
+let equal_on ?node_limit ~op t ~reference simplices =
+  List.for_all
+    (fun sigma ->
+      Complex.equal (delta ?node_limit ~op t sigma) (Task.delta reference sigma))
+    simplices

@@ -1,0 +1,65 @@
+(** The closure of a task with respect to a model (Definition 2).
+
+    [Δ'(σ)] consists of all chromatic sets [τ ⊆ V(Δ(σ))] with
+    [ID(τ) = ID(σ)] whose local task [Π_{τ,σ}] is solvable in at most
+    one round of the model; always [Δ(σ) ⊆ Δ'(σ)]. *)
+
+val delta :
+  ?node_limit:int -> op:Round_op.t -> Task.t -> Simplex.t -> Complex.t
+(** [Δ'(σ)], computed by enumerating candidate chromatic sets and
+    running the local-task solvability test on each.  Memoized per
+    (operator name, task name, σ): operator and task names must
+    therefore identify their semantics — [Round_op] guarantees this by
+    giving every augmented operator instance a unique name, and task
+    constructors encode their parameters in the name.
+    @raise Failure if some local-task instance is undecided. *)
+
+val task : ?node_limit:int -> op:Round_op.t -> Task.t -> Task.t
+(** The closure task [CL_M(Π) = (I, O', Δ')].  Its [outputs] complex
+    (the images of Δ' and their faces, over all input simplices) is
+    lazy and rarely needed. *)
+
+val tau_member :
+  ?node_limit:int -> op:Round_op.t -> Task.t -> sigma:Simplex.t ->
+  tau:Simplex.t -> bool
+(** Membership [τ ∈ Δ'(σ)] without enumerating all of [Δ'(σ)]. *)
+
+val witness :
+  ?node_limit:int -> op:Round_op.t -> Task.t -> sigma:Simplex.t ->
+  tau:Simplex.t -> Simplicial_map.t option
+(** The one-round decision map solving the local task [Π_{τ,σ}] when
+    [τ ∈ Δ'(σ)] — the simplicial map illustrated by Figure 2 (the
+    subdivision of τ mapped into the dark subcomplex of Δ(σ)).
+    [None] when τ is not in the closure.  Zero-round memberships
+    (τ already a simplex of Δ(σ)) are witnessed by the map sending
+    every view to its owner's τ-vertex. *)
+
+val delta_any :
+  ?node_limit:int -> ops:Round_op.t list -> name:string -> Task.t ->
+  Simplex.t -> Complex.t
+(** Closure when the one-round local algorithm may pick its black-box
+    inputs: [τ ∈ Δ'(σ)] iff the local task is solvable under {e some}
+    operator of the list.  Used for the unrestricted binary-consensus
+    model: in the Theorem 2 proof the box input of a process in the
+    local algorithm is a constant, so quantifying over all per-process
+    constant assignments [β] is exactly Definition 2 for that model.
+    [name] keys the memo table. *)
+
+val bin_consensus_ops : int list -> Round_op.t list
+(** The [2^{|ids|}] operators "IIS + binary consensus with constant
+    proposals β", one per [β : ids → {0,1}]. *)
+
+val fixed_point_on :
+  ?node_limit:int -> op:Round_op.t -> Task.t -> Simplex.t list -> bool
+(** Whether [Δ'(σ) = Δ(σ)] on every listed input simplex — the
+    fixed-point condition of Lemma 1, checked extensionally. *)
+
+val iterate : ?node_limit:int -> op:Round_op.t -> int -> Task.t -> Task.t
+(** [iterate op k task]: the [k]-fold closure
+    [CL_M(CL_M(… CL_M(Π)))]. *)
+
+val equal_on :
+  ?node_limit:int -> op:Round_op.t -> Task.t -> reference:Task.t ->
+  Simplex.t list -> bool
+(** Whether the closure's Δ' agrees with the reference task's Δ on
+    every listed simplex (e.g. Claim 2: closure of ε-AA vs 3ε-AA). *)

@@ -1,0 +1,45 @@
+(** One-round protocol operators, the model parameter of the closure.
+
+    A round operator maps a simplex to the facets of its one-round
+    protocol complex.  The closure of a task (Definition 2) and the
+    speedup theorem are parameterized by such an operator, which lets
+    the same code cover the plain iterated models (Theorem 1) and the
+    augmented ones (Theorem 2, and the β-restricted boxes of
+    Theorem 4 / Claim 5). *)
+
+type t
+
+val name : t -> string
+val facets : t -> Simplex.t -> Simplex.t list
+(** Facets of the one-round protocol complex [P^(1)(σ)]. *)
+
+val plain : Model.t -> t
+(** Write-collect, write-snapshot, or immediate snapshot. *)
+
+val augmented : box:Black_box.t -> alpha:Augmented.alpha -> round:int -> t
+(** IIS augmented with a black box, inputs given by [α(·, ·, round)]. *)
+
+val test_and_set : t
+(** IIS + test&set (the box takes no meaningful input). *)
+
+val bin_consensus_beta : (int -> bool) -> t
+(** IIS + binary consensus where process [i] always proposes [β(i)] —
+    the ID-only restriction of Theorem 4. *)
+
+val custom : name:string -> (Simplex.t -> Simplex.t list) -> t
+(** Any view-valued one-round operator whose solo vertices have the
+    plain [(i, {(i, x_i)})] shape (no black box). *)
+
+val k_concurrency : int -> t
+(** The affine [k]-concurrency model (Section 1.2; removes IS
+    executions with blocks larger than [k]). *)
+
+val d_solo : int -> t
+(** The [d]-solo model (Section 1.2; adds executions where up to [d]
+    processes run solo concurrently). *)
+
+val complex : t -> Simplex.t -> Complex.t
+val solo_vertex : t -> Simplex.t -> int -> Vertex.t
+(** The vertex of the one-round complex where process [i] runs solo.
+    Well-defined for all operators used in this repository because
+    their boxes are deterministic on solo executions. *)

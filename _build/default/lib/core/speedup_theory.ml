@@ -1,0 +1,69 @@
+type rounds_verdict = Exact of int | At_least of int
+
+let tas_alpha = Augmented.alpha_const Value.Unit
+
+let solvable ?(rounds = 1) ?(model = Model.Immediate) ?(test_and_set = false) task =
+  let verdict =
+    if test_and_set then
+      Solvability.task_in_augmented ~box:Black_box.test_and_set ~alpha:tas_alpha
+        task ~rounds
+    else Solvability.task_in_model model task ~rounds
+  in
+  Solvability.is_solvable verdict
+
+let min_rounds ?(model = Model.Immediate) ?(max_rounds = 4) ?(binary_inputs = false)
+    task =
+  let inputs =
+    if binary_inputs then
+      Some
+        (Complex.all_simplices
+           (Approx_agreement.binary_input_complex ~n:task.Task.arity))
+    else None
+  in
+  match Solvability.min_rounds ?inputs ~max_rounds model task with
+  | Some t -> Exact t
+  | None -> At_least (max_rounds + 1)
+
+let op_of ~test_and_set ~model =
+  if test_and_set then Round_op.test_and_set else Round_op.plain model
+
+let closure ?(test_and_set = false) ?(model = Model.Immediate) task =
+  Closure.task ~op:(op_of ~test_and_set ~model) task
+
+let is_fixed_point ?(test_and_set = false) ?(model = Model.Immediate) task =
+  Closure.fixed_point_on
+    ~op:(op_of ~test_and_set ~model)
+    task (Task.input_simplices task)
+
+let lower_bound_by_closure ?(model = Model.Immediate) task ~reference ~max =
+  let op = Round_op.plain model in
+  let inputs = Task.input_simplices task in
+  if not (Task.delta_equal_on task (reference 0) inputs) then
+    failwith "lower_bound_by_closure: reference 0 differs from the task";
+  let rec chase k current =
+    if k >= max then k
+    else if Solvability.is_solvable (Solvability.task_in_model model current ~rounds:0)
+    then k
+    else begin
+      let next = reference (k + 1) in
+      if not (Closure.equal_on ~op current ~reference:next inputs) then
+        failwith
+          (Printf.sprintf
+             "lower_bound_by_closure: CL^%d does not match the reference" (k + 1));
+      chase (k + 1) next
+    end
+  in
+  chase 0 task
+
+let check_speedup ?(test_and_set = false) ?(model = Model.Immediate) ~rounds task =
+  let setting =
+    if test_and_set then Speedup.of_test_and_set else Speedup.of_model model
+  in
+  Speedup.speedup_holds
+    (Speedup.verify setting task ~rounds ~inputs:(Task.input_simplices task))
+
+let consensus ~n = Consensus.binary ~n
+let approximate_agreement ~n ~m ~eps = Approx_agreement.task ~n ~m ~eps
+
+let liberal_approximate_agreement ~n ~m ~eps =
+  Approx_agreement.liberal ~n ~m ~eps

@@ -1,0 +1,56 @@
+(** High-level entry points to the reproduction — the "one import"
+    API used by the examples and the quickstart in the README.
+
+    The underlying machinery lives in the focused libraries
+    ([Topology], [Model]/[Augmented], [Task] constructors, [Solvability],
+    [Closure], [Speedup], the simulator, and the algorithms); this
+    module bundles the most common questions:
+
+    - is task Π solvable in [t] rounds of model M?
+    - what is the closure [CL_M(Π)], and is Π a fixed point?
+    - does the speedup theorem hold, constructively, on this instance?
+    - what round lower bound follows from iterating the closure? *)
+
+type rounds_verdict = Exact of int | At_least of int
+(** Result of a round-complexity measurement: the minimal solvable
+    round count, or a lower bound when the scan hit its cap. *)
+
+val solvable :
+  ?rounds:int -> ?model:Model.t -> ?test_and_set:bool -> Task.t -> bool
+(** [solvable task] decides wait-free solvability of the task in
+    [rounds] rounds (default 1) of [model] (default IIS), optionally
+    augmented with a test&set object per round. *)
+
+val min_rounds :
+  ?model:Model.t -> ?max_rounds:int -> ?binary_inputs:bool -> Task.t ->
+  rounds_verdict
+(** Scans [t = 0, 1, …] with the direct solver.  [binary_inputs]
+    restricts approximate-agreement-style tasks to inputs in {0,1}
+    (enough for lower bounds and much faster). *)
+
+val closure : ?test_and_set:bool -> ?model:Model.t -> Task.t -> Task.t
+(** [CL_M(Π)] per Definition 2. *)
+
+val is_fixed_point : ?test_and_set:bool -> ?model:Model.t -> Task.t -> bool
+(** Whether [CL_M(Π) = Π] (Δ′ = Δ on every input simplex) — by
+    Lemma 1 a fixed point that is not 0-round solvable is unsolvable. *)
+
+val lower_bound_by_closure :
+  ?model:Model.t -> Task.t -> reference:(int -> Task.t) -> max:int -> int
+(** The paper's lower-bound recipe: given [reference k] = the expected
+    [k]-fold closure (e.g. [fun k -> (2^k ε)-AA]), verify
+    [CL(reference k) = reference (k+1)] on the inputs and count how
+    many closures are needed before the task becomes 0-round solvable;
+    the count is a round lower bound (Theorem 1 + induction).
+    @raise Failure if a closure step does not match the reference. *)
+
+val check_speedup :
+  ?test_and_set:bool -> ?model:Model.t -> rounds:int -> Task.t -> bool
+(** Mechanized Theorem 1/2 on this instance: if the task is solvable
+    in [rounds] rounds, derive the proof's [f′] and confirm it solves
+    the closure in [rounds − 1]; vacuously true when unsolvable. *)
+
+val consensus : n:int -> Task.t
+val approximate_agreement : n:int -> m:int -> eps:Frac.t -> Task.t
+val liberal_approximate_agreement : n:int -> m:int -> eps:Frac.t -> Task.t
+(** Re-exported task constructors for convenience. *)

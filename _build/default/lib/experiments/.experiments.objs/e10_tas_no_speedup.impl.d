@@ -1,0 +1,1 @@
+lib/experiments/e10_tas_no_speedup.ml: Approx_agreement Augmented Black_box Closure Combinatorics Complex Frac List Model Report Round_op Simplex Solvability Value

@@ -1,0 +1,1 @@
+lib/experiments/e10_tas_no_speedup.mli: Report

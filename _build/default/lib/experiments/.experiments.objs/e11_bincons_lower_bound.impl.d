@@ -1,0 +1,1 @@
+lib/experiments/e11_bincons_lower_bound.ml: Approx_agreement Augmented Black_box Closure Complex Frac List Model Printf Report Round_op Simplex Solvability String Value Vertex

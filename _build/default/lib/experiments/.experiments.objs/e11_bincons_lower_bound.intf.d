@@ -1,0 +1,1 @@
+lib/experiments/e11_bincons_lower_bound.mli: Report

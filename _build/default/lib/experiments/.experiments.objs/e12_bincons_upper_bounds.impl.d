@@ -1,0 +1,1 @@
+lib/experiments/e12_bincons_upper_bounds.ml: Adversary Approx_agreement Bc_bitwise_aa Bc_consensus Consensus Frac List Model Report Sim_object Value

@@ -1,0 +1,1 @@
+lib/experiments/e12_bincons_upper_bounds.mli: Report

@@ -1,0 +1,1 @@
+lib/experiments/e13_simulator_vs_topology.ml: Cross_check List Report Simplex Value

@@ -1,0 +1,1 @@
+lib/experiments/e14_closure_explorer.ml: Approx_agreement Closure Complex Frac List Model Report Round_op Set_agreement Simplex Solvability Sperner Task Value

@@ -1,0 +1,1 @@
+lib/experiments/e15_classical_topology.ml: Approx_agreement Classical Complex Consensus Frac Homology List Model Report Simplex String Synthesis Task Value

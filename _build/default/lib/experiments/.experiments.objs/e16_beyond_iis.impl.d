@@ -1,0 +1,1 @@
+lib/experiments/e16_beyond_iis.ml: Affine Approx_agreement Closure Complex Consensus Frac List Model Report Round_op Simplex Solvability Task Value

@@ -1,0 +1,1 @@
+lib/experiments/e16_beyond_iis.mli: Report

@@ -1,0 +1,1 @@
+lib/experiments/e17_unrestricted_closures.ml: Approx_agreement Closure Complex Frac List Model Printf Renaming Report Round_op Simplex Solvability Task Value

@@ -1,0 +1,1 @@
+lib/experiments/e18_non_iterated.ml: Aa_halving Approx_agreement Complex Executor Frac List Model Non_iterated Printf Report Schedule Simplex State_protocol Task Value

@@ -1,0 +1,1 @@
+lib/experiments/e19_model_comparison.ml: Affine Approx_agreement Complex Frac List Model Report Solvability Task

@@ -1,0 +1,1 @@
+lib/experiments/e19_model_comparison.mli: Report

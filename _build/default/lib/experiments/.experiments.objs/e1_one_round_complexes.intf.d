@@ -1,0 +1,1 @@
+lib/experiments/e1_one_round_complexes.mli: Report

@@ -1,0 +1,1 @@
+lib/experiments/e20_converse_speedup.ml: Closure Combinatorics Complex Hashtbl List Model Printf Random Report Round_op Simplex Solvability Task Value

@@ -1,0 +1,1 @@
+lib/experiments/e2_speedup.ml: Approx_agreement Complex Frac List Model Report Solvability Speedup Task

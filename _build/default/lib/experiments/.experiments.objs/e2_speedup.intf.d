@@ -1,0 +1,1 @@
+lib/experiments/e2_speedup.mli: Report

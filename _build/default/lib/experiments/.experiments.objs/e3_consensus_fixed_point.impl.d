@@ -1,0 +1,1 @@
+lib/experiments/e3_consensus_fixed_point.ml: Closure Consensus List Model Report Round_op Solvability Task

@@ -1,0 +1,1 @@
+lib/experiments/e3_consensus_fixed_point.mli: Report

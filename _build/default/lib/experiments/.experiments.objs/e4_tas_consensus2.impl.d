@@ -1,0 +1,1 @@
+lib/experiments/e4_tas_consensus2.ml: Adversary Augmented Black_box Complex Consensus List Model Report Sim_object Simplex Solvability Tas_consensus2 Task Value

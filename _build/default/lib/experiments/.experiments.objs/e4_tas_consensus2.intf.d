@@ -1,0 +1,1 @@
+lib/experiments/e4_tas_consensus2.mli: Report

@@ -1,0 +1,1 @@
+lib/experiments/e5_tas_consensus_impossible.ml: Augmented Black_box Closure Complex Consensus List Printf Report Round_op Simplex Solvability Task Value Vertex

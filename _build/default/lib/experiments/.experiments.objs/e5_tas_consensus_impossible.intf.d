@@ -1,0 +1,1 @@
+lib/experiments/e5_tas_consensus_impossible.mli: Report

@@ -1,0 +1,1 @@
+lib/experiments/e6_closure_two_procs.ml: Approx_agreement Closure Combinatorics Complex Frac List Model Report Round_op Simplex Value

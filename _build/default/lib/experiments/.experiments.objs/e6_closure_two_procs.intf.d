@@ -1,0 +1,1 @@
+lib/experiments/e6_closure_two_procs.mli: Report

@@ -1,0 +1,1 @@
+lib/experiments/e7_closure_three_procs.ml: Approx_agreement Closure Combinatorics Complex Frac List Model Report Round_op Simplex Value

@@ -1,0 +1,1 @@
+lib/experiments/e7_closure_three_procs.mli: Report

@@ -1,0 +1,1 @@
+lib/experiments/e8_aa_round_complexity.ml: Approx_agreement Complex Frac List Model Report Solvability

@@ -1,0 +1,1 @@
+lib/experiments/e8_aa_round_complexity.mli: Report

@@ -1,0 +1,1 @@
+lib/experiments/e9_aa_upper_bounds.ml: Aa_halving Aa_thirds Adversary Approx_agreement Array Executor Frac List Model Report State_protocol String Value

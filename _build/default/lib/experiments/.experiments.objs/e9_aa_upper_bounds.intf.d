@@ -1,0 +1,1 @@
+lib/experiments/e9_aa_upper_bounds.mli: Report

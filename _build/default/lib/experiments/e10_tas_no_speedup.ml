@@ -1,0 +1,93 @@
+let alpha = Augmented.alpha_const Value.Unit
+let box = Black_box.test_and_set
+
+let min_rounds_augmented ?(max_rounds = 3) task ~inputs =
+  let rec scan t =
+    if t > max_rounds then None
+    else
+      match
+        Solvability.task_in_augmented ~inputs ~box ~alpha task ~rounds:t
+      with
+      | Solvability.Solvable _ -> Some t
+      | Solvability.Unsolvable -> scan (t + 1)
+      | Solvability.Undecided -> None
+  in
+  scan 0
+
+let cell = function Some t -> string_of_int t | None -> "?"
+
+let claim4_rows () =
+  let op = Round_op.test_and_set in
+  let cases = [ (2, 1, true); (4, 1, true); (4, 2, true); (8, 1, false) ] in
+  List.map
+    (fun (m, k, full) ->
+      let eps = Frac.make k m in
+      let aa = Approx_agreement.liberal ~n:3 ~m ~eps in
+      let two_eps = Frac.min (Frac.mul (Frac.of_int 2) eps) Frac.one in
+      let reference = Approx_agreement.liberal ~n:3 ~m ~eps:two_eps in
+      let simplices =
+        if full then
+          Complex.all_simplices
+            (Combinatorics.full_input_complex 3 (Approx_agreement.grid m))
+        else
+          Simplex.faces
+            (Simplex.of_list
+               [ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ])
+      in
+      let equal = Closure.equal_on ~op aa ~reference simplices in
+      ( [
+          string_of_int m;
+          Frac.to_string eps;
+          Frac.to_string two_eps;
+          (if full then "all" else "sampled");
+          Report.verdict equal;
+        ],
+        equal ))
+    cases
+
+let contrast_rows () =
+  let binary n = Complex.all_simplices (Approx_agreement.binary_input_complex ~n) in
+  let case ~n ~m ~k =
+    let eps = Frac.make k m in
+    let task = Approx_agreement.task ~n ~m ~eps in
+    let inputs = binary n in
+    let plain = Solvability.min_rounds ~inputs ~max_rounds:3 Model.Immediate task in
+    let tas = min_rounds_augmented task ~inputs in
+    (eps, n, plain, tas)
+  in
+  let expectations =
+    [
+      (case ~n:2 ~m:9 ~k:1, (Some 2, Some 1)); (* T&S helps for n = 2 *)
+      (case ~n:3 ~m:2 ~k:1, (Some 1, Some 1));
+      (case ~n:3 ~m:4 ~k:1, (Some 2, Some 2)); (* but not for n = 3 *)
+    ]
+  in
+  List.map
+    (fun ((eps, n, plain, tas), (exp_plain, exp_tas)) ->
+      let good = plain = exp_plain && tas = exp_tas in
+      ( [
+          string_of_int n;
+          Frac.to_string eps;
+          cell plain;
+          cell tas;
+          Report.check_mark good;
+        ],
+        good ))
+    expectations
+
+let run () =
+  let c4 = claim4_rows () in
+  let ct = contrast_rows () in
+  [
+    Report.table ~id:"e10"
+      ~title:"Claim 4: CL_{IIS+T&S}(liberal eps-AA, n=3) = liberal (2eps)-AA"
+      ~headers:[ "m"; "eps"; "2eps"; "inputs"; "Δ' = Δ_2eps" ]
+      ~rows:(List.map fst c4)
+      ~ok:(List.for_all snd c4);
+    Report.table ~id:"e10"
+      ~title:
+        "Theorem 3: min rounds for eps-AA, plain IIS vs IIS+test&set (T&S only helps n=2)"
+      ~headers:[ "n"; "eps"; "plain IIS"; "IIS+T&S"; "check" ]
+      ~rows:(List.map fst ct)
+      ~ok:(List.for_all snd ct);
+  ]

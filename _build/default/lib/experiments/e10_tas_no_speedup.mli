@@ -1,0 +1,10 @@
+(** E10 — Theorem 3 / Claim 4: test&set does not accelerate
+    approximate agreement for n ≥ 3.
+
+    Machine-checks Claim 4 (the closure of liberal ε-AA w.r.t.
+    IIS + test&set is still liberal (2ε)-AA), and contrasts direct
+    solver measurements: for n = 3 the minimal round count with
+    test&set equals the plain-IIS one, while for n = 2 test&set
+    collapses it to a single round. *)
+
+val run : unit -> Report.table list

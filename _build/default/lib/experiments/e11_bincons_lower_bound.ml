@@ -1,0 +1,151 @@
+let all_betas ids =
+  let rec go = function
+    | [] -> [ [] ]
+    | i :: rest ->
+        let tails = go rest in
+        List.concat_map (fun b -> List.map (fun tl -> (i, b) :: tl) tails) [ false; true ]
+  in
+  go ids
+
+let majority_side ids beta =
+  let zeros = List.filter (fun i -> not (List.assoc i beta)) ids in
+  let ones = List.filter (fun i -> List.assoc i beta) ids in
+  if List.length zeros >= List.length ones then zeros else ones
+
+(* On S' the box output is the same for everyone in every execution:
+   stripping it must give exactly the plain IIS complex. *)
+let degenerates_on beta sigma =
+  let beta_fn i = List.assoc i beta in
+  let op = Round_op.bin_consensus_beta beta_fn in
+  let facets = Round_op.facets op sigma in
+  let expected = Value.Bool (beta_fn (List.hd (Simplex.ids sigma))) in
+  let constant_box =
+    List.for_all
+      (fun facet ->
+        List.for_all
+          (fun v ->
+            match Vertex.value v with
+            | Value.Pair (b, _) -> Value.equal b expected
+            | _ -> false)
+          (Simplex.vertices facet))
+      facets
+  in
+  let stripped =
+    List.sort_uniq Simplex.compare
+      (List.map
+         (fun f -> Simplex.of_vertices (List.map Augmented.strip_box (Simplex.vertices f)))
+         facets)
+  in
+  let plain =
+    List.sort_uniq Simplex.compare (Model.one_round_facets Model.Immediate sigma)
+  in
+  constant_box
+  && List.length stripped = List.length plain
+  && List.for_all2 Simplex.equal stripped plain
+
+let claim6_rows () =
+  let n = 5 in
+  let ids = List.init n (fun i -> i + 1) in
+  let m = 4 in
+  let eps = Frac.make 1 m in
+  let aa = Approx_agreement.liberal ~n ~m ~eps in
+  let reference = Approx_agreement.liberal ~n ~m ~eps:(Frac.make 2 m) in
+  let results =
+    List.map
+      (fun beta ->
+        let s' = majority_side ids beta in
+        let size_ok = List.length s' >= 3 in
+        (* Representative input on the first three processes of S'. *)
+        let chosen =
+          match s' with a :: b :: c :: _ -> [ a; b; c ] | _ -> s'
+        in
+        let sigma =
+          Simplex.of_list
+            (List.mapi
+               (fun idx i ->
+                 (i, Value.frac (if idx = 0 then 0 else if idx = 1 then m / 2 else m) m))
+               chosen)
+        in
+        let degen = degenerates_on beta sigma in
+        let beta_fn i = List.assoc i beta in
+        let equal =
+          Closure.equal_on
+            ~op:(Round_op.bin_consensus_beta beta_fn)
+            aa ~reference (Simplex.faces sigma)
+        in
+        (beta, s', size_ok && degen && equal))
+      (all_betas ids)
+  in
+  let all_good = List.for_all (fun (_, _, g) -> g) results in
+  let beta_str beta =
+    String.concat "" (List.map (fun (_, b) -> if b then "1" else "0") beta)
+  in
+  let sample_rows =
+    List.filteri (fun k _ -> k mod 6 = 0)
+      (List.map
+         (fun (beta, s', good) ->
+           [
+             beta_str beta;
+             Printf.sprintf "{%s}" (String.concat "," (List.map string_of_int s'));
+             Report.verdict good;
+           ])
+         results)
+  in
+  (sample_rows
+   @ [ [ "(all 32 β)"; ""; Report.verdict all_good ] ],
+   all_good)
+
+let bound_table_rows () =
+  List.concat_map
+    (fun n ->
+      List.map
+        (fun e ->
+          let log_eps = e and log_n = Frac.ceil_log ~base:2 (Frac.of_int n) in
+          let lower = min log_eps (log_n - 1) in
+          let upper = min log_eps log_n in
+          [
+            string_of_int n;
+            Printf.sprintf "1/%d" (1 lsl e);
+            string_of_int lower;
+            string_of_int upper;
+            Report.verdict (upper - lower <= 1);
+          ])
+        [ 1; 2; 3; 4 ])
+    [ 4; 8; 16 ]
+
+let ground_truth_n3 () =
+  let m = 4 in
+  let task = Approx_agreement.task ~n:3 ~m ~eps:(Frac.make 1 m) in
+  let inputs = Complex.all_simplices (Approx_agreement.binary_input_complex ~n:3) in
+  List.for_all
+    (fun beta ->
+      let beta_fn i = List.assoc i beta in
+      match
+        Solvability.task_in_augmented ~inputs ~box:Black_box.bin_consensus
+          ~alpha:(Augmented.alpha_of_beta beta_fn) task ~rounds:1
+      with
+      | Solvability.Unsolvable -> true
+      | Solvability.Solvable _ | Solvability.Undecided -> false)
+    (all_betas [ 1; 2; 3 ])
+
+let run () =
+  let c6_rows, c6_ok = claim6_rows () in
+  let gt = ground_truth_n3 () in
+  [
+    Report.table ~id:"e11"
+      ~title:
+        "Claim 6 (n=5, eps=1/4): every β degenerates on its majority side S'; closure there = liberal 2eps-AA"
+      ~headers:[ "β (1..5)"; "S'"; "degenerate+closure ok" ]
+      ~rows:c6_rows ~ok:c6_ok;
+    Report.table ~id:"e11"
+      ~title:
+        "Theorem 4: lower bound min{ceil(log2 1/eps), ceil(log2 n)-1} vs §5.3 upper bound"
+      ~headers:[ "n"; "eps"; "lower"; "upper"; "gap<=1" ]
+      ~rows:(bound_table_rows ())
+      ~ok:true;
+    Report.table ~id:"e11"
+      ~title:"Ground truth (n=3, eps=1/4): no ID-only β solves eps-AA in 1 round"
+      ~headers:[ "check"; "result" ]
+      ~rows:[ [ "all 8 β unsolvable at t=1"; Report.verdict gt ] ]
+      ~ok:gt;
+  ]

@@ -1,0 +1,13 @@
+(** E11 — Theorem 4 / Claims 5–6: binary consensus with ID-only inputs
+    barely accelerates approximate agreement.
+
+    (a) Claim 6 at n = 5: for every β : [5] → {0,1}, on the majority
+    side S′ the box degenerates (we check that the β-decorated complex
+    strips to plain IIS with a constant box output) and the closure of
+    liberal ε-AA restricted to S′ is liberal (2ε)-AA.
+    (b) The resulting bound table min{⌈log₂ 1/ε⌉, ⌈log₂ n⌉ − 1},
+    sandwiched by the two §5.3 upper bounds min{⌈log₂ 1/ε⌉, ⌈log₂ n⌉}.
+    (c) Ground truth at n = 3, ε = 1/4: for every β, one round is not
+    enough. *)
+
+val run : unit -> Report.table list

@@ -1,0 +1,11 @@
+(** E12 — the two §5.3 upper-bound algorithms with a binary consensus
+    object, run in the operational simulator.
+
+    (a) Multi-valued consensus in ⌈log₂ n⌉ rounds by agreeing on a
+    participant ID bit by bit (box inputs depend only on IDs/round in
+    round 1, and on the carried candidate afterwards).
+    (b) ε-approximate agreement in ⌈log₂ 1/ε⌉ rounds by agreeing on
+    the output bits (box inputs depend on values — the family escaping
+    Theorem 4's hypothesis). *)
+
+val run : unit -> Report.table list

@@ -1,0 +1,9 @@
+(** E13 — cross-validation of the combinatorial model (Section 2 /
+    Appendix A.3.4) against the operational simulator.
+
+    Exhaustively scheduled one-round executions must produce exactly
+    the facets of Ξ₁(σ) for each model, including the augmented ones
+    (Figures 5 and 7); collect matrices are additionally realized
+    constructively. *)
+
+val run : unit -> Report.table list

@@ -1,0 +1,15 @@
+(** E14 — beyond the paper: the closure operator as an exploration
+    tool (the conclusion's "other problems" direction), plus protocol
+    complex growth.
+
+    (a) Iterated closures: CL²(ε-AA) is (9ε)-AA for n = 2 and liberal
+    (4ε)-AA for n = 3, chaining Claims 2–3 mechanically.
+    (b) k-set agreement: 2-set agreement among 3 processes is {b not}
+    a fixed point of the closure — on the rainbow input the closure
+    admits every output combination, so the Lemma 1 route cannot
+    reprove the k-set impossibility (new data: a genuine limit of the
+    technique, consistent with the paper applying it only to consensus
+    and approximate agreement).
+    (c) Growth of |P^(t)| facets for the three models. *)
+
+val run : unit -> Report.table list

@@ -1,0 +1,143 @@
+let sigma n =
+  Simplex.of_list (List.init n (fun i -> (i + 1, Value.Int (i + 1))))
+
+let betti_string c =
+  String.concat "," (List.map string_of_int (Homology.betti c))
+
+let homology_rows () =
+  let rows = ref [] and ok = ref true in
+  List.iter
+    (fun (label, c, expect_ball) ->
+      let ball = Homology.is_homology_ball c in
+      ok := !ok && ball = expect_ball;
+      rows :=
+        [
+          label;
+          betti_string c;
+          string_of_int (Homology.euler_characteristic c);
+          Report.verdict (ball = expect_ball);
+        ]
+        :: !rows)
+    [
+      ("P^1 immediate, n=3",
+       Complex.of_facets (Model.one_round_facets Model.Immediate (sigma 3)), true);
+      ("P^1 snapshot, n=3",
+       Complex.of_facets (Model.one_round_facets Model.Snapshot (sigma 3)), true);
+      ("P^1 collect, n=3",
+       Complex.of_facets (Model.one_round_facets Model.Collect (sigma 3)), true);
+      ("P^2 immediate, n=3", Model.protocol_complex Model.Immediate (sigma 3) 2, true);
+      ("P^1 immediate, n=4",
+       Complex.of_facets (Model.one_round_facets Model.Immediate (sigma 4)), true);
+      ("consensus outputs, n=3", Task.outputs (Consensus.binary ~n:3), false);
+      ("hollow triangle (control)",
+       Complex.of_facets (Simplex.boundary (sigma 3)), false);
+    ];
+  (List.rev !rows, !ok)
+
+let connectivity_rows () =
+  let rows = ref [] and ok = ref true in
+  List.iter
+    (fun (n, t) ->
+      let r = Classical.consensus_argument ~n ~rounds:t in
+      let valid = Classical.consensus_argument_valid r in
+      ok := !ok && valid;
+      rows :=
+        [
+          string_of_int n;
+          string_of_int t;
+          Report.verdict r.Classical.protocol_connected;
+          Report.verdict r.Classical.outputs_monochromatic;
+          Report.verdict r.Classical.solo_values_differ;
+          Report.check_mark valid;
+        ]
+        :: !rows)
+    [ (2, 1); (2, 2); (2, 3); (3, 1); (3, 2) ];
+  (List.rev !rows, !ok)
+
+let diameter_rows () =
+  let pow b e =
+    let rec go acc e = if e = 0 then acc else go (acc * b) (e - 1) in
+    go 1 e
+  in
+  let rows = ref [] and ok = ref true in
+  List.iter
+    (fun (n, t) ->
+      let expected = if n = 2 then pow 3 t else pow 2 t in
+      let measured = Classical.solo_distance Model.Immediate ~n ~rounds:t in
+      let bound = Classical.diameter_lower_bound Model.Immediate ~n ~rounds:t in
+      let good = measured = Some expected in
+      ok := !ok && good;
+      rows :=
+        [
+          string_of_int n;
+          string_of_int t;
+          string_of_int expected;
+          (match measured with Some d -> string_of_int d | None -> "∞");
+          Frac.to_string bound;
+          Report.check_mark good;
+        ]
+        :: !rows)
+    [ (2, 1); (2, 2); (2, 3); (3, 1); (3, 2); (3, 3); (4, 1); (4, 2) ];
+  (List.rev !rows, !ok)
+
+let synthesis_rows () =
+  let rows = ref [] and ok = ref true in
+  let case name task rounds run_inputs exhaustive =
+    let inputs =
+      Complex.all_simplices
+        (Approx_agreement.binary_input_complex ~n:task.Task.arity)
+    in
+    let good =
+      match Synthesis.synthesize ~inputs Model.Immediate task ~rounds with
+      | Some protocol ->
+          Synthesis.validate protocol task ~inputs:run_inputs ~exhaustive
+      | None -> false
+    in
+    ok := !ok && good;
+    rows := [ name; string_of_int rounds; Report.verdict good ] :: !rows
+  in
+  case "(1/3)-AA, n=2"
+    (Approx_agreement.task ~n:2 ~m:3 ~eps:(Frac.make 1 3))
+    1
+    [ (1, Value.frac 0 1); (2, Value.frac 1 1) ]
+    true;
+  case "(1/9)-AA, n=2"
+    (Approx_agreement.task ~n:2 ~m:9 ~eps:(Frac.make 1 9))
+    2
+    [ (1, Value.frac 0 1); (2, Value.frac 1 1) ]
+    true;
+  case "(1/2)-AA, n=3"
+    (Approx_agreement.task ~n:3 ~m:2 ~eps:Frac.half)
+    1
+    [ (1, Value.frac 0 1); (2, Value.frac 1 1); (3, Value.frac 1 1) ]
+    true;
+  case "liberal (1/4)-AA, n=3"
+    (Approx_agreement.liberal ~n:3 ~m:4 ~eps:(Frac.make 1 4))
+    2
+    [ (1, Value.frac 0 1); (2, Value.frac 1 1); (3, Value.frac 0 1) ]
+    true;
+  (List.rev !rows, !ok)
+
+let run () =
+  let h_rows, h_ok = homology_rows () in
+  let c_rows, c_ok = connectivity_rows () in
+  let d_rows, d_ok = diameter_rows () in
+  let s_rows, s_ok = synthesis_rows () in
+  [
+    Report.table ~id:"e15"
+      ~title:"Mod-2 homology of the protocol and output complexes"
+      ~headers:[ "complex"; "betti"; "euler"; "as expected" ]
+      ~rows:h_rows ~ok:h_ok;
+    Report.table ~id:"e15"
+      ~title:"Classical connectivity argument for consensus (FLP/Herlihy-Shavit route)"
+      ~headers:[ "n"; "t"; "P^t connected"; "O edges mono"; "solo pins differ"; "argument" ]
+      ~rows:c_rows ~ok:c_ok;
+    Report.table ~id:"e15"
+      ~title:"Hoest-Shavit diameters: dist(solo_1, solo_2) in P^t is 3^t (n=2) / 2^t (n>=3)"
+      ~headers:[ "n"; "t"; "expected"; "measured"; "eps lower bound"; "check" ]
+      ~rows:d_rows ~ok:d_ok;
+    Report.table ~id:"e15"
+      ~title:"Synthesis: solver witnesses run as protocols in the simulator"
+      ~headers:[ "task"; "rounds"; "valid under schedules+crash" ]
+      ~rows:s_rows ~ok:s_ok;
+  ]

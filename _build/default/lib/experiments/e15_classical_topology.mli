@@ -1,0 +1,16 @@
+(** E15 — the classical topological arguments on the same objects
+    (Related Work, [18, 27, 28]): connectivity/valency for consensus
+    and the diameter of the subdivided simplex for approximate
+    agreement, mechanized next to the paper's closure technique.
+
+    (a) mod-2 homology: one-round complexes of all three models are
+    homology balls, while the consensus output complex has two
+    components.
+    (b) The connectivity argument re-proves consensus impossibility.
+    (c) Solo-corner distances in P^(t) are exactly 3^t (n = 2) and
+    2^t (n ≥ 3), and the induced diameter lower bounds coincide with
+    Corollary 3.
+    (d) Protocols synthesized from solver witnesses run correctly in
+    the simulator (maps ↔ algorithms). *)
+
+val run : unit -> Report.table list

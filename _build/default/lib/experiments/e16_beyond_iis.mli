@@ -1,0 +1,13 @@
+(** E16 — beyond plain IIS: the affine and d-solo models named in
+    Section 1.2, put through the same machinery.
+
+    (a) k-concurrency (an affine restriction of IIS): it still allows
+    solo executions, the speedup theorem holds on it, consensus stays
+    a closure fixed point, and the closure of liberal ε-AA is still
+    (2ε)-AA — concurrency limits do not help the lower bounds' targets.
+    (b) d-solo models (adding concurrent solo executions): for d ≥ 2,
+    ε-approximate agreement becomes a closure {e fixed point}, hence
+    unsolvable in any number of rounds (cross-checked directly) —
+    matching the known weakness of d-solo models [26]. *)
+
+val run : unit -> Report.table list

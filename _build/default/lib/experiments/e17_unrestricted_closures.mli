@@ -1,0 +1,20 @@
+(** E17 — new data around the paper's conclusion: closures the paper
+    does not compute.
+
+    (a) {b Unrestricted binary consensus.}  Theorem 4 restricts box
+    inputs to depend only on IDs and round numbers.  Definition 2's
+    closure for the unrestricted model lets the one-round local
+    algorithm pick any per-process constant proposals (that is what the
+    Theorem 2 construction produces), i.e. the union of the β-closures
+    over all β.  Measured: this closure of liberal ε-AA is the full
+    validity-only task — a single closure step erases the precision
+    constraint entirely.  The closure technique therefore cannot give
+    any round lower bound beyond 1 for value-dependent proposals,
+    which is consistent with (and explains the need for) the paper's
+    ID-only hypothesis.
+
+    (b) {b Adaptive renaming} ([2]): a solvable companion task.  Its
+    closure is strictly easier than the task (no fixed point), and the
+    measured round complexity is 1 for n = 2 and 2 for n = 3. *)
+
+val run : unit -> Report.table list

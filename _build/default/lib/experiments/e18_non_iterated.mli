@@ -1,0 +1,18 @@
+(** E18 — iterated vs non-iterated memory (conclusion of the paper;
+    [10, 11]).
+
+    The paper's lower bounds are proved in iterated models and
+    transfer to non-iterated ones; the executable side of that
+    relation:
+
+    - porting the halving algorithm verbatim to reused registers
+      {e breaks} it (stale round values mix into the rule) — measured
+      violation counts over exhaustive interleavings;
+    - the classical round-tagged emulation repairs it: zero violations
+      over the same schedules;
+    - on lockstep schedules raw reuse and the iterated executor agree;
+    - one emulated round realizes {e exactly} the facets of the
+      iterated snapshot complex — the structural content of the
+      lower-bound transfer. *)
+
+val run : unit -> Report.table list

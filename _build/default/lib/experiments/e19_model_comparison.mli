@@ -1,0 +1,12 @@
+(** E19 — the same question across models: how many rounds does
+    ε-approximate agreement need in each wait-free model?
+
+    The paper proves its bounds for IIS and remarks that lower bounds
+    transfer to the weaker (more executions) models.  The solver can
+    simply measure each model directly: for n = 3 and binary inputs,
+    immediate snapshot, snapshot, collect, and 2-concurrency all have
+    the same ε-AA round complexity (1 round for ε = 1/2, 2 rounds for
+    ε = 1/4), while the 2-solo model solves it at no round count — a
+    machine-made complexity table the paper never had to compute. *)
+
+val run : unit -> Report.table list

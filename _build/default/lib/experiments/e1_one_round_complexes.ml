@@ -1,0 +1,64 @@
+let sigma_of_n n =
+  Simplex.of_list (List.init n (fun i -> (i + 1, Value.Int (i + 1))))
+
+let run () =
+  let rows = ref [] in
+  let all_ok = ref true in
+  List.iter
+    (fun n ->
+      let sigma = sigma_of_n n in
+      let complexes =
+        List.map
+          (fun m -> (m, Complex.of_facets (Model.one_round_facets m sigma)))
+          [ Model.Immediate; Model.Snapshot; Model.Collect ]
+      in
+      let find m = List.assoc m complexes in
+      let is_c = find Model.Immediate
+      and sn_c = find Model.Snapshot
+      and co_c = find Model.Collect in
+      let contained =
+        Complex.subcomplex is_c sn_c && Complex.subcomplex sn_c co_c
+      in
+      (* For two processes the three one-round complexes coincide; the
+         containments only become strict from n = 3 on (Figure 8). *)
+      let strict =
+        if n <= 2 then
+          Complex.facet_count is_c = Complex.facet_count co_c
+        else
+          Complex.facet_count is_c < Complex.facet_count sn_c
+          && Complex.facet_count sn_c < Complex.facet_count co_c
+      in
+      let bell_ok = Complex.facet_count is_c = Ordered_partition.count n in
+      let ok = contained && strict && bell_ok in
+      all_ok := !all_ok && ok;
+      List.iter
+        (fun (m, c) ->
+          rows :=
+            [
+              string_of_int n;
+              Model.name m;
+              string_of_int (Complex.facet_count c);
+              string_of_int (Complex.vertex_count c);
+              string_of_int (Complex.dim c);
+              Report.verdict (Complex.is_pure c);
+            ]
+            :: !rows)
+        complexes;
+      rows :=
+        [
+          string_of_int n;
+          "(checks)";
+          Printf.sprintf "IS⊆snap⊆coll:%s" (Report.verdict contained);
+          Printf.sprintf "strict:%s" (Report.verdict strict);
+          Printf.sprintf "bell(%d):%s" (Ordered_partition.count n)
+            (Report.verdict bell_ok);
+          "";
+        ]
+        :: !rows)
+    [ 2; 3; 4 ];
+  [
+    Report.table ~id:"e1"
+      ~title:"Figure 8: one-round complexes of collect/snapshot/immediate"
+      ~headers:[ "n"; "model"; "facets"; "vertices"; "dim"; "pure" ]
+      ~rows:(List.rev !rows) ~ok:!all_ok;
+  ]

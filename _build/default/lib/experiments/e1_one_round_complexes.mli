@@ -1,0 +1,9 @@
+(** E1 — Figure 8: the one-round protocol complexes of the three
+    models.
+
+    Reproduces the facet/vertex counts of the collect, snapshot, and
+    immediate-snapshot complexes and checks the strict containments
+    IS ⊂ snapshot ⊂ collect, plus the ordered-Bell facet count of the
+    chromatic subdivision. *)
+
+val run : unit -> Report.table list

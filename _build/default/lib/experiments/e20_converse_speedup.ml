@@ -1,0 +1,67 @@
+let random_task ~n ~outputs seed =
+  let rng = Random.State.make [| seed |] in
+  let input_values = [ Value.Int 0; Value.Int 1 ] in
+  let inputs = Combinatorics.full_input_complex n input_values in
+  let table = Hashtbl.create 32 in
+  List.iter
+    (fun sigma ->
+      let candidates = Combinatorics.assignments (Simplex.ids sigma) outputs in
+      let chosen = List.filter (fun _ -> Random.State.bool rng) candidates in
+      let chosen = if chosen = [] then [ List.hd candidates ] else chosen in
+      Hashtbl.replace table (Simplex.to_string sigma) (Complex.of_facets chosen))
+    (Complex.all_simplices inputs);
+  Task.make
+    ~name:(Printf.sprintf "converse-%d-%d" n seed)
+    ~arity:n ~inputs:(lazy inputs)
+    ~outputs:(lazy (Combinatorics.full_input_complex n outputs))
+    ~delta:(fun s -> Hashtbl.find table (Simplex.to_string s))
+
+let search ~n ~outputs ~seeds =
+  let op = Round_op.plain Model.Immediate in
+  let hard = ref 0 and violations = ref 0 in
+  for seed = 0 to seeds - 1 do
+    let t = random_task ~n ~outputs seed in
+    let solvable rounds task =
+      Solvability.is_solvable
+        (Solvability.task_in_model ~node_limit:2_000_000 Model.Immediate task
+           ~rounds)
+    in
+    if not (solvable 1 t) then begin
+      incr hard;
+      if solvable 0 (Closure.task ~op t) then incr violations
+    end
+  done;
+  (!hard, !violations)
+
+let run () =
+  let binary = [ Value.Int 0; Value.Int 1 ] in
+  let ternary = binary @ [ Value.Int 2 ] in
+  let cases =
+    [ (2, binary, 800); (2, ternary, 800); (3, binary, 300) ]
+  in
+  let rows, ok =
+    List.fold_left
+      (fun (rows, ok) (n, outputs, seeds) ->
+        let hard, violations = search ~n ~outputs ~seeds in
+        let row =
+          [
+            string_of_int n;
+            string_of_int (List.length outputs);
+            string_of_int seeds;
+            string_of_int hard;
+            string_of_int violations;
+            Report.verdict (violations = 0);
+          ]
+        in
+        (row :: rows, ok && violations = 0))
+      ([], true) cases
+  in
+  [
+    Report.table ~id:"e20"
+      ~title:
+        "Converse speedup search: tasks with a 0-round-solvable closure but no 1-round solution (none found)"
+      ~headers:
+        [ "n"; "#output values"; "tasks sampled"; "1-round unsolvable";
+          "converse violations"; "no iff-counterexample" ]
+      ~rows:(List.rev rows) ~ok;
+  ]

@@ -1,0 +1,15 @@
+(** E20 — the converse of the speedup theorem (conclusion, §6).
+
+    The paper remarks that unlike the LOCAL model, the wait-free
+    setting does not seem to admit a generic "if and only if" speedup
+    theorem; for two processes an iff {e is} known ([7]).  A converse
+    counterexample would be a task whose closure is 0-round solvable
+    while the task itself is not 1-round solvable.  We search random
+    task families (all of which turn out to be 1-round unsolvable —
+    random specifications are hard) and find {b no} counterexample at
+    n = 2 or n = 3: on every sampled task, a 0-round-solvable closure
+    never coexists with 1-round unsolvability.  Consistent with [7]
+    for n = 2; the general question remains open, and this experiment
+    gives the question a reusable search harness. *)
+
+val run : unit -> Report.table list

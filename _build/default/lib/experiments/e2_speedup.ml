@@ -1,0 +1,49 @@
+let binary_inputs n =
+  Complex.all_simplices (Approx_agreement.binary_input_complex ~n)
+
+let instances () =
+  let aa_2_19 = Approx_agreement.task ~n:2 ~m:9 ~eps:(Frac.make 1 9) in
+  let aa_2_13 = Approx_agreement.task ~n:2 ~m:3 ~eps:(Frac.make 1 3) in
+  let laa_3_14 = Approx_agreement.liberal ~n:3 ~m:4 ~eps:(Frac.make 1 4) in
+  let laa_3_12 = Approx_agreement.liberal ~n:3 ~m:2 ~eps:(Frac.make 1 2) in
+  [
+    (Speedup.of_model Model.Immediate, aa_2_19, 2, binary_inputs 2);
+    (Speedup.of_model Model.Immediate, aa_2_13, 1, binary_inputs 2);
+    (Speedup.of_model Model.Snapshot, aa_2_13, 1, binary_inputs 2);
+    (Speedup.of_model Model.Collect, aa_2_13, 1, binary_inputs 2);
+    (Speedup.of_model Model.Immediate, laa_3_14, 2, binary_inputs 3);
+    (Speedup.of_model Model.Immediate, laa_3_12, 1, binary_inputs 3);
+    (Speedup.of_test_and_set, aa_2_19, 1, binary_inputs 2);
+    (Speedup.of_test_and_set, laa_3_12, 1, binary_inputs 3);
+    ( Speedup.of_bin_consensus_beta (fun ~round:_ i -> i mod 2 = 0),
+      laa_3_12, 1, binary_inputs 3 );
+  ]
+
+let run () =
+  let rows, ok =
+    List.fold_left
+      (fun (rows, ok) (setting, task, rounds, inputs) ->
+        let r = Speedup.verify setting task ~rounds ~inputs in
+        let holds = Speedup.speedup_holds r in
+        let row =
+          [
+            Speedup.setting_name setting;
+            task.Task.name;
+            string_of_int rounds;
+            Report.verdict (Solvability.is_solvable r.Speedup.base);
+            Report.verdict r.Speedup.construction_valid;
+            Report.verdict (Solvability.is_solvable r.Speedup.closure_direct);
+            Report.check_mark holds;
+          ]
+        in
+        (row :: rows, ok && holds))
+      ([], true) (instances ())
+  in
+  [
+    Report.table ~id:"e2"
+      ~title:
+        "Theorems 1-2: t-round solution => closure solvable in t-1 (constructive)"
+      ~headers:
+        [ "model"; "task"; "t"; "solvable(t)"; "f' valid"; "CL solvable(t-1)"; "check" ]
+      ~rows:(List.rev rows) ~ok;
+  ]

@@ -1,0 +1,10 @@
+(** E2 — Theorems 1 and 2: the asynchronous speedup theorem on
+    concrete instances.
+
+    For several (task, model, t) triples with a [t]-round solution, we
+    (a) extract the solution [f] with the solver, (b) build the proof's
+    explicit [f'(i,V) = f(i,{(i,V)})] and check it is simplicial and
+    agrees with the closure's Δ', and (c) independently re-solve the
+    closure in [t−1] rounds. *)
+
+val run : unit -> Report.table list

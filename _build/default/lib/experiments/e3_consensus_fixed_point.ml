@@ -1,0 +1,54 @@
+let verdict_cell = function
+  | Solvability.Solvable _ -> "solvable"
+  | Solvability.Unsolvable -> "unsolvable"
+  | Solvability.Undecided -> "undecided"
+
+let run () =
+  let fixed_rows = ref [] and fixed_ok = ref true in
+  List.iter
+    (fun n ->
+      let task = Consensus.binary ~n in
+      let inputs = Task.input_simplices task in
+      List.iter
+        (fun model ->
+          let fp =
+            Closure.fixed_point_on ~op:(Round_op.plain model) task inputs
+          in
+          fixed_ok := !fixed_ok && fp;
+          fixed_rows :=
+            [ string_of_int n; Model.name model; Report.verdict fp ]
+            :: !fixed_rows)
+        [ Model.Immediate; Model.Snapshot; Model.Collect ])
+    [ 2; 3 ];
+  let fixed_table =
+    Report.table ~id:"e3"
+      ~title:"Corollary 1: CL_M(consensus) = consensus (fixed point)"
+      ~headers:[ "n"; "model"; "Δ' = Δ on all inputs" ]
+      ~rows:(List.rev !fixed_rows) ~ok:!fixed_ok
+  in
+  (* Independent ground truth: direct solver runs. *)
+  let direct_rows = ref [] and direct_ok = ref true in
+  List.iter
+    (fun (n, t) ->
+      let task = Consensus.binary ~n in
+      let v = Solvability.task_in_model Model.Immediate task ~rounds:t in
+      let expected_unsolvable =
+        match v with Solvability.Unsolvable -> true | _ -> false
+      in
+      direct_ok := !direct_ok && expected_unsolvable;
+      direct_rows :=
+        [
+          string_of_int n;
+          string_of_int t;
+          verdict_cell v;
+          Report.check_mark expected_unsolvable;
+        ]
+        :: !direct_rows)
+    [ (2, 0); (2, 1); (2, 2); (2, 3); (3, 0); (3, 1); (3, 2) ];
+  let direct_table =
+    Report.table ~id:"e3"
+      ~title:"Corollary 1 (ground truth): consensus unsolvable in t rounds of IIS"
+      ~headers:[ "n"; "t"; "solver verdict"; "check" ]
+      ~rows:(List.rev !direct_rows) ~ok:!direct_ok
+  in
+  [ fixed_table; direct_table ]

@@ -1,0 +1,9 @@
+(** E3 — Corollary 1 (and Figure 2's machinery): wait-free consensus
+    impossibility via the closure.
+
+    Machine-checks that the closure of binary consensus is consensus
+    itself — [Δ'(σ) = Δ(σ)] on every input simplex — in all three
+    iterated models, for n = 2 and 3; plus zero-round unsolvability
+    and independent direct unsolvability at small round counts. *)
+
+val run : unit -> Report.table list

@@ -1,0 +1,10 @@
+(** E4 — Figure 4: 2-process consensus is solvable in one round of
+    IIS + test&set.
+
+    Three independent confirmations: the solver finds a simplicial map
+    on the decorated complex; the explicit winner-adopts decision map
+    of Section 4.3 is itself simplicial and agrees with Δ; and the
+    operational simulator runs the algorithm over every boxed schedule
+    (including crash-injecting ones) without a violation. *)
+
+val run : unit -> Report.table list

@@ -1,0 +1,62 @@
+let alpha = Augmented.alpha_const Value.Unit
+let box = Black_box.test_and_set
+
+(* The ρ_{i,j,k} simplex of the Corollary 2 proof: i solo-first and
+   winning, then j, then k, with test&set outputs (1,0,0). *)
+let rho sigma (i, j, k) =
+  let value p = Simplex.value p sigma in
+  let view ids = Value.view (List.map (fun q -> (q, value q)) ids) in
+  Simplex.of_vertices
+    [
+      Vertex.make i (Value.Pair (Value.Bool true, view [ i ]));
+      Vertex.make j (Value.Pair (Value.Bool false, view [ i; j ]));
+      Vertex.make k (Value.Pair (Value.Bool false, view [ i; j; k ]));
+    ]
+
+let run () =
+  let sigma =
+    Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 1); (3, Value.Int 0) ]
+  in
+  let one_round =
+    Complex.of_facets (Augmented.one_round_facets ~box ~alpha ~round:1 sigma)
+  in
+  let per_color_ok =
+    List.for_all
+      (fun i -> List.length (Complex.vertices_of_color i one_round) = 7)
+      [ 1; 2; 3 ]
+  in
+  let rho_present =
+    List.for_all
+      (fun ids -> Complex.mem (rho sigma ids) one_round)
+      [ (1, 2, 3); (2, 1, 3); (1, 3, 2); (3, 1, 2); (2, 3, 1); (3, 2, 1) ]
+  in
+  let relaxed = Consensus.relaxed ~n:3 ~values:[ Value.Int 0; Value.Int 1 ] in
+  let fixed_point =
+    Closure.fixed_point_on ~op:Round_op.test_and_set relaxed
+      (Task.input_simplices relaxed)
+  in
+  let consensus3 = Consensus.binary ~n:3 in
+  let direct t =
+    match Solvability.task_in_augmented ~box ~alpha consensus3 ~rounds:t with
+    | Solvability.Unsolvable -> true
+    | Solvability.Solvable _ | Solvability.Undecided -> false
+  in
+  let unsat1 = direct 1 and unsat2 = direct 2 in
+  let rows =
+    [
+      [ "Fig 5: 7 vertices per color (n=3)"; Report.verdict per_color_ok ];
+      [ Printf.sprintf "Fig 5: facets of P^1 = %d" (Complex.facet_count one_round);
+        Report.verdict (Complex.facet_count one_round = 18) ];
+      [ "Fig 6: all six ρ_{i,j,k} simplices present"; Report.verdict rho_present ];
+      [ "Cor 2: relaxed consensus is a CL_{IIS+T&S} fixed point";
+        Report.verdict fixed_point ];
+      [ "ground truth: 3-proc consensus + T&S unsolvable, t=1"; Report.verdict unsat1 ];
+      [ "ground truth: 3-proc consensus + T&S unsolvable, t=2"; Report.verdict unsat2 ];
+    ]
+  in
+  let ok = per_color_ok && rho_present && fixed_point && unsat1 && unsat2 in
+  [
+    Report.table ~id:"e5"
+      ~title:"Corollary 2 / Figures 5-6: consensus with test&set, n = 3"
+      ~headers:[ "check"; "result" ] ~rows ~ok;
+  ]

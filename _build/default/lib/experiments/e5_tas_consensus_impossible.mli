@@ -1,0 +1,11 @@
+(** E5 — Corollary 2 and Figures 5–6: for n > 2, consensus remains
+    impossible with test&set.
+
+    Checks the shape of the decorated one-round complex of Figure 5
+    (seven vertices per color for n = 3), machine-checks that the
+    relaxed consensus task of Corollary 2 is a fixed point of the
+    closure w.r.t. IIS + test&set, exhibits the ρ_{i,j,k} simplices
+    used in the proof, and confirms direct unsolvability of 3-process
+    consensus with test&set at small round counts. *)
+
+val run : unit -> Report.table list

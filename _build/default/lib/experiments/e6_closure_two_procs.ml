@@ -1,0 +1,53 @@
+let edge a b = Simplex.of_list [ (1, a); (2, b) ]
+
+let sample_simplices m full =
+  if full then
+    Complex.all_simplices
+      (Combinatorics.full_input_complex 2 (Approx_agreement.grid m))
+  else
+    let g k = Value.frac k m in
+    List.concat_map Simplex.faces
+      [
+        edge (g 0) (g m);
+        edge (g 0) (g (m / 2));
+        edge (g (m / 3)) (g (2 * m / 3));
+        edge (g 1) (g (m - 1));
+        edge (g (m / 2)) (g (m / 2));
+      ]
+
+let cap_one q = Frac.min q Frac.one
+
+let run () =
+  let op = Round_op.plain Model.Immediate in
+  let cases =
+    (* (m, eps numerator over m, exhaustive over all inputs?) *)
+    [ (3, 1, true); (6, 1, true); (6, 2, true); (9, 1, true); (9, 2, false); (27, 1, false) ]
+  in
+  let rows, ok =
+    List.fold_left
+      (fun (rows, ok) (m, k, full) ->
+        let eps = Frac.make k m in
+        let aa = Approx_agreement.task ~n:2 ~m ~eps in
+        let three_eps = cap_one (Frac.mul (Frac.of_int 3) eps) in
+        let reference = Approx_agreement.task ~n:2 ~m ~eps:three_eps in
+        let simplices = sample_simplices m full in
+        let equal = Closure.equal_on ~op aa ~reference simplices in
+        let row =
+          [
+            string_of_int m;
+            Frac.to_string eps;
+            Frac.to_string three_eps;
+            (if full then "all" else "sampled");
+            string_of_int (List.length simplices);
+            Report.verdict equal;
+          ]
+        in
+        (row :: rows, ok && equal))
+      ([], true) cases
+  in
+  [
+    Report.table ~id:"e6"
+      ~title:"Claim 2: CL_IIS(eps-AA, n=2) = (3eps)-AA"
+      ~headers:[ "m"; "eps"; "3eps"; "inputs"; "#simplices"; "Δ' = Δ_3eps" ]
+      ~rows:(List.rev rows) ~ok;
+  ]

@@ -1,0 +1,10 @@
+(** E6 — Claim 2: for two processes, the closure of ε-approximate
+    agreement w.r.t. wait-free IIS is (3ε)-approximate agreement.
+
+    For several (m, ε) pairs we compute Δ'(σ) by exhaustive
+    τ-enumeration + local-task solving and compare it, as a complex,
+    with Δ_{3ε}(σ).  Fine grids check all faces of the extreme input
+    edge plus sampled interior edges; the coarse grids check every
+    input simplex. *)
+
+val run : unit -> Report.table list

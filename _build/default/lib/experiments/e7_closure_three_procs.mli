@@ -1,0 +1,8 @@
+(** E7 — Claim 3: for n ≥ 3, the closure of the liberal ε-approximate
+    agreement w.r.t. wait-free IIS is the liberal (2ε)-approximate
+    agreement.
+
+    Exhaustive over all input simplices for coarse grids (m = 2, 4),
+    sampled for finer ones; also spot-checks n = 4. *)
+
+val run : unit -> Report.table list

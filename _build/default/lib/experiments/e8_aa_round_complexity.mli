@@ -1,0 +1,9 @@
+(** E8 — Corollary 3 (ground truth): the round complexity of
+    ε-approximate agreement in wait-free IIS, measured by the direct
+    solver with no closure shortcuts.
+
+    For each (n, ε) the solver scans t = 0, 1, … over the binary-input
+    restriction and reports the smallest solvable t, which must equal
+    [⌈log₃ 1/ε⌉] for n = 2 and [⌈log₂ 1/ε⌉] for n = 3. *)
+
+val run : unit -> Report.table list

@@ -1,0 +1,13 @@
+(** E9 — tightness of Corollary 3 (Equations (2) and (3), [1, 28]):
+    the matching upper-bound algorithms run in the operational
+    simulator.
+
+    For each (n, ε): run the halving (n ≥ 3) or thirds (n = 2)
+    algorithm for the prescribed number of rounds over exhaustive
+    immediate-snapshot schedules (when feasible), plus random and
+    crash-injecting schedules; check every decision profile against
+    Δ, and measure the worst observed spread after each round — the
+    paper's geometric decay (×1/2 per round for halving, ×1/3 for
+    thirds). *)
+
+val run : unit -> Report.table list

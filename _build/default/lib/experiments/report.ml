@@ -1,0 +1,41 @@
+type table = {
+  id : string;
+  title : string;
+  headers : string list;
+  rows : string list list;
+  ok : bool;
+}
+
+let table ~id ~title ~headers ~rows ~ok = { id; title; headers; rows; ok }
+
+let verdict b = if b then "yes" else "NO"
+let check_mark b = if b then "ok" else "FAIL"
+
+let pp ppf t =
+  let widths = Array.of_list (List.map String.length t.headers) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun k cell ->
+          if k < Array.length widths then
+            widths.(k) <- max widths.(k) (String.length cell))
+        row)
+    t.rows;
+  let pp_row ppf row =
+    List.iteri
+      (fun k cell ->
+        let pad =
+          if k < Array.length widths then widths.(k) - String.length cell else 0
+        in
+        Format.fprintf ppf "%s%s  " cell (String.make (max 0 pad) ' '))
+      row
+  in
+  Format.fprintf ppf "=== [%s] %s — %s ===@." (String.uppercase_ascii t.id)
+    t.title
+    (if t.ok then "OK" else "FAILED");
+  Format.fprintf ppf "%a@." pp_row t.headers;
+  Format.fprintf ppf "%s@."
+    (String.make (Array.fold_left (fun a w -> a + w + 2) 0 widths) '-');
+  List.iter (fun row -> Format.fprintf ppf "%a@." pp_row row) t.rows
+
+let print t = Format.printf "%a@." pp t

@@ -1,0 +1,28 @@
+(** Result tables for the experiment suite.
+
+    Every experiment produces one or more tables whose rows put a
+    paper claim next to the machine-checked outcome; [ok] aggregates
+    the row-level verdicts (the "reproduced?" bit). *)
+
+type table = {
+  id : string;      (** experiment id, e.g. "e3" *)
+  title : string;   (** what paper artifact this reproduces *)
+  headers : string list;
+  rows : string list list;
+  ok : bool;
+}
+
+val table :
+  id:string -> title:string -> headers:string list ->
+  rows:string list list -> ok:bool -> table
+
+val pp : Format.formatter -> table -> unit
+(** Plain-text aligned rendering with an OK/FAIL banner. *)
+
+val print : table -> unit
+
+val verdict : bool -> string
+(** ["yes"] / ["NO"]. *)
+
+val check_mark : bool -> string
+(** ["ok"] / ["FAIL"]. *)

@@ -1,0 +1,58 @@
+type entry = {
+  id : string;
+  description : string;
+  run : unit -> Report.table list;
+}
+
+let all =
+  [
+    { id = "e1"; description = "Figure 8: one-round complexes of the three models";
+      run = E1_one_round_complexes.run };
+    { id = "e2"; description = "Theorems 1-2: the asynchronous speedup theorem";
+      run = E2_speedup.run };
+    { id = "e3"; description = "Corollary 1: consensus is a closure fixed point";
+      run = E3_consensus_fixed_point.run };
+    { id = "e4"; description = "Figure 4: 2-process consensus with test&set";
+      run = E4_tas_consensus2.run };
+    { id = "e5"; description = "Corollary 2 / Figures 5-6: no consensus with test&set, n=3";
+      run = E5_tas_consensus_impossible.run };
+    { id = "e6"; description = "Claim 2: closure of eps-AA (n=2) is 3eps-AA";
+      run = E6_closure_two_procs.run };
+    { id = "e7"; description = "Claim 3: closure of liberal eps-AA (n>=3) is 2eps-AA";
+      run = E7_closure_three_procs.run };
+    { id = "e8"; description = "Corollary 3: measured round complexity of eps-AA";
+      run = E8_aa_round_complexity.run };
+    { id = "e9"; description = "Upper bounds: halving and thirds algorithms";
+      run = E9_aa_upper_bounds.run };
+    { id = "e10"; description = "Theorem 3 / Claim 4: test&set does not speed up AA (n>=3)";
+      run = E10_tas_no_speedup.run };
+    { id = "e11"; description = "Theorem 4 / Claims 5-6: binary consensus lower bound";
+      run = E11_bincons_lower_bound.run };
+    { id = "e12"; description = "§5.3 upper bounds with a binary consensus object";
+      run = E12_bincons_upper_bounds.run };
+    { id = "e13"; description = "Simulator vs topology cross-validation";
+      run = E13_simulator_vs_topology.run };
+    { id = "e14"; description = "Closure explorer: iterated closures, k-set agreement, growth";
+      run = E14_closure_explorer.run };
+    { id = "e15"; description = "Classical topology cross-checks: homology, connectivity, diameters, synthesis";
+      run = E15_classical_topology.run };
+    { id = "e16"; description = "Beyond IIS: k-concurrency and d-solo models";
+      run = E16_beyond_iis.run };
+    { id = "e17"; description = "New data: unrestricted binary-consensus closure; adaptive renaming";
+      run = E17_unrestricted_closures.run };
+    { id = "e18"; description = "Iterated vs non-iterated memory: breakage, emulation, transfer";
+      run = E18_non_iterated.run };
+    { id = "e19"; description = "eps-AA round complexity measured across all the models";
+      run = E19_model_comparison.run };
+    { id = "e20"; description = "Converse speedup search (the conclusion's iff question)";
+      run = E20_converse_speedup.run };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let run_one id =
+  match find id with Some e -> e.run () | None -> raise Not_found
+
+let run_all () = List.concat_map (fun e -> e.run ()) all
+let print_tables tables = List.iter Report.print tables
+let all_ok tables = List.for_all (fun t -> t.Report.ok) tables

@@ -1,0 +1,18 @@
+(** The experiment registry (the per-experiment index of DESIGN.md). *)
+
+type entry = {
+  id : string;
+  description : string;
+  run : unit -> Report.table list;
+}
+
+val all : entry list
+(** E1–E20 in order. *)
+
+val find : string -> entry option
+val run_one : string -> Report.table list
+(** @raise Not_found on an unknown id. *)
+
+val run_all : unit -> Report.table list
+val print_tables : Report.table list -> unit
+val all_ok : Report.table list -> bool

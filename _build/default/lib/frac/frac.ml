@@ -1,0 +1,71 @@
+type t = { n : int; d : int }
+
+exception Division_by_zero
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* Denominators in this repository stay tiny (grids up to a few hundred
+   steps); this bound catches accidental blow-ups long before overflow. *)
+let max_den = 1 lsl 30
+
+let make n d =
+  if d = 0 then raise Division_by_zero;
+  let s = if d < 0 then -1 else 1 in
+  let n = s * n and d = s * d in
+  let g = gcd (Stdlib.abs n) d in
+  let g = if g = 0 then 1 else g in
+  let r = { n = n / g; d = d / g } in
+  assert (r.d > 0 && r.d < max_den);
+  r
+
+let of_int n = { n; d = 1 }
+let zero = of_int 0
+let one = of_int 1
+let half = make 1 2
+let num t = t.n
+let den t = t.d
+let add a b = make ((a.n * b.d) + (b.n * a.d)) (a.d * b.d)
+let sub a b = make ((a.n * b.d) - (b.n * a.d)) (a.d * b.d)
+let mul a b = make (a.n * b.n) (a.d * b.d)
+
+let div a b =
+  if b.n = 0 then raise Division_by_zero;
+  make (a.n * b.d) (a.d * b.n)
+
+let neg a = { a with n = -a.n }
+let abs a = { a with n = Stdlib.abs a.n }
+
+let inv a =
+  if a.n = 0 then raise Division_by_zero;
+  make a.d a.n
+
+let compare a b = Stdlib.compare (a.n * b.d) (b.n * a.d)
+let equal a b = a.n = b.n && a.d = b.d
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let min a b = if Stdlib.( <= ) (compare a b) 0 then a else b
+let max a b = if Stdlib.( >= ) (compare a b) 0 then a else b
+let sign a = Stdlib.compare a.n 0
+let is_integer a = a.d = 1
+let is_multiple_of x ~step = is_integer (div x step)
+let to_float a = float_of_int a.n /. float_of_int a.d
+
+let floor_div x y =
+  assert (Stdlib.( > ) y.n 0);
+  let q = div x y in
+  if Stdlib.( >= ) q.n 0 then q.n / q.d else -(((-q.n) + q.d - 1) / q.d)
+
+let ceil_log ~base x =
+  if Stdlib.( < ) base 2 then invalid_arg "Frac.ceil_log: base < 2";
+  if x < one then invalid_arg "Frac.ceil_log: argument < 1";
+  let b = of_int base in
+  let rec loop acc k = if acc >= x then k else loop (mul acc b) (k + 1) in
+  loop one 0
+
+let pp ppf a =
+  if a.d = 1 then Format.fprintf ppf "%d" a.n
+  else Format.fprintf ppf "%d/%d" a.n a.d
+
+let to_string a = Format.asprintf "%a" pp a

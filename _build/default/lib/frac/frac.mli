@@ -1,0 +1,75 @@
+(** Exact rational arithmetic on machine integers.
+
+    All values manipulated by the approximate-agreement tasks (inputs,
+    outputs, the precision parameter [epsilon], the grid step [1/m]) are
+    rationals of small magnitude, so a normalized [int * int]
+    representation is exact and fast.  Overflow is not a concern for the
+    instance sizes used in this repository (denominators stay far below
+    [2^31]); a defensive check guards construction anyway. *)
+
+type t
+(** A rational number in lowest terms with positive denominator. *)
+
+exception Division_by_zero
+
+val make : int -> int -> t
+(** [make num den] is the rational [num/den] in lowest terms.
+    @raise Division_by_zero if [den = 0]. *)
+
+val of_int : int -> t
+
+val zero : t
+val one : t
+val half : t
+
+val num : t -> int
+(** Numerator (sign-carrying). *)
+
+val den : t -> int
+(** Denominator, always [> 0]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero when dividing by [zero]. *)
+
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+(** @raise Division_by_zero on [zero]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_integer : t -> bool
+
+val is_multiple_of : t -> step:t -> bool
+(** [is_multiple_of x ~step] holds when [x / step] is an integer.
+    Used to check that values sit on the [1/m] grid of Definition 3. *)
+
+val to_float : t -> float
+
+val floor_div : t -> t -> int
+(** [floor_div x y] is [⌊x / y⌋] as an integer, for [y > 0]. *)
+
+val ceil_log : base:int -> t -> int
+(** [ceil_log ~base x] is [⌈log_base (x)⌉] for a rational [x >= 1],
+    computed exactly by repeated multiplication.  Used for the paper's
+    bounds [⌈log₂ 1/ε⌉] and [⌈log₃ 1/ε⌉].
+    @raise Invalid_argument if [x < 1] or [base < 2]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints ["p/q"], or just ["p"] when the denominator is 1. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/models/affine.ml: List Model Ordered_partition Simplex Stdlib Value Vertex

@@ -1,0 +1,1 @@
+lib/models/augmented.ml: Black_box Complex List Model Ordered_partition Simplex Value Vertex

@@ -1,0 +1,1 @@
+lib/models/augmented.mli: Black_box Complex Simplex Value Vertex

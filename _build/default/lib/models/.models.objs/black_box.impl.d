@@ -1,0 +1,1 @@
+lib/models/black_box.ml: List Ordered_partition Stdlib Value

@@ -1,0 +1,1 @@
+lib/models/black_box.mli: Ordered_partition Value

@@ -1,0 +1,1 @@
+lib/models/collect_matrix.ml: Array Format List Ordered_partition Stdlib

@@ -1,0 +1,1 @@
+lib/models/collect_matrix.mli: Format Ordered_partition

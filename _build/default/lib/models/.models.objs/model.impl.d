@@ -1,0 +1,1 @@
+lib/models/model.ml: Collect_matrix Complex Hashtbl List Simplex Stdlib Value Vertex

@@ -1,0 +1,1 @@
+lib/models/model.mli: Collect_matrix Complex Simplex Value Vertex

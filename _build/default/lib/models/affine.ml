@@ -1,0 +1,63 @@
+let k_concurrency k sigma =
+  if k < 1 then invalid_arg "Affine.k_concurrency: k < 1";
+  let ids = Simplex.ids sigma in
+  let facet_of part =
+    Simplex.of_vertices
+      (List.map
+         (fun (i, seen) ->
+           Vertex.make i
+             (Value.view (List.map (fun j -> (j, Simplex.value j sigma)) seen)))
+         (Ordered_partition.views part))
+  in
+  Ordered_partition.enumerate ids
+  |> List.filter (fun part -> List.for_all (fun b -> List.length b <= k) part)
+  |> List.map facet_of
+  |> List.sort_uniq Simplex.compare
+
+let rec subsets_of_size k = function
+  | _ when k = 0 -> [ [] ]
+  | [] -> []
+  | x :: rest ->
+      List.map (fun s -> x :: s) (subsets_of_size (k - 1) rest)
+      @ subsets_of_size k rest
+
+let d_solo d sigma =
+  if d < 1 then invalid_arg "Affine.d_solo: d < 1";
+  let ids = Simplex.ids sigma in
+  let value j = Simplex.value j sigma in
+  let base = Model.one_round_facets Model.Immediate sigma in
+  let extra =
+    List.concat_map
+      (fun size ->
+        List.concat_map
+          (fun solos ->
+            let rest = List.filter (fun i -> not (List.mem i solos)) ids in
+            let solo_vertices =
+              List.map (fun i -> Vertex.make i (Model.solo_view i (value i))) solos
+            in
+            if rest = [] then
+              [ Simplex.of_vertices solo_vertices ]
+            else
+              List.map
+                (fun part ->
+                  let followers =
+                    List.map
+                      (fun (i, seen) ->
+                        let seen = List.sort_uniq Stdlib.compare (solos @ seen) in
+                        Vertex.make i
+                          (Value.view (List.map (fun j -> (j, value j)) seen)))
+                      (Ordered_partition.views part)
+                  in
+                  Simplex.of_vertices (solo_vertices @ followers))
+                (Ordered_partition.enumerate rest))
+          (subsets_of_size size ids))
+      (List.init (max 0 (d - 1)) (fun i -> i + 2))
+  in
+  List.sort_uniq Simplex.compare (base @ extra)
+
+let allows_solo one_round sigma =
+  List.for_all
+    (fun i ->
+      let solo = Model.solo_vertex sigma i in
+      List.exists (fun f -> Simplex.mem solo f) (one_round sigma))
+    (Simplex.ids sigma)

@@ -1,0 +1,29 @@
+(** Affine and d-solo variants of the iterated immediate snapshot
+    model (Section 1.2 of the paper; [31], [26]).
+
+    An affine model is obtained from IIS by {e removing} executions: we
+    implement the [k]-concurrency model, where at most [k] processes
+    take steps simultaneously (immediate-snapshot blocks of size at
+    most [k]).  Singleton blocks are always allowed, so these models
+    admit solo executions and Theorem 1 applies to them.
+
+    The d-solo models {e add} executions instead: up to [d] processes
+    may each run solo in the same execution (all seeing only
+    themselves), the rest running immediate snapshot after them.
+    [d = 1] is plain IIS. *)
+
+val k_concurrency : int -> Simplex.t -> Simplex.t list
+(** Facets of the one-round [k]-concurrency complex: the IS facets
+    whose blocks all have size [<= k].
+    @raise Invalid_argument if [k < 1]. *)
+
+val d_solo : int -> Simplex.t -> Simplex.t list
+(** Facets of the one-round [d]-solo complex: the IS facets, plus, for
+    every set [S] of [2..d] processes, the executions where all of [S]
+    run solo concurrently and the remaining processes then run
+    immediate snapshot seeing [S] and each other.
+    @raise Invalid_argument if [d < 1]. *)
+
+val allows_solo : (Simplex.t -> Simplex.t list) -> Simplex.t -> bool
+(** Whether every process has a facet in which it appears with its solo
+    view — the hypothesis of the speedup theorem. *)

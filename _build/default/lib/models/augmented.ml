@@ -1,0 +1,62 @@
+type alpha = round:int -> int -> Value.t -> Value.t
+
+let alpha_const v ~round:_ _i _view = v
+let alpha_of_beta beta ~round:_ i _view = Value.Bool (beta i)
+
+let one_round_facets ~box ~alpha ~round sigma =
+  let ids = Simplex.ids sigma in
+  let inputs =
+    List.map (fun i -> (i, alpha ~round i (Simplex.value i sigma))) ids
+  in
+  let facets =
+    List.fold_left
+      (fun acc part ->
+        let views = Ordered_partition.views part in
+        List.fold_left
+          (fun acc outcome ->
+            let facet =
+              Simplex.of_vertices
+                (List.map
+                   (fun (i, seen) ->
+                     let view =
+                       Value.view
+                         (List.map (fun j -> (j, Simplex.value j sigma)) seen)
+                     in
+                     let b =
+                       match List.assoc_opt i outcome with
+                       | Some b -> b
+                       | None -> invalid_arg "Augmented: outcome misses a process"
+                     in
+                     Vertex.make i (Value.Pair (b, view)))
+                   views)
+            in
+            Simplex.Set.add facet acc)
+          acc
+          (box.Black_box.outcomes ~part ~inputs))
+      Simplex.Set.empty
+      (Ordered_partition.enumerate ids)
+  in
+  Simplex.Set.elements facets
+
+let one_round ~box ~alpha ~round complex =
+  Complex.of_facets
+    (List.concat_map (one_round_facets ~box ~alpha ~round) (Complex.facets complex))
+
+let protocol_complex ~box ~alpha sigma t =
+  if t < 0 then invalid_arg "Augmented.protocol_complex: negative round count";
+  let rec go r acc =
+    if r > t then acc else go (r + 1) (one_round ~box ~alpha ~round:r acc)
+  in
+  go 1 (Complex.of_simplex sigma)
+
+let solo_vertex ~box ~alpha ~round sigma i =
+  let x = Simplex.value i sigma in
+  let b = Black_box.solo_output box i (alpha ~round i x) in
+  Vertex.make i (Value.Pair (b, Model.solo_view i x))
+
+let strip_box v =
+  match Vertex.value v with
+  | Value.Pair (_, view) -> Vertex.make (Vertex.color v) view
+  | Value.Unit | Value.Bool _ | Value.Int _ | Value.Frac _ | Value.Str _
+  | Value.View _ ->
+      invalid_arg "Augmented.strip_box: not an augmented vertex"

@@ -1,0 +1,43 @@
+(** Iterated immediate snapshot augmented with a black box
+    (Algorithm 2, Section 4).
+
+    One round of the augmented model, starting from a simplex [σ],
+    produces vertices [(i, (b_i, C_i))] where [b_i] is the box output
+    and [C_i] the immediate-snapshot view.  The box input of process
+    [i] is [α(i, V_i, r)]; the paper's Theorem 4 restricts [α] to
+    depend only on [i] and [r] (a function [β : [n] → {0,1}]). *)
+
+type alpha = round:int -> int -> Value.t -> Value.t
+(** [α ~round i view] is the box input of process [i] at the given
+    round when its current view is [view]. *)
+
+val alpha_const : Value.t -> alpha
+(** Box input independent of everything (used for test&set, which
+    ignores inputs). *)
+
+val alpha_of_beta : (int -> bool) -> alpha
+(** ID-only inputs [β(i)] as booleans — the restriction of Theorem 4. *)
+
+val one_round_facets :
+  box:Black_box.t -> alpha:alpha -> round:int -> Simplex.t -> Simplex.t list
+(** Facets of the one-round augmented complex [P^(1)(σ)]: one facet per
+    (ordered partition, consistent box outcome) pair, duplicates
+    removed. *)
+
+val one_round :
+  box:Black_box.t -> alpha:alpha -> round:int -> Complex.t -> Complex.t
+
+val protocol_complex :
+  box:Black_box.t -> alpha:alpha -> Simplex.t -> int -> Complex.t
+(** [t]-round protocol complex; round [r] uses box copy [B_r] and box
+    inputs [α(·, ·, r)]. *)
+
+val solo_vertex :
+  box:Black_box.t -> alpha:alpha -> round:int -> Simplex.t -> int -> Vertex.t
+(** The vertex of process [i] running solo at the given round:
+    [(i, (solo box output, View [(i, x_i)]))]. *)
+
+val strip_box : Vertex.t -> Vertex.t
+(** Forgets the box component of an augmented vertex:
+    [(i, (b, C)) ↦ (i, C)].  Used to compare augmented complexes with
+    plain IIS ones. *)

@@ -1,0 +1,43 @@
+type t = {
+  name : string;
+  outcomes :
+    part:Ordered_partition.t -> inputs:(int * Value.t) list ->
+    (int * Value.t) list list;
+}
+
+let participants part = List.sort Stdlib.compare (List.concat part)
+
+let test_and_set =
+  let outcomes ~part ~inputs =
+    ignore inputs;
+    let ids = participants part in
+    List.map
+      (fun winner -> List.map (fun i -> (i, Value.Bool (i = winner))) ids)
+      (Ordered_partition.first_block part)
+  in
+  { name = "test&set"; outcomes }
+
+let bin_consensus =
+  let outcomes ~part ~inputs =
+    let ids = participants part in
+    let proposals =
+      List.map
+        (fun w ->
+          match List.assoc_opt w inputs with
+          | Some a -> a
+          | None -> invalid_arg "bin_consensus: missing input")
+        (Ordered_partition.first_block part)
+    in
+    let decisions = List.sort_uniq Value.compare proposals in
+    List.map (fun d -> List.map (fun i -> (i, d)) ids) decisions
+  in
+  { name = "bin-consensus"; outcomes }
+
+let solo_output box i a =
+  match box.outcomes ~part:[ [ i ] ] ~inputs:[ (i, a) ] with
+  | [ assignment ] -> (
+      match List.assoc_opt i assignment with
+      | Some b -> b
+      | None -> invalid_arg "Black_box.solo_output: process missing")
+  | [] | _ :: _ ->
+      invalid_arg "Black_box.solo_output: box not deterministic on solo runs"

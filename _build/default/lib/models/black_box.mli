@@ -1,0 +1,44 @@
+(** Consistent black-box objects (Section 4.1).
+
+    A black box is invoked once per round by every participating
+    process, between its write and its collect (Algorithm 2).  The
+    paper's consistency assumption — identical inputs and identical
+    interleaving yield identical outputs — lets the one-round complex
+    of the augmented model be described by {e decorations}: for each
+    immediate-snapshot execution (an ordered partition of the
+    participants) the box admits a set of possible output assignments.
+
+    Both concrete boxes pin the outcome of solo executions (a process
+    running ahead of everyone wins test&set, and its proposal is the
+    only one a consensus box can return), which is what makes the
+    augmented models satisfy the solo-execution hypothesis of
+    Theorem 2. *)
+
+type t = {
+  name : string;
+  outcomes :
+    part:Ordered_partition.t -> inputs:(int * Value.t) list ->
+    (int * Value.t) list list;
+      (** All consistent per-process output assignments for the given
+          scheduling (blocks in scheduling order) and box inputs.
+          Every returned assignment covers exactly the participants. *)
+}
+
+val test_and_set : t
+(** No meaningful input; outputs are booleans.  The winner (output
+    [true]) is any member of the first scheduled block; everyone else
+    gets [false].  Reconstructs the complex of Figure 5. *)
+
+val bin_consensus : t
+(** Consensus on the box inputs: all processes receive the same
+    decision, which is the input of some member of the first scheduled
+    block (validity + the consistency Remark of §4.1).  Reconstructs
+    the complex of Figure 7.  Despite the name, the construction works
+    for arbitrary input values; the paper uses it with inputs in
+    [{0,1}]. *)
+
+val solo_output : t -> int -> Value.t -> Value.t
+(** Output received by process [i] with box input [a_i] when it runs
+    solo (first block [{i}]); unique by consistency.
+    @raise Invalid_argument if the box is not deterministic on solo
+    executions. *)

@@ -1,0 +1,91 @@
+type row = { sees : int list; group : int list }
+type t = row list
+
+let subsets l =
+  List.fold_left
+    (fun acc x -> List.concat_map (fun s -> [ s; x :: s ]) acc)
+    [ [] ] l
+  |> List.map (List.sort Stdlib.compare)
+
+let subset_int a b = List.for_all (fun x -> List.mem x b) a
+let union_int a b = List.sort_uniq Stdlib.compare (a @ b)
+
+let enumerate ids =
+  let ids = List.sort_uniq Stdlib.compare ids in
+  let partitions = Ordered_partition.enumerate ids in
+  List.concat_map
+    (fun part ->
+      (* Tail unions: tail.(s) = union of blocks s..r. *)
+      let blocks = Array.of_list part in
+      let r = Array.length blocks - 1 in
+      let tails = Array.make (r + 1) [] in
+      for s = r downto 0 do
+        tails.(s) <- union_int blocks.(s) (if s = r then [] else tails.(s + 1))
+      done;
+      (* Choose every P_s = tail_s ∪ extra, with P_0 = I forced. *)
+      let rec choose s =
+        if s > r then [ [] ]
+        else
+          let options =
+            if s = 0 then [ ids ]
+            else
+              let free = List.filter (fun i -> not (List.mem i tails.(s))) ids in
+              List.map (fun extra -> union_int tails.(s) extra) (subsets free)
+          in
+          let rest = choose (s + 1) in
+          List.concat_map
+            (fun p -> List.map (fun tail -> { sees = p; group = blocks.(s) } :: tail) rest)
+            options
+      in
+      choose 0)
+    partitions
+
+let is_snapshot m =
+  List.for_all
+    (fun a ->
+      List.for_all
+        (fun b -> subset_int a.sees b.sees || subset_int b.sees a.sees)
+        m)
+    m
+
+let is_immediate m =
+  List.for_all
+    (fun a ->
+      List.for_all
+        (fun b ->
+          (* If some process of a's group sees some process of b's
+             group, then b's view must be contained in a's view. *)
+          if List.exists (fun q -> List.mem q a.sees) b.group then
+            subset_int b.sees a.sees
+          else true)
+        m)
+    m
+
+let views m =
+  List.concat_map (fun row -> List.map (fun i -> (i, row.sees)) row.group) m
+  |> List.sort (fun (i, _) (j, _) -> Stdlib.compare i j)
+
+let of_ordered_partition part =
+  let rec go seen = function
+    | [] -> []
+    | blk :: rest ->
+        let seen = union_int seen blk in
+        { sees = seen; group = blk } :: go seen rest
+  in
+  List.rev (go [] part)
+
+let pp ppf m =
+  let pp_row ppf row =
+    Format.fprintf ppf "P={%a} I={%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Format.pp_print_int)
+      row.sees
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Format.pp_print_int)
+      row.group
+  in
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_row)
+    m

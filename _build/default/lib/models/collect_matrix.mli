@@ -1,0 +1,38 @@
+(** Matrix representation of one-round executions (Appendix A.3.4).
+
+    A matrix over a color set [I] is a sequence of pairs
+    [(P_s, I_s)], s = 0..r, such that
+    (1) [0 <= r <= |I| - 1],
+    (2) [P_s ⊆ I],
+    (3) [P_0 = I],
+    (4) the [I_s] partition [I], and
+    (5) [∪_{j>=s} I_j ⊆ P_s].
+    Its semantics: every process in [I_s] reads exactly the values of
+    the processes in [P_s].  The three models of the paper are carved
+    out of the same matrix set:
+    - {b write-collect}: all matrices;
+    - {b write-snapshot}: the [P_s] are pairwise comparable (chain);
+    - {b immediate snapshot}: if a process of [I_s] sees a process of
+      [I_j], then [P_j ⊆ P_s] (equivalently, facets correspond to
+      ordered set partitions). *)
+
+type row = { sees : int list; group : int list }
+(** One [(P_s, I_s)] pair; both sorted. *)
+
+type t = row list
+
+val enumerate : int list -> t list
+(** All write-collect matrices over the given color set. *)
+
+val is_snapshot : t -> bool
+val is_immediate : t -> bool
+
+val views : t -> (int * int list) list
+(** [(i, P_s(i))] for every process [i], sorted by [i]. *)
+
+val of_ordered_partition : Ordered_partition.t -> t
+(** The immediate-snapshot matrix of an ordered partition: blocks in
+    reverse scheduling order (the last-scheduled block reads everyone,
+    hence is [I_0]). *)
+
+val pp : Format.formatter -> t -> unit

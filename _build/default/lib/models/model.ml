@@ -1,0 +1,96 @@
+type t = Collect | Snapshot | Immediate
+
+let name = function
+  | Collect -> "collect"
+  | Snapshot -> "snapshot"
+  | Immediate -> "immediate"
+
+let of_string = function
+  | "collect" -> Some Collect
+  | "snapshot" -> Some Snapshot
+  | "immediate" | "iis" | "is" -> Some Immediate
+  | _ -> None
+
+let filter_of = function
+  | Collect -> fun _ -> true
+  | Snapshot -> Collect_matrix.is_snapshot
+  | Immediate -> Collect_matrix.is_immediate
+
+(* Matrices depend only on the color set; memoize per (model, ids). *)
+let matrix_cache : (string * int list, Collect_matrix.t list) Hashtbl.t =
+  Hashtbl.create 32
+
+let matrices m ids =
+  let ids = List.sort_uniq Stdlib.compare ids in
+  let key = (name m, ids) in
+  match Hashtbl.find_opt matrix_cache key with
+  | Some r -> r
+  | None ->
+      let all = Collect_matrix.enumerate ids in
+      let r = List.filter (filter_of m) all in
+      Hashtbl.add matrix_cache key r;
+      r
+
+let facet_of_views sigma views =
+  Simplex.of_vertices
+    (List.map
+       (fun (i, seen) ->
+         let view =
+           Value.view (List.map (fun j -> (j, Simplex.value j sigma)) seen)
+         in
+         Vertex.make i view)
+       views)
+
+let one_round_facets m sigma =
+  let ids = Simplex.ids sigma in
+  let facets =
+    List.fold_left
+      (fun acc mat ->
+        Simplex.Set.add (facet_of_views sigma (Collect_matrix.views mat)) acc)
+      Simplex.Set.empty (matrices m ids)
+  in
+  Simplex.Set.elements facets
+
+let one_round m complex =
+  Complex.of_facets (List.concat_map (one_round_facets m) (Complex.facets complex))
+
+(* P^(t)(σ) facet lists, keyed by (model, t, σ). *)
+let protocol_cache : (string * int, Complex.t Simplex.Map.t ref) Hashtbl.t =
+  Hashtbl.create 32
+
+let rec protocol_complex m sigma t =
+  if t < 0 then invalid_arg "Model.protocol_complex: negative round count";
+  if t = 0 then Complex.of_simplex sigma
+  else
+    let key = (name m, t) in
+    let slot =
+      match Hashtbl.find_opt protocol_cache key with
+      | Some r -> r
+      | None ->
+          let r = ref Simplex.Map.empty in
+          Hashtbl.add protocol_cache key r;
+          r
+    in
+    match Simplex.Map.find_opt sigma !slot with
+    | Some c -> c
+    | None ->
+        let prev = protocol_complex m sigma (t - 1) in
+        let c = one_round m prev in
+        slot := Simplex.Map.add sigma c !slot;
+        c
+
+let solo_view i x = Value.view [ (i, x) ]
+let solo_vertex sigma i = Vertex.make i (solo_view i (Simplex.value i sigma))
+
+let chi ~from_ ~to_ v =
+  assert (Simplex.ids from_ = Simplex.ids to_);
+  let rec relabel value =
+    match value with
+    | Value.View assoc ->
+        Value.view (List.map (fun (j, _) -> (j, Simplex.value j to_)) assoc)
+    | Value.Pair (a, b) -> Value.Pair (a, relabel b)
+    | Value.Unit | Value.Bool _ | Value.Int _ | Value.Frac _ | Value.Str _ ->
+        value
+  in
+  ignore from_;
+  Vertex.make (Vertex.color v) (relabel (Vertex.value v))

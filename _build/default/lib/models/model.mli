@@ -1,0 +1,36 @@
+(** The three iterated wait-free models of Section 2.1 and the
+    one-round topological operator Ξ₁ (Appendix A.3.4).
+
+    All three allow solo executions, the hypothesis of Theorem 1. *)
+
+type t = Collect | Snapshot | Immediate
+
+val name : t -> string
+val of_string : string -> t option
+
+val matrices : t -> int list -> Collect_matrix.t list
+(** All one-round execution matrices of the model over a color set
+    (memoized per color set). *)
+
+val one_round_facets : t -> Simplex.t -> Simplex.t list
+(** Facets of [Ξ₁(σ)] (duplicates removed): one per distinct view
+    profile.  A vertex of a facet is [(i, View [(j, x_j) : j seen])]. *)
+
+val one_round : t -> Complex.t -> Complex.t
+(** [Ξ₁] on a complex: the union over facets (faces are automatically
+    subcomplexes, see DESIGN.md §3). *)
+
+val protocol_complex : t -> Simplex.t -> int -> Complex.t
+(** [protocol_complex m σ t] is [P^(t)(σ)]; [t = 0] gives [σ] itself. *)
+
+val solo_vertex : Simplex.t -> int -> Vertex.t
+(** The vertex of [P^(1)(σ)] where process [i] runs solo:
+    [(i, View [(i, x_i)])].  Model-independent. *)
+
+val solo_view : int -> Value.t -> Value.t
+(** [solo_view i x = View [(i, x)]]. *)
+
+val chi : from_:Simplex.t -> to_:Simplex.t -> Vertex.t -> Vertex.t
+(** The canonical isomorphism χ of Eq. (1): relabels a one-round view
+    over [σ]'s values into the same view over [σ']'s values.  The two
+    simplices must have the same color set. *)

@@ -1,0 +1,1 @@
+lib/runtime/adversary.ml: Complex Executor Format List Model Random Schedule Simplex Task

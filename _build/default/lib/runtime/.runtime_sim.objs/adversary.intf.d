@@ -1,0 +1,1 @@
+lib/runtime/adversary.mli: Model Protocol Schedule Sim_object Simplex Task Value

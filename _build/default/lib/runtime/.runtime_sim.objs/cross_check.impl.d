@@ -1,0 +1,1 @@
+lib/runtime/cross_check.ml: Augmented Black_box Complex Executor List Model Ordered_partition Printf Protocol Random Schedule Sim_object Simplex Value Vertex

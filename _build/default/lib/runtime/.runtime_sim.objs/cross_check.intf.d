@@ -1,0 +1,1 @@
+lib/runtime/cross_check.mli: Simplex

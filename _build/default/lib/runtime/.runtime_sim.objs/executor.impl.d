@@ -1,0 +1,1 @@
+lib/runtime/executor.ml: Hashtbl List Option Protocol Schedule Sim_object Simplex Stdlib Value

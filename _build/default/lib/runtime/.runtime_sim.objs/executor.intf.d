@@ -1,0 +1,1 @@
+lib/runtime/executor.mli: Protocol Schedule Sim_object Simplex Value

@@ -1,0 +1,1 @@
+lib/runtime/non_iterated.ml: Hashtbl List Random Simplex State_protocol Stdlib Value

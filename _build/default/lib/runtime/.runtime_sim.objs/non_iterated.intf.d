@@ -1,0 +1,1 @@
+lib/runtime/non_iterated.mli: Ordered_partition Random Simplex State_protocol Value

@@ -1,0 +1,1 @@
+lib/runtime/protocol.ml: Printf Value

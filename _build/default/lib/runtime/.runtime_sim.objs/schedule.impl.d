@@ -1,0 +1,1 @@
+lib/runtime/schedule.ml: Array Collect_matrix Hashtbl List Model Ordered_partition Random Stdlib

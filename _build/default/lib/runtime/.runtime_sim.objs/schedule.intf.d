@@ -1,0 +1,1 @@
+lib/runtime/schedule.mli: Collect_matrix Model Random

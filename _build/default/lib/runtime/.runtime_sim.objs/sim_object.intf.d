@@ -1,0 +1,1 @@
+lib/runtime/sim_object.mli: Value

@@ -1,0 +1,1 @@
+lib/runtime/state_protocol.mli: Protocol Value

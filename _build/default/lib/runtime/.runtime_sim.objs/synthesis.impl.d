@@ -1,0 +1,1 @@
+lib/runtime/synthesis.ml: Adversary List Model Printf Protocol Simplicial_map Solvability Task Vertex

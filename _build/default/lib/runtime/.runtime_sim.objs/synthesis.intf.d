@@ -1,0 +1,1 @@
+lib/runtime/synthesis.mli: Model Protocol Simplex Simplicial_map Task Value

@@ -1,0 +1,68 @@
+let exhaustive_is ~boxed ~participants ~rounds =
+  if boxed then Schedule.is_rounds_boxed ~participants ~rounds
+  else Schedule.is_rounds ~participants ~rounds
+
+let random_suite ~model ~boxed ~participants ~rounds ~seed ~count =
+  let rng = Random.State.make [| seed |] in
+  List.init count (fun _ ->
+      match model with
+      | Model.Immediate -> Schedule.random_is ~boxed ~participants ~rounds rng
+      | Model.Collect | Model.Snapshot ->
+          Schedule.random_steps ~model ~participants ~rounds rng)
+
+let with_crash schedule ~proc ~round =
+  List.mapi
+    (fun idx r ->
+      let rnum = idx + 1 in
+      if rnum < round then r
+      else
+        match r with
+        | Schedule.Is_round blocks ->
+            Schedule.Is_round
+              (List.filter_map
+                 (fun b ->
+                   match List.filter (fun i -> i <> proc) b with
+                   | [] -> None
+                   | b' -> Some b')
+                 blocks)
+        | Schedule.Step_round steps ->
+            Schedule.Step_round
+              (List.filter
+                 (fun step ->
+                   match step with
+                   | Schedule.Write i | Schedule.Invoke i ->
+                       i <> proc || rnum = round
+                   | Schedule.Read (i, _) | Schedule.Snapshot i -> i <> proc)
+                 steps))
+    schedule
+
+type failure = {
+  schedule : Schedule.t;
+  outputs : Simplex.t option;
+  reason : string;
+}
+
+let check_task ?box protocol task ~inputs ~schedules =
+  let sigma = Simplex.of_list inputs in
+  let legal = Task.delta task sigma in
+  List.filter_map
+    (fun schedule ->
+      match Executor.run ?box protocol ~inputs ~schedule with
+      | exception Invalid_argument msg ->
+          Some { schedule; outputs = None; reason = "run failed: " ^ msg }
+      | result -> (
+          match result.Executor.outputs with
+          | [] -> None (* everyone crashed; nothing to check *)
+          | outputs ->
+              let out = Simplex.of_list outputs in
+              if Complex.mem out legal then None
+              else
+                Some
+                  {
+                    schedule;
+                    outputs = Some out;
+                    reason =
+                      Format.asprintf "illegal decision %a for input %a"
+                        Simplex.pp out Simplex.pp sigma;
+                  }))
+    schedules

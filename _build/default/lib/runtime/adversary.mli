@@ -1,0 +1,34 @@
+(** Schedule suites and task-conformance checking.
+
+    The harness used by the upper-bound experiments: run a protocol
+    against exhaustive immediate-snapshot schedules (when small
+    enough), random schedules, and crash-injecting variants, and check
+    every decision profile against the task's Δ. *)
+
+val exhaustive_is :
+  boxed:bool -> participants:int list -> rounds:int -> Schedule.t list
+
+val random_suite :
+  model:Model.t -> boxed:bool -> participants:int list -> rounds:int ->
+  seed:int -> count:int -> Schedule.t list
+
+val with_crash : Schedule.t -> proc:int -> round:int -> Schedule.t
+(** The process stops at the given round (1-based): in a step round it
+    still writes (and invokes the box) but never collects; from later
+    rounds it is absent.  In an immediate-snapshot round the
+    write-snapshot is atomic, so the process is simply removed from
+    that round on. *)
+
+type failure = {
+  schedule : Schedule.t;
+  outputs : Simplex.t option;  (** [None] when no process decided *)
+  reason : string;
+}
+
+val check_task :
+  ?box:(unit -> Sim_object.t) ->
+  Protocol.t -> Task.t -> inputs:(int * Value.t) list ->
+  schedules:Schedule.t list -> failure list
+(** Runs every schedule and returns the violations: a decision profile
+    that is not a face of [Δ(σ)] for [σ] the full participant input
+    simplex. *)

@@ -1,0 +1,127 @@
+type report = {
+  label : string;
+  simulated : int;
+  combinatorial : int;
+  matched : bool;
+}
+
+let inputs_of sigma =
+  List.map (fun v -> (Vertex.color v, Vertex.value v)) (Simplex.vertices sigma)
+
+let simulate_round ?box ?alpha sigma round =
+  let protocol =
+    match alpha with
+    | None -> Protocol.full_information ~rounds:1
+    | Some alpha ->
+        Protocol.make ~name:"full-information-boxed" ~rounds:1 ~alpha
+          ~decide:(fun _i v -> v)
+          ()
+  in
+  let result =
+    Executor.run ?box protocol ~inputs:(inputs_of sigma) ~schedule:[ round ]
+  in
+  Executor.final_view_simplex result
+
+let compare_sets label simulated combinatorial =
+  {
+    label;
+    simulated = Simplex.Set.cardinal simulated;
+    combinatorial = Simplex.Set.cardinal combinatorial;
+    matched = Simplex.Set.equal simulated combinatorial;
+  }
+
+let profile_set ?box ?alpha sigma rounds =
+  List.fold_left
+    (fun acc round -> Simplex.Set.add (simulate_round ?box ?alpha sigma round) acc)
+    Simplex.Set.empty rounds
+
+let facet_set_of model sigma =
+  Simplex.Set.of_list (Model.one_round_facets model sigma)
+
+let immediate sigma =
+  let rounds =
+    List.map (fun p -> Schedule.Is_round p)
+      (Ordered_partition.enumerate (Simplex.ids sigma))
+  in
+  compare_sets "immediate" (profile_set sigma rounds)
+    (facet_set_of Model.Immediate sigma)
+
+let immediate_iterated ~rounds sigma =
+  let protocol = Protocol.full_information ~rounds in
+  let simulated =
+    List.fold_left
+      (fun acc schedule ->
+        let result =
+          Executor.run protocol ~inputs:(inputs_of sigma) ~schedule
+        in
+        Simplex.Set.add (Executor.final_view_simplex result) acc)
+      Simplex.Set.empty
+      (Schedule.is_rounds ~participants:(Simplex.ids sigma) ~rounds)
+  in
+  compare_sets
+    (Printf.sprintf "immediate P^%d" rounds)
+    simulated
+    (Complex.facet_set (Model.protocol_complex Model.Immediate sigma rounds))
+
+let snapshot sigma =
+  let rounds = Schedule.snapshot_round_exhaustive ~participants:(Simplex.ids sigma) in
+  compare_sets "snapshot" (profile_set sigma rounds)
+    (facet_set_of Model.Snapshot sigma)
+
+let collect_exhaustive sigma =
+  let rounds = Schedule.collect_round_exhaustive ~participants:(Simplex.ids sigma) in
+  compare_sets "collect" (profile_set sigma rounds)
+    (facet_set_of Model.Collect sigma)
+
+let collect_constructive ?(samples = 2000) ?(seed = 42) sigma =
+  let ids = Simplex.ids sigma in
+  let facets = facet_set_of Model.Collect sigma in
+  (* Completeness: every matrix is realized by its constructed round. *)
+  let realized =
+    List.fold_left
+      (fun acc matrix ->
+        Simplex.Set.add
+          (simulate_round sigma (Schedule.round_of_matrix matrix))
+          acc)
+      Simplex.Set.empty
+      (Model.matrices Model.Collect ids)
+  in
+  let complete = Simplex.Set.equal realized facets in
+  (* Soundness: random interleavings only ever produce facets. *)
+  let rng = Random.State.make [| seed |] in
+  let sound = ref true in
+  for _ = 1 to samples do
+    match
+      Schedule.random_steps ~model:Model.Collect ~participants:ids ~rounds:1 rng
+    with
+    | [ round ] ->
+        let profile = simulate_round sigma round in
+        if not (Simplex.Set.mem profile facets) then sound := false
+    | _ -> sound := false
+  done;
+  {
+    label = "collect (constructive + sampled)";
+    simulated = Simplex.Set.cardinal realized;
+    combinatorial = Simplex.Set.cardinal facets;
+    matched = complete && !sound;
+  }
+
+let boxed_report label box combinatorial_facets alpha sigma =
+  let rounds =
+    List.concat
+      (Schedule.is_rounds_boxed ~participants:(Simplex.ids sigma) ~rounds:1)
+  in
+  let simulated = profile_set ~box ~alpha sigma rounds in
+  compare_sets label simulated (Simplex.Set.of_list combinatorial_facets)
+
+let immediate_test_and_set sigma =
+  let alpha = Augmented.alpha_const Value.Unit in
+  boxed_report "immediate+test&set" Sim_object.test_and_set
+    (Augmented.one_round_facets ~box:Black_box.test_and_set ~alpha ~round:1 sigma)
+    alpha sigma
+
+let immediate_bin_consensus ~beta sigma =
+  let alpha = Augmented.alpha_of_beta beta in
+  boxed_report "immediate+bin-consensus" Sim_object.consensus
+    (Augmented.one_round_facets ~box:Black_box.bin_consensus ~alpha ~round:1 sigma)
+    alpha sigma

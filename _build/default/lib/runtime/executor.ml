@@ -1,0 +1,113 @@
+type result = {
+  outputs : (int * Value.t) list;
+  round_views : (int * Value.t) list list;
+}
+
+let sorted_assoc l = List.sort (fun (i, _) (j, _) -> Stdlib.compare i j) l
+
+(* Processes taking part in a round, in the order they write. *)
+let round_writers = function
+  | Schedule.Is_round blocks -> List.concat blocks
+  | Schedule.Step_round steps ->
+      List.filter_map
+        (function
+          | Schedule.Write i -> Some i
+          | Schedule.Read _ | Schedule.Snapshot _ | Schedule.Invoke _ -> None)
+        steps
+
+let run ?box (protocol : Protocol.t) ~inputs ~schedule =
+  if List.length schedule < protocol.Protocol.rounds then
+    invalid_arg "Executor.run: schedule shorter than the protocol";
+  let views = Hashtbl.create 8 in
+  List.iter (fun (i, x) -> Hashtbl.replace views i x) inputs;
+  let alive = ref (List.map fst inputs) in
+  let round_views = ref [] in
+  let view_of i =
+    match Hashtbl.find_opt views i with
+    | Some v -> v
+    | None -> invalid_arg "Executor.run: scheduled process has no input"
+  in
+  List.iteri
+    (fun idx round ->
+      let r = idx + 1 in
+      if r <= protocol.Protocol.rounds then begin
+        let participants =
+          List.filter (fun i -> List.mem i !alive) (round_writers round)
+        in
+        alive := participants;
+        let regs : (int, Value.t) Hashtbl.t = Hashtbl.create 8 in
+        let box_obj = Option.map (fun mk -> mk ()) box in
+        let box_out : (int, Value.t) Hashtbl.t = Hashtbl.create 8 in
+        let collected : (int, (int * Value.t) list) Hashtbl.t = Hashtbl.create 8 in
+        let invoke i =
+          match box_obj with
+          | None -> ()
+          | Some obj ->
+              let a = protocol.Protocol.alpha ~round:r i (view_of i) in
+              Hashtbl.replace box_out i (Sim_object.invoke obj i a)
+        in
+        let snapshot i =
+          Hashtbl.replace collected i
+            (Hashtbl.fold (fun j v acc -> (j, v) :: acc) regs [])
+        in
+        (match round with
+        | Schedule.Is_round blocks ->
+            List.iter
+              (fun block ->
+                let block = List.filter (fun i -> List.mem i participants) block in
+                List.iter (fun i -> Hashtbl.replace regs i (view_of i)) block;
+                List.iter invoke block;
+                List.iter snapshot block)
+              blocks
+        | Schedule.Step_round steps ->
+            List.iter
+              (fun step ->
+                match step with
+                | Schedule.Write i ->
+                    if List.mem i participants then
+                      Hashtbl.replace regs i (view_of i)
+                | Schedule.Invoke i -> if List.mem i participants then invoke i
+                | Schedule.Snapshot i ->
+                    if List.mem i participants then snapshot i
+                | Schedule.Read (i, q) ->
+                    if List.mem i participants then (
+                      match Hashtbl.find_opt regs q with
+                      | None -> ()
+                      | Some v ->
+                          let seen =
+                            Option.value ~default:[] (Hashtbl.find_opt collected i)
+                          in
+                          if not (List.mem_assoc q seen) then
+                            Hashtbl.replace collected i ((q, v) :: seen)))
+              steps);
+        (* Close the round: build the new views of surviving processes. *)
+        let survivors = List.filter (Hashtbl.mem collected) participants in
+        alive := survivors;
+        List.iter
+          (fun i ->
+            let c = Value.view (sorted_assoc (Hashtbl.find collected i)) in
+            let v =
+              match box_obj with
+              | None -> c
+              | Some _ -> Value.Pair (Hashtbl.find box_out i, c)
+            in
+            Hashtbl.replace views i v)
+          survivors;
+        round_views :=
+          List.map (fun i -> (i, Hashtbl.find views i)) (List.sort Stdlib.compare survivors)
+          :: !round_views
+      end)
+    schedule;
+  let deciders = List.sort Stdlib.compare !alive in
+  {
+    outputs =
+      List.map (fun i -> (i, protocol.Protocol.decide i (view_of i))) deciders;
+    round_views = List.rev !round_views;
+  }
+
+let outputs_simplex r = Simplex.of_list r.outputs
+
+let final_view_simplex r =
+  match List.rev r.round_views with
+  | last :: _ -> Simplex.of_list last
+  | [] -> invalid_arg "Executor.final_view_simplex: zero rounds"

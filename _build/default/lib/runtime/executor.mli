@@ -1,0 +1,33 @@
+(** The operational simulator: runs a protocol under a schedule.
+
+    Each round uses a fresh array of SWMR registers (the iterated
+    model) and, in augmented runs, a fresh black-box object.  Processes
+    absent from a round's schedule are considered crashed from that
+    round on: their earlier writes remain visible but they take no
+    further steps and produce no output (wait-freedom means the others
+    terminate regardless). *)
+
+type result = {
+  outputs : (int * Value.t) list;
+      (** decisions of the processes alive through every round *)
+  round_views : (int * Value.t) list list;
+      (** the view profile after each round (alive processes only) —
+          directly comparable with protocol-complex simplices *)
+}
+
+val run :
+  ?box:(unit -> Sim_object.t) ->
+  Protocol.t ->
+  inputs:(int * Value.t) list ->
+  schedule:Schedule.t ->
+  result
+(** @raise Invalid_argument if the schedule has fewer rounds than the
+    protocol, or a round schedules a process without input. *)
+
+val outputs_simplex : result -> Simplex.t
+(** The decision profile as a chromatic simplex (for checking against
+    a task's Δ). @raise Invalid_argument when no process decided. *)
+
+val final_view_simplex : result -> Simplex.t
+(** The last round's view profile as a simplex of the protocol
+    complex. *)

@@ -1,0 +1,157 @@
+type step = Write of int | Snapshot of int
+type t = step list
+
+let program ~rounds i =
+  List.concat (List.init rounds (fun _ -> [ Write i; Snapshot i ]))
+
+let round_synchronized ~participants ~rounds parts =
+  if List.length parts < rounds then
+    invalid_arg "Non_iterated.round_synchronized: not enough partitions";
+  ignore participants;
+  List.concat
+    (List.filteri (fun idx _ -> idx < rounds) parts
+    |> List.map (fun part ->
+           List.concat_map
+             (fun block ->
+               List.map (fun i -> Write i) block
+               @ List.map (fun i -> Snapshot i) block)
+             part))
+
+let lockstep ~participants ~rounds =
+  round_synchronized ~participants ~rounds
+    (List.init rounds (fun _ -> [ participants ]))
+
+let rec interleavings seqs =
+  let seqs = List.filter (fun s -> s <> []) seqs in
+  if seqs = [] then [ [] ]
+  else
+    List.concat_map
+      (fun chosen ->
+        match chosen with
+        | [] -> []
+        | head :: tail ->
+            let rest = List.map (fun s -> if s == chosen then tail else s) seqs in
+            List.map (fun il -> head :: il) (interleavings rest))
+      seqs
+
+let exhaustive ~participants ~rounds =
+  interleavings (List.map (program ~rounds) participants)
+
+let random ~participants ~rounds rng =
+  let pending = Hashtbl.create 8 in
+  List.iter (fun i -> Hashtbl.replace pending i (program ~rounds i)) participants;
+  let out = ref [] in
+  let alive () =
+    Hashtbl.fold (fun i ops acc -> if ops = [] then acc else i :: acc) pending []
+  in
+  let rec drain () =
+    match List.sort Stdlib.compare (alive ()) with
+    | [] -> ()
+    | live ->
+        let i = List.nth live (Random.State.int rng (List.length live)) in
+        (match Hashtbl.find pending i with
+        | [] -> ()
+        | op :: rest ->
+            out := op :: !out;
+            Hashtbl.replace pending i rest);
+        drain ()
+  in
+  drain ();
+  List.rev !out
+
+let run spec ~inputs ~schedule =
+  let rounds = spec.State_protocol.rounds in
+  let state = Hashtbl.create 8 in
+  let reg = Hashtbl.create 8 in
+  let round = Hashtbl.create 8 in
+  List.iter
+    (fun (i, x) ->
+      Hashtbl.replace state i (spec.State_protocol.init i x);
+      Hashtbl.replace round i 0)
+    inputs;
+  List.iter
+    (fun step ->
+      match step with
+      | Write i -> Hashtbl.replace reg i (Hashtbl.find state i)
+      | Snapshot i ->
+          let r = Hashtbl.find round i + 1 in
+          if r <= rounds then begin
+            let seen =
+              Hashtbl.fold (fun j v acc -> (j, v) :: acc) reg []
+              |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+            in
+            Hashtbl.replace state i
+              (spec.State_protocol.step ~round:r i ~box:None seen);
+            Hashtbl.replace round i r
+          end)
+    schedule;
+  List.filter_map
+    (fun (i, _) ->
+      if Hashtbl.find round i = rounds then
+        Some (i, spec.State_protocol.output i (Hashtbl.find state i))
+      else None)
+    inputs
+
+(* Round-tagged emulation: the register of a process holds its whole
+   history as a view keyed by round number (s_{k} under key k+1); a
+   reader at round r extracts exactly the key-r entries. *)
+let run_emulated spec ~inputs ~schedule =
+  let rounds = spec.State_protocol.rounds in
+  let history = Hashtbl.create 8 in
+  let reg = Hashtbl.create 8 in
+  let round = Hashtbl.create 8 in
+  List.iter
+    (fun (i, x) ->
+      Hashtbl.replace history i [ (1, spec.State_protocol.init i x) ];
+      Hashtbl.replace round i 0)
+    inputs;
+  List.iter
+    (fun step ->
+      match step with
+      | Write i -> Hashtbl.replace reg i (Value.view (Hashtbl.find history i))
+      | Snapshot i ->
+          let r = Hashtbl.find round i + 1 in
+          if r <= rounds then begin
+            let states =
+              Hashtbl.fold
+                (fun j h acc ->
+                  match Value.view_find r h with
+                  | Some s -> (j, s) :: acc
+                  | None -> acc)
+                reg []
+              |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+            in
+            let s = spec.State_protocol.step ~round:r i ~box:None states in
+            Hashtbl.replace history i ((r + 1, s) :: Hashtbl.find history i);
+            Hashtbl.replace round i r
+          end)
+    schedule;
+  List.filter_map
+    (fun (i, _) ->
+      if Hashtbl.find round i = rounds then
+        match List.assoc_opt (rounds + 1) (Hashtbl.find history i) with
+        | Some s -> Some (i, spec.State_protocol.output i s)
+        | None -> None
+      else None)
+    inputs
+
+let full_information_spec rounds =
+  {
+    State_protocol.name = "emulated-full-information";
+    rounds;
+    init = (fun _i x -> x);
+    step = (fun ~round:_ _i ~box:_ states -> Value.view states);
+    box_input = (fun ~round:_ _i _ -> Value.Unit);
+    output = (fun _i s -> s);
+  }
+
+let one_round_profiles ~participants ~inputs =
+  let spec = full_information_spec 1 in
+  List.fold_left
+    (fun acc schedule ->
+      match run_emulated spec ~inputs ~schedule with
+      | [] -> acc
+      | outs -> Simplex.Set.add (Simplex.of_list outs) acc)
+    Simplex.Set.empty
+    (exhaustive ~participants ~rounds:1)
+  |> Simplex.Set.elements

@@ -1,0 +1,74 @@
+(** Non-iterated shared memory (conclusion of the paper; [10, 11]).
+
+    One persistent array of SWMR registers: each process alternates
+    write and atomic snapshot on the {e same} registers for its [t]
+    rounds, with no global round barrier — a slow process can read a
+    fast process's round-3 state during its own round 1.  The paper
+    notes that lower bounds for iterated models transfer to
+    non-iterated ones (the adversary can synchronize rounds), while
+    the converse relation for {e time} complexity is open; this module
+    makes both sides executable.
+
+    Protocols here are state protocols: the register of a process
+    holds its current state, a round is "write state; snapshot;
+    combine the collected states" (this is the natural non-iterated
+    form of the paper's algorithms, e.g. halving approximate
+    agreement). *)
+
+type step = Write of int | Snapshot of int
+
+type t = step list
+(** A full execution: process [i]'s steps must follow its program
+    [W; S; W; S; …] ([rounds] times).  Processes with incomplete
+    programs are considered crashed and produce no output. *)
+
+val program : rounds:int -> int -> step list
+(** The program of one process. *)
+
+val round_synchronized : participants:int list -> rounds:int ->
+  Ordered_partition.t list -> t
+(** The schedule where every process finishes its round [r] before
+    anyone starts round [r+1], blocks writing-then-snapshotting in
+    block order.  Note this does {e not} make raw register reuse
+    behave like the iterated model (late blocks still read earlier
+    processes' current-round values where the iterated model would
+    show them fresh registers); only the fully concurrent one-block
+    rounds coincide, and [run_emulated] is needed in general. *)
+
+val lockstep : participants:int list -> rounds:int -> t
+(** [round_synchronized] with a single block per round — on these
+    schedules raw register reuse and the iterated model do agree. *)
+
+val exhaustive : participants:int list -> rounds:int -> t list
+(** All interleavings of the per-process programs (exponential; fine
+    for [n·rounds <= ~12]). *)
+
+val random : participants:int list -> rounds:int -> Random.State.t -> t
+
+val run :
+  State_protocol.spec -> inputs:(int * Value.t) list -> schedule:t ->
+  (int * Value.t) list
+(** Outputs of the processes that completed all their rounds.  The
+    state passed to [spec.step] at a process's round [r] may originate
+    from {e any} round of the other processes — the defining feature
+    of the non-iterated model.  Black boxes are not supported here.
+    Iterated-model algorithms ported verbatim can fail under this
+    semantics (experiment E18 exhibits violations for the halving
+    algorithm). *)
+
+val run_emulated :
+  State_protocol.spec -> inputs:(int * Value.t) list -> schedule:t ->
+  (int * Value.t) list
+(** The classical simulation of the iterated model inside non-iterated
+    memory ([10, 11]): registers hold the full round-tagged history of
+    their writer, and a process at round [r] only consumes the
+    round-[r−1] entries it can see, ignoring staler and fresher ones.
+    One emulated round realizes exactly the facets of the iterated
+    {e snapshot} complex (checked by E18), so iterated lower bounds
+    transfer and iterated algorithms run unchanged. *)
+
+val one_round_profiles :
+  participants:int list -> inputs:(int * Value.t) list -> Simplex.t list
+(** The distinct view profiles of one emulated round over every
+    interleaving — directly comparable with
+    [Model.one_round_facets Model.Snapshot]. *)

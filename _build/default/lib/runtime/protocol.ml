@@ -1,0 +1,17 @@
+type t = {
+  name : string;
+  rounds : int;
+  alpha : round:int -> int -> Value.t -> Value.t;
+  decide : int -> Value.t -> Value.t;
+}
+
+let default_alpha ~round:_ _i _view = Value.Unit
+
+let make ~name ~rounds ?(alpha = default_alpha) ~decide () =
+  if rounds < 0 then invalid_arg "Protocol.make: negative round count";
+  { name; rounds; alpha; decide }
+
+let full_information ~rounds =
+  make ~name:(Printf.sprintf "full-information(%d)" rounds) ~rounds
+    ~decide:(fun _i view -> view)
+    ()

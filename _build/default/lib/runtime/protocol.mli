@@ -1,0 +1,26 @@
+(** Full-information round-based protocols (Algorithms 1 and 2).
+
+    A protocol is determined by its round count, the decision function
+    applied to the final view, and — in augmented runs — the function
+    [α] computing black-box inputs.  All internal computation is
+    deferred to the decision map, exactly as in the paper's generic
+    algorithm form. *)
+
+type t = {
+  name : string;
+  rounds : int;
+  alpha : round:int -> int -> Value.t -> Value.t;
+      (** Box input from the current view; ignored in plain runs. *)
+  decide : int -> Value.t -> Value.t;
+      (** [decide i V_i]: the simplicial decision map [f]. *)
+}
+
+val make :
+  name:string -> rounds:int ->
+  ?alpha:(round:int -> int -> Value.t -> Value.t) ->
+  decide:(int -> Value.t -> Value.t) -> unit -> t
+(** [alpha] defaults to the constant [Unit] input. *)
+
+val full_information : rounds:int -> t
+(** The identity protocol: outputs the final view itself.  Used for
+    cross-checking the simulator against protocol complexes. *)

@@ -1,0 +1,221 @@
+type step =
+  | Write of int
+  | Read of int * int
+  | Snapshot of int
+  | Invoke of int
+
+type round = Is_round of int list list | Step_round of step list
+type t = round list
+
+let same_set a b =
+  List.sort_uniq Stdlib.compare a = List.sort_uniq Stdlib.compare b
+
+let validate_is ~participants blocks =
+  same_set (List.concat blocks) participants
+  && List.for_all (fun b -> b <> []) blocks
+  && List.length (List.concat blocks)
+     = List.length (List.sort_uniq Stdlib.compare (List.concat blocks))
+
+let validate_steps ~participants ~boxed steps =
+  let ops i = List.filter (function
+    | Write j | Snapshot j | Invoke j -> i = j
+    | Read (j, _) -> i = j) steps
+  in
+  List.for_all
+    (fun i ->
+      match ops i with
+      | Write j :: rest when j = i ->
+          let invokes, reads =
+            List.partition (function Invoke _ -> true | Write _ | Read _ | Snapshot _ -> false) rest
+          in
+          let invoke_ok =
+            if boxed then
+              match (invokes, rest) with
+              | [ Invoke _ ], Invoke _ :: _ -> true (* box right after write *)
+              | _ -> false
+            else invokes = []
+          in
+          let read_targets =
+            List.filter_map (function Read (_, q) -> Some q | Write _ | Snapshot _ | Invoke _ -> None) reads
+          in
+          invoke_ok
+          && (same_set read_targets participants
+             || reads = [ Snapshot i ])
+      | _ -> false)
+    participants
+
+let validate_round ~participants ~boxed = function
+  | Is_round blocks -> validate_is ~participants blocks
+  | Step_round steps -> validate_steps ~participants ~boxed steps
+
+let rec cartesian = function
+  | [] -> [ [] ]
+  | choices :: rest ->
+      let tails = cartesian rest in
+      List.concat_map (fun c -> List.map (fun tl -> c :: tl) tails) choices
+
+let is_rounds ~participants ~rounds =
+  let parts =
+    List.map (fun p -> Is_round p) (Ordered_partition.enumerate participants)
+  in
+  cartesian (List.init rounds (fun _ -> parts))
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+let is_rounds_boxed ~participants ~rounds =
+  let parts =
+    List.concat_map
+      (fun part ->
+        match part with
+        | [] -> []
+        | first :: others ->
+            List.map (fun p -> Is_round (p :: others)) (permutations first))
+      (Ordered_partition.enumerate participants)
+  in
+  cartesian (List.init rounds (fun _ -> parts))
+
+let solo_first ~participants ~rounds i =
+  List.init rounds (fun _ ->
+      Is_round (Ordered_partition.solo participants i))
+
+(* All interleavings of the given sequences. *)
+let rec interleavings seqs =
+  let seqs = List.filter (fun s -> s <> []) seqs in
+  if seqs = [] then [ [] ]
+  else
+    List.concat_map
+      (fun chosen ->
+        match chosen with
+        | [] -> []
+        | head :: tail ->
+            let rest =
+              List.map (fun s -> if s == chosen then tail else s) seqs
+            in
+            List.map (fun il -> head :: il) (interleavings rest))
+      seqs
+
+let collect_round_exhaustive ~participants =
+  let proc_seqs i =
+    List.map
+      (fun read_order -> Write i :: List.map (fun q -> Read (i, q)) read_order)
+      (permutations participants)
+  in
+  let per_proc = List.map proc_seqs participants in
+  List.map
+    (fun seqs -> List.map (fun s -> Step_round s) (interleavings seqs))
+    (cartesian per_proc)
+  |> List.concat
+  |> List.sort_uniq Stdlib.compare
+
+let snapshot_round_exhaustive ~participants =
+  let seqs = List.map (fun i -> [ Write i; Snapshot i ]) participants in
+  List.map (fun s -> Step_round s) (interleavings seqs)
+
+let round_of_matrix matrix =
+  let participants =
+    List.concat_map (fun row -> row.Collect_matrix.group) matrix
+    |> List.sort Stdlib.compare
+  in
+  (* Rows are ordered by decreasing knowledge (row 0 sees everyone), so
+     write in reverse row order; a read of an unseen register happens
+     right after the reader's write, a read of a seen one at the end. *)
+  let rows_rev = List.rev matrix in
+  let early =
+    List.concat_map
+      (fun row ->
+        List.map (fun i -> Write i) row.Collect_matrix.group
+        @ List.concat_map
+            (fun i ->
+              List.filter_map
+                (fun q ->
+                  if List.mem q row.Collect_matrix.sees then None
+                  else Some (Read (i, q)))
+                participants)
+            row.Collect_matrix.group)
+      rows_rev
+  in
+  let late =
+    List.concat_map
+      (fun row ->
+        List.concat_map
+          (fun i -> List.map (fun q -> Read (i, q)) row.Collect_matrix.sees)
+          row.Collect_matrix.group)
+      matrix
+  in
+  Step_round (early @ late)
+
+let shuffle rng l =
+  let arr = Array.of_list l in
+  for k = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rng (k + 1) in
+    let tmp = arr.(k) in
+    arr.(k) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let random_partition rng participants =
+  let order = shuffle rng participants in
+  let rec cut = function
+    | [] -> []
+    | l ->
+        let k = 1 + Random.State.int rng (List.length l) in
+        let rec split acc n rest =
+          if n = 0 then (List.rev acc, rest)
+          else
+            match rest with
+            | [] -> (List.rev acc, [])
+            | x :: r -> split (x :: acc) (n - 1) r
+        in
+        let block, rest = split [] k l in
+        block :: cut rest
+  in
+  cut order
+
+let random_is ?(boxed = false) ~participants ~rounds rng =
+  List.init rounds (fun _ ->
+      let part = random_partition rng participants in
+      let part =
+        if boxed then
+          match part with [] -> [] | first :: others -> shuffle rng first :: others
+        else List.map (List.sort Stdlib.compare) part
+      in
+      Is_round part)
+
+let random_steps ~model ~participants ~rounds rng =
+  let proc_ops i =
+    match model with
+    | Model.Snapshot -> [ Write i; Snapshot i ]
+    | Model.Collect ->
+        Write i :: List.map (fun q -> Read (i, q)) (shuffle rng participants)
+    | Model.Immediate ->
+        invalid_arg "Schedule.random_steps: use random_is for immediate snapshot"
+  in
+  List.init rounds (fun _ ->
+      let pending = Hashtbl.create 8 in
+      List.iter (fun i -> Hashtbl.replace pending i (proc_ops i)) participants;
+      let steps = ref [] in
+      let alive () =
+        Hashtbl.fold (fun i ops acc -> if ops = [] then acc else i :: acc) pending []
+      in
+      let rec drain () =
+        match alive () with
+        | [] -> ()
+        | live ->
+            let i = List.nth live (Random.State.int rng (List.length live)) in
+            (match Hashtbl.find pending i with
+            | [] -> ()
+            | op :: rest ->
+                steps := op :: !steps;
+                Hashtbl.replace pending i rest);
+            drain ()
+      in
+      drain ();
+      Step_round (List.rev !steps))

@@ -1,0 +1,58 @@
+(** Adversarial schedules for the iterated models.
+
+    A schedule fixes, for each round, the interleaving of the atomic
+    steps of the participating processes.  Immediate-snapshot rounds
+    are given by ordered partitions whose blocks additionally carry the
+    black-box invocation order (only relevant in augmented runs);
+    collect and snapshot rounds are given by explicit step sequences. *)
+
+type step =
+  | Write of int      (** process writes its register *)
+  | Read of int * int (** [Read (i, j)]: [i] reads [j]'s register *)
+  | Snapshot of int   (** atomic read of the whole array *)
+  | Invoke of int     (** black-box invocation *)
+
+type round =
+  | Is_round of int list list
+      (** Immediate snapshot: blocks in scheduling order; within a
+          block, the list order is the box invocation order. *)
+  | Step_round of step list
+
+type t = round list
+
+val validate_round : participants:int list -> boxed:bool -> round -> bool
+(** Well-formedness: every participant appears exactly once (IS), or
+    performs write-then-reads/snapshot in program order with the box
+    invocation between write and first read when [boxed]. *)
+
+val is_rounds : participants:int list -> rounds:int -> t list
+(** All immediate-snapshot schedules (every combination of ordered
+    partitions; within-block orders are left as listed, which is
+    exhaustive up to box symmetry only for plain runs — use
+    [is_rounds_boxed] when the box winner matters). *)
+
+val is_rounds_boxed : participants:int list -> rounds:int -> t list
+(** All IS schedules including all within-first-block invocation
+    orders (the box-relevant part of the interleaving). *)
+
+val solo_first : participants:int list -> rounds:int -> int -> t
+(** The schedule where the given process runs solo-first at every
+    round. *)
+
+val collect_round_exhaustive : participants:int list -> round list
+(** Every one-round write/read interleaving of the collect model (all
+    read orders); exponential — intended for [n <= 3]. *)
+
+val snapshot_round_exhaustive : participants:int list -> round list
+(** Every one-round write/snapshot interleaving. *)
+
+val round_of_matrix : Collect_matrix.t -> round
+(** A step sequence realizing a given collect matrix (the constructive
+    direction of the Appendix A.3.4 correspondence). *)
+
+val random_is : ?boxed:bool -> participants:int list -> rounds:int ->
+  Random.State.t -> t
+val random_steps :
+  model:Model.t -> participants:int list -> rounds:int -> Random.State.t -> t
+(** Random collect or snapshot schedule (uniform over a natural
+    generation process, not over facets). *)

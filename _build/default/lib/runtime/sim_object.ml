@@ -1,0 +1,23 @@
+type state = Tas of bool ref | Cons of Value.t option ref
+
+type t = { name : string; state : state }
+
+let test_and_set () = { name = "test&set"; state = Tas (ref false) }
+let consensus () = { name = "consensus"; state = Cons (ref None) }
+
+let invoke obj _i proposal =
+  match obj.state with
+  | Tas taken ->
+      if !taken then Value.Bool false
+      else begin
+        taken := true;
+        Value.Bool true
+      end
+  | Cons decided -> (
+      match !decided with
+      | Some v -> v
+      | None ->
+          decided := Some proposal;
+          proposal)
+
+let name obj = obj.name

@@ -1,0 +1,18 @@
+(** Linearizable shared objects for the operational simulator.
+
+    Invocations happen in schedule order; both objects are
+    deterministic given that order, which realizes the consistency
+    assumption of Section 4.1. *)
+
+type t
+
+val test_and_set : unit -> t
+(** First invoker gets [Bool true], everyone else [Bool false]. *)
+
+val consensus : unit -> t
+(** First invoker's proposal wins; every invoker receives it. *)
+
+val invoke : t -> int -> Value.t -> Value.t
+(** [invoke obj i proposal]: one atomic invocation by process [i]. *)
+
+val name : t -> string

@@ -1,0 +1,33 @@
+type spec = {
+  name : string;
+  rounds : int;
+  init : int -> Value.t -> Value.t;
+  step :
+    round:int -> int -> box:Value.t option -> (int * Value.t) list -> Value.t;
+  box_input : round:int -> int -> Value.t -> Value.t;
+  output : int -> Value.t -> Value.t;
+}
+
+let rec state_of_view spec ~round i view =
+  if round = 0 then spec.init i view
+  else
+    let unfold box entries =
+      let states =
+        List.map (fun (j, v) -> (j, state_of_view spec ~round:(round - 1) j v)) entries
+      in
+      spec.step ~round i ~box states
+    in
+    match view with
+    | Value.Pair (b, Value.View entries) -> unfold (Some b) entries
+    | Value.View entries -> unfold None entries
+    | Value.Pair _ | Value.Unit | Value.Bool _ | Value.Int _ | Value.Frac _
+    | Value.Str _ ->
+        invalid_arg "State_protocol: malformed view"
+
+let protocol spec =
+  Protocol.make ~name:spec.name ~rounds:spec.rounds
+    ~alpha:(fun ~round i view ->
+      spec.box_input ~round i (state_of_view spec ~round:(round - 1) i view))
+    ~decide:(fun i view ->
+      spec.output i (state_of_view spec ~round:spec.rounds i view))
+    ()

@@ -1,0 +1,32 @@
+(** Round-by-round "current value" protocols on top of the
+    full-information model.
+
+    Most algorithms of the paper (halving approximate agreement,
+    bit-by-bit agreement, …) are naturally described by a state carried
+    across rounds.  In the full-information model the state of a
+    process after round [r] is a function of its nested view, so we
+    recover it by structural recursion on the view; the resulting
+    protocol is literally of the generic Algorithm 1/2 form. *)
+
+type spec = {
+  name : string;
+  rounds : int;
+  init : int -> Value.t -> Value.t;
+      (** state before round 1, from the input *)
+  step :
+    round:int -> int -> box:Value.t option -> (int * Value.t) list -> Value.t;
+      (** new state from the box output (augmented runs) and the
+          collected states [(j, state of j before this round)] *)
+  box_input : round:int -> int -> Value.t -> Value.t;
+      (** box proposal from the current state (augmented runs) *)
+  output : int -> Value.t -> Value.t;  (** decision from the final state *)
+}
+
+val protocol : spec -> Protocol.t
+(** The induced full-information protocol: its decision map unfolds
+    the nested view to recover the final state, and its [α] recovers
+    the current state before proposing. *)
+
+val state_of_view : spec -> round:int -> int -> Value.t -> Value.t
+(** State of process [i] after [round] rounds given its nested view
+    (round 0 = input). *)

@@ -1,0 +1,43 @@
+let protocol_of_map ~name ~rounds f =
+  Protocol.make ~name ~rounds
+    ~decide:(fun i view ->
+      match Simplicial_map.apply f (Vertex.make i view) with
+      | v -> Vertex.value v
+      | exception Not_found ->
+          invalid_arg
+            (Printf.sprintf "Synthesis: view of process %d outside the solved domain" i))
+    ()
+
+let synthesize ?node_limit ?inputs model task ~rounds =
+  let inputs =
+    match inputs with Some l -> l | None -> Task.input_simplices task
+  in
+  match
+    Solvability.decide ?node_limit ~inputs
+      ~protocol:(fun sigma -> Model.protocol_complex model sigma rounds)
+      ~delta:(Task.delta task) ()
+  with
+  | Solvability.Solvable f ->
+      Some
+        (protocol_of_map
+           ~name:(Printf.sprintf "synthesized(%s,t=%d)" task.Task.name rounds)
+           ~rounds f)
+  | Solvability.Unsolvable | Solvability.Undecided -> None
+
+let validate protocol task ~inputs ~exhaustive =
+  let participants = List.map fst inputs in
+  let rounds = protocol.Protocol.rounds in
+  let base =
+    if exhaustive then
+      Adversary.exhaustive_is ~boxed:false ~participants ~rounds
+    else
+      Adversary.random_suite ~model:Model.Immediate ~boxed:false ~participants
+        ~rounds ~seed:41 ~count:500
+  in
+  let crashed =
+    match (participants, base) with
+    | _ :: victim :: _, s :: _ when rounds >= 1 ->
+        [ Adversary.with_crash s ~proc:victim ~round:1 ]
+    | _ -> []
+  in
+  Adversary.check_task protocol task ~inputs ~schedules:(base @ crashed) = []

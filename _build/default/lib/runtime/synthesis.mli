@@ -1,0 +1,29 @@
+(** Protocol synthesis: turning a solver witness into executable code.
+
+    A task solution in the topological sense is a chromatic simplicial
+    map [f : P^(t) → O] (Section 2.2) — which is exactly the decision
+    function of Algorithm 1.  This module closes the loop between the
+    solver and the simulator: the map found by [Solvability] becomes a
+    runnable [Protocol.t] whose decisions are table lookups, and can
+    then be validated against adversarial schedules like any hand-
+    written algorithm. *)
+
+val protocol_of_map :
+  name:string -> rounds:int -> Simplicial_map.t -> Protocol.t
+(** [protocol_of_map ~name ~rounds f]: the protocol deciding
+    [f(i, V_i)] on the final view.  Deciding on a view outside [f]'s
+    domain (an input profile the solver was not asked about) raises
+    [Invalid_argument]. *)
+
+val synthesize :
+  ?node_limit:int -> ?inputs:Simplex.t list -> Model.t -> Task.t ->
+  rounds:int -> Protocol.t option
+(** Solve the task and wrap the witness; [None] when unsolvable or
+    undecided. *)
+
+val validate :
+  Protocol.t -> Task.t -> inputs:(int * Value.t) list -> exhaustive:bool ->
+  bool
+(** Run the synthesized protocol over exhaustive (or seeded random)
+    immediate-snapshot schedules, including single-crash variants, and
+    check every decision profile against Δ. *)

@@ -1,0 +1,1 @@
+lib/solver/brute.ml: Complex Hashtbl List Option Simplex Simplicial_map Solvability Vertex

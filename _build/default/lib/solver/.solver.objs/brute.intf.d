@@ -1,0 +1,1 @@
+lib/solver/brute.mli: Complex Simplex Solvability

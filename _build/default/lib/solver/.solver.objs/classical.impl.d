@@ -1,0 +1,1 @@
+lib/solver/classical.ml: Complex Connectivity Consensus Frac List Model Simplex Task Value Vertex

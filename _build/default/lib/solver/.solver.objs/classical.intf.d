@@ -1,0 +1,1 @@
+lib/solver/classical.mli: Frac Model

@@ -1,0 +1,1 @@
+lib/solver/csp.ml: Array Bytes List Queue Stack

@@ -1,0 +1,1 @@
+lib/solver/solvability.ml: Array Augmented Complex Csp Hashtbl List Local_task Logs Model Simplex Simplicial_map Task Vertex

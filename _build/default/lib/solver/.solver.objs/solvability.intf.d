@@ -1,0 +1,1 @@
+lib/solver/solvability.mli: Augmented Black_box Complex Model Simplex Simplicial_map Task

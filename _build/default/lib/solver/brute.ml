@@ -1,0 +1,81 @@
+let gather ~inputs ~protocol ~delta =
+  let vars = ref Vertex.Set.empty in
+  let cands : (int, Vertex.Set.t) Hashtbl.t = Hashtbl.create 8 in
+  let constraints =
+    List.map
+      (fun sigma ->
+        let p = protocol sigma in
+        let d = delta sigma in
+        List.iter (fun v -> vars := Vertex.Set.add v !vars) (Complex.vertices p);
+        List.iter
+          (fun w ->
+            let c = Vertex.color w in
+            let prev =
+              Option.value ~default:Vertex.Set.empty (Hashtbl.find_opt cands c)
+            in
+            Hashtbl.replace cands c (Vertex.Set.add w prev))
+          (Complex.vertices d);
+        (Complex.facets p, d))
+      inputs
+  in
+  let var_list = Vertex.Set.elements !vars in
+  let candidates v =
+    Vertex.Set.elements
+      (Option.value ~default:Vertex.Set.empty
+         (Hashtbl.find_opt cands (Vertex.color v)))
+  in
+  (var_list, candidates, constraints)
+
+let search_space ~inputs ~protocol ~delta =
+  let var_list, candidates, _ = gather ~inputs ~protocol ~delta in
+  List.fold_left
+    (fun acc v -> acc *. float_of_int (List.length (candidates v)))
+    1.0 var_list
+
+let decide ?(max_maps = 2_000_000) ~inputs ~protocol ~delta () =
+  let var_list, candidates, constraints = gather ~inputs ~protocol ~delta in
+  if search_space ~inputs ~protocol ~delta > float_of_int max_maps then
+    Solvability.Undecided
+  else if List.exists (fun v -> candidates v = []) var_list then
+    Solvability.Unsolvable
+  else begin
+    let assignment : Vertex.t Vertex.Tbl.t =
+      Vertex.Tbl.create (List.length var_list)
+    in
+    let satisfies () =
+      List.for_all
+        (fun (facets, d) ->
+          List.for_all
+            (fun facet ->
+              let image =
+                Simplex.of_vertices
+                  (List.map (fun v -> Vertex.Tbl.find assignment v)
+                     (Simplex.vertices facet))
+              in
+              Complex.mem image d)
+            facets)
+        constraints
+    in
+    let rec go = function
+      | [] ->
+          if satisfies () then
+            Some
+              (Simplicial_map.of_assoc
+                 (List.map (fun v -> (v, Vertex.Tbl.find assignment v)) var_list))
+          else None
+      | v :: rest ->
+          List.fold_left
+            (fun found w ->
+              match found with
+              | Some _ -> found
+              | None ->
+                  Vertex.Tbl.replace assignment v w;
+                  let r = go rest in
+                  Vertex.Tbl.remove assignment v;
+                  r)
+            None (candidates v)
+    in
+    match go var_list with
+    | Some f -> Solvability.Solvable f
+    | None -> Solvability.Unsolvable
+  end

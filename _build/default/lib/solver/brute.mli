@@ -1,0 +1,26 @@
+(** Brute-force solvability by exhaustive map enumeration.
+
+    A deliberately naive second backend: enumerate {e every} chromatic
+    vertex map from the protocol complex to the candidate output
+    vertices and test the Δ-agreement condition directly.  Exponential
+    — usable only when [Π |candidates(v)|] is small — but independent
+    of the CSP machinery, so agreement between the two backends on
+    small instances guards the CSP's pruning and backtracking logic
+    (see the cross-check property in [test_brute.ml]). *)
+
+val decide :
+  ?max_maps:int ->
+  inputs:Simplex.t list ->
+  protocol:(Simplex.t -> Complex.t) ->
+  delta:(Simplex.t -> Complex.t) ->
+  unit ->
+  Solvability.verdict
+(** Same contract as [Solvability.decide].  Returns [Undecided] if the
+    search space exceeds [max_maps] (default [2_000_000]). *)
+
+val search_space :
+  inputs:Simplex.t list ->
+  protocol:(Simplex.t -> Complex.t) ->
+  delta:(Simplex.t -> Complex.t) ->
+  float
+(** The number of candidate maps (as a float, it overflows quickly). *)

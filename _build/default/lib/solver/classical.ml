@@ -1,0 +1,60 @@
+type consensus_report = {
+  rounds : int;
+  protocol_connected : bool;
+  outputs_monochromatic : bool;
+  solo_values_differ : bool;
+}
+
+let rec solo_view_after rounds i value =
+  if rounds = 0 then value
+  else solo_view_after (rounds - 1) i (Model.solo_view i value)
+
+let consensus_argument ~n ~rounds =
+  let task = Consensus.binary ~n in
+  (* Full protocol complex: union over all input facets. *)
+  let protocol =
+    List.fold_left
+      (fun acc sigma ->
+        Complex.union acc (Model.protocol_complex Model.Immediate sigma rounds))
+      Complex.empty
+      (Complex.facets (Task.inputs task))
+  in
+  let protocol_connected = Connectivity.connected protocol in
+  let outputs_monochromatic =
+    List.for_all
+      (fun facet ->
+        match List.sort_uniq Value.compare (Simplex.values facet) with
+        | [ _ ] -> true
+        | [] | _ :: _ -> false)
+      (Complex.facets (Task.outputs task))
+  in
+  let forced v =
+    (* Δ on the solo input (i, v) pins the output. *)
+    let sigma = Simplex.of_list [ (1, Value.Int v) ] in
+    match Complex.facets (Task.delta task sigma) with
+    | [ f ] -> Simplex.value 1 f
+    | _ -> Value.Unit
+  in
+  let solo_values_differ = not (Value.equal (forced 0) (forced 1)) in
+  { rounds; protocol_connected; outputs_monochromatic; solo_values_differ }
+
+let consensus_argument_valid r =
+  r.protocol_connected && r.outputs_monochromatic && r.solo_values_differ
+
+let standard_simplex n =
+  Simplex.of_list (List.init n (fun i -> (i + 1, Value.Int (i + 1))))
+
+let solo_distance model ~n ~rounds =
+  let sigma = standard_simplex n in
+  let p = Model.protocol_complex model sigma rounds in
+  let corner i =
+    Vertex.make i (solo_view_after rounds i (Simplex.value i sigma))
+  in
+  match Connectivity.path p (corner 1) (corner 2) with
+  | Some path -> Some (List.length path - 1)
+  | None -> None
+
+let diameter_lower_bound model ~n ~rounds =
+  match solo_distance model ~n ~rounds with
+  | Some d when d > 0 -> Frac.make 1 d
+  | Some _ | None -> Frac.one

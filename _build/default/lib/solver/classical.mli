@@ -1,0 +1,40 @@
+(** The classical topological impossibility arguments, mechanized.
+
+    The paper's closure technique replaces two standard routes:
+    valency/connectivity analysis for consensus (FLP [18],
+    Herlihy–Shavit [27]) and the diameter analysis of the subdivided
+    simplex for approximate agreement (Hoest–Shavit [28]).  This
+    module machine-checks those classical arguments on the same
+    protocol complexes, so the reproduction can compare techniques on
+    identical objects (experiment E15). *)
+
+type consensus_report = {
+  rounds : int;
+  protocol_connected : bool;
+      (** the full protocol complex [P^(t)(I)] is path-connected *)
+  outputs_monochromatic : bool;
+      (** every edge of the consensus output complex carries one value *)
+  solo_values_differ : bool;
+      (** Δ forces the all-0 and all-1 solo corners to distinct values *)
+}
+
+val consensus_argument : n:int -> rounds:int -> consensus_report
+(** Checks the three facts above for binary consensus under IIS; their
+    conjunction is a proof that no decision map exists: a simplicial
+    map into a monochromatic-edge complex is constant on connected
+    components, contradicting the pinned solo corners. *)
+
+val consensus_argument_valid : consensus_report -> bool
+
+val solo_distance : Model.t -> n:int -> rounds:int -> int option
+(** Graph distance in the 1-skeleton of [P^(t)(σ)] between the solo
+    corners of processes 1 and 2 (σ = the standard simplex on [n]
+    processes).  The Hoest–Shavit shape: [3^t] for [n = 2] and [2^t]
+    for [n ≥ 3]. *)
+
+val diameter_lower_bound : Model.t -> n:int -> rounds:int -> Frac.t
+(** The ε below which [rounds] rounds are impossible by the diameter
+    argument: any solution map sends each edge of [P^(t)] to an edge
+    of the output complex (spread ≤ ε), so walking a shortest path
+    between pinned solo corners gives [1 <= distance · ε], i.e.
+    ε-agreement needs [ε >= 1/distance].  Returns [1/distance]. *)

@@ -1,0 +1,238 @@
+type constraint_ = { scope : int array; tuples : int array array }
+
+type stats = { nodes : int; revisions : int }
+
+type t = {
+  num_vars : int;
+  counts : int array;
+  mutable cons_rev : constraint_ list;  (* accumulated in reverse *)
+  domains : Bytes.t array;              (* '\001' = alive *)
+  dom_size : int array;
+  mutable stats : stats;
+}
+
+type result = Sat of int array | Unsat | Unknown
+
+exception Inconsistent
+exception Limit
+
+let create ~num_vars ~candidate_counts =
+  if Array.length candidate_counts <> num_vars then
+    invalid_arg "Csp.create: counts length mismatch";
+  {
+    num_vars;
+    counts = candidate_counts;
+    cons_rev = [];
+    domains = Array.map (fun c -> Bytes.make c '\001') candidate_counts;
+    dom_size = Array.copy candidate_counts;
+    stats = { nodes = 0; revisions = 0 };
+  }
+
+let last_stats t = t.stats
+
+let add_table_constraint t ~scope ~tuples =
+  Array.iter
+    (fun tuple ->
+      if Array.length tuple <> Array.length scope then
+        invalid_arg "Csp.add_table_constraint: tuple arity mismatch")
+    tuples;
+  t.cons_rev <- { scope; tuples } :: t.cons_rev
+
+let pin t ~var ~value =
+  if value < 0 || value >= t.counts.(var) then invalid_arg "Csp.pin: bad value";
+  let dom = t.domains.(var) in
+  if Bytes.get dom value = '\000' then begin
+    (* Conflicting pins: empty the domain; solve will report Unsat. *)
+    Bytes.fill dom 0 (Bytes.length dom) '\000';
+    t.dom_size.(var) <- 0
+  end
+  else begin
+    Bytes.fill dom 0 (Bytes.length dom) '\000';
+    Bytes.set dom value '\001';
+    t.dom_size.(var) <- 1
+  end
+
+(* ----- search state ----- *)
+
+type state = {
+  p : t;
+  cons : constraint_ array;
+  var_cons : int list array;
+  trail : (int * int) Stack.t;        (* (var, value) removals *)
+  in_queue : Bytes.t;
+  queue : int Queue.t;
+  mutable nodes : int;
+  mutable revisions : int;
+  node_limit : int;
+}
+
+let alive st v k = Bytes.get st.p.domains.(v) k = '\001'
+
+let remove st v k =
+  if alive st v k then begin
+    Bytes.set st.p.domains.(v) k '\000';
+    st.p.dom_size.(v) <- st.p.dom_size.(v) - 1;
+    Stack.push (v, k) st.trail;
+    if st.p.dom_size.(v) = 0 then raise Inconsistent
+  end
+
+let enqueue st c =
+  if Bytes.get st.in_queue c = '\000' then begin
+    Bytes.set st.in_queue c '\001';
+    Queue.add c st.queue
+  end
+
+let enqueue_var st v = List.iter (enqueue st) st.var_cons.(v)
+
+let revise st ci =
+  st.revisions <- st.revisions + 1;
+  let c = st.cons.(ci) in
+  let arity = Array.length c.scope in
+  let supported = Array.map (fun v -> Bytes.make st.p.counts.(v) '\000') c.scope in
+  let any_alive = ref false in
+  Array.iter
+    (fun tuple ->
+      let ok = ref true in
+      for pos = 0 to arity - 1 do
+        if !ok && not (alive st c.scope.(pos) tuple.(pos)) then ok := false
+      done;
+      if !ok then begin
+        any_alive := true;
+        for pos = 0 to arity - 1 do
+          Bytes.set supported.(pos) tuple.(pos) '\001'
+        done
+      end)
+    c.tuples;
+  if not !any_alive then raise Inconsistent;
+  for pos = 0 to arity - 1 do
+    let v = c.scope.(pos) in
+    let changed = ref false in
+    for k = 0 to st.p.counts.(v) - 1 do
+      if alive st v k && Bytes.get supported.(pos) k = '\000' then begin
+        remove st v k;
+        changed := true
+      end
+    done;
+    if !changed then enqueue_var st v
+  done
+
+let propagate st =
+  while not (Queue.is_empty st.queue) do
+    let ci = Queue.pop st.queue in
+    Bytes.set st.in_queue ci '\000';
+    revise st ci
+  done
+
+let enqueue_all st =
+  Array.iteri (fun ci _ -> enqueue st ci) st.cons
+
+let rollback st mark =
+  while Stack.length st.trail > mark do
+    let v, k = Stack.pop st.trail in
+    Bytes.set st.p.domains.(v) k '\001';
+    st.p.dom_size.(v) <- st.p.dom_size.(v) + 1
+  done;
+  Queue.clear st.queue;
+  Bytes.fill st.in_queue 0 (Bytes.length st.in_queue) '\000'
+
+let pick_var st =
+  let best = ref (-1) and best_size = ref max_int in
+  for v = 0 to st.p.num_vars - 1 do
+    let s = st.p.dom_size.(v) in
+    if s > 1 && s < !best_size then begin
+      best := v;
+      best_size := s
+    end
+  done;
+  !best
+
+let extract st =
+  Array.init st.p.num_vars (fun v ->
+      let rec first k =
+        if k >= st.p.counts.(v) then
+          invalid_arg "Csp.extract: empty domain in solution"
+        else if alive st v k then k
+        else first (k + 1)
+      in
+      first 0)
+
+let rec search st =
+  st.nodes <- st.nodes + 1;
+  if st.nodes > st.node_limit then raise Limit;
+  let v = pick_var st in
+  if v < 0 then Some (extract st)
+  else
+    let rec try_values k =
+      if k >= st.p.counts.(v) then None
+      else if not (alive st v k) then try_values (k + 1)
+      else
+        let mark = Stack.length st.trail in
+        match
+          (* Assign v := k by removing all other alive values. *)
+          for k' = 0 to st.p.counts.(v) - 1 do
+            if k' <> k && alive st v k' then remove st v k'
+          done;
+          enqueue_var st v;
+          propagate st
+        with
+        | () -> (
+            match search st with
+            | Some _ as s -> s
+            | None ->
+                rollback st mark;
+                try_values (k + 1))
+        | exception Inconsistent ->
+            rollback st mark;
+            try_values (k + 1)
+    in
+    try_values 0
+
+let solve ?(node_limit = 10_000_000) t =
+  let cons = Array.of_list (List.rev t.cons_rev) in
+  let var_cons = Array.make t.num_vars [] in
+  Array.iteri
+    (fun ci c ->
+      Array.iter (fun v -> var_cons.(v) <- ci :: var_cons.(v)) c.scope)
+    cons;
+  (* Variables with an empty candidate set are unsatisfiable up front
+     (they cannot be mapped anywhere). *)
+  if Array.exists (fun s -> s = 0) t.dom_size then begin
+    t.stats <- { nodes = 0; revisions = 0 };
+    Unsat
+  end
+  else begin
+    let st =
+      {
+        p = t;
+        cons;
+        var_cons;
+        trail = Stack.create ();
+        in_queue = Bytes.make (Array.length cons) '\000';
+        queue = Queue.create ();
+        nodes = 0;
+        revisions = 0;
+        node_limit;
+      }
+    in
+    let restore () =
+      t.stats <- { nodes = st.nodes; revisions = st.revisions };
+      rollback st 0
+    in
+    match
+      enqueue_all st;
+      propagate st;
+      search st
+    with
+    | Some assignment ->
+        restore ();
+        Sat assignment
+    | None ->
+        restore ();
+        Unsat
+    | exception Inconsistent ->
+        restore ();
+        Unsat
+    | exception Limit ->
+        restore ();
+        Unknown
+  end

@@ -1,0 +1,160 @@
+let src = Logs.Src.create "speedup.solver" ~doc:"Simplicial-map search"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type verdict = Solvable of Simplicial_map.t | Unsolvable | Undecided
+
+let is_solvable = function
+  | Solvable _ -> true
+  | Unsolvable | Undecided -> false
+
+(* Variable and candidate bookkeeping: protocol vertices become CSP
+   variables; output vertices of the same color become candidates. *)
+
+type tables = {
+  var_of : int Vertex.Tbl.t;
+  mutable vars : Vertex.t list;  (* reverse order of allocation *)
+  mutable num_vars : int;
+  cand_of : (int, int Vertex.Tbl.t) Hashtbl.t;  (* color -> vertex -> index *)
+  cands : (int, Vertex.t list ref) Hashtbl.t;   (* color -> reverse list *)
+}
+
+let fresh_tables () =
+  {
+    var_of = Vertex.Tbl.create 256;
+    vars = [];
+    num_vars = 0;
+    cand_of = Hashtbl.create 16;
+    cands = Hashtbl.create 16;
+  }
+
+let var_id tb v =
+  match Vertex.Tbl.find_opt tb.var_of v with
+  | Some id -> id
+  | None ->
+      let id = tb.num_vars in
+      Vertex.Tbl.add tb.var_of v id;
+      tb.vars <- v :: tb.vars;
+      tb.num_vars <- id + 1;
+      id
+
+let color_tables tb color =
+  match Hashtbl.find_opt tb.cand_of color with
+  | Some t -> (t, Hashtbl.find tb.cands color)
+  | None ->
+      let t = Vertex.Tbl.create 64 and l = ref [] in
+      Hashtbl.add tb.cand_of color t;
+      Hashtbl.add tb.cands color l;
+      (t, l)
+
+let cand_index tb v =
+  let t, l = color_tables tb (Vertex.color v) in
+  match Vertex.Tbl.find_opt t v with
+  | Some k -> k
+  | None ->
+      let k = Vertex.Tbl.length t in
+      Vertex.Tbl.add t v k;
+      l := v :: !l;
+      k
+
+let decide ?node_limit ~inputs ~protocol ~delta () =
+  let tb = fresh_tables () in
+  (* Pass 1: register candidates (all Δ vertices) and variables (all
+     protocol vertices), and collect the raw constraints. *)
+  let raw =
+    List.map
+      (fun sigma ->
+        let p = protocol sigma in
+        let d = delta sigma in
+        List.iter (fun v -> ignore (cand_index tb v)) (Complex.vertices d);
+        List.iter (fun v -> ignore (var_id tb v)) (Complex.vertices p);
+        (p, d))
+      inputs
+  in
+  let counts = Array.make tb.num_vars 0 in
+  List.iter
+    (fun v ->
+      let id = Vertex.Tbl.find tb.var_of v in
+      let t, _ = color_tables tb (Vertex.color v) in
+      counts.(id) <- Vertex.Tbl.length t)
+    tb.vars;
+  let csp = Csp.create ~num_vars:tb.num_vars ~candidate_counts:counts in
+  List.iter
+    (fun (p, d) ->
+      List.iter
+        (fun facet ->
+          let scope_vertices = Simplex.vertices facet in
+          let scope =
+            Array.of_list (List.map (fun v -> Vertex.Tbl.find tb.var_of v) scope_vertices)
+          in
+          let allowed = Complex.simplices_with_ids (Simplex.ids facet) d in
+          let tuples =
+            Array.of_list
+              (List.map
+                 (fun s ->
+                   Array.of_list
+                     (List.map (fun w -> cand_index tb w) (Simplex.vertices s)))
+                 allowed)
+          in
+          Csp.add_table_constraint csp ~scope ~tuples)
+        (Complex.facets p))
+    raw;
+  let result = Csp.solve ?node_limit csp in
+  Log.debug (fun m ->
+      let stats = Csp.last_stats csp in
+      m "instance: %d inputs, %d variables; search: %d nodes, %d revisions"
+        (List.length inputs) tb.num_vars stats.Csp.nodes stats.Csp.revisions);
+  match result with
+  | Csp.Unsat -> Unsolvable
+  | Csp.Unknown -> Undecided
+  | Csp.Sat assignment ->
+      (* Rebuild the vertex-level map from candidate indices. *)
+      let cand_arrays = Hashtbl.create 16 in
+      Hashtbl.iter
+        (fun color l ->
+          let arr = Array.of_list (List.rev !l) in
+          Hashtbl.add cand_arrays color arr)
+        tb.cands;
+      let pairs =
+        List.map
+          (fun v ->
+            let id = Vertex.Tbl.find tb.var_of v in
+            let arr = Hashtbl.find cand_arrays (Vertex.color v) in
+            (v, arr.(assignment.(id))))
+          tb.vars
+      in
+      Solvable (Simplicial_map.of_assoc pairs)
+
+let task_in_model ?node_limit ?inputs model task ~rounds =
+  let inputs =
+    match inputs with Some l -> l | None -> Task.input_simplices task
+  in
+  decide ?node_limit ~inputs
+    ~protocol:(fun sigma -> Model.protocol_complex model sigma rounds)
+    ~delta:(Task.delta task) ()
+
+let task_in_augmented ?node_limit ?inputs ~box ~alpha task ~rounds =
+  let inputs =
+    match inputs with Some l -> l | None -> Task.input_simplices task
+  in
+  decide ?node_limit ~inputs
+    ~protocol:(fun sigma -> Augmented.protocol_complex ~box ~alpha sigma rounds)
+    ~delta:(Task.delta task) ()
+
+let min_rounds ?node_limit ?inputs ?(max_rounds = 6) model task =
+  let rec scan t =
+    if t > max_rounds then None
+    else
+      match task_in_model ?node_limit ?inputs model task ~rounds:t with
+      | Solvable _ -> Some t
+      | Unsolvable -> scan (t + 1)
+      | Undecided -> None
+  in
+  scan 0
+
+let local_task_solvable ?node_limit ~one_round task ~sigma ~tau =
+  let local = Local_task.make task ~sigma ~tau in
+  decide ?node_limit
+    ~inputs:(Simplex.faces tau)
+    ~protocol:(fun tau' -> Complex.of_facets (one_round tau'))
+    ~delta:(Task.delta local) ()

@@ -1,0 +1,53 @@
+(** Deciding task solvability: "is there a chromatic simplicial map
+    [f : P^(t) → O] agreeing with Δ?" (Section 2.2).
+
+    An instance is built from a list of input simplices, a protocol
+    operator [σ ↦ P^(t)(σ)], and the task's Δ.  Constraints: for every
+    listed input simplex [σ] and every facet [ρ] of [P^(t)(σ)], the
+    image [f(ρ)] must be a simplex of [Δ(σ)].  Restricting the input
+    list to a subfamily yields a relaxation, so [Unsat] on a subfamily
+    is already a proof of unsolvability. *)
+
+type verdict = Solvable of Simplicial_map.t | Unsolvable | Undecided
+
+val is_solvable : verdict -> bool
+(** [true] only on [Solvable _]. *)
+
+val decide :
+  ?node_limit:int ->
+  inputs:Simplex.t list ->
+  protocol:(Simplex.t -> Complex.t) ->
+  delta:(Simplex.t -> Complex.t) ->
+  unit ->
+  verdict
+(** Core entry point.  [Undecided] only when the node limit is hit. *)
+
+val task_in_model :
+  ?node_limit:int -> ?inputs:Simplex.t list -> Model.t -> Task.t -> rounds:int ->
+  verdict
+(** Solvability of a task after [rounds] rounds of the given iterated
+    model.  [inputs] defaults to every simplex of the task's input
+    complex. *)
+
+val task_in_augmented :
+  ?node_limit:int -> ?inputs:Simplex.t list ->
+  box:Black_box.t -> alpha:Augmented.alpha -> Task.t -> rounds:int ->
+  verdict
+(** Same in IIS augmented with a black box (Algorithm 2). *)
+
+val min_rounds :
+  ?node_limit:int -> ?inputs:Simplex.t list -> ?max_rounds:int ->
+  Model.t -> Task.t -> int option
+(** Smallest [t] such that the task is solvable in [t] rounds, scanning
+    [t = 0, 1, …, max_rounds] (default 6).  [None] if none is found (or
+    a scan step was undecided). *)
+
+val local_task_solvable :
+  ?node_limit:int ->
+  one_round:(Simplex.t -> Simplex.t list) ->
+  Task.t -> sigma:Simplex.t -> tau:Simplex.t ->
+  verdict
+(** One-round solvability of the local task [Π_{τ,σ}] — the membership
+    test of Definition 2.  [one_round] produces the facets of the
+    one-round protocol complex of the model under consideration (plain
+    or augmented). *)

@@ -1,0 +1,1 @@
+lib/tasks/approx_agreement.ml: Combinatorics Complex Frac List Printf Simplex Task Value

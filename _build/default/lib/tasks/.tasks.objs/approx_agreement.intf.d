@@ -1,0 +1,1 @@
+lib/tasks/approx_agreement.mli: Complex Frac Simplex Task Value

@@ -1,0 +1,1 @@
+lib/tasks/carrier_map.ml: Complex List Simplex Simplicial_map Task

@@ -1,0 +1,1 @@
+lib/tasks/carrier_map.mli: Complex Simplex Simplicial_map Task

@@ -1,0 +1,1 @@
+lib/tasks/combinatorics.ml: Complex List Simplex Stdlib

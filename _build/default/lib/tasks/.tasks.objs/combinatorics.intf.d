@@ -1,0 +1,1 @@
+lib/tasks/combinatorics.mli: Complex Simplex Value

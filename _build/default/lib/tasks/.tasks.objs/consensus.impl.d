@@ -1,0 +1,1 @@
+lib/tasks/consensus.ml: Combinatorics Complex List Printf Simplex Task Value

@@ -1,0 +1,1 @@
+lib/tasks/consensus.mli: Simplex Task Value

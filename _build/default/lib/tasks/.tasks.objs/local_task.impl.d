@@ -1,0 +1,1 @@
+lib/tasks/local_task.ml: Complex List Printf Simplex Task

@@ -1,0 +1,1 @@
+lib/tasks/local_task.mli: Simplex Task

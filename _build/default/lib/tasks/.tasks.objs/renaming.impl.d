@@ -1,0 +1,1 @@
+lib/tasks/renaming.ml: Combinatorics Complex List Printf Simplex Task Value

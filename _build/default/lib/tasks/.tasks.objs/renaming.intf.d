@@ -1,0 +1,1 @@
+lib/tasks/renaming.mli: Task

@@ -1,0 +1,1 @@
+lib/tasks/set_agreement.ml: Combinatorics Complex List Printf Simplex Task Value

@@ -1,0 +1,1 @@
+lib/tasks/task_algebra.ml: Complex List Printf Simplex Task Value

@@ -1,0 +1,1 @@
+lib/tasks/task_algebra.mli: Complex Simplex Task

@@ -1,0 +1,84 @@
+let grid m = List.init (m + 1) (fun k -> Value.frac k m)
+
+let fracs sigma = List.map Value.as_frac (Simplex.values sigma)
+
+let spread sigma =
+  let vs = fracs sigma in
+  let lo = List.fold_left Frac.min (List.hd vs) vs in
+  let hi = List.fold_left Frac.max (List.hd vs) vs in
+  Frac.sub hi lo
+
+let in_range ~lo ~hi sigma =
+  List.for_all (fun v -> Frac.(lo <= v) && Frac.(v <= hi)) (fracs sigma)
+
+let check_params m eps =
+  if m < 1 then invalid_arg "Approx_agreement: m < 1";
+  if not (Frac.is_multiple_of eps ~step:(Frac.make 1 m)) then
+    invalid_arg "Approx_agreement: eps is not a multiple of 1/m";
+  if Frac.(eps <= Frac.zero) || Frac.(eps > Frac.one) then
+    invalid_arg "Approx_agreement: eps outside (0,1]"
+
+let within values bound =
+  List.for_all
+    (fun a -> List.for_all (fun b -> Frac.(Frac.abs (Frac.sub (Value.as_frac a) (Value.as_frac b)) <= bound)) values)
+    values
+
+let range_of sigma =
+  let vs = fracs sigma in
+  let lo = List.fold_left Frac.min (List.hd vs) vs in
+  let hi = List.fold_left Frac.max (List.hd vs) vs in
+  (lo, hi)
+
+let range n = List.init n (fun i -> i + 1)
+
+(* Outputs complex of Definition 3: all chromatic assignments of grid
+   values pairwise within eps. *)
+let window_outputs n m eps =
+  Combinatorics.assignments_filtered (range n) (grid m) (fun vs -> within vs eps)
+
+let delta_generic ~liberal m eps sigma =
+  let lo, hi = range_of sigma in
+  let candidates =
+    List.filter
+      (fun v -> Frac.(lo <= Value.as_frac v) && Frac.(Value.as_frac v <= hi))
+      (grid m)
+  in
+  let ids = Simplex.ids sigma in
+  let need_eps = (not liberal) || List.length ids >= 3 in
+  let ok vs = (not need_eps) || within vs eps in
+  Complex.of_facets (Combinatorics.assignments_filtered ids candidates ok)
+
+let task ~n ~m ~eps =
+  check_params m eps;
+  Task.make
+    ~name:(Printf.sprintf "%s-AA(n=%d,m=%d)" (Frac.to_string eps) n m)
+    ~arity:n
+    ~inputs:(lazy (Combinatorics.full_input_complex n (grid m)))
+    ~outputs:(lazy (Complex.of_facets (window_outputs n m eps)))
+    ~delta:(delta_generic ~liberal:false m eps)
+
+let liberal ~n ~m ~eps =
+  check_params m eps;
+  let outputs =
+    lazy
+      (let windows = window_outputs n m eps in
+       let edges =
+         List.concat_map
+           (fun i ->
+             List.concat_map
+               (fun j ->
+                 if i < j then Combinatorics.assignments [ i; j ] (grid m) else [])
+               (range n))
+           (range n)
+       in
+       Complex.of_facets (windows @ edges))
+  in
+  Task.make
+    ~name:(Printf.sprintf "liberal-%s-AA(n=%d,m=%d)" (Frac.to_string eps) n m)
+    ~arity:n
+    ~inputs:(lazy (Combinatorics.full_input_complex n (grid m)))
+    ~outputs
+    ~delta:(delta_generic ~liberal:true m eps)
+
+let binary_input_complex ~n =
+  Combinatorics.full_input_complex n [ Value.frac 0 1; Value.frac 1 1 ]

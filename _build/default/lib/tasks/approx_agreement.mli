@@ -1,0 +1,26 @@
+(** ε-approximate agreement on the 1/m grid (Definitions 3 and 4).
+
+    All inputs and outputs are rationals in [{0, 1/m, …, 1}], and [ε]
+    must be an integral multiple of [1/m] in [(0, 1]] — exactly the
+    discretization the paper uses to keep every complex finite. *)
+
+val grid : int -> Value.t list
+(** [{0, 1/m, ..., 1}] as fractions. *)
+
+val task : n:int -> m:int -> eps:Frac.t -> Task.t
+(** Definition 3.  @raise Invalid_argument if [ε] is not a multiple of
+    [1/m] in [(0, 1]]. *)
+
+val liberal : n:int -> m:int -> eps:Frac.t -> Task.t
+(** Definition 4: one- and two-participant outputs need only be in the
+    input range; three or more must in addition be pairwise within
+    [ε]. *)
+
+val binary_input_complex : n:int -> Complex.t
+(** Inputs restricted to the extreme values 0 and 1 — sufficient for
+    the lower bounds (Claim 1 uses inputs 0 and 1 only). *)
+
+val spread : Simplex.t -> Frac.t
+(** [max - min] of the values of a simplex of fractions. *)
+
+val in_range : lo:Frac.t -> hi:Frac.t -> Simplex.t -> bool

@@ -1,0 +1,94 @@
+type t = { table : Complex.t Simplex.Map.t }
+
+let close_domain simplices =
+  List.sort_uniq Simplex.compare (List.concat_map Simplex.faces simplices)
+
+let make ~domain f =
+  let table =
+    List.fold_left
+      (fun acc sigma -> Simplex.Map.add sigma (f sigma) acc)
+      Simplex.Map.empty (close_domain domain)
+  in
+  { table }
+
+let apply t sigma =
+  match Simplex.Map.find_opt sigma t.table with
+  | Some c -> c
+  | None -> raise Not_found
+
+let domain t = List.map fst (Simplex.Map.bindings t.table)
+
+let is_monotone t =
+  Simplex.Map.for_all
+    (fun sigma image ->
+      List.for_all
+        (fun sigma' ->
+          match Simplex.Map.find_opt sigma' t.table with
+          | Some image' -> Complex.subcomplex image' image
+          | None -> false)
+        (Simplex.faces sigma))
+    t.table
+
+let is_chromatic t =
+  Simplex.Map.for_all
+    (fun sigma image ->
+      Complex.is_empty image
+      || List.for_all
+           (fun facet -> Simplex.ids facet = Simplex.ids sigma)
+           (Complex.facets image))
+    t.table
+
+let intersection a b =
+  Complex.of_facets
+    (List.filter (fun f -> Complex.mem f b)
+       (List.concat_map Simplex.faces (Complex.facets a)))
+
+let is_strict t =
+  Simplex.Map.for_all
+    (fun sigma image ->
+      Simplex.Map.for_all
+        (fun sigma' image' ->
+          let shared =
+            List.filter
+              (fun v -> Simplex.mem v sigma')
+              (Simplex.vertices sigma)
+          in
+          match shared with
+          | [] -> true
+          | vs -> (
+              let meet = Simplex.of_vertices vs in
+              match Simplex.Map.find_opt meet t.table with
+              | None -> false
+              | Some image_meet ->
+                  Complex.equal image_meet (intersection image image')))
+        t.table)
+    t.table
+
+let compose_simplicial t f =
+  {
+    table =
+      Simplex.Map.fold
+        (fun sigma _ acc ->
+          match Simplicial_map.apply_simplex f sigma with
+          | image_simplex -> (
+              match Simplex.Map.find_opt image_simplex t.table with
+              | Some c -> Simplex.Map.add sigma c acc
+              | None -> acc)
+          | exception Not_found -> acc)
+        t.table Simplex.Map.empty;
+  }
+
+let union a b =
+  if not (Simplex.Map.equal (fun _ _ -> true) a.table b.table) then
+    invalid_arg "Carrier_map.union: domains differ";
+  {
+    table =
+      Simplex.Map.mapi
+        (fun sigma ca -> Complex.union ca (Simplex.Map.find sigma b.table))
+        a.table;
+  }
+
+let of_task task =
+  make
+    ~domain:(Complex.facets (Task.inputs task))
+    (fun sigma -> Task.delta task sigma)

@@ -1,0 +1,40 @@
+(** Carrier maps (Appendix A.1).
+
+    A carrier map [Δ : K → 2^{K'}] sends every simplex of [K] to a
+    subcomplex of [K'] monotonically: [σ' ⊆ σ ⇒ Δ(σ') ⊆ Δ(σ)].  Task
+    specifications are usually carrier maps (though the paper does not
+    require it); this module packages the notion with the checks and
+    compositions used in the tests. *)
+
+type t
+(** A carrier map with an explicit (finite) domain. *)
+
+val make : domain:Simplex.t list -> (Simplex.t -> Complex.t) -> t
+(** Tabulates the map on the domain simplices and all their faces. *)
+
+val of_task : Task.t -> t
+(** The task's Δ on its input complex. *)
+
+val apply : t -> Simplex.t -> Complex.t
+(** @raise Not_found outside the domain. *)
+
+val domain : t -> Simplex.t list
+
+val is_monotone : t -> bool
+(** The carrier-map condition [σ' ⊆ σ ⇒ Δ(σ') ⊆ Δ(σ)]. *)
+
+val is_chromatic : t -> bool
+(** Every facet of [Δ(σ)] carries exactly the colors of [σ] (the
+    "same dimension and same colors" requirement). *)
+
+val is_strict : t -> bool
+(** [Δ(σ ∩ σ') = Δ(σ) ∩ Δ(σ')] on intersecting domain pairs —
+    strict carrier maps, a standard strengthening. *)
+
+val compose_simplicial : t -> Simplicial_map.t -> t
+(** [Δ ∘ f]: precompose with a simplicial map defined on the domain's
+    vertices ([apply (compose_simplicial d f) σ = apply d (f σ)]). *)
+
+val union : t -> t -> t
+(** Pointwise union on the shared domain (used to merge specifications);
+    domains must agree. @raise Invalid_argument otherwise. *)

@@ -1,0 +1,25 @@
+let rec tuples colors values =
+  match colors with
+  | [] -> [ [] ]
+  | i :: rest ->
+      let tails = tuples rest values in
+      List.concat_map (fun v -> List.map (fun tl -> (i, v) :: tl) tails) values
+
+let assignments colors values = List.map Simplex.of_list (tuples colors values)
+
+let assignments_filtered colors values pred =
+  List.filter_map
+    (fun tuple -> if pred (List.map snd tuple) then Some (Simplex.of_list tuple) else None)
+    (tuples colors values)
+
+let nonempty_subsets ids =
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        let subs = go rest in
+        List.map (fun s -> x :: s) subs @ subs
+  in
+  List.filter (fun s -> s <> []) (go (List.sort_uniq Stdlib.compare ids))
+
+let range n = List.init n (fun i -> i + 1)
+let full_input_complex n values = Complex.of_facets (assignments (range n) values)

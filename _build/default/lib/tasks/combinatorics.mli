@@ -1,0 +1,17 @@
+(** Small enumeration helpers shared by the task constructors. *)
+
+val assignments : int list -> Value.t list -> Simplex.t list
+(** All chromatic simplices assigning one of the given values to each
+    of the given colors ([|values|^|colors|] simplices). *)
+
+val assignments_filtered :
+  int list -> Value.t list -> (Value.t list -> bool) -> Simplex.t list
+(** Same, keeping only the simplices whose value tuple (in color
+    order) satisfies the predicate. *)
+
+val nonempty_subsets : int list -> int list list
+(** All non-empty subsets, each sorted. *)
+
+val full_input_complex : int -> Value.t list -> Complex.t
+(** The pure complex of all assignments of the given values to colors
+    [1..n] — the usual input complex of consensus-like tasks. *)

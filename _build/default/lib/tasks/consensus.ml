@@ -1,0 +1,60 @@
+let range n = List.init n (fun i -> i + 1)
+
+let distinct_values sigma =
+  List.sort_uniq Value.compare (Simplex.values sigma)
+
+let constant_simplex ids v =
+  Simplex.of_list (List.map (fun i -> (i, v)) ids)
+
+let is_agreement_output sigma =
+  match distinct_values sigma with [ _ ] -> true | [] | _ :: _ -> false
+
+let monochromatic_outputs n values =
+  Complex.of_facets (List.map (constant_simplex (range n)) values)
+
+let multi ~n ~values =
+  let delta sigma =
+    Complex.of_facets
+      (List.map (constant_simplex (Simplex.ids sigma)) (distinct_values sigma))
+  in
+  Task.make
+    ~name:(Printf.sprintf "consensus(n=%d)" n)
+    ~arity:n
+    ~inputs:(lazy (Combinatorics.full_input_complex n values))
+    ~outputs:(lazy (monochromatic_outputs n values))
+    ~delta
+
+let binary ~n =
+  Task.with_name
+    (Printf.sprintf "binary-consensus(n=%d)" n)
+    (multi ~n ~values:[ Value.Int 0; Value.Int 1 ])
+
+let relaxed ~n ~values =
+  let delta sigma =
+    let ids = Simplex.ids sigma in
+    let inputs = distinct_values sigma in
+    if List.length ids >= 3 then
+      Complex.of_facets (List.map (constant_simplex ids) inputs)
+    else
+      (* Any combination of participant input values. *)
+      Complex.of_facets (Combinatorics.assignments ids inputs)
+  in
+  let outputs =
+    lazy
+      (let mono = monochromatic_outputs n values in
+       let edges =
+         List.concat_map
+           (fun i ->
+             List.concat_map
+               (fun j ->
+                 if i < j then Combinatorics.assignments [ i; j ] values else [])
+               (range n))
+           (range n)
+       in
+       Complex.union mono (Complex.of_facets edges))
+  in
+  Task.make
+    ~name:(Printf.sprintf "relaxed-consensus(n=%d)" n)
+    ~arity:n
+    ~inputs:(lazy (Combinatorics.full_input_complex n values))
+    ~outputs ~delta

@@ -1,0 +1,23 @@
+(** Consensus tasks (Section 3.3 and Corollary 2).
+
+    Values are arbitrary [Value.t]s; the paper's binary consensus uses
+    [{Int 0, Int 1}]. *)
+
+val binary : n:int -> Task.t
+(** The binary consensus task of Section 3.3: mixed-input simplices may
+    decide either value; unanimous inputs must decide that value. *)
+
+val multi : n:int -> values:Value.t list -> Task.t
+(** Multi-valued consensus: all participants output the same value,
+    which must be the input of a participant. *)
+
+val relaxed : n:int -> values:Value.t list -> Task.t
+(** The relaxed task [Π] of Corollary 2: every output value is the
+    input of a participant, and agreement is required only when at
+    least three processes participate.  For one or two participants
+    any combination of participant input values is legal.  Its output
+    complex contains the monochromatic facets plus every chromatic
+    simplex of dimension [≤ 1] (cf. the liberal tasks of Def. 4). *)
+
+val is_agreement_output : Simplex.t -> bool
+(** All values of the simplex equal. *)

@@ -1,0 +1,21 @@
+let is_valid_tau task ~sigma ~tau =
+  Simplex.ids tau = Simplex.ids sigma
+  && List.for_all
+       (fun v -> Complex.mem_vertex v (Task.delta task sigma))
+       (Simplex.vertices tau)
+
+let make task ~sigma ~tau =
+  if not (is_valid_tau task ~sigma ~tau) then
+    invalid_arg "Local_task.make: tau is not a chromatic set of V(Delta(sigma))";
+  let big_delta = Task.delta task sigma in
+  let delta tau' =
+    match Simplex.vertices tau' with
+    | [ v ] -> Complex.of_simplex (Simplex.singleton v)
+    | _ -> Complex.proj (Simplex.ids tau') big_delta
+  in
+  Task.make
+    ~name:(Printf.sprintf "local(%s)" task.Task.name)
+    ~arity:task.Task.arity
+    ~inputs:(lazy (Complex.of_simplex tau))
+    ~outputs:(lazy big_delta)
+    ~delta

@@ -1,0 +1,26 @@
+let distinct values =
+  List.length (List.sort_uniq Value.compare values) = List.length values
+
+let with_names ~n ~names =
+  for p = 1 to n do
+    if names p < p then invalid_arg "Renaming: fewer names than participants"
+  done;
+  let range = List.init n (fun i -> i + 1) in
+  let name_values p = List.init (names p) (fun k -> Value.Int (k + 1)) in
+  let delta sigma =
+    let p = Simplex.card sigma in
+    Complex.of_facets
+      (Combinatorics.assignments_filtered (Simplex.ids sigma) (name_values p)
+         distinct)
+  in
+  Task.make
+    ~name:(Printf.sprintf "adaptive-renaming(n=%d)" n)
+    ~arity:n
+    ~inputs:(lazy (Combinatorics.full_input_complex n [ Value.Unit ]))
+    ~outputs:
+      (lazy
+        (Complex.of_facets
+           (Combinatorics.assignments_filtered range (name_values n) distinct)))
+    ~delta
+
+let task ~n = with_names ~n ~names:(fun p -> (2 * p) - 1)

@@ -1,0 +1,23 @@
+(** The adaptive renaming task ([2] in the paper's bibliography).
+
+    Participants must choose pairwise distinct names in [1 .. 2p − 1],
+    where [p] is the number of {e participating} processes — so a solo
+    process must take name 1, and the name space grows with actual
+    contention.  (Non-adaptive renaming is trivial here because
+    processes know their identities; adaptivity is what makes the task
+    non-trivial, and wait-free solvable but not in zero rounds.)
+
+    Not studied in the paper; included as companion data for the
+    closure explorer (E17): unlike consensus, adaptive renaming is
+    wait-free solvable, and its closure is strictly easier than the
+    task itself. *)
+
+val task : n:int -> Task.t
+(** Adaptive (2p−1)-renaming for [n] processes; every participant
+    starts with [Unit]. *)
+
+val with_names : n:int -> names:(int -> int) -> Task.t
+(** Generalized variant: participants of a [p]-sized execution must
+    pick distinct names in [1 .. names p].  [task] is
+    [with_names ~names:(fun p -> 2 * p - 1)].
+    @raise Invalid_argument if [names p < p] for some [p <= n]. *)

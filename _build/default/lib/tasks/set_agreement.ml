@@ -1,0 +1,21 @@
+let distinct_count values = List.length (List.sort_uniq Value.compare values)
+
+let task ~n ~k ~values =
+  if k < 1 then invalid_arg "Set_agreement: k < 1";
+  let range = List.init n (fun i -> i + 1) in
+  let delta sigma =
+    let inputs = List.sort_uniq Value.compare (Simplex.values sigma) in
+    Complex.of_facets
+      (Combinatorics.assignments_filtered (Simplex.ids sigma) inputs (fun vs ->
+           distinct_count vs <= k))
+  in
+  Task.make
+    ~name:(Printf.sprintf "%d-set-agreement(n=%d)" k n)
+    ~arity:n
+    ~inputs:(lazy (Combinatorics.full_input_complex n values))
+    ~outputs:
+      (lazy
+        (Complex.of_facets
+           (Combinatorics.assignments_filtered range values (fun vs ->
+                distinct_count vs <= k))))
+    ~delta

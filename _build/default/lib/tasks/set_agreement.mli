@@ -1,0 +1,8 @@
+(** k-set agreement — not studied in the paper, but the natural first
+    target for the "problems other than consensus and approximate
+    agreement" direction raised in its conclusion.  Used by the
+    closure-explorer experiment (E14). *)
+
+val task : n:int -> k:int -> values:Value.t list -> Task.t
+(** Participants output input values of participants, with at most [k]
+    distinct values overall.  [k = 1] coincides with consensus. *)

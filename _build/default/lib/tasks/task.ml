@@ -1,0 +1,48 @@
+type t = {
+  name : string;
+  arity : int;
+  inputs : Complex.t Lazy.t;
+  outputs : Complex.t Lazy.t;
+  delta : Simplex.t -> Complex.t;
+}
+
+let make ~name ~arity ~inputs ~outputs ~delta =
+  { name; arity; inputs; outputs; delta }
+
+let inputs t = Lazy.force t.inputs
+let outputs t = Lazy.force t.outputs
+let delta t sigma = t.delta sigma
+let input_simplices t = Complex.all_simplices (inputs t)
+let restrict_inputs t c = { t with inputs = lazy c }
+let with_name name t = { t with name }
+
+let delta_candidates t sigma color =
+  Complex.vertices_of_color color (t.delta sigma)
+
+let delta_equal_on a b simplices =
+  List.for_all (fun s -> Complex.equal (a.delta s) (b.delta s)) simplices
+
+let delta_subset_on a b simplices =
+  List.for_all (fun s -> Complex.subcomplex (a.delta s) (b.delta s)) simplices
+
+let carrier_map_on t simplices =
+  let all =
+    List.sort_uniq Simplex.compare (List.concat_map Simplex.faces simplices)
+  in
+  List.for_all
+    (fun sigma ->
+      List.for_all
+        (fun sigma' -> Complex.subcomplex (t.delta sigma') (t.delta sigma))
+        (Simplex.faces sigma))
+    all
+
+let chromatic_output_sets t sigma =
+  let rec combos = function
+    | [] -> [ [] ]
+    | i :: rest ->
+        let tails = combos rest in
+        List.concat_map
+          (fun v -> List.map (fun tl -> v :: tl) tails)
+          (delta_candidates t sigma i)
+  in
+  List.map Simplex.of_vertices (combos (Simplex.ids sigma))

@@ -1,0 +1,44 @@
+let project k sigma =
+  Simplex.map_values
+    (fun _ v ->
+      match (k, v) with
+      | 1, Value.Pair (a, _) -> a
+      | 2, Value.Pair (_, b) -> b
+      | _, Value.Pair _ -> invalid_arg "Task_algebra.project: component must be 1 or 2"
+      | _ ->
+          invalid_arg "Task_algebra.project: non-pair value")
+    sigma
+
+let pair_simplices a b =
+  if Simplex.ids a <> Simplex.ids b then
+    invalid_arg "Task_algebra.pair_simplices: color sets differ";
+  Simplex.map_values (fun i va -> Value.Pair (va, Simplex.value i b)) a
+
+let pair_complexes ca cb =
+  (* All zips of an a-facet with a b-facet over the same color set. *)
+  Complex.of_facets
+    (List.concat_map
+       (fun fa ->
+         List.filter_map
+           (fun fb ->
+             if Simplex.ids fa = Simplex.ids fb then Some (pair_simplices fa fb)
+             else None)
+           (Complex.facets cb))
+       (Complex.facets ca))
+
+let product a b =
+  if a.Task.arity <> b.Task.arity then
+    invalid_arg "Task_algebra.product: arities differ";
+  Task.make
+    ~name:(Printf.sprintf "(%s)x(%s)" a.Task.name b.Task.name)
+    ~arity:a.Task.arity
+    ~inputs:(lazy (pair_complexes (Task.inputs a) (Task.inputs b)))
+    ~outputs:(lazy (pair_complexes (Task.outputs a) (Task.outputs b)))
+    ~delta:(fun sigma ->
+      pair_complexes
+        (Task.delta a (project 1 sigma))
+        (Task.delta b (project 2 sigma)))
+
+let relax task ~with_delta ~name =
+  Task.make ~name ~arity:task.Task.arity ~inputs:task.Task.inputs
+    ~outputs:task.Task.outputs ~delta:with_delta

@@ -1,0 +1,25 @@
+(** Combinators on tasks.
+
+    Not used by the paper's proofs, but natural companions for the
+    closure explorer: the product of two tasks solves both at once,
+    and its closure is contained in the product of the closures (a
+    one-round map for the product projects to one-round maps of the
+    components) — a property the tests machine-check. *)
+
+val product : Task.t -> Task.t -> Task.t
+(** [product a b]: every process receives a pair of inputs
+    [Pair (x_a, x_b)] and must output a pair [Pair (y_a, y_b)] such
+    that each component profile is legal for its task.  Arities must
+    agree. @raise Invalid_argument otherwise. *)
+
+val project : int -> Simplex.t -> Simplex.t
+(** [project k σ] keeps component [k ∈ {1, 2}] of every pair-valued
+    vertex. @raise Invalid_argument on non-pair values. *)
+
+val pair_simplices : Simplex.t -> Simplex.t -> Simplex.t
+(** Zip two simplices with the same color set into a pair-valued one. *)
+
+val relax : Task.t -> with_delta:(Simplex.t -> Complex.t) -> name:string -> Task.t
+(** Same complexes, new (typically weaker) specification — the pattern
+    used by the paper's own liberal tasks (Def. 4) and relaxed
+    consensus (Cor. 2). *)

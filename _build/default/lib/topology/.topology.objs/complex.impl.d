@@ -1,0 +1,1 @@
+lib/topology/complex.ml: Format List Simplex Stdlib Vertex

@@ -1,0 +1,1 @@
+lib/topology/connectivity.ml: Complex List Queue Simplex Vertex

@@ -1,0 +1,1 @@
+lib/topology/connectivity.mli: Complex Vertex

@@ -1,0 +1,1 @@
+lib/topology/dot.ml: Array Buffer Complex Fun Hashtbl List Printf Simplex String Vertex

@@ -1,0 +1,1 @@
+lib/topology/geometry.ml: Array Buffer Complex Fun Hashtbl List Printf Simplex Stdlib Value Vertex

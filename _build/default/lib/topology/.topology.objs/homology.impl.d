@@ -1,0 +1,1 @@
+lib/topology/homology.ml: Array Complex Hashtbl List Simplex

@@ -1,0 +1,1 @@
+lib/topology/ordered_partition.ml: Array Format List Stdlib

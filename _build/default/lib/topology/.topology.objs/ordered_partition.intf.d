@@ -1,0 +1,1 @@
+lib/topology/ordered_partition.mli: Format

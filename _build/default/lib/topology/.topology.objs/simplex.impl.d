@@ -1,0 +1,1 @@
+lib/topology/simplex.ml: Format List Map Set Stdlib Value Vertex

@@ -1,0 +1,1 @@
+lib/topology/simplicial_map.ml: Complex Format List Simplex Vertex

@@ -1,0 +1,1 @@
+lib/topology/simplicial_map.mli: Complex Format Simplex Vertex

@@ -1,0 +1,1 @@
+lib/topology/sperner.ml: Complex List Random Simplex Stdlib Value Vertex

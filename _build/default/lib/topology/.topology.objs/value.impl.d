@@ -1,0 +1,1 @@
+lib/topology/value.ml: Format Frac Hashtbl List Stdlib

@@ -1,0 +1,1 @@
+lib/topology/value.mli: Format Frac

@@ -1,0 +1,1 @@
+lib/topology/vertex.ml: Format Hashtbl Map Set Stdlib Value

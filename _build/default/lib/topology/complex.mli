@@ -1,0 +1,65 @@
+(** Chromatic simplicial complexes, represented by their facets.
+
+    A complex is the downward closure of a finite set of simplices; we
+    store only the maximal ones.  All operations respect the chromatic
+    structure (Appendix A.1). *)
+
+type t
+
+val empty : t
+val of_facets : Simplex.t list -> t
+(** Downward closure of the given simplices; redundant (non-maximal)
+    simplices are dropped. *)
+
+val of_simplex : Simplex.t -> t
+(** The complex of all faces of one simplex. *)
+
+val facets : t -> Simplex.t list
+val facet_set : t -> Simplex.Set.t
+val is_empty : t -> bool
+val mem : Simplex.t -> t -> bool
+(** Membership in the downward closure. *)
+
+val mem_vertex : Vertex.t -> t -> bool
+val vertices : t -> Vertex.t list
+(** [V(K)], without duplicates, sorted. *)
+
+val vertices_of_color : int -> t -> Vertex.t list
+val colors : t -> int list
+(** All colors appearing in the complex, sorted. *)
+
+val all_simplices : t -> Simplex.t list
+(** Every simplex of the complex (exponential in the facet dimensions;
+    meant for the small complexes of this repository). *)
+
+val simplices_with_ids : int list -> t -> Simplex.t list
+(** All simplices whose color set is exactly the given set. *)
+
+val dim : t -> int
+(** Maximal facet dimension. @raise Invalid_argument on [empty]. *)
+
+val is_pure : t -> bool
+val facet_count : t -> int
+val vertex_count : t -> int
+val simplex_count : t -> int
+
+val union : t -> t -> t
+val proj : int list -> t -> t
+(** Induced subcomplex on the vertices whose colors lie in the list
+    ([proj_I] of the paper).  Empty if no vertex qualifies. *)
+
+val skeleton : int -> t -> t
+(** [skeleton k c]: all simplices of dimension [<= k]. *)
+
+val map : (Vertex.t -> Vertex.t) -> t -> t
+(** Image complex under a chromatic vertex map (the map is applied to
+    every facet; images must be simplices, i.e. keep colors distinct). *)
+
+val equal : t -> t -> bool
+val subcomplex : t -> t -> bool
+(** [subcomplex a b]: every simplex of [a] is a simplex of [b]. *)
+
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val pp_stats : Format.formatter -> t -> unit
+(** One-line [vertices/facets/dim] summary. *)

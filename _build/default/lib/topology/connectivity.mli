@@ -1,0 +1,19 @@
+(** Path connectivity in the 1-skeleton of a complex.
+
+    The impossibility proof of Corollary 1 walks a 3-edge path inside
+    [P^(1)(τ)]; this module provides the graph-theoretic substrate for
+    mechanizing such arguments. *)
+
+val neighbors : Complex.t -> Vertex.t -> Vertex.t list
+(** Vertices sharing an edge (1-simplex) with the given vertex. *)
+
+val path : Complex.t -> Vertex.t -> Vertex.t -> Vertex.t list option
+(** A shortest vertex path along edges between two vertices, endpoints
+    included, or [None] when disconnected. *)
+
+val connected : Complex.t -> bool
+(** Whether the 1-skeleton is connected (vacuously true when the
+    complex has at most one vertex). *)
+
+val components : Complex.t -> Vertex.t list list
+(** Connected components of the 1-skeleton. *)

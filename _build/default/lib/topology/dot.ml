@@ -1,0 +1,42 @@
+let palette =
+  [| "black"; "white"; "red"; "deepskyblue"; "gold"; "palegreen"; "orchid"; "gray" |]
+
+let vertex_id v = Printf.sprintf "\"%s\"" (String.escaped (Vertex.to_string v))
+
+let of_complex ?(name = "complex") c =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n  node [style=filled];\n" name);
+  List.iter
+    (fun v ->
+      let fill = palette.((Vertex.color v - 1) mod Array.length palette) in
+      let fontcolor = if fill = "black" then "white" else "black" in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [fillcolor=%s, fontcolor=%s];\n" (vertex_id v) fill fontcolor))
+    (Complex.vertices c);
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let vs = Simplex.vertices f in
+      List.iter
+        (fun v ->
+          List.iter
+            (fun w ->
+              if Vertex.compare v w < 0 then begin
+                let key = (Vertex.to_string v, Vertex.to_string w) in
+                if not (Hashtbl.mem seen key) then begin
+                  Hashtbl.add seen key ();
+                  Buffer.add_string buf
+                    (Printf.sprintf "  %s -- %s;\n" (vertex_id v) (vertex_id w))
+                end
+              end)
+            vs)
+        vs)
+    (Complex.facets c);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path c =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (of_complex c))

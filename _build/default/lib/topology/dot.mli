@@ -1,0 +1,10 @@
+(** Graphviz export of the 1-skeleton of small complexes.
+
+    Used by the CLI to draw the protocol complexes of Figures 4–8.
+    Colors 1..8 get distinct Graphviz fill colors. *)
+
+val of_complex : ?name:string -> Complex.t -> string
+(** DOT source for the 1-skeleton; triangles (2-simplices) are rendered
+    as their three edges. *)
+
+val write_file : string -> Complex.t -> unit

@@ -1,0 +1,139 @@
+type point = { x : float; y : float }
+
+(* Weight bias for the vertex's own corner: any value in (0, 1) keeps
+   same-view vertices of different colors distinct while staying inside
+   the carrier face. *)
+let own_bias = 0.55
+
+let corner colors i =
+  let colors = List.sort_uniq Stdlib.compare colors in
+  if List.length colors > 3 then
+    invalid_arg "Geometry.corner: at most three colors";
+  let positions =
+    match colors with
+    | [ _ ] -> [ { x = 0.5; y = 0.5 } ]
+    | [ _; _ ] -> [ { x = 0.05; y = 0.5 }; { x = 0.95; y = 0.5 } ]
+    | [ _; _; _ ] ->
+        [ { x = 0.05; y = 0.93 }; { x = 0.95; y = 0.93 }; { x = 0.5; y = 0.07 } ]
+    | _ -> invalid_arg "Geometry.corner: empty color list"
+  in
+  let rec find cs ps =
+    match (cs, ps) with
+    | c :: _, p :: _ when c = i -> p
+    | _ :: cs', _ :: ps' -> find cs' ps'
+    | _ -> invalid_arg "Geometry.corner: color not listed"
+  in
+  find colors positions
+
+let rec vertex_position ~corners v =
+  let i = Vertex.color v in
+  match Vertex.value v with
+  | Value.Pair (_, (Value.View _ as view)) ->
+      vertex_position ~corners (Vertex.make i view)
+  | Value.View entries ->
+      let positions =
+        List.map
+          (fun (j, inner) ->
+            let weight = if j = i then 1.0 +. own_bias else 1.0 in
+            let p =
+              match inner with
+              | Value.View _ | Value.Pair (_, Value.View _) ->
+                  vertex_position ~corners (Vertex.make j inner)
+              | _ -> corners j
+            in
+            (weight, p))
+          entries
+      in
+      let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 positions in
+      {
+        x = List.fold_left (fun acc (w, p) -> acc +. (w *. p.x)) 0.0 positions /. total;
+        y = List.fold_left (fun acc (w, p) -> acc +. (w *. p.y)) 0.0 positions /. total;
+      }
+  | _ -> corners i
+
+let layout sigma complex =
+  let colors = Simplex.ids sigma in
+  let corners = corner colors in
+  List.map (fun v -> (v, vertex_position ~corners v)) (Complex.vertices complex)
+
+let fill_colors = [| "#202020"; "#f5f5f5"; "#d04040" |]
+let stroke_colors = [| "#000000"; "#707070"; "#a02020" |]
+
+let svg ?(size = 640) sigma complex =
+  let positions = layout sigma complex in
+  let find v = List.assq v (List.map (fun (u, p) -> (u, p)) positions) in
+  let find v =
+    (* assq needs physical equality; use structural lookup instead. *)
+    ignore find;
+    snd (List.find (fun (u, _) -> Vertex.equal u v) positions)
+  in
+  let px p = p.x *. float_of_int size in
+  let py p = p.y *. float_of_int size in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        viewBox=\"0 0 %d %d\">\n<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n"
+       size size size size size size);
+  (* Faces first, then edges, then vertices. *)
+  List.iter
+    (fun facet ->
+      match Simplex.vertices facet with
+      | [ a; b; c ] ->
+          let pa = find a and pb = find b and pc = find c in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<polygon points=\"%.1f,%.1f %.1f,%.1f %.1f,%.1f\" \
+                fill=\"#9ecbe8\" fill-opacity=\"0.35\" stroke=\"none\"/>\n"
+               (px pa) (py pa) (px pb) (py pb) (px pc) (py pc))
+      | _ -> ())
+    (Complex.facets complex);
+  let edges = Hashtbl.create 64 in
+  List.iter
+    (fun facet ->
+      let vs = Simplex.vertices facet in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              if Vertex.compare a b < 0 then
+                Hashtbl.replace edges (Vertex.to_string a, Vertex.to_string b) (a, b))
+            vs)
+        vs)
+    (Complex.facets complex);
+  Hashtbl.iter
+    (fun _ (a, b) ->
+      let pa = find a and pb = find b in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+            stroke=\"#446688\" stroke-width=\"1.2\"/>\n"
+           (px pa) (py pa) (px pb) (py pb)))
+    edges;
+  let color_index =
+    let colors = Simplex.ids sigma in
+    fun i ->
+      let rec idx k = function
+        | [] -> 0
+        | c :: _ when c = i -> k
+        | _ :: rest -> idx (k + 1) rest
+      in
+      idx 0 colors
+  in
+  List.iter
+    (fun (v, p) ->
+      let k = color_index (Vertex.color v) mod 3 in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"5\" fill=\"%s\" \
+            stroke=\"%s\" stroke-width=\"1.5\"/>\n"
+           (px p) (py p) fill_colors.(k) stroke_colors.(k)))
+    positions;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write_svg ?size path sigma complex =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (svg ?size sigma complex))

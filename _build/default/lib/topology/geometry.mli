@@ -1,0 +1,34 @@
+(** Geometric realization of iterated subdivisions of a triangle, and
+    SVG rendering.
+
+    The vertices of the chromatic subdivision admit the standard
+    embedding: vertex [(i, J)] sits at the weighted barycenter of the
+    corners in [J], with its own corner weighted slightly more so that
+    the [|J|] vertices sharing a view set stay distinct.  Iterating
+    the rule on nested views realizes [P^(t)] geometrically — this is
+    how pictures like Figure 8(b) are drawn. *)
+
+type point = { x : float; y : float }
+
+val corner : int list -> int -> point
+(** Position of a color's corner in the reference triangle/segment
+    spanned by the given (sorted) color list.
+    @raise Invalid_argument if the color is not listed or more than
+    three colors are given. *)
+
+val vertex_position : corners:(int -> point) -> Vertex.t -> point
+(** Recursive embedding of a (possibly nested) view vertex: the value
+    must be a [View] whose entries are inputs or views themselves;
+    box-augmented vertices [(b, view)] are positioned by their view
+    component. *)
+
+val layout : Simplex.t -> Complex.t -> (Vertex.t * point) list
+(** Positions for every vertex of a protocol complex over the input
+    simplex [σ] (at most 3 colors). *)
+
+val svg : ?size:int -> Simplex.t -> Complex.t -> string
+(** An SVG drawing of the complex: 2-simplices as translucent faces,
+    1-simplices as edges, vertices as dots colored by process
+    (process 1 black, 2 white, 3 red, matching the paper's figures). *)
+
+val write_svg : ?size:int -> string -> Simplex.t -> Complex.t -> unit

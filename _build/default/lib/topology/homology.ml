@@ -1,0 +1,78 @@
+let simplices_of_dim c k =
+  List.filter (fun s -> Simplex.dim s = k) (Complex.all_simplices c)
+
+let boundary_matrix c k =
+  if k < 1 then invalid_arg "Homology.boundary_matrix: k must be >= 1";
+  let rows = simplices_of_dim c (k - 1) in
+  let cols = simplices_of_dim c k in
+  let row_index = Hashtbl.create 64 in
+  List.iteri (fun idx s -> Hashtbl.replace row_index (Simplex.to_string s) idx) rows;
+  let matrix = Array.make_matrix (List.length rows) (List.length cols) false in
+  List.iteri
+    (fun j col ->
+      List.iter
+        (fun face ->
+          match Hashtbl.find_opt row_index (Simplex.to_string face) with
+          | Some i -> matrix.(i).(j) <- true
+          | None -> assert false)
+        (Simplex.boundary col))
+    cols;
+  matrix
+
+let rank_gf2 matrix =
+  let rows = Array.length matrix in
+  if rows = 0 then 0
+  else
+    let cols = Array.length matrix.(0) in
+    (* Work on a copy: Gaussian elimination is destructive. *)
+    let m = Array.map Array.copy matrix in
+    let rank = ref 0 in
+    let pivot_row = ref 0 in
+    for col = 0 to cols - 1 do
+      if !pivot_row < rows then begin
+        let pivot = ref (-1) in
+        for r = !pivot_row to rows - 1 do
+          if !pivot < 0 && m.(r).(col) then pivot := r
+        done;
+        if !pivot >= 0 then begin
+          let tmp = m.(!pivot) in
+          m.(!pivot) <- m.(!pivot_row);
+          m.(!pivot_row) <- tmp;
+          for r = 0 to rows - 1 do
+            if r <> !pivot_row && m.(r).(col) then
+              for c = col to cols - 1 do
+                m.(r).(c) <- m.(r).(c) <> m.(!pivot_row).(c)
+              done
+          done;
+          incr pivot_row;
+          incr rank
+        end
+      end
+    done;
+    !rank
+
+let betti c =
+  if Complex.is_empty c then []
+  else
+    let d = Complex.dim c in
+    let counts = Array.init (d + 1) (fun k -> List.length (simplices_of_dim c k)) in
+    let ranks = Array.make (d + 2) 0 in
+    (* ranks.(k) = rank ∂_k for 1 <= k <= d; ∂_0 and ∂_{d+1} are zero. *)
+    for k = 1 to d do
+      ranks.(k) <- rank_gf2 (boundary_matrix c k)
+    done;
+    List.init (d + 1) (fun k ->
+        (* b_k = dim ker ∂_k - rank ∂_{k+1} = (c_k - rank ∂_k) - rank ∂_{k+1} *)
+        counts.(k) - ranks.(k) - ranks.(k + 1))
+
+let euler_characteristic c =
+  if Complex.is_empty c then 0
+  else
+    List.fold_left
+      (fun acc s -> if Simplex.dim s mod 2 = 0 then acc + 1 else acc - 1)
+      0 (Complex.all_simplices c)
+
+let is_homology_ball c =
+  match betti c with
+  | [] -> false
+  | b0 :: rest -> b0 = 1 && List.for_all (fun b -> b = 0) rest

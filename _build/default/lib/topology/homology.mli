@@ -1,0 +1,31 @@
+(** Simplicial homology over GF(2).
+
+    The classical route to asynchronous impossibility results goes
+    through topological invariants of the protocol complex
+    (Herlihy–Shavit [27], Hoest–Shavit [28]); the paper's closure
+    technique is an alternative.  This module computes the mod-2 Betti
+    numbers and the Euler characteristic of the (small) complexes in
+    this repository, so both routes can be compared on the same
+    objects: one-round complexes of subdivisions are homology balls,
+    consensus output complexes are disconnected, etc. *)
+
+val boundary_matrix : Complex.t -> int -> bool array array
+(** [boundary_matrix c k] is the matrix of the boundary map
+    [∂_k : C_k → C_{k-1}] over GF(2), with rows indexed by
+    (k-1)-simplices and columns by k-simplices (in the order of
+    [Complex.all_simplices] filtered by dimension). *)
+
+val rank_gf2 : bool array array -> int
+(** Rank of a GF(2) matrix by Gaussian elimination. *)
+
+val betti : Complex.t -> int list
+(** [betti c] is [[b_0; b_1; …; b_dim]], the mod-2 Betti numbers.
+    [b_0] is the number of connected components.  Empty complex: []. *)
+
+val euler_characteristic : Complex.t -> int
+(** Alternating sum of simplex counts; equals the alternating sum of
+    the Betti numbers (checked by tests). *)
+
+val is_homology_ball : Complex.t -> bool
+(** [b_0 = 1] and all higher Betti numbers zero — the signature of the
+    (collapsible) protocol complexes of the wait-free models. *)

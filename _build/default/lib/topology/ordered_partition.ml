@@ -1,0 +1,71 @@
+type t = int list list
+
+(* All ways to insert each element either into an existing block or as a
+   new block at any position.  Recursive construction keeps the code
+   short; sizes stay tiny (|I| <= 6 in this repository). *)
+let enumerate ids =
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        let smaller = go rest in
+        List.concat_map
+          (fun part ->
+            let rec insertions prefix = function
+              | [] -> [ List.rev ([ x ] :: prefix) ]
+              | blk :: rest' ->
+                  (List.rev_append prefix ((x :: blk) :: rest'))
+                  :: (List.rev_append prefix ([ x ] :: blk :: rest'))
+                  :: insertions (blk :: prefix) rest'
+            in
+            insertions [] part)
+          smaller
+  in
+  go (List.sort_uniq Stdlib.compare ids)
+  |> List.map (List.map (List.sort Stdlib.compare))
+
+let count k =
+  (* a(k) = sum_{j=1..k} C(k,j) a(k-j), a(0) = 1 (ordered Bell). *)
+  let a = Array.make (k + 1) 0 in
+  a.(0) <- 1;
+  let binom = Array.make_matrix (k + 1) (k + 1) 0 in
+  for i = 0 to k do
+    binom.(i).(0) <- 1;
+    for j = 1 to i do
+      binom.(i).(j) <- binom.(i - 1).(j - 1) + (if j <= i - 1 then binom.(i - 1).(j) else 0)
+    done
+  done;
+  for i = 1 to k do
+    for j = 1 to i do
+      a.(i) <- a.(i) + (binom.(i).(j) * a.(i - j))
+    done
+  done;
+  a.(k)
+
+let views part =
+  let rec go seen = function
+    | [] -> []
+    | blk :: rest ->
+        let seen = List.sort Stdlib.compare (seen @ blk) in
+        List.map (fun i -> (i, seen)) blk @ go seen rest
+  in
+  List.sort (fun (i, _) (j, _) -> Stdlib.compare i j) (go [] part)
+
+let blocks p = p
+let first_block = function [] -> [] | b :: _ -> b
+let is_solo_first i = function [ j ] :: _ -> i = j | _ -> false
+
+let solo ids i =
+  let rest = List.filter (fun j -> j <> i) (List.sort_uniq Stdlib.compare ids) in
+  if rest = [] then [ [ i ] ] else [ [ i ]; rest ]
+
+let pp ppf p =
+  let pp_block ppf b =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Format.pp_print_int)
+      b
+  in
+  Format.fprintf ppf "%a"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "<") pp_block)
+    p

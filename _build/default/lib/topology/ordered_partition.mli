@@ -1,0 +1,33 @@
+(** Ordered set partitions.
+
+    The facets of the one-round immediate-snapshot complex on a simplex
+    with color set [I] are in bijection with the ordered partitions of
+    [I] (Section 2.2 / Appendix A.3.4): the blocks are the concurrency
+    classes, scheduled in list order, and the view of a process is the
+    union of its block and all earlier blocks. *)
+
+type t = int list list
+(** Blocks in scheduling order; each block sorted, blocks non-empty. *)
+
+val enumerate : int list -> t list
+(** All ordered partitions of the given set.  Their number is the
+    ordered Bell number: 1, 3, 13, 75, 541 for 1..5 elements. *)
+
+val count : int -> int
+(** Ordered Bell number (number of ordered partitions of a k-set). *)
+
+val views : t -> (int * int list) list
+(** [(i, view of i)] for each element: the union of the blocks up to
+    and including the block of [i], sorted. *)
+
+val blocks : t -> int list list
+val first_block : t -> int list
+val is_solo_first : int -> t -> bool
+(** Whether element [i] forms the first block alone — the solo
+    execution witness for process [i]. *)
+
+val solo : int list -> int -> t
+(** The ordered partition scheduling [i] alone first and the rest as
+    one later block (or just [[i]] when alone). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,105 @@
+type t = Vertex.t list
+(* Invariant: non-empty, strictly increasing colors. *)
+
+let of_vertices vs =
+  if vs = [] then invalid_arg "Simplex.of_vertices: empty";
+  let sorted = List.sort Vertex.compare vs in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        if Vertex.color a = Vertex.color b then
+          invalid_arg "Simplex.of_vertices: repeated color";
+        check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  sorted
+
+let of_list pairs = of_vertices (List.map (fun (i, x) -> Vertex.make i x) pairs)
+let singleton v = [ v ]
+let vertices s = s
+let ids s = List.map Vertex.color s
+let card = List.length
+let dim s = card s - 1
+let mem v s = List.exists (Vertex.equal v) s
+let mem_color i s = List.exists (fun v -> Vertex.color v = i) s
+let find i s = List.find (fun v -> Vertex.color v = i) s
+let value i s = Vertex.value (find i s)
+let values s = List.map Vertex.value s
+
+let proj sel s =
+  let kept = List.filter (fun v -> List.mem (Vertex.color v) sel) s in
+  if kept = [] then invalid_arg "Simplex.proj: empty projection";
+  kept
+
+let subset tau sigma = List.for_all (fun v -> mem v sigma) tau
+
+let faces s =
+  let rec go = function
+    | [] -> [ [] ]
+    | v :: rest ->
+        let subs = go rest in
+        List.map (fun f -> v :: f) subs @ subs
+  in
+  List.filter (fun f -> f <> []) (go s)
+
+let proper_faces s = List.filter (fun f -> f <> s) (faces s)
+
+let boundary s =
+  if dim s = 0 then []
+  else List.map (fun v -> List.filter (fun w -> not (Vertex.equal v w)) s) s
+
+let union a b =
+  let merged =
+    List.sort_uniq Vertex.compare (List.rev_append a b)
+  in
+  let rec check = function
+    | x :: (y :: _ as rest) ->
+        if Vertex.color x = Vertex.color y then
+          invalid_arg "Simplex.union: conflicting colors";
+        check rest
+    | [ _ ] | [] -> ()
+  in
+  check merged;
+  merged
+
+let map_values f s =
+  List.map (fun v -> Vertex.make (Vertex.color v) (f (Vertex.color v) (Vertex.value v))) s
+
+let as_view s = Value.view (List.map (fun v -> (Vertex.color v, Vertex.value v)) s)
+
+let rec compare a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: a', y :: b' ->
+      let c = Vertex.compare x y in
+      if c <> 0 then c else compare a' b'
+
+let equal a b = compare a b = 0
+
+let is_chromatic_set vs =
+  let colors = List.sort Stdlib.compare (List.map Vertex.color vs) in
+  let rec distinct = function
+    | a :: (b :: _ as rest) -> a <> b && distinct rest
+    | [ _ ] | [] -> true
+  in
+  distinct colors
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       Vertex.pp)
+    s
+
+let to_string s = Format.asprintf "%a" pp s
+
+module Ordered = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ordered)
+module Map = Map.Make (Ordered)

@@ -1,0 +1,74 @@
+(** Chromatic simplices.
+
+    A simplex is a non-empty set of vertices with pairwise distinct
+    colors, kept sorted by color (Appendix A.1).  The dimension of a
+    simplex with [k] vertices is [k - 1]. *)
+
+type t
+(** Immutable; ordered by color. *)
+
+val of_vertices : Vertex.t list -> t
+(** @raise Invalid_argument on an empty list or a repeated color. *)
+
+val of_list : (int * Value.t) list -> t
+(** [of_list [(i, x_i); ...]] builds the simplex [{(i, x_i) : ...}]. *)
+
+val singleton : Vertex.t -> t
+val vertices : t -> Vertex.t list
+(** In increasing color order. *)
+
+val ids : t -> int list
+(** [ID(σ)], sorted increasingly. *)
+
+val dim : t -> int
+val card : t -> int
+val mem : Vertex.t -> t -> bool
+val mem_color : int -> t -> bool
+
+val find : int -> t -> Vertex.t
+(** Vertex of the given color. @raise Not_found if absent. *)
+
+val value : int -> t -> Value.t
+(** Value of the vertex with the given color. @raise Not_found. *)
+
+val values : t -> Value.t list
+
+val proj : int list -> t -> t
+(** [proj ids σ] is [proj_J(σ)] for [J = ids ∩ ID(σ)].
+    @raise Invalid_argument if the intersection is empty. *)
+
+val subset : t -> t -> bool
+(** [subset τ σ] holds when [τ] is a face of [σ]. *)
+
+val faces : t -> t list
+(** All non-empty faces, including [t] itself. *)
+
+val proper_faces : t -> t list
+(** All non-empty faces except [t] itself. *)
+
+val boundary : t -> t list
+(** Codimension-1 faces. *)
+
+val union : t -> t -> t
+(** Union of two simplices agreeing on shared colors.
+    @raise Invalid_argument if they conflict on a color. *)
+
+val map_values : (int -> Value.t -> Value.t) -> t -> t
+(** Chromatic relabeling: applies the function to each [(color, value)]
+    pair, keeping colors. *)
+
+val as_view : t -> Value.t
+(** [{(i, x_i)}] as the view value [View [(i, x_i); ...]]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_chromatic_set : Vertex.t list -> bool
+(** Whether a list of vertices has pairwise distinct colors — the
+    "chromatic set" condition of Definition 1 (such a set need not be a
+    simplex of any particular complex). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

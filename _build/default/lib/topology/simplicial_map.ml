@@ -1,0 +1,57 @@
+type t = Vertex.t Vertex.Map.t
+
+let of_assoc pairs =
+  List.fold_left
+    (fun acc (v, w) ->
+      match Vertex.Map.find_opt v acc with
+      | Some w' when not (Vertex.equal w w') ->
+          invalid_arg "Simplicial_map.of_assoc: conflicting images"
+      | Some _ | None -> Vertex.Map.add v w acc)
+    Vertex.Map.empty pairs
+
+let of_fun dom f = of_assoc (List.map (fun v -> (v, f v)) dom)
+
+let apply m v =
+  match Vertex.Map.find_opt v m with Some w -> w | None -> raise Not_found
+
+let apply_simplex m s = Simplex.of_vertices (List.map (apply m) (Simplex.vertices s))
+let domain m = List.map fst (Vertex.Map.bindings m)
+let graph m = Vertex.Map.bindings m
+
+let is_chromatic m =
+  Vertex.Map.for_all (fun v w -> Vertex.color v = Vertex.color w) m
+
+let is_simplicial m ~domain ~codomain =
+  List.for_all (fun v -> Vertex.Map.mem v m) (Complex.vertices domain)
+  && List.for_all
+       (fun f ->
+         match apply_simplex m f with
+         | image -> Complex.mem image codomain
+         | exception Invalid_argument _ -> false)
+       (Complex.facets domain)
+
+let agrees_with m ~inputs ~protocol ~delta =
+  List.for_all
+    (fun sigma ->
+      let p = protocol sigma in
+      let d = delta sigma in
+      List.for_all
+        (fun facet ->
+          match apply_simplex m facet with
+          | image -> Complex.mem image d
+          | exception (Not_found | Invalid_argument _) -> false)
+        (Complex.facets p))
+    inputs
+
+let compose g f = Vertex.Map.map (fun w -> apply g w) f
+
+let restrict dom m =
+  Vertex.Map.filter (fun v _ -> List.exists (Vertex.equal v) dom) m
+
+let equal = Vertex.Map.equal Vertex.equal
+
+let pp ppf m =
+  let pp_pair ppf (v, w) = Format.fprintf ppf "%a -> %a" Vertex.pp v Vertex.pp w in
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_pair)
+    (graph m)

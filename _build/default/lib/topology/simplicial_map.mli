@@ -1,0 +1,47 @@
+(** Chromatic simplicial maps, given by their action on vertices.
+
+    A map [f : K → K'] is simplicial when the image of every simplex of
+    [K] is a simplex of [K'], and chromatic when it preserves colors
+    (Appendix A.1).  Decision maps of protocols (the [f] of Algorithm 1)
+    are such maps. *)
+
+type t
+
+val of_assoc : (Vertex.t * Vertex.t) list -> t
+(** @raise Invalid_argument if a domain vertex is repeated with two
+    distinct images. *)
+
+val of_fun : Vertex.t list -> (Vertex.t -> Vertex.t) -> t
+(** Tabulates the function on the given domain vertices. *)
+
+val apply : t -> Vertex.t -> Vertex.t
+(** @raise Not_found if the vertex is outside the recorded domain. *)
+
+val apply_simplex : t -> Simplex.t -> Simplex.t
+(** Image of a simplex (chromaticity makes it a simplex again).
+    @raise Not_found on vertices outside the domain. *)
+
+val domain : t -> Vertex.t list
+val graph : t -> (Vertex.t * Vertex.t) list
+
+val is_chromatic : t -> bool
+(** Every vertex is sent to a vertex of the same color. *)
+
+val is_simplicial : t -> domain:Complex.t -> codomain:Complex.t -> bool
+(** All domain vertices are mapped, images of facets are simplices of
+    the codomain. *)
+
+val agrees_with :
+  t -> inputs:Simplex.t list -> protocol:(Simplex.t -> Complex.t) ->
+  delta:(Simplex.t -> Complex.t) -> bool
+(** [agrees_with f ~inputs ~protocol ~delta]: for every input simplex
+    [σ], [f(protocol σ) ⊆ delta σ] — the "f agrees with Δ" condition of
+    Section 2.2. *)
+
+val compose : t -> t -> t
+(** [compose g f] is [g ∘ f], defined on the domain of [f].
+    @raise Not_found if some image of [f] is outside [g]'s domain. *)
+
+val restrict : Vertex.t list -> t -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,70 @@
+let union_sorted ls = List.sort_uniq Stdlib.compare (List.concat ls)
+
+let rec carrier_of_value key value =
+  match value with
+  | Value.View entries ->
+      union_sorted (List.map (fun (j, inner) -> carrier_of_value j inner) entries)
+  | Value.Pair (_, (Value.View _ as view)) -> carrier_of_value key view
+  | Value.Unit | Value.Bool _ | Value.Int _ | Value.Frac _ | Value.Str _
+  | Value.Pair _ ->
+      [ key ]
+
+let carrier_ids v = carrier_of_value (Vertex.color v) (Vertex.value v)
+
+let count_rainbow complex ~labeling =
+  List.length
+    (List.filter
+       (fun facet ->
+         let labels = List.map labeling (Simplex.vertices facet) in
+         List.length (List.sort_uniq Stdlib.compare labels) = List.length labels
+         && List.length labels >= Simplex.card facet)
+       (Complex.facets complex))
+
+(* Rainbow facets are those using all the original corners; for a
+   subdivided (k-1)-simplex that is "k pairwise distinct labels". *)
+
+let vertices_with_choices complex =
+  List.map (fun v -> (v, carrier_ids v)) (Complex.vertices complex)
+
+let odd n = n mod 2 = 1
+
+(* List.assoc with Vertex.equal. *)
+let assoc' v assignment =
+  match List.find_opt (fun (u, _) -> Vertex.equal u v) assignment with
+  | Some (_, l) -> l
+  | None -> invalid_arg "Sperner: unlabeled vertex"
+
+let exhaustive_check complex =
+  let choices = vertices_with_choices complex in
+  let table : (Vertex.t * int) list ref = ref [] in
+  let rec go = function
+    | [] ->
+        let assignment = !table in
+        let labeling v = assoc' v assignment in
+        odd (count_rainbow complex ~labeling)
+    | (v, labels) :: rest ->
+        List.for_all
+          (fun l ->
+            table := (v, l) :: !table;
+            let r = go rest in
+            table := List.tl !table;
+            r)
+          labels
+  in
+  go choices
+
+let sampled_check ?(seed = 19) ?(samples = 2000) complex =
+  let rng = Random.State.make [| seed |] in
+  let choices = vertices_with_choices complex in
+  let ok = ref true in
+  for _ = 1 to samples do
+    let assignment =
+      List.map
+        (fun (v, labels) ->
+          (v, List.nth labels (Random.State.int rng (List.length labels))))
+        choices
+    in
+    let labeling v = assoc' v assignment in
+    if not (odd (count_rainbow complex ~labeling)) then ok := false
+  done;
+  !ok

@@ -1,0 +1,30 @@
+(** Sperner labelings of subdivided simplices.
+
+    The wait-free impossibility of k-set agreement — the task on which
+    the closure technique has no grip (experiment E14) — rests on
+    Sperner's lemma: every labeling of a subdivided simplex that
+    respects carriers (each vertex labeled by a corner of its carrier
+    face) has an odd number of rainbow facets.  This module
+    machine-checks the lemma on the actual chromatic subdivisions
+    [P^(t)(σ)]: exhaustively for one round, by sampling for deeper
+    complexes. *)
+
+val carrier_ids : Vertex.t -> int list
+(** The corners of the original simplex spanning the carrier of a
+    (possibly iterated) subdivision vertex: the colors reachable
+    through its nested view.  A vertex of the input simplex itself is
+    its own carrier corner. *)
+
+val count_rainbow : Complex.t -> labeling:(Vertex.t -> int) -> int
+(** Number of facets whose vertices receive pairwise distinct
+    labels. *)
+
+val exhaustive_check : Complex.t -> bool
+(** Enumerates {e every} carrier-respecting labeling and checks the
+    rainbow count is odd for each.  Exponential in the number of
+    non-corner vertices: meant for one-round subdivisions ([P^(1)] of
+    a triangle has 1728 labelings). *)
+
+val sampled_check : ?seed:int -> ?samples:int -> Complex.t -> bool
+(** Random carrier-respecting labelings, each checked for odd rainbow
+    count (default 2000 samples). *)

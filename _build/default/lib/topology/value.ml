@@ -1,0 +1,106 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Frac of Frac.t
+  | Str of string
+  | Pair of t * t
+  | View of (int * t) list
+
+let view assoc =
+  let sorted = List.sort (fun (i, _) (j, _) -> Stdlib.compare i j) assoc in
+  let rec check = function
+    | (i, _) :: ((j, _) :: _ as rest) ->
+        if i = j then invalid_arg "Value.view: repeated color";
+        check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  View sorted
+
+let view_ids = function
+  | View assoc -> List.map fst assoc
+  | Unit | Bool _ | Int _ | Frac _ | Str _ | Pair _ ->
+      invalid_arg "Value.view_ids: not a view"
+
+let view_find i = function
+  | View assoc -> List.assoc_opt i assoc
+  | Unit | Bool _ | Int _ | Frac _ | Str _ | Pair _ ->
+      invalid_arg "Value.view_find: not a view"
+
+(* Constructor rank for the cross-constructor order. *)
+let rank = function
+  | Unit -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Frac _ -> 3
+  | Str _ -> 4
+  | Pair _ -> 5
+  | View _ -> 6
+
+let rec compare a b =
+  match (a, b) with
+  | Unit, Unit -> 0
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Int x, Int y -> Stdlib.compare x y
+  | Frac x, Frac y -> Frac.compare x y
+  | Str x, Str y -> Stdlib.compare x y
+  | Pair (x1, x2), Pair (y1, y2) ->
+      let c = compare x1 y1 in
+      if c <> 0 then c else compare x2 y2
+  | View x, View y -> compare_assoc x y
+  | (Unit | Bool _ | Int _ | Frac _ | Str _ | Pair _ | View _), _ ->
+      Stdlib.compare (rank a) (rank b)
+
+and compare_assoc x y =
+  match (x, y) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | (i, v) :: x', (j, w) :: y' ->
+      let c = Stdlib.compare i j in
+      if c <> 0 then c
+      else
+        let c = compare v w in
+        if c <> 0 then c else compare_assoc x' y'
+
+let equal a b = compare a b = 0
+
+let rec hash = function
+  | Unit -> 17
+  | Bool b -> if b then 3 else 5
+  | Int n -> Hashtbl.hash n
+  | Frac q -> Hashtbl.hash (Frac.num q, Frac.den q)
+  | Str s -> Hashtbl.hash s
+  | Pair (a, b) -> (31 * hash a) + hash b + 7
+  | View assoc ->
+      List.fold_left (fun acc (i, v) -> (31 * acc) + (17 * i) + hash v) 11 assoc
+
+let frac n d = Frac (Frac.make n d)
+
+let as_frac = function
+  | Frac q -> q
+  | Unit | Bool _ | Int _ | Str _ | Pair _ | View _ ->
+      invalid_arg "Value.as_frac"
+
+let as_bool = function
+  | Bool b -> b
+  | Unit | Int _ | Frac _ | Str _ | Pair _ | View _ ->
+      invalid_arg "Value.as_bool"
+
+let rec pp ppf = function
+  | Unit -> Format.pp_print_string ppf "()"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int n -> Format.pp_print_int ppf n
+  | Frac q -> Frac.pp ppf q
+  | Str s -> Format.pp_print_string ppf s
+  | Pair (a, b) -> Format.fprintf ppf "(%a,%a)" pp a pp b
+  | View assoc ->
+      let pp_entry ppf (i, v) = Format.fprintf ppf "%d:%a" i pp v in
+      Format.fprintf ppf "{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+           pp_entry)
+        assoc
+
+let to_string v = Format.asprintf "%a" pp v

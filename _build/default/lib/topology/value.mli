@@ -1,0 +1,49 @@
+(** Values carried by the vertices of chromatic complexes.
+
+    A single recursive type covers everything the paper attaches to a
+    process: task inputs and outputs (booleans, integers, rationals),
+    full-information views accumulated by Algorithm 1 (a [View] is the
+    set of pairs [(j, v_j)] collected from the other processes), and the
+    pair [(b_i, C_i)] formed in Algorithm 2 when a black-box object is
+    invoked ([Pair]). *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Frac of Frac.t
+  | Str of string
+  | Pair of t * t
+  | View of (int * t) list
+      (** Association list sorted by strictly increasing color; use
+          [view] to build one safely. *)
+
+val view : (int * t) list -> t
+(** [view assoc] sorts [assoc] by color and checks colors are distinct.
+    @raise Invalid_argument on a repeated color. *)
+
+val view_ids : t -> int list
+(** Colors present in a [View].
+    @raise Invalid_argument on non-views. *)
+
+val view_find : int -> t -> t option
+(** [view_find i v] is the value associated to color [i] in view [v]. *)
+
+val compare : t -> t -> int
+(** Total structural order ([Frac] compared numerically, which
+    coincides with structural equality since fractions are normalized). *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val frac : int -> int -> t
+(** [frac n d] is [Frac (Frac.make n d)]. *)
+
+val as_frac : t -> Frac.t
+(** @raise Invalid_argument if the value is not a [Frac]. *)
+
+val as_bool : t -> bool
+(** @raise Invalid_argument if the value is not a [Bool]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

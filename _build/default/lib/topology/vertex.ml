@@ -1,0 +1,33 @@
+type t = { color : int; value : Value.t }
+
+let make color value =
+  if color <= 0 then invalid_arg "Vertex.make: color must be positive";
+  { color; value }
+
+let color v = v.color
+let value v = v.value
+
+let compare a b =
+  let c = Stdlib.compare a.color b.color in
+  if c <> 0 then c else Value.compare a.value b.value
+
+let equal a b = compare a b = 0
+let hash v = (31 * v.color) + Value.hash v.value
+let pp ppf v = Format.fprintf ppf "(%d,%a)" v.color Value.pp v.value
+let to_string v = Format.asprintf "%a" pp v
+
+module Ordered = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ordered)
+module Map = Map.Make (Ordered)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,24 @@
+(** Colored vertices of chromatic complexes.
+
+    A vertex is a pair [(color, value)] where the color is a process
+    identity in [1..n] (Appendix A.1). *)
+
+type t = { color : int; value : Value.t }
+
+val make : int -> Value.t -> t
+(** @raise Invalid_argument if the color is not positive. *)
+
+val color : t -> int
+val value : t -> Value.t
+val compare : t -> t -> int
+(** Colors compare first, then values; a chromatic simplex sorted with
+    this order is sorted by color. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,1 @@
+test/gen.ml: Complex Frac Gen List Ordered_partition QCheck2 Simplex Value

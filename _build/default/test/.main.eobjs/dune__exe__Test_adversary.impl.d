@@ -1,0 +1,1 @@
+test/test_adversary.ml: Aa_halving Adversary Alcotest Approx_agreement Frac List Model Protocol Schedule Value

@@ -1,0 +1,1 @@
+test/test_affine.ml: Affine Alcotest Approx_agreement Closure Complex Frac List Model Printf Round_op Simplex Solvability Task Value Vertex

@@ -1,0 +1,1 @@
+test/test_augmented.ml: Alcotest Augmented Black_box Complex List Model Printf Simplex Value Vertex

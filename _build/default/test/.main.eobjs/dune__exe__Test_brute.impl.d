@@ -1,0 +1,1 @@
+test/test_brute.ml: Alcotest Approx_agreement Brute Combinatorics Complex Consensus Frac Hashtbl List Model Printf QCheck2 QCheck_alcotest Random Simplex Simplicial_map Solvability Task Value

@@ -1,0 +1,1 @@
+test/test_carrier_map.ml: Alcotest Approx_agreement Carrier_map Combinatorics Complex Consensus Frac List Simplex Simplicial_map Task Value Vertex

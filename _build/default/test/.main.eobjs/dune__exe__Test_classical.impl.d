@@ -1,0 +1,1 @@
+test/test_classical.ml: Alcotest Approx_agreement Classical Complex Frac List Model Printf Solvability

@@ -1,0 +1,1 @@
+test/test_closure.ml: Alcotest Approx_agreement Closure Complex Consensus Frac List Model Printf Round_op Set_agreement Simplex Simplicial_map Task Value Vertex

@@ -1,0 +1,1 @@
+test/test_collect_matrix.ml: Alcotest Collect_matrix Gen List Ordered_partition QCheck2 QCheck_alcotest Stdlib

@@ -1,0 +1,1 @@
+test/test_complex.ml: Alcotest Complex Gen List QCheck2 QCheck_alcotest Simplex Value Vertex

@@ -1,0 +1,1 @@
+test/test_connectivity.ml: Alcotest Complex Connectivity List Model QCheck2 QCheck_alcotest Simplex Value Vertex

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Approx_agreement Frac Speedup_theory Task

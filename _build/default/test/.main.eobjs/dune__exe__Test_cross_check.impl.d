@@ -1,0 +1,1 @@
+test/test_cross_check.ml: Alcotest Cross_check List Simplex Value

@@ -1,0 +1,1 @@
+test/test_csp.ml: Alcotest Array Csp Fun List Stdlib

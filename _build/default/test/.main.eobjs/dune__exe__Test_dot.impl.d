@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Astring_like Complex Dot Filename Fun Simplex String Sys Value

@@ -1,0 +1,1 @@
+test/test_executor.ml: Alcotest Executor List Protocol Schedule Sim_object Simplex Value

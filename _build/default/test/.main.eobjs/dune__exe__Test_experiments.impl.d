@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Astring_like Format List Printf Report Suite

@@ -1,0 +1,1 @@
+test/test_frac.ml: Alcotest Float Frac Gen List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Astring_like Augmented Black_box Complex Float Geometry List Model Printf Simplex Stdlib Value Vertex

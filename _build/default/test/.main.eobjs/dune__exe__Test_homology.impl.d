@@ -1,0 +1,1 @@
+test/test_homology.ml: Alcotest Complex Connectivity Gen Homology List Model Printf QCheck2 QCheck_alcotest Simplex Value

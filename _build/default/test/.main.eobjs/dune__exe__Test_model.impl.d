@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Complex List Model Printf Simplex Value Vertex

@@ -1,0 +1,1 @@
+test/test_non_iterated.ml: Aa_halving Alcotest Approx_agreement Complex Executor Frac List Model Non_iterated QCheck2 QCheck_alcotest Random Schedule Simplex State_protocol Task Value

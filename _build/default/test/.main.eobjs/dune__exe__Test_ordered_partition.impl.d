@@ -1,0 +1,1 @@
+test/test_ordered_partition.ml: Alcotest Gen List Ordered_partition Printf QCheck2 QCheck_alcotest Stdlib

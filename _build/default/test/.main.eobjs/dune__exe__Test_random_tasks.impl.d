@@ -1,0 +1,1 @@
+test/test_random_tasks.ml: Closure Combinatorics Complex Hashtbl List Model Printf QCheck2 QCheck_alcotest Random Round_op Simplex Solvability Speedup Task Value

@@ -1,0 +1,1 @@
+test/test_renaming.ml: Alcotest Closure Complex List Model Renaming Round_op Simplex Solvability Task Value

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest List Model QCheck2 QCheck_alcotest Random Schedule

@@ -1,0 +1,1 @@
+test/test_sim_object.ml: Alcotest List QCheck2 QCheck_alcotest Sim_object Value

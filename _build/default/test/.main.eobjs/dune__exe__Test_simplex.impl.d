@@ -1,0 +1,1 @@
+test/test_simplex.ml: Alcotest Gen List QCheck2 QCheck_alcotest Simplex Value Vertex

@@ -1,0 +1,1 @@
+test/test_simplicial_map.ml: Alcotest Approx_agreement Complex Frac List Model Simplex Simplicial_map Task Value Vertex

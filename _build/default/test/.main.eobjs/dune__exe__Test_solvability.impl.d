@@ -1,0 +1,1 @@
+test/test_solvability.ml: Alcotest Approx_agreement Augmented Black_box Combinatorics Complex Consensus Frac List Model Printf Simplex Simplicial_map Solvability Task Value

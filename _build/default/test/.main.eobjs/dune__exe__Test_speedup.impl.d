@@ -1,0 +1,1 @@
+test/test_speedup.ml: Alcotest Approx_agreement Closure Complex Consensus Frac Model Round_op Simplicial_map Solvability Speedup Task Value Vertex

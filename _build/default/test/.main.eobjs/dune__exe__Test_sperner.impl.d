@@ -1,0 +1,1 @@
+test/test_sperner.ml: Alcotest Complex List Model Printf Simplex Sperner Value Vertex

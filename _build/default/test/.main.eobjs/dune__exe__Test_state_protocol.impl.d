@@ -1,0 +1,1 @@
+test/test_state_protocol.ml: Alcotest Executor List Schedule State_protocol Value

@@ -1,0 +1,1 @@
+test/test_synthesis.ml: Adversary Alcotest Approx_agreement Complex Consensus Executor Frac List Model Protocol Schedule Synthesis Value

@@ -1,0 +1,1 @@
+test/test_task_algebra.ml: Alcotest Approx_agreement Closure Combinatorics Complex Consensus Frac List Model Round_op Simplex Solvability Task Task_algebra Value

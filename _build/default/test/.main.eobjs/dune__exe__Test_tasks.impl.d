@@ -1,0 +1,1 @@
+test/test_tasks.ml: Alcotest Approx_agreement Complex Consensus Frac List Local_task Set_agreement Simplex Task Value

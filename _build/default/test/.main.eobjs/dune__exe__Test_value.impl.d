@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Frac Gen List QCheck2 QCheck_alcotest Value

@@ -1,0 +1,49 @@
+(* QCheck generators shared across the property-based suites. *)
+
+open QCheck2
+
+let small_frac : Frac.t Gen.t =
+  Gen.map2
+    (fun n d -> Frac.make n d)
+    (Gen.int_range (-24) 24)
+    (Gen.int_range 1 12)
+
+let grid_frac ~m : Frac.t Gen.t =
+  Gen.map (fun k -> Frac.make k m) (Gen.int_range 0 m)
+
+let value : Value.t Gen.t =
+  Gen.oneof
+    [
+      Gen.return Value.Unit;
+      Gen.map (fun b -> Value.Bool b) Gen.bool;
+      Gen.map (fun n -> Value.Int n) (Gen.int_range (-50) 50);
+      Gen.map (fun q -> Value.Frac q) small_frac;
+    ]
+
+(* A chromatic simplex over colors drawn from 1..max_color. *)
+let simplex ?(max_color = 5) () : Simplex.t Gen.t =
+  let open Gen in
+  int_range 1 max_color >>= fun card ->
+  let rec pick_colors acc k =
+    if k = 0 then return acc
+    else
+      int_range 1 max_color >>= fun c ->
+      if List.mem c acc then pick_colors acc k
+      else pick_colors (c :: acc) (k - 1)
+  in
+  pick_colors [] (min card max_color) >>= fun colors ->
+  flatten_l (List.map (fun c -> map (fun v -> (c, v)) value) colors)
+  >|= Simplex.of_list
+
+(* A small complex: a few facets over a bounded color set. *)
+let complex ?(max_color = 4) ?(max_facets = 4) () : Complex.t Gen.t =
+  let open Gen in
+  int_range 1 max_facets >>= fun k ->
+  list_size (return k) (simplex ~max_color ()) >|= Complex.of_facets
+
+let ordered_partition ~ids : Ordered_partition.t Gen.t =
+  let parts = Ordered_partition.enumerate ids in
+  Gen.oneofl parts
+
+let frac_print q = Frac.to_string q
+let simplex_print s = Simplex.to_string s

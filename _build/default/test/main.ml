@@ -1,0 +1,45 @@
+(* Test entry point: one Alcotest run covering every library. *)
+
+let () =
+  Alcotest.run "speedup-reproduction"
+    [
+      Test_frac.suite;
+      Test_value.suite;
+      Test_simplex.suite;
+      Test_complex.suite;
+      Test_connectivity.suite;
+      Test_dot.suite;
+      Test_geometry.suite;
+      Test_ordered_partition.suite;
+      Test_collect_matrix.suite;
+      Test_model.suite;
+      Test_augmented.suite;
+      Test_affine.suite;
+      Test_homology.suite;
+      Test_sperner.suite;
+      Test_tasks.suite;
+      Test_carrier_map.suite;
+      Test_renaming.suite;
+      Test_task_algebra.suite;
+      Test_simplicial_map.suite;
+      Test_csp.suite;
+      Test_solvability.suite;
+      Test_brute.suite;
+      Test_classical.suite;
+      Test_closure.suite;
+      Test_speedup.suite;
+      Test_random_tasks.suite;
+      Test_schedule.suite;
+      Test_protocol.suite;
+      Test_sim_object.suite;
+      Test_executor.suite;
+      Test_state_protocol.suite;
+      Test_adversary.suite;
+      Test_non_iterated.suite;
+      Test_synthesis.suite;
+      Test_algorithms.suite;
+      Test_cross_check.suite;
+      Test_core.suite;
+      Test_golden.suite;
+      Test_experiments.suite;
+    ]

@@ -1,0 +1,92 @@
+(* Tests for schedule suites, crash injection, and the conformance
+   checker. *)
+
+let test_exhaustive_is () =
+  Alcotest.(check int) "3 procs, 1 round" 13
+    (List.length (Adversary.exhaustive_is ~boxed:false ~participants:[ 1; 2; 3 ] ~rounds:1));
+  Alcotest.(check int) "2 procs, 2 rounds boxed" 16
+    (List.length (Adversary.exhaustive_is ~boxed:true ~participants:[ 1; 2 ] ~rounds:2))
+
+let test_random_suite_deterministic () =
+  let mk () =
+    Adversary.random_suite ~model:Model.Immediate ~boxed:false
+      ~participants:[ 1; 2; 3 ] ~rounds:2 ~seed:5 ~count:20
+  in
+  Alcotest.(check bool) "same seed, same schedules" true (mk () = mk ());
+  let other =
+    Adversary.random_suite ~model:Model.Immediate ~boxed:false
+      ~participants:[ 1; 2; 3 ] ~rounds:2 ~seed:6 ~count:20
+  in
+  Alcotest.(check bool) "different seed differs" true (mk () <> other)
+
+let test_with_crash_is () =
+  let s = [ Schedule.Is_round [ [ 1; 2 ]; [ 3 ] ]; Schedule.Is_round [ [ 1; 2; 3 ] ] ] in
+  match Adversary.with_crash s ~proc:2 ~round:2 with
+  | [ Schedule.Is_round r1; Schedule.Is_round r2 ] ->
+      Alcotest.(check bool) "round 1 intact" true (r1 = [ [ 1; 2 ]; [ 3 ] ]);
+      Alcotest.(check bool) "round 2 without 2" true (r2 = [ [ 1; 3 ] ])
+  | _ -> Alcotest.fail "unexpected schedule shape"
+
+let test_with_crash_steps () =
+  let s =
+    [ Schedule.Step_round
+        [ Schedule.Write 1; Schedule.Write 2; Schedule.Read (1, 1);
+          Schedule.Read (1, 2); Schedule.Read (2, 1); Schedule.Read (2, 2) ] ]
+  in
+  match Adversary.with_crash s ~proc:1 ~round:1 with
+  | [ Schedule.Step_round steps ] ->
+      (* 1 still writes but no longer reads. *)
+      Alcotest.(check bool) "write kept" true (List.mem (Schedule.Write 1) steps);
+      Alcotest.(check bool) "reads dropped" false
+        (List.exists (function Schedule.Read (1, _) -> true | _ -> false) steps)
+  | _ -> Alcotest.fail "unexpected schedule shape"
+
+let test_check_task_catches_bugs () =
+  (* A deliberately wrong AA protocol: always output your own input.
+     The checker must flag it. *)
+  let bad =
+    Protocol.make ~name:"broken-aa" ~rounds:1
+      ~decide:(fun i view ->
+        match Value.view_find i view with Some x -> x | None -> Value.Unit)
+      ()
+  in
+  let task = Approx_agreement.task ~n:2 ~m:2 ~eps:Frac.half in
+  let failures =
+    Adversary.check_task bad task
+      ~inputs:[ (1, Value.frac 0 1); (2, Value.frac 1 1) ]
+      ~schedules:(Adversary.exhaustive_is ~boxed:false ~participants:[ 1; 2 ] ~rounds:1)
+  in
+  Alcotest.(check bool) "violations reported" true (failures <> []);
+  (* And a correct protocol passes. *)
+  let good = Aa_halving.protocol ~m:2 ~eps:Frac.half in
+  let ok =
+    Adversary.check_task good task
+      ~inputs:[ (1, Value.frac 0 1); (2, Value.frac 1 1) ]
+      ~schedules:(Adversary.exhaustive_is ~boxed:false ~participants:[ 1; 2 ] ~rounds:1)
+  in
+  Alcotest.(check int) "no violations" 0 (List.length ok)
+
+let test_check_task_with_crashes () =
+  let good = Aa_halving.protocol ~m:2 ~eps:Frac.half in
+  let task = Approx_agreement.task ~n:2 ~m:2 ~eps:Frac.half in
+  let schedules =
+    List.map
+      (fun s -> Adversary.with_crash s ~proc:1 ~round:1)
+      (Adversary.exhaustive_is ~boxed:false ~participants:[ 1; 2 ] ~rounds:1)
+  in
+  Alcotest.(check int) "wait-free under crashes" 0
+    (List.length
+       (Adversary.check_task good task
+          ~inputs:[ (1, Value.frac 0 1); (2, Value.frac 1 1) ]
+          ~schedules))
+
+let suite =
+  ( "adversary",
+    [
+      Alcotest.test_case "exhaustive IS counts" `Quick test_exhaustive_is;
+      Alcotest.test_case "random suites deterministic" `Quick test_random_suite_deterministic;
+      Alcotest.test_case "crash in IS rounds" `Quick test_with_crash_is;
+      Alcotest.test_case "crash in step rounds" `Quick test_with_crash_steps;
+      Alcotest.test_case "checker catches bugs" `Quick test_check_task_catches_bugs;
+      Alcotest.test_case "checker under crashes" `Quick test_check_task_with_crashes;
+    ] )

@@ -1,0 +1,108 @@
+(* Tests for the k-concurrency and d-solo model variants. *)
+
+let sigma n =
+  Simplex.of_list (List.init n (fun i -> (i + 1, Value.Int (i + 1))))
+
+let test_k_concurrency_counts () =
+  Alcotest.(check int) "3-concurrency = full IS" 13
+    (List.length (Affine.k_concurrency 3 (sigma 3)));
+  Alcotest.(check int) "2-concurrency drops the 3-block" 12
+    (List.length (Affine.k_concurrency 2 (sigma 3)));
+  (* 1-concurrency = sequential executions = permutations. *)
+  Alcotest.(check int) "1-concurrency = 3! orders" 6
+    (List.length (Affine.k_concurrency 1 (sigma 3)));
+  Alcotest.check_raises "k < 1 rejected"
+    (Invalid_argument "Affine.k_concurrency: k < 1") (fun () ->
+      ignore (Affine.k_concurrency 0 (sigma 2)))
+
+let test_k_concurrency_subcomplex () =
+  let is_c = Complex.of_facets (Model.one_round_facets Model.Immediate (sigma 3)) in
+  List.iter
+    (fun k ->
+      let c = Complex.of_facets (Affine.k_concurrency k (sigma 3)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d-concurrency ⊆ IS" k)
+        true (Complex.subcomplex c is_c))
+    [ 1; 2; 3 ]
+
+let test_d_solo_counts () =
+  Alcotest.(check int) "1-solo n=2 = IS" 3 (List.length (Affine.d_solo 1 (sigma 2)));
+  Alcotest.(check int) "2-solo n=2" 4 (List.length (Affine.d_solo 2 (sigma 2)));
+  Alcotest.(check int) "1-solo n=3 = IS" 13 (List.length (Affine.d_solo 1 (sigma 3)));
+  (* 2-solo n=3: 13 IS facets + 3 choices of a solo pair, each with
+     1 following process (1 partition each) = 16. *)
+  Alcotest.(check int) "2-solo n=3" 16 (List.length (Affine.d_solo 2 (sigma 3)));
+  (* 3-solo n=3 adds the all-solo facet. *)
+  Alcotest.(check int) "3-solo n=3" 17 (List.length (Affine.d_solo 3 (sigma 3)));
+  Alcotest.check_raises "d < 1 rejected" (Invalid_argument "Affine.d_solo: d < 1")
+    (fun () -> ignore (Affine.d_solo 0 (sigma 2)))
+
+let test_d_solo_supercomplex () =
+  let is_c = Complex.of_facets (Model.one_round_facets Model.Immediate (sigma 3)) in
+  let c2 = Complex.of_facets (Affine.d_solo 2 (sigma 3)) in
+  Alcotest.(check bool) "IS ⊆ 2-solo" true (Complex.subcomplex is_c c2)
+
+let test_both_solo_facet () =
+  let facets = Affine.d_solo 2 (sigma 2) in
+  let both_solo =
+    Simplex.of_vertices
+      [ Model.solo_vertex (sigma 2) 1; Model.solo_vertex (sigma 2) 2 ]
+  in
+  Alcotest.(check bool) "both-solo facet present" true
+    (List.exists (Simplex.equal both_solo) facets);
+  (* ... and absent from plain IS. *)
+  Alcotest.(check bool) "absent in IS" false
+    (Complex.mem both_solo
+       (Complex.of_facets (Model.one_round_facets Model.Immediate (sigma 2))))
+
+let test_allows_solo () =
+  Alcotest.(check bool) "k-concurrency allows solo" true
+    (Affine.allows_solo (Affine.k_concurrency 1) (sigma 3));
+  Alcotest.(check bool) "d-solo allows solo" true
+    (Affine.allows_solo (Affine.d_solo 3) (sigma 3));
+  Alcotest.(check bool) "plain IS allows solo" true
+    (Affine.allows_solo (Model.one_round_facets Model.Immediate) (sigma 4));
+  (* A model with only the fully concurrent execution does not. *)
+  let lockstep s = [ List.hd (Affine.k_concurrency (Simplex.card s) s) ] in
+  let only_concurrent s =
+    List.filter
+      (fun f ->
+        List.for_all
+          (fun v -> List.length (Value.view_ids (Vertex.value v)) = Simplex.card s)
+          (Simplex.vertices f))
+      (lockstep s @ Model.one_round_facets Model.Immediate s)
+  in
+  Alcotest.(check bool) "lockstep model has no solos" false
+    (Affine.allows_solo only_concurrent (sigma 3))
+
+let test_speedup_on_affine () =
+  (* Theorem 1 on the 2-concurrency model: a 1-round solvable AA task
+     has a 0-round solvable closure. *)
+  let op = Round_op.k_concurrency 2 in
+  let task = Approx_agreement.task ~n:2 ~m:3 ~eps:(Frac.make 1 3) in
+  let inputs = Complex.all_simplices (Approx_agreement.binary_input_complex ~n:2) in
+  let solvable_1 =
+    Solvability.decide ~inputs
+      ~protocol:(fun s -> Complex.of_facets (Affine.k_concurrency 2 s))
+      ~delta:(Task.delta task) ()
+  in
+  Alcotest.(check bool) "base solvable" true (Solvability.is_solvable solvable_1);
+  let closure_0 =
+    Solvability.decide ~inputs
+      ~protocol:Complex.of_simplex
+      ~delta:(Closure.delta ~op task) ()
+  in
+  Alcotest.(check bool) "closure 0-round solvable" true
+    (Solvability.is_solvable closure_0)
+
+let suite =
+  ( "affine",
+    [
+      Alcotest.test_case "k-concurrency counts" `Quick test_k_concurrency_counts;
+      Alcotest.test_case "k-concurrency subcomplexes" `Quick test_k_concurrency_subcomplex;
+      Alcotest.test_case "d-solo counts" `Quick test_d_solo_counts;
+      Alcotest.test_case "d-solo supercomplex" `Quick test_d_solo_supercomplex;
+      Alcotest.test_case "both-solo facet" `Quick test_both_solo_facet;
+      Alcotest.test_case "allows_solo" `Quick test_allows_solo;
+      Alcotest.test_case "speedup on affine model" `Quick test_speedup_on_affine;
+    ] )

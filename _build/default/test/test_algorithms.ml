@@ -1,0 +1,162 @@
+(* Tests for the paper's upper-bound algorithms. *)
+
+let exhaustive participants rounds boxed =
+  Adversary.exhaustive_is ~boxed ~participants ~rounds
+
+let no_violation ?box protocol task inputs schedules =
+  Adversary.check_task ?box protocol task ~inputs ~schedules = []
+
+let test_rounds_needed () =
+  Alcotest.(check int) "halving 1/8" 3 (Aa_halving.rounds_needed ~eps:(Frac.make 1 8));
+  Alcotest.(check int) "halving 1/5" 3 (Aa_halving.rounds_needed ~eps:(Frac.make 1 5));
+  Alcotest.(check int) "thirds 1/9" 2 (Aa_thirds.rounds_needed ~eps:(Frac.make 1 9));
+  Alcotest.(check int) "thirds 1/4" 2 (Aa_thirds.rounds_needed ~eps:(Frac.make 1 4));
+  Alcotest.(check int) "bc rounds n=5" 3 (Bc_consensus.rounds_needed ~n:5);
+  Alcotest.(check int) "bc rounds n=1" 0 (Bc_consensus.rounds_needed ~n:1);
+  Alcotest.(check int) "bitwise 1/16" 4 (Bc_bitwise_aa.rounds_needed ~eps:(Frac.make 1 16))
+
+let test_grid_divisibility_guards () =
+  Alcotest.check_raises "halving needs 2^t | m"
+    (Invalid_argument "Aa_halving.spec: 2^rounds must divide m") (fun () ->
+      ignore (Aa_halving.spec ~m:6 ~rounds:2));
+  Alcotest.check_raises "thirds needs 3^t | m"
+    (Invalid_argument "Aa_thirds.spec: 3^rounds must divide m") (fun () ->
+      ignore (Aa_thirds.spec ~m:6 ~rounds:2));
+  Alcotest.check_raises "bitwise needs rounds <= k"
+    (Invalid_argument "Bc_bitwise_aa.spec: rounds > k") (fun () ->
+      ignore (Bc_bitwise_aa.spec ~k:2 ~rounds:3))
+
+let test_halving_exhaustive () =
+  let eps = Frac.make 1 4 in
+  let task = Approx_agreement.task ~n:3 ~m:4 ~eps in
+  Alcotest.(check bool) "no violations over all 2-round IS schedules" true
+    (no_violation
+       (Aa_halving.protocol ~m:4 ~eps)
+       task
+       [ (1, Value.frac 0 1); (2, Value.frac 1 4); (3, Value.frac 1 1) ]
+       (exhaustive [ 1; 2; 3 ] 2 false))
+
+let test_halving_stays_on_grid () =
+  let eps = Frac.make 1 4 in
+  let protocol = Aa_halving.protocol ~m:4 ~eps in
+  List.iter
+    (fun schedule ->
+      let result =
+        Executor.run protocol
+          ~inputs:[ (1, Value.frac 0 1); (2, Value.frac 3 4); (3, Value.frac 1 1) ]
+          ~schedule
+      in
+      List.iter
+        (fun (_, v) ->
+          Alcotest.(check bool) "grid point" true
+            (Frac.is_multiple_of (Value.as_frac v) ~step:(Frac.make 1 4)))
+        result.Executor.outputs)
+    (exhaustive [ 1; 2; 3 ] 2 false)
+
+let test_thirds_exhaustive () =
+  let eps = Frac.make 1 9 in
+  let task = Approx_agreement.task ~n:2 ~m:9 ~eps in
+  Alcotest.(check bool) "thirds ok over all schedules" true
+    (no_violation
+       (Aa_thirds.protocol ~m:9 ~eps)
+       task
+       [ (1, Value.frac 2 9); (2, Value.frac 1 1) ]
+       (exhaustive [ 1; 2 ] 2 false))
+
+let test_thirds_rejects_three_processes () =
+  let protocol = Aa_thirds.protocol ~m:3 ~eps:(Frac.make 1 3) in
+  Alcotest.(check bool) "3-process run raises" true
+    (match
+       Executor.run protocol
+         ~inputs:[ (1, Value.frac 0 1); (2, Value.frac 1 1); (3, Value.frac 1 1) ]
+         ~schedule:[ Schedule.Is_round [ [ 1; 2; 3 ] ] ]
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_tas_consensus_all_schedules () =
+  let task = Consensus.multi ~n:2 ~values:[ Value.Int 4; Value.Int 6 ] in
+  Alcotest.(check bool) "consensus with T&S" true
+    (no_violation ~box:Sim_object.test_and_set Tas_consensus2.protocol task
+       [ (1, Value.Int 4); (2, Value.Int 6) ]
+       (exhaustive [ 1; 2 ] 1 true))
+
+let test_tas_decide_map () =
+  (* The explicit decision map of Figure 4. *)
+  let won = Value.Pair (Value.Bool true, Value.view [ (1, Value.Int 4) ]) in
+  Alcotest.(check bool) "winner keeps input" true
+    (Value.equal (Tas_consensus2.decide 1 won) (Value.Int 4));
+  let lost =
+    Value.Pair
+      (Value.Bool false, Value.view [ (1, Value.Int 4); (2, Value.Int 6) ])
+  in
+  Alcotest.(check bool) "loser adopts" true
+    (Value.equal (Tas_consensus2.decide 2 lost) (Value.Int 4))
+
+let test_bc_consensus_exhaustive_small () =
+  let task = Consensus.multi ~n:3 ~values:[ Value.Int 1; Value.Int 2; Value.Int 3 ] in
+  Alcotest.(check bool) "n=3 over all boxed schedules" true
+    (no_violation ~box:Sim_object.consensus (Bc_consensus.protocol ~n:3) task
+       [ (1, Value.Int 1); (2, Value.Int 2); (3, Value.Int 3) ]
+       (exhaustive [ 1; 2; 3 ] 2 true))
+
+let test_bc_bitwise_exhaustive_small () =
+  let eps = Frac.make 1 4 in
+  let task = Approx_agreement.task ~n:3 ~m:4 ~eps in
+  Alcotest.(check bool) "bitwise AA over all boxed schedules" true
+    (no_violation ~box:Sim_object.consensus
+       (Bc_bitwise_aa.protocol ~k:2 ~eps)
+       task
+       [ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ]
+       (exhaustive [ 1; 2; 3 ] 2 true))
+
+let test_bitwise_handles_value_one () =
+  (* The clamp trick: inputs 1 and 1-1/m must merge, not crash. *)
+  let eps = Frac.make 1 4 in
+  let task = Approx_agreement.task ~n:2 ~m:4 ~eps in
+  Alcotest.(check bool) "clamped top value" true
+    (no_violation ~box:Sim_object.consensus
+       (Bc_bitwise_aa.protocol ~k:2 ~eps)
+       task
+       [ (1, Value.frac 3 4); (2, Value.frac 1 1) ]
+       (exhaustive [ 1; 2 ] 2 true))
+
+let prop_halving_spread_halves =
+  (* One round of halving at round r on spreads <= 2^{1-r} yields
+     spreads <= 2^{-r}: Equation (3) as a property over random inputs
+     and schedules. *)
+  QCheck2.Test.make ~name:"halving contracts the spread" ~count:150
+    QCheck2.Gen.(pair (int_range 0 10000) (list_size (return 3) (int_range 0 8)))
+    (fun (seed, nums) ->
+      let m = 8 in
+      let eps = Frac.make 1 8 in
+      let inputs = List.mapi (fun i k -> (i + 1, Value.frac k m)) nums in
+      let rng = Random.State.make [| seed |] in
+      let schedule =
+        Schedule.random_is ~participants:[ 1; 2; 3 ] ~rounds:3 rng
+      in
+      let result = Executor.run (Aa_halving.protocol ~m ~eps) ~inputs ~schedule in
+      match result.Executor.outputs with
+      | [] -> true
+      | outs ->
+          let vs = List.map (fun (_, v) -> Value.as_frac v) outs in
+          let lo = List.fold_left Frac.min (List.hd vs) vs in
+          let hi = List.fold_left Frac.max (List.hd vs) vs in
+          Frac.(Frac.sub hi lo <= eps))
+
+let suite =
+  ( "algorithms",
+    [
+      Alcotest.test_case "rounds_needed" `Quick test_rounds_needed;
+      Alcotest.test_case "grid guards" `Quick test_grid_divisibility_guards;
+      Alcotest.test_case "halving exhaustive" `Quick test_halving_exhaustive;
+      Alcotest.test_case "halving on grid" `Quick test_halving_stays_on_grid;
+      Alcotest.test_case "thirds exhaustive" `Quick test_thirds_exhaustive;
+      Alcotest.test_case "thirds arity guard" `Quick test_thirds_rejects_three_processes;
+      Alcotest.test_case "tas consensus" `Quick test_tas_consensus_all_schedules;
+      Alcotest.test_case "tas decide map" `Quick test_tas_decide_map;
+      Alcotest.test_case "bc consensus n=3" `Quick test_bc_consensus_exhaustive_small;
+      Alcotest.test_case "bc bitwise AA" `Quick test_bc_bitwise_exhaustive_small;
+      Alcotest.test_case "bitwise clamp at 1" `Quick test_bitwise_handles_value_one;
+      QCheck_alcotest.to_alcotest prop_halving_spread_halves;
+    ] )

@@ -1,0 +1,174 @@
+(* Tests for black boxes and the augmented one-round complexes
+   (Section 4, Figures 5 and 7). *)
+
+let sigma3 =
+  Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 1); (3, Value.Int 1) ]
+
+let sigma2 = Simplex.proj [ 1; 2 ] sigma3
+let unit_alpha = Augmented.alpha_const Value.Unit
+
+let tas_facets s =
+  Augmented.one_round_facets ~box:Black_box.test_and_set ~alpha:unit_alpha
+    ~round:1 s
+
+let test_tas_box_semantics () =
+  let outcomes =
+    Black_box.test_and_set.Black_box.outcomes ~part:[ [ 2 ]; [ 1; 3 ] ]
+      ~inputs:[ (1, Value.Unit); (2, Value.Unit); (3, Value.Unit) ]
+  in
+  (* Only the first-block member can win. *)
+  Alcotest.(check int) "one outcome" 1 (List.length outcomes);
+  Alcotest.(check bool) "2 wins" true
+    (List.for_all
+       (fun assignment ->
+         List.assoc 2 assignment = Value.Bool true
+         && List.assoc 1 assignment = Value.Bool false
+         && List.assoc 3 assignment = Value.Bool false)
+       outcomes);
+  let multi =
+    Black_box.test_and_set.Black_box.outcomes ~part:[ [ 1; 3 ]; [ 2 ] ]
+      ~inputs:[ (1, Value.Unit); (2, Value.Unit); (3, Value.Unit) ]
+  in
+  Alcotest.(check int) "two possible winners" 2 (List.length multi)
+
+let test_tas_solo_output () =
+  Alcotest.(check bool) "solo wins" true
+    (Value.equal
+       (Black_box.solo_output Black_box.test_and_set 1 Value.Unit)
+       (Value.Bool true))
+
+let test_bin_consensus_semantics () =
+  let inputs = [ (1, Value.Bool false); (2, Value.Bool true); (3, Value.Bool true) ] in
+  let one_decision =
+    Black_box.bin_consensus.Black_box.outcomes ~part:[ [ 2; 3 ]; [ 1 ] ] ~inputs
+  in
+  (* Both first-block members propose true: single decision. *)
+  Alcotest.(check int) "one decision" 1 (List.length one_decision);
+  let two_decisions =
+    Black_box.bin_consensus.Black_box.outcomes ~part:[ [ 1; 2 ]; [ 3 ] ] ~inputs
+  in
+  Alcotest.(check int) "two decisions" 2 (List.length two_decisions);
+  List.iter
+    (fun assignment ->
+      let values = List.map snd assignment in
+      Alcotest.(check bool) "everyone gets the same value" true
+        (List.for_all (Value.equal (List.hd values)) values))
+    two_decisions
+
+let test_figure5_shape () =
+  let c = Complex.of_facets (tas_facets sigma3) in
+  Alcotest.(check int) "18 facets" 18 (Complex.facet_count c);
+  List.iter
+    (fun i ->
+      Alcotest.(check int)
+        (Printf.sprintf "7 vertices of color %d" i)
+        7
+        (List.length (Complex.vertices_of_color i c)))
+    [ 1; 2; 3 ];
+  (* The solo vertex with outcome 0 does not exist. *)
+  let bad_solo =
+    Vertex.make 1 (Value.Pair (Value.Bool false, Model.solo_view 1 (Value.Int 0)))
+  in
+  Alcotest.(check bool) "no losing solo vertex" false (Complex.mem_vertex bad_solo c);
+  Alcotest.(check bool) "winning solo vertex present" true
+    (Complex.mem_vertex
+       (Augmented.solo_vertex ~box:Black_box.test_and_set ~alpha:unit_alpha
+          ~round:1 sigma3 1)
+       c)
+
+let test_exactly_one_winner_per_facet () =
+  List.iter
+    (fun facet ->
+      let winners =
+        List.filter
+          (fun v ->
+            match Vertex.value v with
+            | Value.Pair (Value.Bool b, _) -> b
+            | _ -> false)
+          (Simplex.vertices facet)
+      in
+      Alcotest.(check int) "exactly one winner" 1 (List.length winners))
+    (tas_facets sigma3)
+
+let test_figure7_shape () =
+  (* Black (process 1) proposes 0, the other two propose 1. *)
+  let beta i = i > 1 in
+  let facets =
+    Augmented.one_round_facets ~box:Black_box.bin_consensus
+      ~alpha:(Augmented.alpha_of_beta beta) ~round:1 sigma3
+  in
+  let c = Complex.of_facets facets in
+  Alcotest.(check int) "16 facets" 16 (Complex.facet_count c);
+  Alcotest.(check int) "19 vertices" 19 (Complex.vertex_count c);
+  (* Process 1 running solo must decide its own proposal 0: the
+     "solo-decides-1" vertex is removed. *)
+  let removed =
+    Vertex.make 1 (Value.Pair (Value.Bool true, Model.solo_view 1 (Value.Int 0)))
+  in
+  Alcotest.(check bool) "removed solo vertex" false (Complex.mem_vertex removed c);
+  (* Executions among processes 2 and 3 only always decide 1. *)
+  let facets23 =
+    Augmented.one_round_facets ~box:Black_box.bin_consensus
+      ~alpha:(Augmented.alpha_of_beta beta) ~round:1 (Simplex.proj [ 2; 3 ] sigma3)
+  in
+  Alcotest.(check bool) "2-3 executions all decide true" true
+    (List.for_all
+       (fun f ->
+         List.for_all
+           (fun v ->
+             match Vertex.value v with
+             | Value.Pair (b, _) -> Value.equal b (Value.Bool true)
+             | _ -> false)
+           (Simplex.vertices f))
+       facets23)
+
+let test_strip_box () =
+  let stripped =
+    List.sort_uniq Simplex.compare
+      (List.map
+         (fun f ->
+           Simplex.of_vertices (List.map Augmented.strip_box (Simplex.vertices f)))
+         (tas_facets sigma3))
+  in
+  let plain =
+    List.sort_uniq Simplex.compare (Model.one_round_facets Model.Immediate sigma3)
+  in
+  Alcotest.(check int) "strip recovers the 13 IS facets" 13 (List.length stripped);
+  Alcotest.(check bool) "equal as sets" true (List.for_all2 Simplex.equal stripped plain);
+  Alcotest.check_raises "strip of non-augmented vertex"
+    (Invalid_argument "Augmented.strip_box: not an augmented vertex") (fun () ->
+      ignore (Augmented.strip_box (Vertex.make 1 (Value.Int 0))))
+
+let test_two_process_tas_complex () =
+  (* Figure 4's complex: 4 facets (3 partitions, the concurrent one
+     duplicated by winner choice), 6 vertices. *)
+  let c = Complex.of_facets (tas_facets sigma2) in
+  Alcotest.(check int) "4 facets" 4 (Complex.facet_count c);
+  Alcotest.(check int) "6 vertices" 6 (Complex.vertex_count c)
+
+let test_iterated_augmented () =
+  let p2 =
+    Augmented.protocol_complex ~box:Black_box.test_and_set ~alpha:unit_alpha
+      sigma2 2
+  in
+  Alcotest.(check int) "P^2 facets = 4^2" 16 (Complex.facet_count p2);
+  Alcotest.check_raises "negative rounds"
+    (Invalid_argument "Augmented.protocol_complex: negative round count")
+    (fun () ->
+      ignore
+        (Augmented.protocol_complex ~box:Black_box.test_and_set
+           ~alpha:unit_alpha sigma2 (-1)))
+
+let suite =
+  ( "augmented",
+    [
+      Alcotest.test_case "test&set semantics" `Quick test_tas_box_semantics;
+      Alcotest.test_case "test&set solo output" `Quick test_tas_solo_output;
+      Alcotest.test_case "bin-consensus semantics" `Quick test_bin_consensus_semantics;
+      Alcotest.test_case "Figure 5 shape" `Quick test_figure5_shape;
+      Alcotest.test_case "one winner per facet" `Quick test_exactly_one_winner_per_facet;
+      Alcotest.test_case "Figure 7 shape" `Quick test_figure7_shape;
+      Alcotest.test_case "strip_box" `Quick test_strip_box;
+      Alcotest.test_case "2-process complex (Figure 4)" `Quick test_two_process_tas_complex;
+      Alcotest.test_case "iterated augmented complex" `Quick test_iterated_augmented;
+    ] )

@@ -1,0 +1,92 @@
+(* The brute-force backend, and its agreement with the CSP solver. *)
+
+let verdict_tag = function
+  | Solvability.Solvable _ -> `Sat
+  | Solvability.Unsolvable -> `Unsat
+  | Solvability.Undecided -> `Unknown
+
+let consensus2 = Consensus.binary ~n:2
+
+let args_of task rounds =
+  let inputs = Task.input_simplices task in
+  let protocol s = Model.protocol_complex Model.Immediate s rounds in
+  (inputs, protocol, Task.delta task)
+
+let test_consensus_unsat_both_backends () =
+  let inputs, protocol, delta = args_of consensus2 1 in
+  Alcotest.(check bool) "brute agrees on consensus t=1" true
+    (verdict_tag (Brute.decide ~inputs ~protocol ~delta ())
+    = verdict_tag (Solvability.decide ~inputs ~protocol ~delta ()))
+
+let test_aa_sat_both_backends () =
+  let aa = Approx_agreement.task ~n:2 ~m:2 ~eps:Frac.half in
+  let inputs = Complex.all_simplices (Approx_agreement.binary_input_complex ~n:2) in
+  let protocol s = Model.protocol_complex Model.Immediate s 1 in
+  let delta = Task.delta aa in
+  let brute = Brute.decide ~inputs ~protocol ~delta () in
+  Alcotest.(check bool) "brute finds the map" true (verdict_tag brute = `Sat);
+  (* The brute-force witness is itself valid. *)
+  (match brute with
+  | Solvability.Solvable f ->
+      Alcotest.(check bool) "witness agrees with Δ" true
+        (Simplicial_map.agrees_with f ~inputs ~protocol ~delta)
+  | _ -> Alcotest.fail "expected Sat");
+  ()
+
+let test_search_space_guard () =
+  let aa = Approx_agreement.task ~n:2 ~m:9 ~eps:(Frac.make 1 9) in
+  let inputs, protocol, delta = args_of aa 2 in
+  Alcotest.(check bool) "big instance reported Undecided" true
+    (verdict_tag (Brute.decide ~max_maps:1000 ~inputs ~protocol ~delta ())
+    = `Unknown);
+  Alcotest.(check bool) "search space grows" true
+    (Brute.search_space ~inputs ~protocol ~delta > 1000.0)
+
+(* The headline property: on random small tasks the naive enumerator
+   and the CSP solver return the same verdict. *)
+let random_task seed =
+  let rng = Random.State.make [| seed |] in
+  let inputs = Combinatorics.full_input_complex 2 [ Value.Int 0; Value.Int 1 ] in
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun sigma ->
+      let candidates =
+        Combinatorics.assignments (Simplex.ids sigma) [ Value.Int 0; Value.Int 1 ]
+      in
+      let chosen = List.filter (fun _ -> Random.State.bool rng) candidates in
+      let chosen = if chosen = [] then [ List.hd candidates ] else chosen in
+      Hashtbl.replace table (Simplex.to_string sigma) (Complex.of_facets chosen))
+    (Complex.all_simplices inputs);
+  Task.make
+    ~name:(Printf.sprintf "brute-random-%d" seed)
+    ~arity:2 ~inputs:(lazy inputs) ~outputs:(lazy inputs)
+    ~delta:(fun sigma -> Hashtbl.find table (Simplex.to_string sigma))
+
+let prop_backends_agree =
+  QCheck2.Test.make ~name:"CSP and brute force agree (t=1, random tasks)"
+    ~count:60
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t = random_task seed in
+      let inputs, protocol, delta = args_of t 1 in
+      verdict_tag (Brute.decide ~inputs ~protocol ~delta ())
+      = verdict_tag (Solvability.decide ~inputs ~protocol ~delta ()))
+
+let prop_backends_agree_zero_rounds =
+  QCheck2.Test.make ~name:"CSP and brute force agree (t=0)" ~count:60
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let t = random_task seed in
+      let inputs, protocol, delta = args_of t 0 in
+      verdict_tag (Brute.decide ~inputs ~protocol ~delta ())
+      = verdict_tag (Solvability.decide ~inputs ~protocol ~delta ()))
+
+let suite =
+  ( "brute",
+    [
+      Alcotest.test_case "consensus unsat" `Quick test_consensus_unsat_both_backends;
+      Alcotest.test_case "AA sat with valid witness" `Quick test_aa_sat_both_backends;
+      Alcotest.test_case "search-space guard" `Quick test_search_space_guard;
+      QCheck_alcotest.to_alcotest prop_backends_agree;
+      QCheck_alcotest.to_alcotest prop_backends_agree_zero_rounds;
+    ] )

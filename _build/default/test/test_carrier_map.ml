@@ -1,0 +1,86 @@
+(* Tests for carrier maps (Appendix A.1). *)
+
+let consensus2 = Consensus.binary ~n:2
+
+let test_of_task_monotone () =
+  let cm = Carrier_map.of_task consensus2 in
+  Alcotest.(check bool) "consensus Δ is a carrier map" true
+    (Carrier_map.is_monotone cm);
+  Alcotest.(check bool) "chromatic" true (Carrier_map.is_chromatic cm)
+
+let test_aa_carrier () =
+  let aa = Approx_agreement.task ~n:2 ~m:4 ~eps:(Frac.make 1 4) in
+  let cm = Carrier_map.of_task aa in
+  Alcotest.(check bool) "AA Δ is a carrier map" true (Carrier_map.is_monotone cm)
+
+let test_non_monotone_detected () =
+  (* A map that shrinks on a face: Δ(edge) smaller than Δ(vertex). *)
+  let edge = Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 1) ] in
+  let weird sigma =
+    if Simplex.card sigma = 1 then
+      Complex.of_simplex (Simplex.of_list [ (List.hd (Simplex.ids sigma), Value.Int 9) ])
+    else Complex.of_simplex sigma
+  in
+  let cm = Carrier_map.make ~domain:[ edge ] weird in
+  Alcotest.(check bool) "violation detected" false (Carrier_map.is_monotone cm)
+
+let test_apply_and_domain () =
+  let cm = Carrier_map.of_task consensus2 in
+  let solo = Simplex.of_list [ (1, Value.Int 0) ] in
+  Alcotest.(check bool) "apply on a face" true
+    (Complex.equal (Carrier_map.apply cm solo) (Task.delta consensus2 solo));
+  (* Domain is face-closed: 4 edges + 4 vertices. *)
+  Alcotest.(check int) "domain size" 8 (List.length (Carrier_map.domain cm));
+  Alcotest.check_raises "outside domain" Not_found (fun () ->
+      ignore (Carrier_map.apply cm (Simplex.of_list [ (7, Value.Int 0) ])))
+
+let test_strictness () =
+  (* Consensus Δ is monotone but NOT strict: two mixed-input edges
+     intersect in a solo vertex whose image is a single vertex, while
+     their image complexes share a whole agreement edge. *)
+  let cm = Carrier_map.of_task consensus2 in
+  Alcotest.(check bool) "consensus not strict" false (Carrier_map.is_strict cm);
+  (* The identity task is strict. *)
+  let inputs = Combinatorics.full_input_complex 2 [ Value.Int 0; Value.Int 1 ] in
+  let identity =
+    Carrier_map.make ~domain:(Complex.facets inputs) Complex.of_simplex
+  in
+  Alcotest.(check bool) "identity strict" true (Carrier_map.is_strict identity)
+
+let test_union () =
+  let cm = Carrier_map.of_task consensus2 in
+  let u = Carrier_map.union cm cm in
+  Alcotest.(check bool) "idempotent union" true
+    (List.for_all
+       (fun sigma ->
+         Complex.equal (Carrier_map.apply u sigma) (Carrier_map.apply cm sigma))
+       (Carrier_map.domain cm))
+
+let test_compose_simplicial () =
+  let cm = Carrier_map.of_task consensus2 in
+  (* The color-preserving flip 0 <-> 1 on inputs. *)
+  let flip =
+    Simplicial_map.of_fun
+      (Complex.vertices (Task.inputs consensus2))
+      (fun v ->
+        match Vertex.value v with
+        | Value.Int b -> Vertex.make (Vertex.color v) (Value.Int (1 - b))
+        | other -> Vertex.make (Vertex.color v) other)
+  in
+  let composed = Carrier_map.compose_simplicial cm flip in
+  let zero = Simplex.of_list [ (1, Value.Int 0) ] in
+  let one = Simplex.of_list [ (1, Value.Int 1) ] in
+  Alcotest.(check bool) "composed applies the flip first" true
+    (Complex.equal (Carrier_map.apply composed zero) (Carrier_map.apply cm one))
+
+let suite =
+  ( "carrier_map",
+    [
+      Alcotest.test_case "task Δ monotone" `Quick test_of_task_monotone;
+      Alcotest.test_case "AA Δ monotone" `Quick test_aa_carrier;
+      Alcotest.test_case "non-monotone detected" `Quick test_non_monotone_detected;
+      Alcotest.test_case "apply/domain" `Quick test_apply_and_domain;
+      Alcotest.test_case "strictness" `Quick test_strictness;
+      Alcotest.test_case "union" `Quick test_union;
+      Alcotest.test_case "compose with simplicial map" `Quick test_compose_simplicial;
+    ] )

@@ -1,0 +1,62 @@
+(* Tests for the mechanized classical arguments. *)
+
+let test_consensus_argument () =
+  List.iter
+    (fun (n, t) ->
+      let r = Classical.consensus_argument ~n ~rounds:t in
+      Alcotest.(check bool)
+        (Printf.sprintf "argument applies (n=%d, t=%d)" n t)
+        true
+        (Classical.consensus_argument_valid r);
+      Alcotest.(check int) "rounds recorded" t r.Classical.rounds)
+    [ (2, 1); (2, 2); (3, 1) ]
+
+let test_solo_distance_values () =
+  List.iter
+    (fun (n, t, expect) ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "distance n=%d t=%d" n t)
+        (Some expect)
+        (Classical.solo_distance Model.Immediate ~n ~rounds:t))
+    [ (2, 0, 1); (2, 1, 3); (2, 2, 9); (3, 1, 2); (3, 2, 4); (4, 1, 2) ]
+
+let test_snapshot_collect_distances () =
+  (* Weaker models have more facets, hence no larger distances; for
+     n = 2 they coincide with IS. *)
+  List.iter
+    (fun model ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "n=2 t=1 in %s" (Model.name model))
+        (Some 3)
+        (Classical.solo_distance model ~n:2 ~rounds:1))
+    [ Model.Snapshot; Model.Collect ]
+
+let test_diameter_bound () =
+  Alcotest.(check bool) "bound 1/9 for n=2 t=2" true
+    (Frac.equal
+       (Classical.diameter_lower_bound Model.Immediate ~n:2 ~rounds:2)
+       (Frac.make 1 9));
+  Alcotest.(check bool) "bound 1/4 for n=3 t=2" true
+    (Frac.equal
+       (Classical.diameter_lower_bound Model.Immediate ~n:3 ~rounds:2)
+       (Frac.make 1 4));
+  (* Consistency with the direct solver: at eps exactly the bound the
+     task is solvable, just below it is not. *)
+  let inputs = Complex.all_simplices (Approx_agreement.binary_input_complex ~n:2) in
+  let solvable eps_n eps_d m t =
+    Solvability.is_solvable
+      (Solvability.task_in_model ~inputs Model.Immediate
+         (Approx_agreement.task ~n:2 ~m ~eps:(Frac.make eps_n eps_d))
+         ~rounds:t)
+  in
+  Alcotest.(check bool) "eps = 1/9 solvable in 2" true (solvable 1 9 9 2);
+  Alcotest.(check bool) "eps = 1/27 not solvable in 2" false (solvable 1 27 27 2)
+
+let suite =
+  ( "classical",
+    [
+      Alcotest.test_case "connectivity argument" `Quick test_consensus_argument;
+      Alcotest.test_case "solo distances" `Quick test_solo_distance_values;
+      Alcotest.test_case "distances in weaker models" `Quick test_snapshot_collect_distances;
+      Alcotest.test_case "diameter bound vs solver" `Quick test_diameter_bound;
+    ] )

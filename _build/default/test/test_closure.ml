@@ -1,0 +1,201 @@
+(* Tests for the closure operator (Definitions 1-2) and its fixed
+   points — the paper's central construction. *)
+
+let op = Round_op.plain Model.Immediate
+
+let test_delta_contains_delta () =
+  (* Remark after Definition 2: Δ(σ) ⊆ Δ'(σ), for several tasks. *)
+  let check task sigma =
+    Alcotest.(check bool)
+      (Printf.sprintf "Δ ⊆ Δ' for %s" task.Task.name)
+      true
+      (Complex.subcomplex (Task.delta task sigma) (Closure.delta ~op task sigma))
+  in
+  check (Consensus.binary ~n:2)
+    (Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 1) ]);
+  check
+    (Approx_agreement.task ~n:2 ~m:3 ~eps:(Frac.make 1 3))
+    (Simplex.of_list [ (1, Value.frac 0 1); (2, Value.frac 1 1) ]);
+  check
+    (Set_agreement.task ~n:3 ~k:2 ~values:[ Value.Int 0; Value.Int 1 ])
+    (Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 1); (3, Value.Int 0) ])
+
+let test_consensus_fixed_point () =
+  let t = Consensus.binary ~n:2 in
+  Alcotest.(check bool) "fixed point" true
+    (Closure.fixed_point_on ~op t (Task.input_simplices t))
+
+let test_tau_member_consistent () =
+  (* tau_member agrees with membership in the computed Δ'. *)
+  let t = Approx_agreement.task ~n:2 ~m:3 ~eps:(Frac.make 1 3) in
+  let sigma = Simplex.of_list [ (1, Value.frac 0 1); (2, Value.frac 1 1) ] in
+  let d' = Closure.delta ~op t sigma in
+  List.iter
+    (fun tau ->
+      Alcotest.(check bool)
+        (Printf.sprintf "membership of %s" (Simplex.to_string tau))
+        (Complex.mem tau d')
+        (Closure.tau_member ~op t ~sigma ~tau))
+    (Task.chromatic_output_sets t sigma)
+
+let test_claim2_small () =
+  let eps = Frac.make 1 9 in
+  let t = Approx_agreement.task ~n:2 ~m:9 ~eps in
+  let reference = Approx_agreement.task ~n:2 ~m:9 ~eps:(Frac.make 3 9) in
+  let sigma = Simplex.of_list [ (1, Value.frac 0 1); (2, Value.frac 1 1) ] in
+  Alcotest.(check bool) "CL(eps-AA) = 3eps-AA on the 0-1 edge" true
+    (Closure.equal_on ~op t ~reference (Simplex.faces sigma))
+
+let test_claim3_small () =
+  let eps = Frac.make 1 2 in
+  let t = Approx_agreement.liberal ~n:3 ~m:2 ~eps in
+  let reference = Approx_agreement.liberal ~n:3 ~m:2 ~eps:Frac.one in
+  let sigma =
+    Simplex.of_list
+      [ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ]
+  in
+  Alcotest.(check bool) "CL(liberal eps) = liberal 2eps" true
+    (Closure.equal_on ~op t ~reference (Simplex.faces sigma))
+
+let test_closure_task_structure () =
+  let t = Consensus.binary ~n:2 in
+  let cl = Closure.task ~op t in
+  Alcotest.(check int) "same arity" 2 cl.Task.arity;
+  Alcotest.(check bool) "same inputs" true
+    (Complex.equal (Task.inputs cl) (Task.inputs t));
+  (* For a fixed point the closure's Δ agrees with the original. *)
+  Alcotest.(check bool) "delta agrees" true
+    (Task.delta_equal_on cl t (Task.input_simplices t))
+
+let test_iterate_zero () =
+  let t = Consensus.binary ~n:2 in
+  Alcotest.(check string) "0 iterations is the task" t.Task.name
+    (Closure.iterate ~op 0 t).Task.name
+
+let test_augmented_closure_differs () =
+  (* With test&set the closure of consensus-like behaviour changes: a
+     disagreeing τ becomes legal for 2 participants (Figure 4). *)
+  let t = Consensus.binary ~n:2 in
+  let sigma = Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 1) ] in
+  let tau = sigma in
+  Alcotest.(check bool) "disagreement illegal in plain closure" false
+    (Closure.tau_member ~op t ~sigma ~tau);
+  Alcotest.(check bool) "legal with test&set" true
+    (Closure.tau_member ~op:Round_op.test_and_set t ~sigma ~tau)
+
+let test_beta_closure () =
+  (* With all processes proposing the same β bit, the binary consensus
+     box degenerates and the closure matches the plain one. *)
+  let t = Approx_agreement.liberal ~n:3 ~m:2 ~eps:Frac.half in
+  let sigma =
+    Simplex.of_list
+      [ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ]
+  in
+  let plain = Closure.delta ~op t sigma in
+  let beta = Closure.delta ~op:(Round_op.bin_consensus_beta (fun _ -> false)) t sigma in
+  Alcotest.(check bool) "degenerate β closure = plain closure" true
+    (Complex.equal plain beta)
+
+let test_witness () =
+  (* The Figure-2 style witness: extract the one-round local-task map
+     for a closure member and re-validate it by hand. *)
+  let eps = Frac.make 1 3 in
+  let t = Approx_agreement.task ~n:2 ~m:3 ~eps in
+  let sigma = Simplex.of_list [ (1, Value.frac 0 1); (2, Value.frac 1 1) ] in
+  let tau = Simplex.of_list [ (1, Value.frac 0 1); (2, Value.frac 1 1) ] in
+  (match Closure.witness ~op t ~sigma ~tau with
+  | None -> Alcotest.fail "tau at spread 3eps must be a closure member"
+  | Some f ->
+      Alcotest.(check bool) "chromatic" true (Simplicial_map.is_chromatic f);
+      (* Solo vertices pinned to τ. *)
+      List.iter
+        (fun i ->
+          let solo = Vertex.make i (Model.solo_view i (Simplex.value i tau)) in
+          Alcotest.(check bool) "solo pinned" true
+            (Vertex.equal (Simplicial_map.apply f solo)
+               (Simplex.find i tau)))
+        [ 1; 2 ];
+      (* Every facet of P^1(τ) lands inside Δ(σ). *)
+      List.iter
+        (fun facet ->
+          Alcotest.(check bool) "image in Δ(σ)" true
+            (Complex.mem (Simplicial_map.apply_simplex f facet) (Task.delta t sigma)))
+        (Model.one_round_facets Model.Immediate tau));
+  (* A non-member yields no witness. *)
+  let t9 = Approx_agreement.task ~n:2 ~m:9 ~eps:(Frac.make 1 9) in
+  let far = Simplex.of_list [ (1, Value.frac 0 1); (2, Value.frac 1 1) ] in
+  Alcotest.(check bool) "no witness beyond 3eps" true
+    (Closure.witness ~op t9 ~sigma ~tau:far = None)
+
+let test_delta_any () =
+  (* The union-over-β closure contains each single-β closure and is
+     memoized consistently. *)
+  let t = Approx_agreement.liberal ~n:3 ~m:2 ~eps:Frac.half in
+  let sigma =
+    Simplex.of_list
+      [ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ]
+  in
+  let ops = Closure.bin_consensus_ops [ 1; 2; 3 ] in
+  Alcotest.(check int) "8 betas" 8 (List.length ops);
+  let d_any = Closure.delta_any ~ops ~name:"test-any" t sigma in
+  List.iter
+    (fun op ->
+      Alcotest.(check bool) "single β contained" true
+        (Complex.subcomplex (Closure.delta ~op t sigma) d_any))
+    ops;
+  let again = Closure.delta_any ~ops ~name:"test-any" t sigma in
+  Alcotest.(check bool) "memoized result stable" true (Complex.equal d_any again)
+
+let test_beta_closures_not_conflated () =
+  (* Regression: different β operators must not share memo entries.
+     On (0, 1/2, 1) the constant-β closure is the 2ε task (65 facets)
+     while a mixed β — which lets disjoint sides exploit the box — is
+     strictly larger (95 facets). *)
+  let m = 4 in
+  let laa = Approx_agreement.liberal ~n:3 ~m ~eps:(Frac.make 1 m) in
+  let sigma =
+    Simplex.of_list
+      [ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ]
+  in
+  let d beta = Closure.delta ~op:(Round_op.bin_consensus_beta beta) laa sigma in
+  let d_const = d (fun _ -> false) in
+  let d_mixed = d (fun i -> i = 1) in
+  Alcotest.(check int) "constant β = 2eps closure" 65 (Complex.facet_count d_const);
+  Alcotest.(check int) "mixed β strictly larger" 95 (Complex.facet_count d_mixed);
+  Alcotest.(check bool) "not conflated" false (Complex.equal d_const d_mixed)
+
+let test_round_op_accessors () =
+  Alcotest.(check string) "plain name" "immediate"
+    (Round_op.name (Round_op.plain Model.Immediate));
+  Alcotest.(check string) "tas name" "immediate+test&set"
+    (Round_op.name Round_op.test_and_set);
+  let sigma = Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 1) ] in
+  Alcotest.(check int) "complex facets" 3
+    (Complex.facet_count (Round_op.complex (Round_op.plain Model.Immediate) sigma));
+  (* Solo vertices: plain vs boxed shapes. *)
+  let plain_solo = Round_op.solo_vertex (Round_op.plain Model.Immediate) sigma 1 in
+  Alcotest.(check bool) "plain solo is a view" true
+    (match Vertex.value plain_solo with Value.View _ -> true | _ -> false);
+  let tas_solo = Round_op.solo_vertex Round_op.test_and_set sigma 1 in
+  Alcotest.(check bool) "tas solo wins" true
+    (match Vertex.value tas_solo with
+    | Value.Pair (Value.Bool true, _) -> true
+    | _ -> false)
+
+let suite =
+  ( "closure",
+    [
+      Alcotest.test_case "Δ ⊆ Δ'" `Quick test_delta_contains_delta;
+      Alcotest.test_case "consensus fixed point" `Quick test_consensus_fixed_point;
+      Alcotest.test_case "tau_member consistency" `Quick test_tau_member_consistent;
+      Alcotest.test_case "Claim 2 (small)" `Quick test_claim2_small;
+      Alcotest.test_case "Claim 3 (small)" `Quick test_claim3_small;
+      Alcotest.test_case "closure task structure" `Quick test_closure_task_structure;
+      Alcotest.test_case "iterate 0" `Quick test_iterate_zero;
+      Alcotest.test_case "augmented closure differs" `Quick test_augmented_closure_differs;
+      Alcotest.test_case "β closure degenerates" `Quick test_beta_closure;
+      Alcotest.test_case "delta_any (union over β)" `Quick test_delta_any;
+      Alcotest.test_case "closure witness (Figure 2)" `Quick test_witness;
+      Alcotest.test_case "β closures not conflated" `Quick test_beta_closures_not_conflated;
+      Alcotest.test_case "round-op accessors" `Quick test_round_op_accessors;
+    ] )

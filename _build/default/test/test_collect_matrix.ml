@@ -1,0 +1,89 @@
+(* Tests for the matrix representation of one-round executions
+   (Appendix A.3.4). *)
+
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+(* The five defining conditions of a collect matrix. *)
+let well_formed ids m =
+  let groups = List.concat_map (fun r -> r.Collect_matrix.group) m in
+  let r = List.length m - 1 in
+  r <= List.length ids - 1
+  && List.sort Stdlib.compare groups = ids
+  && (match m with
+     | first :: _ -> first.Collect_matrix.sees = ids
+     | [] -> false)
+  && List.for_all (fun row -> subset row.Collect_matrix.sees ids) m
+  && fst
+       (List.fold_left
+          (fun (ok, rest) row ->
+            match rest with
+            | [] -> (false, [])
+            | _ :: tl ->
+                let tail_union = List.concat_map (fun r -> r.Collect_matrix.group) rest in
+                (ok && subset tail_union row.Collect_matrix.sees, tl))
+          (true, m) m)
+
+let test_all_matrices_well_formed () =
+  let ids = [ 1; 2; 3 ] in
+  let all = Collect_matrix.enumerate ids in
+  Alcotest.(check bool) "every enumerated matrix satisfies (1)-(5)" true
+    (List.for_all (well_formed ids) all)
+
+let test_filters_nested () =
+  let all = Collect_matrix.enumerate [ 1; 2; 3 ] in
+  let snap = List.filter Collect_matrix.is_snapshot all in
+  let imm = List.filter Collect_matrix.is_immediate all in
+  Alcotest.(check bool) "immediate implies snapshot" true
+    (List.for_all Collect_matrix.is_snapshot imm);
+  Alcotest.(check bool) "containment strict" true
+    (List.length imm < List.length snap && List.length snap < List.length all)
+
+let test_views () =
+  let m =
+    [ { Collect_matrix.sees = [ 1; 2; 3 ]; group = [ 2 ] };
+      { Collect_matrix.sees = [ 1; 3 ]; group = [ 1; 3 ] } ]
+  in
+  Alcotest.(check (list (pair int (list int))))
+    "views by process"
+    [ (1, [ 1; 3 ]); (2, [ 1; 2; 3 ]); (3, [ 1; 3 ]) ]
+    (Collect_matrix.views m)
+
+let test_of_ordered_partition () =
+  let m = Collect_matrix.of_ordered_partition [ [ 2 ]; [ 1; 3 ] ] in
+  Alcotest.(check bool) "immediate" true (Collect_matrix.is_immediate m);
+  Alcotest.(check bool) "snapshot" true (Collect_matrix.is_snapshot m);
+  Alcotest.(check bool) "well-formed" true (well_formed [ 1; 2; 3 ] m);
+  Alcotest.(check (list (pair int (list int))))
+    "views match the partition semantics"
+    (Ordered_partition.views [ [ 2 ]; [ 1; 3 ] ])
+    (Collect_matrix.views m)
+
+let test_example_from_appendix () =
+  (* The collect-only execution used in DESIGN.md: I_0={1}, I_1={2}
+     with P_1={2,3}, I_2={3} with P_2={1,3} is a valid collect matrix
+     that is neither snapshot nor immediate. *)
+  let m =
+    [ { Collect_matrix.sees = [ 1; 2; 3 ]; group = [ 1 ] };
+      { Collect_matrix.sees = [ 2; 3 ]; group = [ 2 ] };
+      { Collect_matrix.sees = [ 1; 3 ]; group = [ 3 ] } ]
+  in
+  Alcotest.(check bool) "well-formed" true (well_formed [ 1; 2; 3 ] m);
+  Alcotest.(check bool) "not snapshot" false (Collect_matrix.is_snapshot m);
+  Alcotest.(check bool) "not immediate" false (Collect_matrix.is_immediate m)
+
+let prop_partition_matrices_immediate =
+  QCheck2.Test.make ~name:"of_ordered_partition always immediate" ~count:200
+    (Gen.ordered_partition ~ids:[ 1; 2; 3; 4 ])
+    (fun part ->
+      Collect_matrix.is_immediate (Collect_matrix.of_ordered_partition part))
+
+let suite =
+  ( "collect_matrix",
+    [
+      Alcotest.test_case "conditions (1)-(5)" `Quick test_all_matrices_well_formed;
+      Alcotest.test_case "model filters nested" `Quick test_filters_nested;
+      Alcotest.test_case "views" `Quick test_views;
+      Alcotest.test_case "from ordered partition" `Quick test_of_ordered_partition;
+      Alcotest.test_case "appendix example" `Quick test_example_from_appendix;
+      QCheck_alcotest.to_alcotest prop_partition_matrices_immediate;
+    ] )

@@ -1,0 +1,55 @@
+(* Tests for 1-skeleton connectivity. *)
+
+let tri =
+  Simplex.of_list [ (1, Value.Int 1); (2, Value.Int 2); (3, Value.Int 3) ]
+
+let test_neighbors () =
+  let c = Complex.of_simplex tri in
+  let v1 = Vertex.make 1 (Value.Int 1) in
+  Alcotest.(check int) "two neighbours in a triangle" 2
+    (List.length (Connectivity.neighbors c v1))
+
+let test_path_in_subdivision () =
+  (* The 3-edge path used in the proof of Corollary 1. *)
+  let edge = Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 1) ] in
+  let p1 = Complex.of_facets (Model.one_round_facets Model.Immediate edge) in
+  match Connectivity.path p1 (Model.solo_vertex edge 1) (Model.solo_vertex edge 2) with
+  | Some path -> Alcotest.(check int) "4 vertices / 3 edges" 4 (List.length path)
+  | None -> Alcotest.fail "subdivided edge should be connected"
+
+let test_disconnected () =
+  let a = Simplex.of_list [ (1, Value.Int 0) ] in
+  let b = Simplex.of_list [ (2, Value.Int 1) ] in
+  let c = Complex.of_facets [ a; b ] in
+  Alcotest.(check bool) "disconnected" false (Connectivity.connected c);
+  Alcotest.(check int) "two components" 2 (List.length (Connectivity.components c));
+  Alcotest.(check bool) "no path" true
+    (Connectivity.path c (Vertex.make 1 (Value.Int 0)) (Vertex.make 2 (Value.Int 1))
+    = None)
+
+let test_trivial_paths () =
+  let c = Complex.of_simplex tri in
+  let v = Vertex.make 1 (Value.Int 1) in
+  Alcotest.(check bool) "self path" true (Connectivity.path c v v = Some [ v ]);
+  Alcotest.(check bool) "connected" true (Connectivity.connected c);
+  Alcotest.(check bool) "empty connected" true (Connectivity.connected Complex.empty)
+
+let prop_subdivision_connected =
+  (* One round of any of the three models keeps a simplex connected. *)
+  QCheck2.Test.make ~name:"one-round complexes are connected" ~count:30
+    (QCheck2.Gen.oneofl [ Model.Immediate; Model.Snapshot; Model.Collect ])
+    (fun m ->
+      let sigma =
+        Simplex.of_list [ (1, Value.Int 1); (2, Value.Int 2); (3, Value.Int 3) ]
+      in
+      Connectivity.connected (Complex.of_facets (Model.one_round_facets m sigma)))
+
+let suite =
+  ( "connectivity",
+    [
+      Alcotest.test_case "neighbors" `Quick test_neighbors;
+      Alcotest.test_case "path in subdivision (Cor 1)" `Quick test_path_in_subdivision;
+      Alcotest.test_case "disconnected complexes" `Quick test_disconnected;
+      Alcotest.test_case "trivial paths" `Quick test_trivial_paths;
+      QCheck_alcotest.to_alcotest prop_subdivision_connected;
+    ] )

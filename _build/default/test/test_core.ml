@@ -1,0 +1,54 @@
+(* Tests for the Speedup_theory facade. *)
+
+let test_consensus_story () =
+  let t = Speedup_theory.consensus ~n:2 in
+  Alcotest.(check bool) "fixed point" true (Speedup_theory.is_fixed_point t);
+  Alcotest.(check bool) "not 0-round solvable" false
+    (Speedup_theory.solvable ~rounds:0 t);
+  Alcotest.(check bool) "not 2-round solvable" false
+    (Speedup_theory.solvable ~rounds:2 t);
+  Alcotest.(check bool) "2-proc solvable with test&set" true
+    (Speedup_theory.solvable ~rounds:1 ~test_and_set:true t)
+
+let test_min_rounds () =
+  let aa = Speedup_theory.approximate_agreement ~n:2 ~m:9 ~eps:(Frac.make 1 9) in
+  Alcotest.(check bool) "exact 2" true
+    (Speedup_theory.min_rounds ~binary_inputs:true aa = Speedup_theory.Exact 2);
+  let cons = Speedup_theory.consensus ~n:2 in
+  Alcotest.(check bool) "consensus hits the cap" true
+    (Speedup_theory.min_rounds ~max_rounds:1 cons = Speedup_theory.At_least 2)
+
+let test_closure_facade () =
+  let t = Speedup_theory.consensus ~n:2 in
+  let cl = Speedup_theory.closure t in
+  Alcotest.(check bool) "closure of a fixed point has the same Δ" true
+    (Task.delta_equal_on cl t (Task.input_simplices t))
+
+let test_check_speedup () =
+  let aa = Speedup_theory.approximate_agreement ~n:2 ~m:3 ~eps:(Frac.make 1 3) in
+  Alcotest.(check bool) "holds" true (Speedup_theory.check_speedup ~rounds:1 aa)
+
+let test_lower_bound_by_closure () =
+  let pow3 k = int_of_float (3. ** float_of_int k) in
+  let reference k =
+    Approx_agreement.task ~n:2 ~m:9 ~eps:(Frac.make (min 9 (pow3 k)) 9)
+  in
+  let aa = reference 0 in
+  Alcotest.(check int) "chain length 2" 2
+    (Speedup_theory.lower_bound_by_closure aa ~reference ~max:5);
+  (* A wrong reference chain is rejected. *)
+  let bad k = Approx_agreement.task ~n:2 ~m:9 ~eps:(Frac.make (min 9 (k + 1)) 9) in
+  Alcotest.(check bool) "mismatch detected" true
+    (match Speedup_theory.lower_bound_by_closure aa ~reference:bad ~max:5 with
+    | exception Failure _ -> true
+    | _ -> false)
+
+let suite =
+  ( "speedup_theory",
+    [
+      Alcotest.test_case "consensus story" `Quick test_consensus_story;
+      Alcotest.test_case "min_rounds" `Quick test_min_rounds;
+      Alcotest.test_case "closure facade" `Quick test_closure_facade;
+      Alcotest.test_case "check_speedup" `Quick test_check_speedup;
+      Alcotest.test_case "lower bound by closure" `Quick test_lower_bound_by_closure;
+    ] )

@@ -1,0 +1,44 @@
+(* Tests for the simulator-vs-topology cross-validation. *)
+
+let sigma n =
+  Simplex.of_list (List.init n (fun i -> (i + 1, Value.Int (i + 1))))
+
+let check_matched name (r : Cross_check.report) =
+  Alcotest.(check bool) name true r.Cross_check.matched;
+  Alcotest.(check int)
+    (name ^ " sizes agree")
+    r.Cross_check.combinatorial r.Cross_check.simulated
+
+let test_immediate () =
+  check_matched "IS n=2" (Cross_check.immediate (sigma 2));
+  check_matched "IS n=3" (Cross_check.immediate (sigma 3))
+
+let test_immediate_iterated () =
+  check_matched "IS P^2 n=2" (Cross_check.immediate_iterated ~rounds:2 (sigma 2));
+  check_matched "IS P^2 n=3" (Cross_check.immediate_iterated ~rounds:2 (sigma 3))
+
+let test_snapshot () =
+  check_matched "snapshot n=2" (Cross_check.snapshot (sigma 2));
+  check_matched "snapshot n=3" (Cross_check.snapshot (sigma 3))
+
+let test_collect () =
+  check_matched "collect n=2 exhaustive" (Cross_check.collect_exhaustive (sigma 2));
+  check_matched "collect n=3 constructive"
+    (Cross_check.collect_constructive ~samples:300 (sigma 3))
+
+let test_augmented () =
+  check_matched "tas n=3" (Cross_check.immediate_test_and_set (sigma 3));
+  check_matched "bin-consensus mixed β"
+    (Cross_check.immediate_bin_consensus ~beta:(fun i -> i = 2) (sigma 3));
+  check_matched "bin-consensus constant β"
+    (Cross_check.immediate_bin_consensus ~beta:(fun _ -> true) (sigma 3))
+
+let suite =
+  ( "cross_check",
+    [
+      Alcotest.test_case "immediate snapshot" `Quick test_immediate;
+      Alcotest.test_case "iterated immediate snapshot" `Quick test_immediate_iterated;
+      Alcotest.test_case "snapshot" `Quick test_snapshot;
+      Alcotest.test_case "collect" `Quick test_collect;
+      Alcotest.test_case "augmented models" `Quick test_augmented;
+    ] )

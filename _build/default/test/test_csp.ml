@@ -1,0 +1,144 @@
+(* Tests for the table-constraint CSP engine. *)
+
+let solve ?node_limit p =
+  match Csp.solve ?node_limit p with
+  | Csp.Sat a -> `Sat (Array.to_list a)
+  | Csp.Unsat -> `Unsat
+  | Csp.Unknown -> `Unknown
+
+let test_trivial_sat () =
+  let p = Csp.create ~num_vars:2 ~candidate_counts:[| 2; 2 |] in
+  (match solve p with
+  | `Sat [ _; _ ] -> ()
+  | _ -> Alcotest.fail "unconstrained problem should be Sat");
+  ()
+
+let test_equality_chain () =
+  (* x0 = x1 = x2, all binary, x0 pinned to 1. *)
+  let p = Csp.create ~num_vars:3 ~candidate_counts:[| 2; 2; 2 |] in
+  let eq = [| [| 0; 0 |]; [| 1; 1 |] |] in
+  Csp.add_table_constraint p ~scope:[| 0; 1 |] ~tuples:eq;
+  Csp.add_table_constraint p ~scope:[| 1; 2 |] ~tuples:eq;
+  Csp.pin p ~var:0 ~value:1;
+  Alcotest.(check bool) "propagates to all ones" true
+    (solve p = `Sat [ 1; 1; 1 ])
+
+let test_unsat_by_conflict () =
+  (* x0 = x1 and x0 ≠ x1 simultaneously. *)
+  let p = Csp.create ~num_vars:2 ~candidate_counts:[| 2; 2 |] in
+  Csp.add_table_constraint p ~scope:[| 0; 1 |]
+    ~tuples:[| [| 0; 0 |]; [| 1; 1 |] |];
+  Csp.add_table_constraint p ~scope:[| 0; 1 |]
+    ~tuples:[| [| 0; 1 |]; [| 1; 0 |] |];
+  Alcotest.(check bool) "unsat" true (solve p = `Unsat)
+
+let test_empty_table () =
+  let p = Csp.create ~num_vars:1 ~candidate_counts:[| 3 |] in
+  Csp.add_table_constraint p ~scope:[| 0 |] ~tuples:[||];
+  Alcotest.(check bool) "empty table is unsat" true (solve p = `Unsat)
+
+let test_empty_domain () =
+  let p = Csp.create ~num_vars:2 ~candidate_counts:[| 0; 2 |] in
+  Alcotest.(check bool) "empty domain unsat" true (solve p = `Unsat)
+
+let test_conflicting_pins () =
+  let p = Csp.create ~num_vars:1 ~candidate_counts:[| 2 |] in
+  Csp.pin p ~var:0 ~value:0;
+  Csp.pin p ~var:0 ~value:1;
+  Alcotest.(check bool) "conflicting pins unsat" true (solve p = `Unsat)
+
+let test_graph_coloring () =
+  (* 2-coloring: a triangle is unsat, a path is sat. *)
+  let neq = [| [| 0; 1 |]; [| 1; 0 |] |] in
+  let triangle = Csp.create ~num_vars:3 ~candidate_counts:[| 2; 2; 2 |] in
+  Csp.add_table_constraint triangle ~scope:[| 0; 1 |] ~tuples:neq;
+  Csp.add_table_constraint triangle ~scope:[| 1; 2 |] ~tuples:neq;
+  Csp.add_table_constraint triangle ~scope:[| 0; 2 |] ~tuples:neq;
+  Alcotest.(check bool) "odd cycle not 2-colorable" true (solve triangle = `Unsat);
+  let path = Csp.create ~num_vars:3 ~candidate_counts:[| 2; 2; 2 |] in
+  Csp.add_table_constraint path ~scope:[| 0; 1 |] ~tuples:neq;
+  Csp.add_table_constraint path ~scope:[| 1; 2 |] ~tuples:neq;
+  (match solve path with
+  | `Sat [ a; b; c ] ->
+      Alcotest.(check bool) "proper coloring" true (a <> b && b <> c)
+  | _ -> Alcotest.fail "path should be 2-colorable")
+
+let test_ternary_constraint () =
+  (* x0 + x1 + x2 = 1 over binaries, via its table. *)
+  let p = Csp.create ~num_vars:3 ~candidate_counts:[| 2; 2; 2 |] in
+  Csp.add_table_constraint p ~scope:[| 0; 1; 2 |]
+    ~tuples:[| [| 1; 0; 0 |]; [| 0; 1; 0 |]; [| 0; 0; 1 |] |];
+  Csp.pin p ~var:2 ~value:1;
+  Alcotest.(check bool) "forced assignment" true (solve p = `Sat [ 0; 0; 1 ])
+
+let test_node_limit () =
+  (* A pigeonhole-flavoured instance that requires search; with a
+     1-node budget the solver must give up cleanly. *)
+  let n = 6 in
+  let p = Csp.create ~num_vars:n ~candidate_counts:(Array.make n n) in
+  let neq =
+    Array.of_list
+      (List.concat_map
+         (fun a ->
+           List.filter_map
+             (fun b -> if a <> b then Some [| a; b |] else None)
+             (List.init n Fun.id))
+         (List.init n Fun.id))
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      Csp.add_table_constraint p ~scope:[| i; j |] ~tuples:neq
+    done
+  done;
+  (match solve ~node_limit:1 p with
+  | `Unknown -> ()
+  | `Sat _ -> ()  (* propagation alone may already solve it *)
+  | `Unsat -> Alcotest.fail "all-different over n values is satisfiable");
+  (* With a real budget it is satisfiable. *)
+  match solve p with
+  | `Sat assignment ->
+      let distinct = List.sort_uniq Stdlib.compare assignment in
+      Alcotest.(check int) "all different" n (List.length distinct)
+  | _ -> Alcotest.fail "should be satisfiable"
+
+let test_reusable_solver () =
+  (* Solving twice returns the same verdict: domains are restored. *)
+  let p = Csp.create ~num_vars:2 ~candidate_counts:[| 2; 2 |] in
+  Csp.add_table_constraint p ~scope:[| 0; 1 |]
+    ~tuples:[| [| 0; 1 |]; [| 1; 0 |] |];
+  let first = solve p in
+  let second = solve p in
+  Alcotest.(check bool) "idempotent" true (first = second)
+
+let test_stats () =
+  let p = Csp.create ~num_vars:2 ~candidate_counts:[| 2; 2 |] in
+  Alcotest.(check int) "no nodes before solve" 0 (Csp.last_stats p).Csp.nodes;
+  Csp.add_table_constraint p ~scope:[| 0; 1 |]
+    ~tuples:[| [| 0; 1 |]; [| 1; 0 |] |];
+  ignore (Csp.solve p);
+  let s = Csp.last_stats p in
+  Alcotest.(check bool) "nodes counted" true (s.Csp.nodes >= 1);
+  Alcotest.(check bool) "revisions counted" true (s.Csp.revisions >= 1)
+
+let test_arity_mismatch () =
+  let p = Csp.create ~num_vars:2 ~candidate_counts:[| 2; 2 |] in
+  Alcotest.check_raises "tuple arity checked"
+    (Invalid_argument "Csp.add_table_constraint: tuple arity mismatch")
+    (fun () -> Csp.add_table_constraint p ~scope:[| 0; 1 |] ~tuples:[| [| 0 |] |])
+
+let suite =
+  ( "csp",
+    [
+      Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+      Alcotest.test_case "equality chain propagation" `Quick test_equality_chain;
+      Alcotest.test_case "unsat by conflict" `Quick test_unsat_by_conflict;
+      Alcotest.test_case "empty table" `Quick test_empty_table;
+      Alcotest.test_case "empty domain" `Quick test_empty_domain;
+      Alcotest.test_case "conflicting pins" `Quick test_conflicting_pins;
+      Alcotest.test_case "graph coloring" `Quick test_graph_coloring;
+      Alcotest.test_case "ternary table" `Quick test_ternary_constraint;
+      Alcotest.test_case "node limit" `Quick test_node_limit;
+      Alcotest.test_case "solver reuse" `Quick test_reusable_solver;
+      Alcotest.test_case "statistics" `Quick test_stats;
+      Alcotest.test_case "arity checking" `Quick test_arity_mismatch;
+    ] )

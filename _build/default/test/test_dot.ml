@@ -1,0 +1,52 @@
+(* Tests for the Graphviz export. *)
+
+let tri =
+  Simplex.of_list [ (1, Value.Int 1); (2, Value.Int 2); (3, Value.Int 3) ]
+
+let count_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i acc =
+    if i + m > n then acc
+    else if String.sub s i m = sub then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_triangle_dot () =
+  let dot = Dot.of_complex (Complex.of_simplex tri) in
+  Alcotest.(check bool) "graph header" true (Astring_like.contains dot "graph complex {");
+  Alcotest.(check int) "three edges" 3 (count_substring dot " -- ");
+  Alcotest.(check int) "three filled nodes" 3 (count_substring dot "fillcolor");
+  Alcotest.(check bool) "black color used" true (Astring_like.contains dot "black")
+
+let test_no_duplicate_edges () =
+  (* Two facets sharing an edge must not emit it twice. *)
+  let a = Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 0); (3, Value.Int 0) ] in
+  let b = Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 0); (3, Value.Int 9) ] in
+  let dot = Dot.of_complex (Complex.of_facets [ a; b ]) in
+  (* Edges: 3 + 3 − 1 shared = 5. *)
+  Alcotest.(check int) "five distinct edges" 5 (count_substring dot " -- ")
+
+let test_named_graph () =
+  let dot = Dot.of_complex ~name:"fig8" (Complex.of_simplex tri) in
+  Alcotest.(check bool) "custom name" true (Astring_like.contains dot "graph fig8 {")
+
+let test_write_file () =
+  let path = Filename.temp_file "speedup_dot" ".dot" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dot.write_file path (Complex.of_simplex tri);
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      close_in ic;
+      Alcotest.(check bool) "non-empty file" true (len > 0))
+
+let suite =
+  ( "dot",
+    [
+      Alcotest.test_case "triangle export" `Quick test_triangle_dot;
+      Alcotest.test_case "edge deduplication" `Quick test_no_duplicate_edges;
+      Alcotest.test_case "named graph" `Quick test_named_graph;
+      Alcotest.test_case "write to file" `Quick test_write_file;
+    ] )

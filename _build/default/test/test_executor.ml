@@ -1,0 +1,151 @@
+(* Tests for the operational simulator. *)
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let inputs2 = [ (1, Value.Int 10); (2, Value.Int 20) ]
+
+let view l = Value.view l
+
+let test_solo_first_views () =
+  let protocol = Protocol.full_information ~rounds:1 in
+  let result =
+    Executor.run protocol ~inputs:inputs2
+      ~schedule:[ Schedule.Is_round [ [ 1 ]; [ 2 ] ] ]
+  in
+  Alcotest.(check (list (pair int value)))
+    "process 1 solo, process 2 sees both"
+    [
+      (1, view [ (1, Value.Int 10) ]);
+      (2, view [ (1, Value.Int 10); (2, Value.Int 20) ]);
+    ]
+    result.Executor.outputs
+
+let test_concurrent_block () =
+  let protocol = Protocol.full_information ~rounds:1 in
+  let result =
+    Executor.run protocol ~inputs:inputs2
+      ~schedule:[ Schedule.Is_round [ [ 1; 2 ] ] ]
+  in
+  let both = view [ (1, Value.Int 10); (2, Value.Int 20) ] in
+  Alcotest.(check (list (pair int value))) "both see both"
+    [ (1, both); (2, both) ] result.Executor.outputs
+
+let test_collect_round () =
+  (* Process 2 writes last and reads everything; process 1 reads before
+     2's write and misses it. *)
+  let protocol = Protocol.full_information ~rounds:1 in
+  let round =
+    Schedule.Step_round
+      [ Schedule.Write 1; Schedule.Read (1, 1); Schedule.Read (1, 2);
+        Schedule.Write 2; Schedule.Read (2, 1); Schedule.Read (2, 2) ]
+  in
+  let result = Executor.run protocol ~inputs:inputs2 ~schedule:[ round ] in
+  Alcotest.(check (list (pair int value)))
+    "asymmetric views"
+    [
+      (1, view [ (1, Value.Int 10) ]);
+      (2, view [ (1, Value.Int 10); (2, Value.Int 20) ]);
+    ]
+    result.Executor.outputs
+
+let test_two_rounds_nesting () =
+  let protocol = Protocol.full_information ~rounds:2 in
+  let schedule =
+    [ Schedule.Is_round [ [ 1; 2 ] ]; Schedule.Is_round [ [ 2 ]; [ 1 ] ] ]
+  in
+  let result = Executor.run protocol ~inputs:inputs2 ~schedule in
+  let r1 = view [ (1, Value.Int 10); (2, Value.Int 20) ] in
+  Alcotest.(check (list (pair int value)))
+    "round-2 views nest round-1 views"
+    [ (1, view [ (1, r1); (2, r1) ]); (2, view [ (2, r1) ]) ]
+    result.Executor.outputs;
+  Alcotest.(check int) "two view profiles recorded" 2
+    (List.length result.Executor.round_views)
+
+let test_crash_mid_round () =
+  (* Process 1 writes but never collects: it decides nothing, but its
+     write is visible to process 2. *)
+  let protocol = Protocol.full_information ~rounds:1 in
+  let round =
+    Schedule.Step_round
+      [ Schedule.Write 1; Schedule.Write 2; Schedule.Read (2, 1);
+        Schedule.Read (2, 2) ]
+  in
+  let result = Executor.run protocol ~inputs:inputs2 ~schedule:[ round ] in
+  Alcotest.(check (list (pair int value)))
+    "only process 2 decides, having seen 1"
+    [ (2, view [ (1, Value.Int 10); (2, Value.Int 20) ]) ]
+    result.Executor.outputs
+
+let test_crash_round_boundary () =
+  let protocol = Protocol.full_information ~rounds:2 in
+  let schedule =
+    [ Schedule.Is_round [ [ 1; 2 ] ]; Schedule.Is_round [ [ 2 ] ] ]
+  in
+  let result = Executor.run protocol ~inputs:inputs2 ~schedule in
+  Alcotest.(check int) "one decider" 1 (List.length result.Executor.outputs);
+  Alcotest.(check bool) "process 2 decided" true
+    (List.mem_assoc 2 result.Executor.outputs)
+
+let test_boxed_round () =
+  let protocol =
+    Protocol.make ~name:"tas-echo" ~rounds:1
+      ~alpha:(fun ~round:_ _ _ -> Value.Unit)
+      ~decide:(fun _ v -> v)
+      ()
+  in
+  let result =
+    Executor.run ~box:Sim_object.test_and_set protocol ~inputs:inputs2
+      ~schedule:[ Schedule.Is_round [ [ 2 ]; [ 1 ] ] ]
+  in
+  (* First-scheduled process 2 wins the object. *)
+  let won i =
+    match List.assoc i result.Executor.outputs with
+    | Value.Pair (Value.Bool b, _) -> b
+    | _ -> Alcotest.fail "expected boxed view"
+  in
+  Alcotest.(check bool) "2 wins" true (won 2);
+  Alcotest.(check bool) "1 loses" false (won 1)
+
+let test_zero_round_protocol () =
+  let protocol =
+    Protocol.make ~name:"echo-input" ~rounds:0 ~decide:(fun _ v -> v) ()
+  in
+  let result = Executor.run protocol ~inputs:inputs2 ~schedule:[] in
+  Alcotest.(check (list (pair int value))) "outputs = inputs" inputs2
+    result.Executor.outputs
+
+let test_schedule_too_short () =
+  let protocol = Protocol.full_information ~rounds:2 in
+  Alcotest.check_raises "short schedule rejected"
+    (Invalid_argument "Executor.run: schedule shorter than the protocol")
+    (fun () ->
+      ignore
+        (Executor.run protocol ~inputs:inputs2
+           ~schedule:[ Schedule.Is_round [ [ 1; 2 ] ] ]))
+
+let test_simplex_extraction () =
+  let protocol = Protocol.full_information ~rounds:1 in
+  let result =
+    Executor.run protocol ~inputs:inputs2
+      ~schedule:[ Schedule.Is_round [ [ 1; 2 ] ] ]
+  in
+  Alcotest.(check (list int)) "outputs simplex ids" [ 1; 2 ]
+    (Simplex.ids (Executor.outputs_simplex result));
+  Alcotest.(check (list int)) "final views simplex ids" [ 1; 2 ]
+    (Simplex.ids (Executor.final_view_simplex result))
+
+let suite =
+  ( "executor",
+    [
+      Alcotest.test_case "solo-first IS round" `Quick test_solo_first_views;
+      Alcotest.test_case "concurrent block" `Quick test_concurrent_block;
+      Alcotest.test_case "collect interleaving" `Quick test_collect_round;
+      Alcotest.test_case "view nesting over rounds" `Quick test_two_rounds_nesting;
+      Alcotest.test_case "mid-round crash" `Quick test_crash_mid_round;
+      Alcotest.test_case "round-boundary crash" `Quick test_crash_round_boundary;
+      Alcotest.test_case "boxed round" `Quick test_boxed_round;
+      Alcotest.test_case "zero-round protocol" `Quick test_zero_round_protocol;
+      Alcotest.test_case "schedule length check" `Quick test_schedule_too_short;
+      Alcotest.test_case "simplex extraction" `Quick test_simplex_extraction;
+    ] )

@@ -1,0 +1,44 @@
+(* Integration tests: every experiment table must come out OK.  The
+   heavyweight experiments (full-grid closures, large simulator
+   sweeps) are tagged `Slow; `Quick covers the rest in seconds. *)
+
+let run_and_check id () =
+  let tables = Suite.run_one id in
+  Alcotest.(check bool) "at least one table" true (tables <> []);
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "[%s] %s" t.Report.id t.Report.title)
+        true t.Report.ok)
+    tables
+
+let test_registry () =
+  Alcotest.(check int) "20 experiments" 20 (List.length Suite.all);
+  Alcotest.(check bool) "find e3" true (Suite.find "e3" <> None);
+  Alcotest.(check bool) "find junk" true (Suite.find "zzz" = None);
+  Alcotest.check_raises "run_one unknown" Not_found (fun () ->
+      ignore (Suite.run_one "zzz"))
+
+let test_report_rendering () =
+  let t =
+    Report.table ~id:"x" ~title:"demo" ~headers:[ "a"; "b" ]
+      ~rows:[ [ "1"; "22" ]; [ "333"; "4" ] ]
+      ~ok:true
+  in
+  let s = Format.asprintf "%a" Report.pp t in
+  Alcotest.(check bool) "renders header" true
+    (Astring_like.contains s "[X] demo");
+  Alcotest.(check bool) "renders rows" true (Astring_like.contains s "333")
+
+let speed id = if List.mem id [ "e6"; "e7"; "e9"; "e10"; "e11"; "e12" ] then `Slow else `Quick
+
+let suite =
+  ( "experiments",
+    Alcotest.test_case "registry" `Quick test_registry
+    :: Alcotest.test_case "report rendering" `Quick test_report_rendering
+    :: List.map
+         (fun e ->
+           Alcotest.test_case
+             (Printf.sprintf "%s: %s" e.Suite.id e.Suite.description)
+             (speed e.Suite.id) (run_and_check e.Suite.id))
+         Suite.all )

@@ -1,0 +1,133 @@
+(* Unit and property tests for the exact rational arithmetic. *)
+
+let frac = Alcotest.testable Frac.pp Frac.equal
+
+let test_normalization () =
+  Alcotest.(check frac) "6/4 = 3/2" (Frac.make 3 2) (Frac.make 6 4);
+  Alcotest.(check frac) "-6/-4 = 3/2" (Frac.make 3 2) (Frac.make (-6) (-4));
+  Alcotest.(check frac) "6/-4 = -3/2" (Frac.make (-3) 2) (Frac.make 6 (-4));
+  Alcotest.(check frac) "0/7 = 0" Frac.zero (Frac.make 0 7);
+  Alcotest.(check int) "den of 0 is 1" 1 (Frac.den (Frac.make 0 7))
+
+let test_arithmetic () =
+  Alcotest.(check frac) "1/3 + 1/6 = 1/2" Frac.half
+    (Frac.add (Frac.make 1 3) (Frac.make 1 6));
+  Alcotest.(check frac) "1/2 - 1/3 = 1/6" (Frac.make 1 6)
+    (Frac.sub Frac.half (Frac.make 1 3));
+  Alcotest.(check frac) "2/3 * 3/4 = 1/2" Frac.half
+    (Frac.mul (Frac.make 2 3) (Frac.make 3 4));
+  Alcotest.(check frac) "(1/2) / (1/4) = 2" (Frac.of_int 2)
+    (Frac.div Frac.half (Frac.make 1 4));
+  Alcotest.(check frac) "neg neg = id" (Frac.make 5 7)
+    (Frac.neg (Frac.neg (Frac.make 5 7)));
+  Alcotest.(check frac) "abs(-5/7)" (Frac.make 5 7) (Frac.abs (Frac.make (-5) 7));
+  Alcotest.(check frac) "inv 3/4 = 4/3" (Frac.make 4 3) (Frac.inv (Frac.make 3 4))
+
+let test_division_by_zero () =
+  Alcotest.check_raises "make _ 0" Frac.Division_by_zero (fun () ->
+      ignore (Frac.make 1 0));
+  Alcotest.check_raises "div by zero" Frac.Division_by_zero (fun () ->
+      ignore (Frac.div Frac.one Frac.zero));
+  Alcotest.check_raises "inv zero" Frac.Division_by_zero (fun () ->
+      ignore (Frac.inv Frac.zero))
+
+let test_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true Frac.(Frac.make 1 3 < Frac.half);
+  Alcotest.(check bool) "1/2 <= 1/2" true Frac.(Frac.half <= Frac.half);
+  Alcotest.(check bool) "2/4 = 1/2" true (Frac.equal (Frac.make 2 4) Frac.half);
+  Alcotest.(check frac) "min" (Frac.make 1 3) (Frac.min (Frac.make 1 3) Frac.half);
+  Alcotest.(check frac) "max" Frac.half (Frac.max (Frac.make 1 3) Frac.half);
+  Alcotest.(check int) "sign -3/4" (-1) (Frac.sign (Frac.make (-3) 4));
+  Alcotest.(check int) "sign 0" 0 (Frac.sign Frac.zero)
+
+let test_grid_predicates () =
+  Alcotest.(check bool) "3/9 multiple of 1/9" true
+    (Frac.is_multiple_of (Frac.make 3 9) ~step:(Frac.make 1 9));
+  Alcotest.(check bool) "1/2 not multiple of 1/3" false
+    (Frac.is_multiple_of Frac.half ~step:(Frac.make 1 3));
+  Alcotest.(check bool) "integers" true (Frac.is_integer (Frac.make 8 4));
+  Alcotest.(check bool) "non-integer" false (Frac.is_integer (Frac.make 7 4))
+
+let test_ceil_log () =
+  let cases =
+    [ (2, 1, 0); (2, 2, 1); (2, 3, 2); (2, 4, 2); (2, 8, 3); (2, 9, 4);
+      (3, 1, 0); (3, 3, 1); (3, 4, 2); (3, 9, 2); (3, 10, 3) ]
+  in
+  List.iter
+    (fun (base, x, expect) ->
+      Alcotest.(check int)
+        (Printf.sprintf "ceil(log%d %d)" base x)
+        expect
+        (Frac.ceil_log ~base (Frac.of_int x)))
+    cases;
+  (* The bounds of Corollary 3 on rational 1/eps. *)
+  Alcotest.(check int) "ceil(log2 9/2) = 3" 3
+    (Frac.ceil_log ~base:2 (Frac.make 9 2));
+  Alcotest.check_raises "base 1 rejected" (Invalid_argument "Frac.ceil_log: base < 2")
+    (fun () -> ignore (Frac.ceil_log ~base:1 Frac.one))
+
+let test_floor_div () =
+  Alcotest.(check int) "floor (7/2) / 1" 3 (Frac.floor_div (Frac.make 7 2) Frac.one);
+  Alcotest.(check int) "floor (-1/2) / 1" (-1)
+    (Frac.floor_div (Frac.make (-1) 2) Frac.one);
+  Alcotest.(check int) "floor (3/4) / (1/4)" 3
+    (Frac.floor_div (Frac.make 3 4) (Frac.make 1 4))
+
+let test_pp () =
+  Alcotest.(check string) "pp integer" "3" (Frac.to_string (Frac.of_int 3));
+  Alcotest.(check string) "pp fraction" "-3/2" (Frac.to_string (Frac.make 3 (-2)))
+
+let prop_add_commutative =
+  QCheck2.Test.make ~name:"add commutative" ~count:500
+    QCheck2.Gen.(pair Gen.small_frac Gen.small_frac)
+    (fun (a, b) -> Frac.equal (Frac.add a b) (Frac.add b a))
+
+let prop_mul_distributes =
+  QCheck2.Test.make ~name:"mul distributes over add" ~count:500
+    QCheck2.Gen.(triple Gen.small_frac Gen.small_frac Gen.small_frac)
+    (fun (a, b, c) ->
+      Frac.equal
+        (Frac.mul a (Frac.add b c))
+        (Frac.add (Frac.mul a b) (Frac.mul a c)))
+
+let prop_compare_total_order =
+  QCheck2.Test.make ~name:"compare antisymmetric + float-consistent" ~count:500
+    QCheck2.Gen.(pair Gen.small_frac Gen.small_frac)
+    (fun (a, b) ->
+      let c = Frac.compare a b in
+      c = -Frac.compare b a
+      && (c = 0) = (Float.abs (Frac.to_float a -. Frac.to_float b) < 1e-9))
+
+let prop_sub_add_roundtrip =
+  QCheck2.Test.make ~name:"(a - b) + b = a" ~count:500
+    QCheck2.Gen.(pair Gen.small_frac Gen.small_frac)
+    (fun (a, b) -> Frac.equal (Frac.add (Frac.sub a b) b) a)
+
+let prop_ceil_log_correct =
+  QCheck2.Test.make ~name:"ceil_log: base^(k-1) < x <= base^k" ~count:200
+    QCheck2.Gen.(pair (int_range 2 4) (int_range 1 500))
+    (fun (base, x) ->
+      let k = Frac.ceil_log ~base (Frac.of_int x) in
+      let pow e =
+        let rec go acc e = if e = 0 then acc else go (acc * base) (e - 1) in
+        go 1 e
+      in
+      pow k >= x && (k = 0 || pow (k - 1) < x))
+
+let suite =
+  ( "frac",
+    [
+      Alcotest.test_case "normalization" `Quick test_normalization;
+      Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+      Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+      Alcotest.test_case "compare" `Quick test_compare;
+      Alcotest.test_case "grid predicates" `Quick test_grid_predicates;
+      Alcotest.test_case "ceil_log" `Quick test_ceil_log;
+      Alcotest.test_case "floor_div" `Quick test_floor_div;
+      Alcotest.test_case "pretty-printing" `Quick test_pp;
+      QCheck_alcotest.to_alcotest prop_add_commutative;
+      QCheck_alcotest.to_alcotest prop_mul_distributes;
+      QCheck_alcotest.to_alcotest prop_compare_total_order;
+      QCheck_alcotest.to_alcotest prop_sub_add_roundtrip;
+      QCheck_alcotest.to_alcotest prop_ceil_log_correct;
+    ] )

@@ -1,0 +1,100 @@
+(* Tests for the geometric realization and SVG rendering. *)
+
+let sigma3 =
+  Simplex.of_list [ (1, Value.Int 1); (2, Value.Int 2); (3, Value.Int 3) ]
+
+let sigma2 = Simplex.proj [ 1; 2 ] sigma3
+
+let all_distinct positions =
+  let quantize (_, p) =
+    (Float.round (p.Geometry.x *. 1e9), Float.round (p.Geometry.y *. 1e9))
+  in
+  let qs = List.map quantize positions in
+  List.length (List.sort_uniq Stdlib.compare qs) = List.length qs
+
+let in_unit_box positions =
+  List.for_all
+    (fun (_, p) ->
+      p.Geometry.x >= 0.0 && p.Geometry.x <= 1.0 && p.Geometry.y >= 0.0
+      && p.Geometry.y <= 1.0)
+    positions
+
+let test_corners () =
+  let c = Geometry.corner [ 1; 2; 3 ] in
+  Alcotest.(check bool) "three distinct corners" true
+    (c 1 <> c 2 && c 2 <> c 3 && c 1 <> c 3);
+  Alcotest.check_raises "unknown color"
+    (Invalid_argument "Geometry.corner: color not listed") (fun () ->
+      ignore (Geometry.corner [ 1; 2 ] 9))
+
+let test_layout_distinct () =
+  List.iter
+    (fun t ->
+      let c = Model.protocol_complex Model.Immediate sigma3 t in
+      let lay = Geometry.layout sigma3 c in
+      Alcotest.(check int)
+        (Printf.sprintf "all vertices placed (t=%d)" t)
+        (Complex.vertex_count c) (List.length lay);
+      Alcotest.(check bool) "positions distinct" true (all_distinct lay);
+      Alcotest.(check bool) "positions inside the box" true (in_unit_box lay))
+    [ 0; 1; 2 ]
+
+let test_layout_two_processes () =
+  let c = Model.protocol_complex Model.Immediate sigma2 3 in
+  let lay = Geometry.layout sigma2 c in
+  Alcotest.(check bool) "27-facet segment subdivision distinct" true
+    (all_distinct lay)
+
+let test_solo_vertices_near_corners () =
+  (* A solo vertex sits strictly closer to its own corner than any
+     other vertex of the same color. *)
+  let c = Model.protocol_complex Model.Immediate sigma3 1 in
+  let lay = Geometry.layout sigma3 c in
+  let corner1 = Geometry.corner [ 1; 2; 3 ] 1 in
+  let dist p =
+    let dx = p.Geometry.x -. corner1.Geometry.x
+    and dy = p.Geometry.y -. corner1.Geometry.y in
+    Float.sqrt ((dx *. dx) +. (dy *. dy))
+  in
+  let solo = Model.solo_vertex sigma3 1 in
+  let solo_d =
+    dist (snd (List.find (fun (v, _) -> Vertex.equal v solo) lay))
+  in
+  List.iter
+    (fun (v, p) ->
+      if Vertex.color v = 1 && not (Vertex.equal v solo) then
+        Alcotest.(check bool) "solo closest to its corner" true
+          (solo_d < dist p))
+    lay
+
+let test_svg_structure () =
+  let c = Model.protocol_complex Model.Immediate sigma3 1 in
+  let svg = Geometry.svg sigma3 c in
+  Alcotest.(check bool) "svg header" true
+    (Astring_like.contains svg "<svg xmlns=\"http://www.w3.org/2000/svg\"");
+  Alcotest.(check bool) "has faces" true (Astring_like.contains svg "<polygon");
+  Alcotest.(check bool) "has edges" true (Astring_like.contains svg "<line");
+  Alcotest.(check bool) "has vertices" true (Astring_like.contains svg "<circle");
+  Alcotest.(check bool) "closed" true (Astring_like.contains svg "</svg>")
+
+let test_augmented_positions () =
+  (* Box-decorated vertices are positioned by their view component. *)
+  let facets =
+    Augmented.one_round_facets ~box:Black_box.test_and_set
+      ~alpha:(Augmented.alpha_const Value.Unit) ~round:1 sigma2
+  in
+  let c = Complex.of_facets facets in
+  let lay = Geometry.layout sigma2 c in
+  Alcotest.(check int) "all placed" (Complex.vertex_count c) (List.length lay);
+  Alcotest.(check bool) "inside box" true (in_unit_box lay)
+
+let suite =
+  ( "geometry",
+    [
+      Alcotest.test_case "corners" `Quick test_corners;
+      Alcotest.test_case "layouts distinct" `Quick test_layout_distinct;
+      Alcotest.test_case "two-process layouts" `Quick test_layout_two_processes;
+      Alcotest.test_case "solo near corner" `Quick test_solo_vertices_near_corners;
+      Alcotest.test_case "svg structure" `Quick test_svg_structure;
+      Alcotest.test_case "augmented vertices placed" `Quick test_augmented_positions;
+    ] )

@@ -1,0 +1,110 @@
+(* Golden regression numbers: the headline measurements of the
+   reproduction, asserted in one place.  If any of these moves, either
+   a model changed semantics or an experiment's scientific content
+   regressed — both should be loud. *)
+
+let sigma n =
+  Simplex.of_list (List.init n (fun i -> (i + 1, Value.Int (i + 1))))
+
+let facets model n = List.length (Model.one_round_facets model (sigma n))
+
+let test_figure8_counts () =
+  Alcotest.(check int) "IS n=3" 13 (facets Model.Immediate 3);
+  Alcotest.(check int) "snapshot n=3" 19 (facets Model.Snapshot 3);
+  Alcotest.(check int) "collect n=3" 25 (facets Model.Collect 3);
+  Alcotest.(check int) "IS n=4" 75 (facets Model.Immediate 4);
+  Alcotest.(check int) "snapshot n=4" 207 (facets Model.Snapshot 4);
+  Alcotest.(check int) "collect n=4" 543 (facets Model.Collect 4)
+
+let test_augmented_counts () =
+  let unit_alpha = Augmented.alpha_const Value.Unit in
+  Alcotest.(check int) "IS+T&S n=3 facets (Fig 5)" 18
+    (List.length
+       (Augmented.one_round_facets ~box:Black_box.test_and_set ~alpha:unit_alpha
+          ~round:1 (sigma 3)));
+  Alcotest.(check int) "IS+bincons n=3 facets (Fig 7)" 16
+    (List.length
+       (Augmented.one_round_facets ~box:Black_box.bin_consensus
+          ~alpha:(Augmented.alpha_of_beta (fun i -> i > 1))
+          ~round:1 (sigma 3)))
+
+let test_solo_distances () =
+  List.iter
+    (fun (n, t, d) ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "dist n=%d t=%d" n t)
+        (Some d)
+        (Classical.solo_distance Model.Immediate ~n ~rounds:t))
+    [ (2, 1, 3); (2, 2, 9); (2, 3, 27); (3, 1, 2); (3, 2, 4); (3, 3, 8) ]
+
+let test_closure_facet_counts () =
+  (* The E17 headline: 65 / 101 / 125 facets. *)
+  let m = 4 in
+  let laa = Approx_agreement.liberal ~n:3 ~m ~eps:(Frac.make 1 m) in
+  let sigma =
+    Simplex.of_list [ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ]
+  in
+  let count e =
+    Complex.facet_count
+      (Task.delta (Approx_agreement.liberal ~n:3 ~m ~eps:e) sigma)
+  in
+  Alcotest.(check int) "liberal 2eps facets" 65 (count Frac.half);
+  Alcotest.(check int) "liberal 3eps facets" 101 (count (Frac.make 3 4));
+  Alcotest.(check int) "liberal 1 facets" 125 (count Frac.one);
+  Alcotest.(check int) "ID-only closure = 2eps" 65
+    (Complex.facet_count
+       (Closure.delta ~op:(Round_op.bin_consensus_beta (fun _ -> false)) laa sigma));
+  Alcotest.(check int) "unrestricted closure = validity-only" 125
+    (Complex.facet_count
+       (Closure.delta_any
+          ~ops:(Closure.bin_consensus_ops [ 1; 2; 3 ])
+          ~name:"golden-any" laa sigma))
+
+let test_set_agreement_closure_counts () =
+  let t = Set_agreement.task ~n:3 ~k:2 ~values:[ Value.Int 0; Value.Int 1; Value.Int 2 ] in
+  let rainbow = Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 1); (3, Value.Int 2) ] in
+  Alcotest.(check int) "Δ facets" 21 (Complex.facet_count (Task.delta t rainbow));
+  Alcotest.(check int) "Δ' facets" 27
+    (Complex.facet_count (Closure.delta ~op:(Round_op.plain Model.Immediate) t rainbow))
+
+let test_affine_counts () =
+  Alcotest.(check int) "2-concurrency n=3" 12
+    (List.length (Affine.k_concurrency 2 (sigma 3)));
+  Alcotest.(check int) "2-solo n=3" 16 (List.length (Affine.d_solo 2 (sigma 3)))
+
+let test_non_iterated_violations () =
+  (* E18 headline at n=2: 5 of 70 raw interleavings violate. *)
+  let spec = Aa_halving.spec ~m:4 ~rounds:2 in
+  let inputs = [ (1, Value.frac 0 1); (2, Value.frac 1 1) ] in
+  let task = Approx_agreement.task ~n:2 ~m:4 ~eps:(Frac.make 1 4) in
+  let sg = Simplex.of_list inputs in
+  let schedules = Non_iterated.exhaustive ~participants:[ 1; 2 ] ~rounds:2 in
+  let bad =
+    List.filter
+      (fun s ->
+        match Non_iterated.run spec ~inputs ~schedule:s with
+        | [] -> false
+        | outs -> not (Complex.mem (Simplex.of_list outs) (Task.delta task sg)))
+      schedules
+  in
+  Alcotest.(check int) "70 interleavings" 70 (List.length schedules);
+  Alcotest.(check int) "5 raw violations" 5 (List.length bad)
+
+let test_homology_signatures () =
+  Alcotest.(check (list int)) "P^1 IS n=3 ball" [ 1; 0; 0 ]
+    (Homology.betti (Complex.of_facets (Model.one_round_facets Model.Immediate (sigma 3))));
+  Alcotest.(check (list int)) "consensus outputs two components" [ 2; 0; 0 ]
+    (Homology.betti (Task.outputs (Consensus.binary ~n:3)))
+
+let suite =
+  ( "golden",
+    [
+      Alcotest.test_case "Figure 8 facet counts" `Quick test_figure8_counts;
+      Alcotest.test_case "augmented facet counts" `Quick test_augmented_counts;
+      Alcotest.test_case "solo distances 3^t / 2^t" `Quick test_solo_distances;
+      Alcotest.test_case "closure facet counts (E17)" `Quick test_closure_facet_counts;
+      Alcotest.test_case "2-set closure counts (E14)" `Quick test_set_agreement_closure_counts;
+      Alcotest.test_case "affine counts (E16)" `Quick test_affine_counts;
+      Alcotest.test_case "non-iterated violations (E18)" `Quick test_non_iterated_violations;
+      Alcotest.test_case "homology signatures (E15)" `Quick test_homology_signatures;
+    ] )

@@ -1,0 +1,109 @@
+(* Tests for mod-2 simplicial homology. *)
+
+let tri =
+  Simplex.of_list [ (1, Value.Int 1); (2, Value.Int 2); (3, Value.Int 3) ]
+
+let test_point () =
+  let c = Complex.of_simplex (Simplex.of_list [ (1, Value.Int 0) ]) in
+  Alcotest.(check (list int)) "betti of a point" [ 1 ] (Homology.betti c);
+  Alcotest.(check int) "euler" 1 (Homology.euler_characteristic c);
+  Alcotest.(check bool) "ball" true (Homology.is_homology_ball c)
+
+let test_edge () =
+  let c = Complex.of_simplex (Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 1) ]) in
+  Alcotest.(check (list int)) "betti of an edge" [ 1; 0 ] (Homology.betti c);
+  Alcotest.(check int) "euler" 1 (Homology.euler_characteristic c)
+
+let test_full_triangle () =
+  let c = Complex.of_simplex tri in
+  Alcotest.(check (list int)) "betti" [ 1; 0; 0 ] (Homology.betti c);
+  Alcotest.(check int) "euler" 1 (Homology.euler_characteristic c);
+  Alcotest.(check bool) "ball" true (Homology.is_homology_ball c)
+
+let test_hollow_triangle () =
+  (* A circle: b0 = 1, b1 = 1, euler 0. *)
+  let c = Complex.of_facets (Simplex.boundary tri) in
+  Alcotest.(check (list int)) "betti of a circle" [ 1; 1 ] (Homology.betti c);
+  Alcotest.(check int) "euler" 0 (Homology.euler_characteristic c);
+  Alcotest.(check bool) "not a ball" false (Homology.is_homology_ball c)
+
+let test_hollow_tetrahedron () =
+  (* A 2-sphere: b = [1; 0; 1]. *)
+  let tetra =
+    Simplex.of_list
+      [ (1, Value.Int 1); (2, Value.Int 2); (3, Value.Int 3); (4, Value.Int 4) ]
+  in
+  let c = Complex.of_facets (Simplex.boundary tetra) in
+  Alcotest.(check (list int)) "betti of a 2-sphere" [ 1; 0; 1 ] (Homology.betti c);
+  Alcotest.(check int) "euler of a 2-sphere" 2 (Homology.euler_characteristic c)
+
+let test_two_components () =
+  let c =
+    Complex.of_facets
+      [ Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 0) ];
+        Simplex.of_list [ (1, Value.Int 9); (2, Value.Int 9) ] ]
+  in
+  Alcotest.(check (list int)) "two contractible components" [ 2; 0 ]
+    (Homology.betti c)
+
+let test_empty () =
+  Alcotest.(check (list int)) "empty" [] (Homology.betti Complex.empty);
+  Alcotest.(check int) "euler empty" 0 (Homology.euler_characteristic Complex.empty);
+  Alcotest.(check bool) "empty not a ball" false
+    (Homology.is_homology_ball Complex.empty)
+
+let test_subdivision_is_ball () =
+  (* Chromatic subdivisions preserve the homotopy type of the simplex. *)
+  List.iter
+    (fun model ->
+      let c = Complex.of_facets (Model.one_round_facets model tri) in
+      Alcotest.(check bool)
+        (Printf.sprintf "one round of %s is a ball" (Model.name model))
+        true (Homology.is_homology_ball c))
+    [ Model.Immediate; Model.Snapshot; Model.Collect ]
+
+let test_rank_gf2 () =
+  Alcotest.(check int) "identity rank" 2
+    (Homology.rank_gf2 [| [| true; false |]; [| false; true |] |]);
+  Alcotest.(check int) "dependent rows" 1
+    (Homology.rank_gf2 [| [| true; true |]; [| true; true |] |]);
+  Alcotest.(check int) "zero matrix" 0
+    (Homology.rank_gf2 [| [| false; false |] |]);
+  Alcotest.(check int) "empty matrix" 0 (Homology.rank_gf2 [||])
+
+let prop_euler_equals_alternating_betti =
+  QCheck2.Test.make ~name:"euler = alternating sum of betti" ~count:60
+    (Gen.complex ~max_color:4 ~max_facets:4 ())
+    (fun c ->
+      let betti = Homology.betti c in
+      let alt =
+        List.fold_left
+          (fun (acc, sign) b -> (acc + (sign * b), -sign))
+          (0, 1) betti
+        |> fst
+      in
+      Homology.euler_characteristic c = alt)
+
+let prop_b0_is_component_count =
+  QCheck2.Test.make ~name:"b0 = number of connected components" ~count:60
+    (Gen.complex ~max_color:4 ~max_facets:4 ())
+    (fun c ->
+      match Homology.betti c with
+      | [] -> Complex.is_empty c
+      | b0 :: _ -> b0 = List.length (Connectivity.components c))
+
+let suite =
+  ( "homology",
+    [
+      Alcotest.test_case "point" `Quick test_point;
+      Alcotest.test_case "edge" `Quick test_edge;
+      Alcotest.test_case "full triangle" `Quick test_full_triangle;
+      Alcotest.test_case "hollow triangle" `Quick test_hollow_triangle;
+      Alcotest.test_case "hollow tetrahedron" `Quick test_hollow_tetrahedron;
+      Alcotest.test_case "two components" `Quick test_two_components;
+      Alcotest.test_case "empty complex" `Quick test_empty;
+      Alcotest.test_case "subdivisions are balls" `Quick test_subdivision_is_ball;
+      Alcotest.test_case "GF(2) rank" `Quick test_rank_gf2;
+      QCheck_alcotest.to_alcotest prop_euler_equals_alternating_betti;
+      QCheck_alcotest.to_alcotest prop_b0_is_component_count;
+    ] )

@@ -1,0 +1,126 @@
+(* Tests for the one-round operators Ξ₁ and iterated protocol
+   complexes (Section 2, Appendix A.3.4). *)
+
+let sigma3 =
+  Simplex.of_list [ (1, Value.Int 1); (2, Value.Int 2); (3, Value.Int 3) ]
+
+let sigma2 = Simplex.proj [ 1; 2 ] sigma3
+
+let test_facet_counts () =
+  let count m s = List.length (Model.one_round_facets m s) in
+  Alcotest.(check int) "IS n=2" 3 (count Model.Immediate sigma2);
+  Alcotest.(check int) "snapshot n=2" 3 (count Model.Snapshot sigma2);
+  Alcotest.(check int) "collect n=2" 3 (count Model.Collect sigma2);
+  Alcotest.(check int) "IS n=3 (Fig 8b)" 13 (count Model.Immediate sigma3);
+  Alcotest.(check int) "snapshot n=3 (Fig 8b+c)" 19 (count Model.Snapshot sigma3);
+  Alcotest.(check int) "collect n=3 (Fig 8b+c+d)" 25 (count Model.Collect sigma3)
+
+let test_subdivision_vertex_count () =
+  (* The chromatic subdivision of an (n-1)-simplex has one vertex per
+     (process, view) pair: n * 2^(n-1). *)
+  let c = Complex.of_facets (Model.one_round_facets Model.Immediate sigma3) in
+  Alcotest.(check int) "12 vertices" 12 (Complex.vertex_count c);
+  Alcotest.(check bool) "pure of dim 2" true
+    (Complex.is_pure c && Complex.dim c = 2)
+
+(* The defining property of immediate snapshot views (Section 2.2):
+   for all i, j: j ∈ V_i or i ∈ V_j; and j ∈ V_i implies V_j ⊆ V_i. *)
+let is_view_property facet =
+  let views =
+    List.map
+      (fun v -> (Vertex.color v, Value.view_ids (Vertex.value v)))
+      (Simplex.vertices facet)
+  in
+  List.for_all
+    (fun (i, vi) ->
+      List.for_all
+        (fun (j, vj) ->
+          (List.mem j vi || List.mem i vj)
+          && ((not (List.mem j vi))
+             || List.for_all (fun x -> List.mem x vi) vj))
+        views)
+    views
+
+let test_is_view_property () =
+  Alcotest.(check bool) "IS facets satisfy the containment property" true
+    (List.for_all is_view_property (Model.one_round_facets Model.Immediate sigma3));
+  (* Some collect facet must violate it (the models differ). *)
+  Alcotest.(check bool) "some collect facet violates it" true
+    (List.exists
+       (fun f -> not (is_view_property f))
+       (Model.one_round_facets Model.Collect sigma3))
+
+let test_containments () =
+  let complex_of m = Complex.of_facets (Model.one_round_facets m sigma3) in
+  Alcotest.(check bool) "IS ⊆ snapshot" true
+    (Complex.subcomplex (complex_of Model.Immediate) (complex_of Model.Snapshot));
+  Alcotest.(check bool) "snapshot ⊆ collect" true
+    (Complex.subcomplex (complex_of Model.Snapshot) (complex_of Model.Collect))
+
+let test_protocol_iteration () =
+  Alcotest.(check int) "P^0 = sigma" 1
+    (Complex.facet_count (Model.protocol_complex Model.Immediate sigma3 0));
+  Alcotest.(check int) "P^2 facets = 13^2" 169
+    (Complex.facet_count (Model.protocol_complex Model.Immediate sigma3 2));
+  Alcotest.(check int) "P^3 facets = 27 (n=2)" 27
+    (Complex.facet_count (Model.protocol_complex Model.Immediate sigma2 3));
+  Alcotest.check_raises "negative rounds"
+    (Invalid_argument "Model.protocol_complex: negative round count") (fun () ->
+      ignore (Model.protocol_complex Model.Immediate sigma3 (-1)))
+
+let test_faces_are_subcomplexes () =
+  (* P^(1)(σ') ⊆ P^(1)(σ) for faces σ' ⊆ σ: the reason one_round on a
+     complex only needs its facets. *)
+  let big = Complex.of_facets (Model.one_round_facets Model.Immediate sigma3) in
+  List.iter
+    (fun face ->
+      let small = Complex.of_facets (Model.one_round_facets Model.Immediate face) in
+      Alcotest.(check bool)
+        (Printf.sprintf "P^1(%s) included" (Simplex.to_string face))
+        true
+        (Complex.subcomplex small big))
+    (Simplex.proper_faces sigma3)
+
+let test_solo_vertices () =
+  let solo1 = Model.solo_vertex sigma3 1 in
+  Alcotest.(check bool) "solo vertex in every model's complex" true
+    (List.for_all
+       (fun m ->
+         Complex.mem_vertex solo1
+           (Complex.of_facets (Model.one_round_facets m sigma3)))
+       [ Model.Immediate; Model.Snapshot; Model.Collect ])
+
+let test_chi () =
+  let sigma' =
+    Simplex.of_list [ (1, Value.Int 10); (2, Value.Int 20); (3, Value.Int 30) ]
+  in
+  let facets = Model.one_round_facets Model.Immediate sigma3 in
+  let image =
+    List.map
+      (fun f ->
+        Simplex.of_vertices
+          (List.map (Model.chi ~from_:sigma3 ~to_:sigma') (Simplex.vertices f)))
+      facets
+  in
+  let expected = Model.one_round_facets Model.Immediate sigma' in
+  Alcotest.(check bool) "χ maps P^1(σ) onto P^1(σ')" true
+    (Simplex.Set.equal (Simplex.Set.of_list image) (Simplex.Set.of_list expected))
+
+let test_of_string () =
+  Alcotest.(check bool) "iis alias" true
+    (Model.of_string "iis" = Some Model.Immediate);
+  Alcotest.(check bool) "unknown" true (Model.of_string "zzz" = None)
+
+let suite =
+  ( "model",
+    [
+      Alcotest.test_case "facet counts (Figure 8)" `Quick test_facet_counts;
+      Alcotest.test_case "subdivision vertices" `Quick test_subdivision_vertex_count;
+      Alcotest.test_case "IS view property" `Quick test_is_view_property;
+      Alcotest.test_case "model containments" `Quick test_containments;
+      Alcotest.test_case "protocol iteration" `Quick test_protocol_iteration;
+      Alcotest.test_case "faces are subcomplexes" `Quick test_faces_are_subcomplexes;
+      Alcotest.test_case "solo vertices" `Quick test_solo_vertices;
+      Alcotest.test_case "canonical isomorphism χ" `Quick test_chi;
+      Alcotest.test_case "of_string" `Quick test_of_string;
+    ] )

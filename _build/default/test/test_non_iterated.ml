@@ -1,0 +1,104 @@
+(* Tests for the non-iterated memory executor and the round-tagged
+   emulation. *)
+
+let spec2 = Aa_halving.spec ~m:4 ~rounds:2
+
+let inputs2 = [ (1, Value.frac 0 1); (2, Value.frac 1 1) ]
+
+let test_program_shape () =
+  Alcotest.(check int) "2 rounds = 4 steps" 4
+    (List.length (Non_iterated.program ~rounds:2 1));
+  match Non_iterated.program ~rounds:1 7 with
+  | [ Non_iterated.Write 7; Non_iterated.Snapshot 7 ] -> ()
+  | _ -> Alcotest.fail "program must alternate write/snapshot"
+
+let test_exhaustive_counts () =
+  (* Interleavings of two 4-step programs: C(8,4) = 70. *)
+  Alcotest.(check int) "n=2 t=2 interleavings" 70
+    (List.length (Non_iterated.exhaustive ~participants:[ 1; 2 ] ~rounds:2));
+  Alcotest.(check int) "n=2 t=1 interleavings" 6
+    (List.length (Non_iterated.exhaustive ~participants:[ 1; 2 ] ~rounds:1))
+
+let test_lockstep_agrees_with_iterated () =
+  let ni =
+    Non_iterated.run spec2 ~inputs:inputs2
+      ~schedule:(Non_iterated.lockstep ~participants:[ 1; 2 ] ~rounds:2)
+  in
+  let it =
+    Executor.run (State_protocol.protocol spec2) ~inputs:inputs2
+      ~schedule:[ Schedule.Is_round [ [ 1; 2 ] ]; Schedule.Is_round [ [ 1; 2 ] ] ]
+  in
+  Alcotest.(check bool) "outputs equal" true (ni = it.Executor.outputs)
+
+let test_raw_breaks_emulation_fixes () =
+  let task = Approx_agreement.task ~n:2 ~m:4 ~eps:(Frac.make 1 4) in
+  let sigma = Simplex.of_list inputs2 in
+  let ok runner s =
+    match runner spec2 ~inputs:inputs2 ~schedule:s with
+    | [] -> true
+    | outs -> Complex.mem (Simplex.of_list outs) (Task.delta task sigma)
+  in
+  let schedules = Non_iterated.exhaustive ~participants:[ 1; 2 ] ~rounds:2 in
+  Alcotest.(check bool) "raw reuse violates somewhere" true
+    (List.exists (fun s -> not (ok Non_iterated.run s)) schedules);
+  Alcotest.(check bool) "emulation never violates" true
+    (List.for_all (ok Non_iterated.run_emulated) schedules)
+
+let test_emulated_profiles_are_snapshot () =
+  let inputs = [ (1, Value.Int 5); (2, Value.Int 6); (3, Value.Int 7) ] in
+  let profiles =
+    Non_iterated.one_round_profiles ~participants:[ 1; 2; 3 ] ~inputs
+  in
+  let snap =
+    Model.one_round_facets Model.Snapshot (Simplex.of_list inputs)
+  in
+  Alcotest.(check int) "19 snapshot facets" 19 (List.length profiles);
+  Alcotest.(check bool) "set equality" true
+    (Simplex.Set.equal (Simplex.Set.of_list profiles) (Simplex.Set.of_list snap))
+
+let test_incomplete_process_no_output () =
+  (* Process 2 never snapshots its second round. *)
+  let schedule =
+    [ Non_iterated.Write 1; Non_iterated.Write 2; Non_iterated.Snapshot 1;
+      Non_iterated.Snapshot 2; Non_iterated.Write 1; Non_iterated.Snapshot 1;
+      Non_iterated.Write 2 ]
+  in
+  let outs = Non_iterated.run spec2 ~inputs:inputs2 ~schedule in
+  Alcotest.(check (list int)) "only process 1 decides" [ 1 ] (List.map fst outs)
+
+let test_round_synchronized_validation () =
+  Alcotest.check_raises "not enough partitions"
+    (Invalid_argument "Non_iterated.round_synchronized: not enough partitions")
+    (fun () ->
+      ignore
+        (Non_iterated.round_synchronized ~participants:[ 1; 2 ] ~rounds:2
+           [ [ [ 1; 2 ] ] ]))
+
+let prop_random_schedules_run =
+  QCheck2.Test.make ~name:"random non-iterated runs stay in range" ~count:200
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let schedule = Non_iterated.random ~participants:[ 1; 2; 3 ] ~rounds:2 rng in
+      let inputs =
+        [ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ]
+      in
+      let outs = Non_iterated.run spec2 ~inputs ~schedule in
+      List.for_all
+        (fun (_, v) ->
+          let q = Value.as_frac v in
+          Frac.(Frac.zero <= q) && Frac.(q <= Frac.one))
+        outs)
+
+let suite =
+  ( "non_iterated",
+    [
+      Alcotest.test_case "program shape" `Quick test_program_shape;
+      Alcotest.test_case "exhaustive counts" `Quick test_exhaustive_counts;
+      Alcotest.test_case "lockstep = iterated" `Quick test_lockstep_agrees_with_iterated;
+      Alcotest.test_case "raw breaks, emulation fixes" `Quick test_raw_breaks_emulation_fixes;
+      Alcotest.test_case "emulated round = snapshot" `Quick test_emulated_profiles_are_snapshot;
+      Alcotest.test_case "incomplete process" `Quick test_incomplete_process_no_output;
+      Alcotest.test_case "schedule validation" `Quick test_round_synchronized_validation;
+      QCheck_alcotest.to_alcotest prop_random_schedules_run;
+    ] )

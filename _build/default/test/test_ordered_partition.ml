@@ -1,0 +1,80 @@
+(* Tests for ordered set partitions (the IS facet parameterization). *)
+
+let test_enumeration_counts () =
+  List.iter
+    (fun (k, expect) ->
+      let ids = List.init k (fun i -> i + 1) in
+      Alcotest.(check int)
+        (Printf.sprintf "ordered Bell %d" k)
+        expect
+        (List.length (Ordered_partition.enumerate ids));
+      Alcotest.(check int) "count fn agrees" expect (Ordered_partition.count k))
+    [ (1, 1); (2, 3); (3, 13); (4, 75); (5, 541) ]
+
+let test_no_duplicates () =
+  let parts = Ordered_partition.enumerate [ 1; 2; 3; 4 ] in
+  let canon = List.sort_uniq Stdlib.compare parts in
+  Alcotest.(check int) "all distinct" (List.length parts) (List.length canon)
+
+let test_partition_property () =
+  List.iter
+    (fun part ->
+      let flat = List.sort Stdlib.compare (List.concat part) in
+      Alcotest.(check (list int)) "blocks partition the set" [ 1; 2; 3 ] flat;
+      List.iter
+        (fun b -> Alcotest.(check bool) "non-empty block" true (b <> []))
+        part)
+    (Ordered_partition.enumerate [ 1; 2; 3 ])
+
+let test_views () =
+  let part = [ [ 2 ]; [ 1; 3 ] ] in
+  Alcotest.(check (list (pair int (list int))))
+    "views accumulate blocks"
+    [ (1, [ 1; 2; 3 ]); (2, [ 2 ]); (3, [ 1; 2; 3 ]) ]
+    (Ordered_partition.views part)
+
+let test_solo () =
+  Alcotest.(check (list (list int))) "solo first" [ [ 2 ]; [ 1; 3 ] ]
+    (Ordered_partition.solo [ 1; 2; 3 ] 2);
+  Alcotest.(check (list (list int))) "solo alone" [ [ 1 ] ]
+    (Ordered_partition.solo [ 1 ] 1);
+  Alcotest.(check bool) "is_solo_first" true
+    (Ordered_partition.is_solo_first 2 [ [ 2 ]; [ 1; 3 ] ]);
+  Alcotest.(check bool) "not solo" false
+    (Ordered_partition.is_solo_first 1 [ [ 1; 2 ] ])
+
+let test_first_block () =
+  Alcotest.(check (list int)) "first block" [ 2 ]
+    (Ordered_partition.first_block [ [ 2 ]; [ 1; 3 ] ])
+
+let prop_views_form_chain =
+  (* Views of an ordered partition are totally ordered by inclusion:
+     the snapshot chain property. *)
+  QCheck2.Test.make ~name:"views form an inclusion chain" ~count:300
+    (Gen.ordered_partition ~ids:[ 1; 2; 3; 4 ])
+    (fun part ->
+      let views = List.map snd (Ordered_partition.views part) in
+      let subset a b = List.for_all (fun x -> List.mem x b) a in
+      List.for_all
+        (fun a -> List.for_all (fun b -> subset a b || subset b a) views)
+        views)
+
+let prop_views_contain_self =
+  QCheck2.Test.make ~name:"every process sees itself" ~count:300
+    (Gen.ordered_partition ~ids:[ 1; 2; 3; 4 ])
+    (fun part ->
+      List.for_all (fun (i, view) -> List.mem i view)
+        (Ordered_partition.views part))
+
+let suite =
+  ( "ordered_partition",
+    [
+      Alcotest.test_case "enumeration counts" `Quick test_enumeration_counts;
+      Alcotest.test_case "no duplicates" `Quick test_no_duplicates;
+      Alcotest.test_case "partition property" `Quick test_partition_property;
+      Alcotest.test_case "views" `Quick test_views;
+      Alcotest.test_case "solo" `Quick test_solo;
+      Alcotest.test_case "first block" `Quick test_first_block;
+      QCheck_alcotest.to_alcotest prop_views_form_chain;
+      QCheck_alcotest.to_alcotest prop_views_contain_self;
+    ] )

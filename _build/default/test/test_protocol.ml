@@ -1,0 +1,39 @@
+(* Tests for the protocol record itself. *)
+
+let test_make_validation () =
+  Alcotest.check_raises "negative rounds"
+    (Invalid_argument "Protocol.make: negative round count") (fun () ->
+      ignore (Protocol.make ~name:"bad" ~rounds:(-1) ~decide:(fun _ v -> v) ()))
+
+let test_full_information () =
+  let p = Protocol.full_information ~rounds:2 in
+  Alcotest.(check int) "rounds" 2 p.Protocol.rounds;
+  Alcotest.(check bool) "decide is the identity on views" true
+    (Value.equal
+       (p.Protocol.decide 1 (Value.Int 42))
+       (Value.Int 42));
+  Alcotest.(check bool) "default alpha is Unit" true
+    (Value.equal (p.Protocol.alpha ~round:1 1 Value.Unit) Value.Unit)
+
+let test_custom_alpha () =
+  let p =
+    Protocol.make ~name:"alpha-test" ~rounds:1
+      ~alpha:(fun ~round i _ -> Value.Int (round + i))
+      ~decide:(fun _ v -> v)
+      ()
+  in
+  Alcotest.(check bool) "alpha threaded" true
+    (Value.equal (p.Protocol.alpha ~round:2 3 Value.Unit) (Value.Int 5))
+
+let test_zero_rounds_allowed () =
+  let p = Protocol.make ~name:"zero" ~rounds:0 ~decide:(fun _ v -> v) () in
+  Alcotest.(check int) "zero rounds" 0 p.Protocol.rounds
+
+let suite =
+  ( "protocol",
+    [
+      Alcotest.test_case "validation" `Quick test_make_validation;
+      Alcotest.test_case "full information" `Quick test_full_information;
+      Alcotest.test_case "custom alpha" `Quick test_custom_alpha;
+      Alcotest.test_case "zero rounds" `Quick test_zero_rounds_allowed;
+    ] )

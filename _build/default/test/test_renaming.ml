@@ -1,0 +1,56 @@
+(* Tests for adaptive renaming. *)
+
+let test_delta_shapes () =
+  let t = Renaming.task ~n:3 in
+  let solo = Simplex.of_list [ (2, Value.Unit) ] in
+  (* A solo process must take name 1 (2·1 − 1 = 1). *)
+  Alcotest.(check int) "solo: single legal output" 1
+    (Complex.facet_count (Task.delta t solo));
+  let pair = Simplex.of_list [ (1, Value.Unit); (3, Value.Unit) ] in
+  (* Two participants: distinct names in {1,2,3}: 3·2 = 6. *)
+  Alcotest.(check int) "pair outputs" 6 (Complex.facet_count (Task.delta t pair));
+  let all = Simplex.of_list [ (1, Value.Unit); (2, Value.Unit); (3, Value.Unit) ] in
+  (* Three participants: injections [3] -> [5]: 5·4·3 = 60. *)
+  Alcotest.(check int) "triple outputs" 60 (Complex.facet_count (Task.delta t all))
+
+let test_distinctness () =
+  let t = Renaming.task ~n:3 in
+  let all = Simplex.of_list [ (1, Value.Unit); (2, Value.Unit); (3, Value.Unit) ] in
+  List.iter
+    (fun f ->
+      let names = Simplex.values f in
+      Alcotest.(check int) "names distinct" (List.length names)
+        (List.length (List.sort_uniq Value.compare names)))
+    (Complex.facets (Task.delta t all))
+
+let test_solvability_profile () =
+  let solvable t rounds task =
+    ignore t;
+    Solvability.is_solvable
+      (Solvability.task_in_model Model.Immediate task ~rounds)
+  in
+  let rn2 = Renaming.task ~n:2 in
+  Alcotest.(check bool) "n=2 not in 0 rounds" false (solvable 0 0 rn2);
+  Alcotest.(check bool) "n=2 in 1 round" true (solvable 0 1 rn2)
+
+let test_validation () =
+  Alcotest.check_raises "too few names"
+    (Invalid_argument "Renaming: fewer names than participants") (fun () ->
+      ignore (Renaming.with_names ~n:3 ~names:(fun p -> p - 1)))
+
+let test_not_fixed_point () =
+  let t = Renaming.task ~n:2 in
+  Alcotest.(check bool) "closure strictly easier" false
+    (Closure.fixed_point_on
+       ~op:(Round_op.plain Model.Immediate)
+       t (Task.input_simplices t))
+
+let suite =
+  ( "renaming",
+    [
+      Alcotest.test_case "delta shapes" `Quick test_delta_shapes;
+      Alcotest.test_case "distinct names" `Quick test_distinctness;
+      Alcotest.test_case "solvability profile" `Quick test_solvability_profile;
+      Alcotest.test_case "parameter validation" `Quick test_validation;
+      Alcotest.test_case "not a fixed point" `Quick test_not_fixed_point;
+    ] )

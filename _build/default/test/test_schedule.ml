@@ -1,0 +1,112 @@
+(* Tests for schedule generation and validation. *)
+
+let test_validate_is () =
+  Alcotest.(check bool) "partition valid" true
+    (Schedule.validate_round ~participants:[ 1; 2; 3 ] ~boxed:false
+       (Schedule.Is_round [ [ 2 ]; [ 1; 3 ] ]));
+  Alcotest.(check bool) "missing process" false
+    (Schedule.validate_round ~participants:[ 1; 2; 3 ] ~boxed:false
+       (Schedule.Is_round [ [ 2 ]; [ 1 ] ]));
+  Alcotest.(check bool) "duplicate process" false
+    (Schedule.validate_round ~participants:[ 1; 2 ] ~boxed:false
+       (Schedule.Is_round [ [ 1 ]; [ 1; 2 ] ]))
+
+let test_validate_steps () =
+  let ok =
+    Schedule.Step_round
+      [ Schedule.Write 1; Schedule.Write 2; Schedule.Read (1, 1);
+        Schedule.Read (1, 2); Schedule.Read (2, 1); Schedule.Read (2, 2) ]
+  in
+  Alcotest.(check bool) "collect round valid" true
+    (Schedule.validate_round ~participants:[ 1; 2 ] ~boxed:false ok);
+  let missing_read =
+    Schedule.Step_round
+      [ Schedule.Write 1; Schedule.Write 2; Schedule.Read (1, 1);
+        Schedule.Read (2, 1); Schedule.Read (2, 2) ]
+  in
+  Alcotest.(check bool) "missing read invalid" false
+    (Schedule.validate_round ~participants:[ 1; 2 ] ~boxed:false missing_read);
+  let snap =
+    Schedule.Step_round
+      [ Schedule.Write 1; Schedule.Snapshot 1; Schedule.Write 2; Schedule.Snapshot 2 ]
+  in
+  Alcotest.(check bool) "snapshot round valid" true
+    (Schedule.validate_round ~participants:[ 1; 2 ] ~boxed:false snap);
+  let boxed =
+    Schedule.Step_round
+      [ Schedule.Write 1; Schedule.Invoke 1; Schedule.Snapshot 1;
+        Schedule.Write 2; Schedule.Invoke 2; Schedule.Snapshot 2 ]
+  in
+  Alcotest.(check bool) "boxed round valid" true
+    (Schedule.validate_round ~participants:[ 1; 2 ] ~boxed:true boxed);
+  Alcotest.(check bool) "boxed flag required" false
+    (Schedule.validate_round ~participants:[ 1; 2 ] ~boxed:false boxed)
+
+let test_exhaustive_counts () =
+  Alcotest.(check int) "IS 2 procs, 2 rounds: 3^2" 9
+    (List.length (Schedule.is_rounds ~participants:[ 1; 2 ] ~rounds:2));
+  Alcotest.(check int) "IS 3 procs, 1 round: 13" 13
+    (List.length (Schedule.is_rounds ~participants:[ 1; 2; 3 ] ~rounds:1));
+  (* Boxed: first-block permutations multiply the counts. *)
+  Alcotest.(check int) "boxed IS 2 procs: 3 + 1 extra for the 2-block" 4
+    (List.length (Schedule.is_rounds_boxed ~participants:[ 1; 2 ] ~rounds:1));
+  Alcotest.(check int) "snapshot interleavings: 4!/2!2! = 6" 6
+    (List.length (Schedule.snapshot_round_exhaustive ~participants:[ 1; 2 ]));
+  (* Collect: C(6,3) interleavings x 2 read orders per process, with
+     duplicates removed. *)
+  Alcotest.(check int) "collect interleavings n=2" 80
+    (List.length (Schedule.collect_round_exhaustive ~participants:[ 1; 2 ]))
+
+let test_solo_first () =
+  match Schedule.solo_first ~participants:[ 1; 2; 3 ] ~rounds:2 2 with
+  | [ Schedule.Is_round p1; Schedule.Is_round p2 ] ->
+      Alcotest.(check bool) "solo blocks" true
+        (p1 = [ [ 2 ]; [ 1; 3 ] ] && p2 = [ [ 2 ]; [ 1; 3 ] ])
+  | _ -> Alcotest.fail "expected two IS rounds"
+
+let test_round_of_matrix () =
+  (* Every collect matrix yields a valid round realizing its views. *)
+  let ids = [ 1; 2; 3 ] in
+  List.iter
+    (fun matrix ->
+      match Schedule.round_of_matrix matrix with
+      | Schedule.Step_round _ as round ->
+          Alcotest.(check bool) "valid round" true
+            (Schedule.validate_round ~participants:ids ~boxed:false round)
+      | Schedule.Is_round _ -> Alcotest.fail "expected a step round")
+    (Model.matrices Model.Collect ids)
+
+let prop_random_is_valid =
+  QCheck2.Test.make ~name:"random IS schedules validate" ~count:200
+    QCheck2.Gen.(int_range 0 10000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let s = Schedule.random_is ~participants:[ 1; 2; 3; 4 ] ~rounds:3 rng in
+      List.for_all
+        (Schedule.validate_round ~participants:[ 1; 2; 3; 4 ] ~boxed:false)
+        s)
+
+let prop_random_collect_valid =
+  QCheck2.Test.make ~name:"random collect schedules validate" ~count:200
+    QCheck2.Gen.(int_range 0 10000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let s =
+        Schedule.random_steps ~model:Model.Collect ~participants:[ 1; 2; 3 ]
+          ~rounds:2 rng
+      in
+      List.for_all
+        (Schedule.validate_round ~participants:[ 1; 2; 3 ] ~boxed:false)
+        s)
+
+let suite =
+  ( "schedule",
+    [
+      Alcotest.test_case "validate IS rounds" `Quick test_validate_is;
+      Alcotest.test_case "validate step rounds" `Quick test_validate_steps;
+      Alcotest.test_case "exhaustive counts" `Quick test_exhaustive_counts;
+      Alcotest.test_case "solo-first schedule" `Quick test_solo_first;
+      Alcotest.test_case "rounds from matrices" `Quick test_round_of_matrix;
+      QCheck_alcotest.to_alcotest prop_random_is_valid;
+      QCheck_alcotest.to_alcotest prop_random_collect_valid;
+    ] )

@@ -1,0 +1,63 @@
+(* Tests for the linearizable shared objects. *)
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let test_test_and_set () =
+  let o = Sim_object.test_and_set () in
+  Alcotest.(check value) "first wins" (Value.Bool true)
+    (Sim_object.invoke o 1 Value.Unit);
+  Alcotest.(check value) "second loses" (Value.Bool false)
+    (Sim_object.invoke o 2 Value.Unit);
+  Alcotest.(check value) "third loses" (Value.Bool false)
+    (Sim_object.invoke o 3 Value.Unit);
+  (* A fresh object is independent. *)
+  let o2 = Sim_object.test_and_set () in
+  Alcotest.(check value) "fresh object" (Value.Bool true)
+    (Sim_object.invoke o2 3 Value.Unit)
+
+let test_consensus () =
+  let o = Sim_object.consensus () in
+  Alcotest.(check value) "first proposal decides" (Value.Int 7)
+    (Sim_object.invoke o 1 (Value.Int 7));
+  Alcotest.(check value) "later proposals adopt" (Value.Int 7)
+    (Sim_object.invoke o 2 (Value.Int 9));
+  Alcotest.(check value) "and again" (Value.Int 7)
+    (Sim_object.invoke o 3 (Value.Int 0))
+
+let test_names () =
+  Alcotest.(check string) "tas name" "test&set"
+    (Sim_object.name (Sim_object.test_and_set ()));
+  Alcotest.(check string) "consensus name" "consensus"
+    (Sim_object.name (Sim_object.consensus ()))
+
+let prop_exactly_one_winner =
+  QCheck2.Test.make ~name:"exactly one test&set winner" ~count:100
+    QCheck2.Gen.(int_range 1 8)
+    (fun n ->
+      let o = Sim_object.test_and_set () in
+      let results = List.init n (fun i -> Sim_object.invoke o (i + 1) Value.Unit) in
+      List.length (List.filter (Value.equal (Value.Bool true)) results) = 1)
+
+let prop_consensus_agreement_validity =
+  QCheck2.Test.make ~name:"consensus: agreement + validity" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 8) (int_range 0 5))
+    (fun proposals ->
+      let o = Sim_object.consensus () in
+      let results =
+        List.mapi (fun i p -> Sim_object.invoke o (i + 1) (Value.Int p)) proposals
+      in
+      match results with
+      | [] -> true
+      | first :: _ ->
+          List.for_all (Value.equal first) results
+          && List.exists (fun p -> Value.equal first (Value.Int p)) proposals)
+
+let suite =
+  ( "sim_object",
+    [
+      Alcotest.test_case "test&set" `Quick test_test_and_set;
+      Alcotest.test_case "consensus" `Quick test_consensus;
+      Alcotest.test_case "names" `Quick test_names;
+      QCheck_alcotest.to_alcotest prop_exactly_one_winner;
+      QCheck_alcotest.to_alcotest prop_consensus_agreement_validity;
+    ] )

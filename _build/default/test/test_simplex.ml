@@ -1,0 +1,108 @@
+(* Tests for chromatic simplices. *)
+
+let simplex = Alcotest.testable Simplex.pp Simplex.equal
+let vertex = Alcotest.testable Vertex.pp Vertex.equal
+
+let s123 =
+  Simplex.of_list [ (1, Value.Int 10); (2, Value.Int 20); (3, Value.Int 30) ]
+
+let test_construction () =
+  let unordered =
+    Simplex.of_vertices
+      [ Vertex.make 3 (Value.Int 30); Vertex.make 1 (Value.Int 10);
+        Vertex.make 2 (Value.Int 20) ]
+  in
+  Alcotest.(check simplex) "sorted by color" s123 unordered;
+  Alcotest.(check (list int)) "ids" [ 1; 2; 3 ] (Simplex.ids s123);
+  Alcotest.(check int) "dim" 2 (Simplex.dim s123);
+  Alcotest.(check int) "card" 3 (Simplex.card s123);
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Simplex.of_vertices: empty") (fun () ->
+      ignore (Simplex.of_vertices []));
+  Alcotest.check_raises "repeated color rejected"
+    (Invalid_argument "Simplex.of_vertices: repeated color") (fun () ->
+      ignore (Simplex.of_list [ (1, Value.Int 0); (1, Value.Int 1) ]))
+
+let test_lookup () =
+  Alcotest.(check vertex) "find" (Vertex.make 2 (Value.Int 20)) (Simplex.find 2 s123);
+  Alcotest.(check bool) "mem_color" true (Simplex.mem_color 3 s123);
+  Alcotest.(check bool) "not mem_color" false (Simplex.mem_color 4 s123);
+  Alcotest.check_raises "find absent" Not_found (fun () ->
+      ignore (Simplex.find 9 s123))
+
+let test_proj () =
+  let p = Simplex.proj [ 1; 3 ] s123 in
+  Alcotest.(check (list int)) "projected ids" [ 1; 3 ] (Simplex.ids p);
+  Alcotest.(check simplex) "proj to all = id" s123 (Simplex.proj [ 1; 2; 3 ] s123);
+  Alcotest.check_raises "empty projection"
+    (Invalid_argument "Simplex.proj: empty projection") (fun () ->
+      ignore (Simplex.proj [ 7 ] s123))
+
+let test_faces () =
+  Alcotest.(check int) "2^3 - 1 faces" 7 (List.length (Simplex.faces s123));
+  Alcotest.(check int) "proper faces" 6 (List.length (Simplex.proper_faces s123));
+  Alcotest.(check int) "boundary" 3 (List.length (Simplex.boundary s123));
+  Alcotest.(check (list (list int))) "boundary ids"
+    [ [ 2; 3 ]; [ 1; 3 ]; [ 1; 2 ] ]
+    (List.map Simplex.ids (Simplex.boundary s123));
+  let v = Simplex.of_list [ (1, Value.Int 1) ] in
+  Alcotest.(check int) "vertex has no boundary" 0 (List.length (Simplex.boundary v))
+
+let test_subset_union () =
+  let face = Simplex.proj [ 1; 2 ] s123 in
+  Alcotest.(check bool) "face subset" true (Simplex.subset face s123);
+  Alcotest.(check bool) "not superset" false (Simplex.subset s123 face);
+  let other = Simplex.of_list [ (3, Value.Int 30) ] in
+  Alcotest.(check simplex) "union rebuilds" s123 (Simplex.union face other);
+  let clash = Simplex.of_list [ (1, Value.Int 99) ] in
+  Alcotest.check_raises "conflicting union"
+    (Invalid_argument "Simplex.union: conflicting colors") (fun () ->
+      ignore (Simplex.union face clash))
+
+let test_map_values_and_view () =
+  let doubled = Simplex.map_values (fun _ v ->
+      match v with Value.Int n -> Value.Int (2 * n) | other -> other) s123 in
+  Alcotest.(check simplex) "map_values"
+    (Simplex.of_list [ (1, Value.Int 20); (2, Value.Int 40); (3, Value.Int 60) ])
+    doubled;
+  Alcotest.(check (list int)) "as_view ids" [ 1; 2; 3 ]
+    (Value.view_ids (Simplex.as_view s123))
+
+let test_chromatic_set () =
+  Alcotest.(check bool) "distinct colors" true
+    (Simplex.is_chromatic_set
+       [ Vertex.make 1 Value.Unit; Vertex.make 2 Value.Unit ]);
+  Alcotest.(check bool) "repeated colors" false
+    (Simplex.is_chromatic_set
+       [ Vertex.make 1 Value.Unit; Vertex.make 1 (Value.Int 3) ])
+
+let prop_faces_are_subsets =
+  QCheck2.Test.make ~name:"every face is a subset" ~count:200
+    (Gen.simplex ()) (fun s ->
+      List.for_all (fun f -> Simplex.subset f s) (Simplex.faces s))
+
+let prop_faces_count =
+  QCheck2.Test.make ~name:"|faces| = 2^card - 1" ~count:200 (Gen.simplex ())
+    (fun s -> List.length (Simplex.faces s) = (1 lsl Simplex.card s) - 1)
+
+let prop_subset_transitive =
+  QCheck2.Test.make ~name:"subset transitive via faces" ~count:100
+    (Gen.simplex ()) (fun s ->
+      List.for_all
+        (fun f -> List.for_all (fun g -> Simplex.subset g s) (Simplex.faces f))
+        (Simplex.faces s))
+
+let suite =
+  ( "simplex",
+    [
+      Alcotest.test_case "construction" `Quick test_construction;
+      Alcotest.test_case "lookup" `Quick test_lookup;
+      Alcotest.test_case "projection" `Quick test_proj;
+      Alcotest.test_case "faces" `Quick test_faces;
+      Alcotest.test_case "subset and union" `Quick test_subset_union;
+      Alcotest.test_case "map_values / as_view" `Quick test_map_values_and_view;
+      Alcotest.test_case "chromatic sets" `Quick test_chromatic_set;
+      QCheck_alcotest.to_alcotest prop_faces_are_subsets;
+      QCheck_alcotest.to_alcotest prop_faces_count;
+      QCheck_alcotest.to_alcotest prop_subset_transitive;
+    ] )

@@ -1,0 +1,93 @@
+(* Tests for chromatic simplicial maps. *)
+
+let tri =
+  Simplex.of_list [ (1, Value.Int 1); (2, Value.Int 2); (3, Value.Int 3) ]
+
+let constant_map =
+  Simplicial_map.of_fun (Simplex.vertices tri) (fun v ->
+      Vertex.make (Vertex.color v) (Value.Int 0))
+
+let test_apply () =
+  let v = Vertex.make 2 (Value.Int 2) in
+  Alcotest.(check bool) "apply" true
+    (Vertex.equal (Simplicial_map.apply constant_map v)
+       (Vertex.make 2 (Value.Int 0)));
+  Alcotest.check_raises "outside domain" Not_found (fun () ->
+      ignore (Simplicial_map.apply constant_map (Vertex.make 9 Value.Unit)))
+
+let test_apply_simplex () =
+  let image = Simplicial_map.apply_simplex constant_map tri in
+  Alcotest.(check (list int)) "chromatic image" [ 1; 2; 3 ] (Simplex.ids image)
+
+let test_conflicting_assoc () =
+  Alcotest.check_raises "conflicting images"
+    (Invalid_argument "Simplicial_map.of_assoc: conflicting images") (fun () ->
+      let v = Vertex.make 1 Value.Unit in
+      ignore
+        (Simplicial_map.of_assoc
+           [ (v, Vertex.make 1 (Value.Int 0)); (v, Vertex.make 1 (Value.Int 1)) ]))
+
+let test_is_simplicial () =
+  let dom = Complex.of_simplex tri in
+  let cod =
+    Complex.of_simplex
+      (Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 0); (3, Value.Int 0) ])
+  in
+  Alcotest.(check bool) "constant map simplicial" true
+    (Simplicial_map.is_simplicial constant_map ~domain:dom ~codomain:cod);
+  Alcotest.(check bool) "chromatic" true (Simplicial_map.is_chromatic constant_map);
+  (* A map missing vertices is not simplicial on this domain. *)
+  let partial = Simplicial_map.of_assoc [] in
+  Alcotest.(check bool) "partial map rejected" false
+    (Simplicial_map.is_simplicial partial ~domain:dom ~codomain:cod);
+  (* A non-chromatic target complex membership failure. *)
+  let wrong_cod = Complex.of_simplex (Simplex.of_list [ (1, Value.Int 9) ]) in
+  Alcotest.(check bool) "image outside codomain" false
+    (Simplicial_map.is_simplicial constant_map ~domain:dom ~codomain:wrong_cod)
+
+let test_compose_restrict () =
+  let bump =
+    Simplicial_map.of_fun
+      (List.map
+         (fun v -> Vertex.make (Vertex.color v) (Value.Int 0))
+         (Simplex.vertices tri))
+      (fun v -> Vertex.make (Vertex.color v) (Value.Int 1))
+  in
+  let composed = Simplicial_map.compose bump constant_map in
+  Alcotest.(check bool) "compose" true
+    (Vertex.equal
+       (Simplicial_map.apply composed (Vertex.make 1 (Value.Int 1)))
+       (Vertex.make 1 (Value.Int 1)));
+  let restricted =
+    Simplicial_map.restrict [ Vertex.make 1 (Value.Int 1) ] constant_map
+  in
+  Alcotest.(check int) "restricted domain" 1
+    (List.length (Simplicial_map.domain restricted))
+
+let test_agrees_with () =
+  (* The decision map of 1-round (1/3)-AA agrees with Δ; a constant-0
+     map does not (it violates solo inputs 1). *)
+  let t = Approx_agreement.task ~n:2 ~m:3 ~eps:(Frac.make 1 3) in
+  let inputs = Task.input_simplices t in
+  let protocol s = Model.protocol_complex Model.Immediate s 1 in
+  let all_vertices =
+    List.concat_map (fun s -> Complex.vertices (protocol s)) inputs
+    |> List.sort_uniq Vertex.compare
+  in
+  let zero_map =
+    Simplicial_map.of_fun all_vertices (fun v ->
+        Vertex.make (Vertex.color v) (Value.frac 0 1))
+  in
+  Alcotest.(check bool) "constant 0 disagrees" false
+    (Simplicial_map.agrees_with zero_map ~inputs ~protocol ~delta:(Task.delta t))
+
+let suite =
+  ( "simplicial_map",
+    [
+      Alcotest.test_case "apply" `Quick test_apply;
+      Alcotest.test_case "apply_simplex" `Quick test_apply_simplex;
+      Alcotest.test_case "conflicting assoc" `Quick test_conflicting_assoc;
+      Alcotest.test_case "is_simplicial" `Quick test_is_simplicial;
+      Alcotest.test_case "compose/restrict" `Quick test_compose_restrict;
+      Alcotest.test_case "agrees_with" `Quick test_agrees_with;
+    ] )

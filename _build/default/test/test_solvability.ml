@@ -1,0 +1,123 @@
+(* Tests for the simplicial-map solvability layer. *)
+
+let is_solvable = Solvability.is_solvable
+
+let test_identity_task_zero_rounds () =
+  (* "Output your input" is solvable in zero rounds. *)
+  let values = [ Value.Int 0; Value.Int 1 ] in
+  let inputs = Combinatorics.full_input_complex 2 values in
+  let t =
+    Task.make ~name:"identity" ~arity:2 ~inputs:(lazy inputs)
+      ~outputs:(lazy inputs)
+      ~delta:(fun sigma -> Complex.of_simplex sigma)
+  in
+  Alcotest.(check bool) "0 rounds" true
+    (is_solvable (Solvability.task_in_model Model.Immediate t ~rounds:0));
+  Alcotest.(check bool) "1 round too" true
+    (is_solvable (Solvability.task_in_model Model.Immediate t ~rounds:1))
+
+let test_consensus_basics () =
+  let t = Consensus.binary ~n:2 in
+  List.iter
+    (fun rounds ->
+      Alcotest.(check bool)
+        (Printf.sprintf "consensus unsolvable t=%d" rounds)
+        false
+        (is_solvable (Solvability.task_in_model Model.Immediate t ~rounds)))
+    [ 0; 1; 2 ]
+
+let test_aa_thresholds () =
+  let t = Approx_agreement.task ~n:2 ~m:3 ~eps:(Frac.make 1 3) in
+  let inputs = Complex.all_simplices (Approx_agreement.binary_input_complex ~n:2) in
+  Alcotest.(check bool) "unsolvable at 0" false
+    (is_solvable (Solvability.task_in_model ~inputs Model.Immediate t ~rounds:0));
+  Alcotest.(check bool) "solvable at 1" true
+    (is_solvable (Solvability.task_in_model ~inputs Model.Immediate t ~rounds:1))
+
+let test_solution_map_is_valid () =
+  (* Extract the witness and re-validate it independently. *)
+  let t = Approx_agreement.task ~n:2 ~m:3 ~eps:(Frac.make 1 3) in
+  let inputs = Task.input_simplices t in
+  match Solvability.task_in_model ~inputs Model.Immediate t ~rounds:1 with
+  | Solvability.Solvable f ->
+      Alcotest.(check bool) "chromatic" true (Simplicial_map.is_chromatic f);
+      Alcotest.(check bool) "agrees with Δ" true
+        (Simplicial_map.agrees_with f ~inputs
+           ~protocol:(fun s -> Model.protocol_complex Model.Immediate s 1)
+           ~delta:(Task.delta t))
+  | _ -> Alcotest.fail "expected a solution"
+
+let test_min_rounds () =
+  let t = Approx_agreement.task ~n:2 ~m:9 ~eps:(Frac.make 1 9) in
+  let inputs = Complex.all_simplices (Approx_agreement.binary_input_complex ~n:2) in
+  Alcotest.(check (option int)) "min rounds = 2" (Some 2)
+    (Solvability.min_rounds ~inputs Model.Immediate t);
+  let cons = Consensus.binary ~n:2 in
+  Alcotest.(check (option int)) "consensus: none within cap" None
+    (Solvability.min_rounds ~max_rounds:2 Model.Immediate cons)
+
+let test_local_task_solvable () =
+  (* Claim 2's forward map: τ at distance 3ε is 1-round solvable. *)
+  let eps = Frac.make 1 3 in
+  let t = Approx_agreement.task ~n:2 ~m:3 ~eps in
+  let sigma = Simplex.of_list [ (1, Value.frac 0 1); (2, Value.frac 1 1) ] in
+  let near = Simplex.of_list [ (1, Value.frac 0 1); (2, Value.frac 1 1) ] in
+  Alcotest.(check bool) "spread 3eps solvable" true
+    (is_solvable
+       (Solvability.local_task_solvable
+          ~one_round:(Model.one_round_facets Model.Immediate)
+          t ~sigma ~tau:near));
+  (* With test&set even this is solvable; without, a spread-1 pair at
+     eps=1/9 is too far (1 > 3/9). *)
+  let t9 = Approx_agreement.task ~n:2 ~m:9 ~eps:(Frac.make 1 9) in
+  let far = Simplex.of_list [ (1, Value.frac 0 1); (2, Value.frac 1 1) ] in
+  Alcotest.(check bool) "spread 9eps unsolvable" false
+    (is_solvable
+       (Solvability.local_task_solvable
+          ~one_round:(Model.one_round_facets Model.Immediate)
+          t9 ~sigma ~tau:far))
+
+let test_augmented_solvability () =
+  let cons2 = Consensus.binary ~n:2 in
+  Alcotest.(check bool) "2-proc consensus with T&S" true
+    (is_solvable
+       (Solvability.task_in_augmented ~box:Black_box.test_and_set
+          ~alpha:(Augmented.alpha_const Value.Unit) cons2 ~rounds:1));
+  let cons3 = Consensus.binary ~n:3 in
+  Alcotest.(check bool) "3-proc consensus with T&S fails" false
+    (is_solvable
+       (Solvability.task_in_augmented ~box:Black_box.test_and_set
+          ~alpha:(Augmented.alpha_const Value.Unit) cons3 ~rounds:1))
+
+let test_model_comparison () =
+  (* Lower bounds transfer: what IIS cannot do, collect cannot either;
+     and the snapshot model sits in between. *)
+  let t = Approx_agreement.task ~n:3 ~m:4 ~eps:(Frac.make 1 4) in
+  let inputs = Complex.all_simplices (Approx_agreement.binary_input_complex ~n:3) in
+  List.iter
+    (fun model ->
+      Alcotest.(check bool)
+        (Printf.sprintf "one round of %s insufficient" (Model.name model))
+        false
+        (is_solvable (Solvability.task_in_model ~inputs model t ~rounds:1)))
+    [ Model.Immediate; Model.Snapshot; Model.Collect ]
+
+let test_undecided () =
+  let t = Consensus.binary ~n:3 in
+  match Solvability.task_in_model ~node_limit:1 Model.Immediate t ~rounds:2 with
+  | Solvability.Undecided | Solvability.Unsolvable -> ()
+  | Solvability.Solvable _ -> Alcotest.fail "consensus cannot be solvable"
+
+let suite =
+  ( "solvability",
+    [
+      Alcotest.test_case "identity task" `Quick test_identity_task_zero_rounds;
+      Alcotest.test_case "consensus basics" `Quick test_consensus_basics;
+      Alcotest.test_case "AA thresholds" `Quick test_aa_thresholds;
+      Alcotest.test_case "witness validity" `Quick test_solution_map_is_valid;
+      Alcotest.test_case "min_rounds" `Quick test_min_rounds;
+      Alcotest.test_case "local tasks" `Quick test_local_task_solvable;
+      Alcotest.test_case "augmented models" `Quick test_augmented_solvability;
+      Alcotest.test_case "across models" `Quick test_model_comparison;
+      Alcotest.test_case "node limit surfaces Undecided" `Quick test_undecided;
+    ] )

@@ -1,0 +1,70 @@
+(* Tests for the Sperner-labeling machinery. *)
+
+let sigma3 =
+  Simplex.of_list [ (1, Value.Int 1); (2, Value.Int 2); (3, Value.Int 3) ]
+
+let test_carrier_ids () =
+  let p1 = Model.protocol_complex Model.Immediate sigma3 1 in
+  (* One-round vertices: the carrier is the view's id set. *)
+  List.iter
+    (fun v ->
+      Alcotest.(check (list int)) "carrier = view ids"
+        (Value.view_ids (Vertex.value v))
+        (Sperner.carrier_ids v))
+    (Complex.vertices p1);
+  (* Input vertices are their own carrier. *)
+  Alcotest.(check (list int)) "corner carrier" [ 2 ]
+    (Sperner.carrier_ids (Vertex.make 2 (Value.Int 0)))
+
+let test_carrier_ids_nested () =
+  let p2 = Model.protocol_complex Model.Immediate sigma3 2 in
+  (* Solo-of-solo vertices have singleton carriers; everyone's carrier
+     is a subset of {1,2,3} containing its own color. *)
+  List.iter
+    (fun v ->
+      let c = Sperner.carrier_ids v in
+      Alcotest.(check bool) "own color in carrier" true
+        (List.mem (Vertex.color v) c);
+      Alcotest.(check bool) "carrier within corners" true
+        (List.for_all (fun i -> List.mem i [ 1; 2; 3 ]) c))
+    (Complex.vertices p2)
+
+let test_count_rainbow () =
+  let p1 = Model.protocol_complex Model.Immediate sigma3 1 in
+  (* Labeling by own color: every facet is rainbow (13). *)
+  Alcotest.(check int) "chromatic labeling: all rainbow" 13
+    (Sperner.count_rainbow p1 ~labeling:Vertex.color);
+  (* Constant labeling: none. *)
+  Alcotest.(check int) "constant labeling: none" 0
+    (Sperner.count_rainbow p1 ~labeling:(fun _ -> 1))
+
+let test_exhaustive_one_round () =
+  let p1 = Model.protocol_complex Model.Immediate sigma3 1 in
+  Alcotest.(check bool) "Sperner on the chromatic subdivision" true
+    (Sperner.exhaustive_check p1)
+
+let test_exhaustive_edge () =
+  let edge = Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 1) ] in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "1-dimensional Sperner, t=%d" t)
+        true
+        (Sperner.exhaustive_check (Model.protocol_complex Model.Immediate edge t)))
+    [ 1; 2 ]
+
+let test_sampled_two_rounds () =
+  let p2 = Model.protocol_complex Model.Immediate sigma3 2 in
+  Alcotest.(check bool) "sampled Sperner on P^2" true
+    (Sperner.sampled_check ~samples:300 p2)
+
+let suite =
+  ( "sperner",
+    [
+      Alcotest.test_case "carrier ids (one round)" `Quick test_carrier_ids;
+      Alcotest.test_case "carrier ids (nested)" `Quick test_carrier_ids_nested;
+      Alcotest.test_case "rainbow counting" `Quick test_count_rainbow;
+      Alcotest.test_case "exhaustive, triangle" `Quick test_exhaustive_one_round;
+      Alcotest.test_case "exhaustive, edge" `Quick test_exhaustive_edge;
+      Alcotest.test_case "sampled, two rounds" `Quick test_sampled_two_rounds;
+    ] )

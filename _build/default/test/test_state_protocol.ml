@@ -1,0 +1,86 @@
+(* Tests for the state-carrying protocol combinator. *)
+
+let max_spec rounds =
+  (* Each round: adopt the maximum collected state. *)
+  {
+    State_protocol.name = "running-max";
+    rounds;
+    init = (fun _i input -> input);
+    step =
+      (fun ~round:_ _i ~box:_ states ->
+        List.fold_left
+          (fun acc (_, v) -> if Value.compare v acc > 0 then v else acc)
+          (snd (List.hd states))
+          states);
+    box_input = (fun ~round:_ _i _ -> Value.Unit);
+    output = (fun _i state -> state);
+  }
+
+let inputs = [ (1, Value.Int 1); (2, Value.Int 5); (3, Value.Int 3) ]
+
+let test_state_recovery () =
+  let spec = max_spec 2 in
+  let protocol = State_protocol.protocol spec in
+  let schedule =
+    [ Schedule.Is_round [ [ 1; 2; 3 ] ]; Schedule.Is_round [ [ 1; 2; 3 ] ] ]
+  in
+  let result = Executor.run protocol ~inputs ~schedule in
+  (* Everybody saw everybody: the max propagates to all. *)
+  List.iter
+    (fun (_, out) ->
+      Alcotest.(check bool) "max reached" true (Value.equal out (Value.Int 5)))
+    result.Executor.outputs
+
+let test_partial_visibility () =
+  let spec = max_spec 1 in
+  let protocol = State_protocol.protocol spec in
+  (* Process 1 runs solo: it keeps its own value. *)
+  let schedule = [ Schedule.Is_round [ [ 1 ]; [ 2; 3 ] ] ] in
+  let result = Executor.run protocol ~inputs ~schedule in
+  Alcotest.(check bool) "solo keeps own" true
+    (Value.equal (List.assoc 1 result.Executor.outputs) (Value.Int 1));
+  Alcotest.(check bool) "others get the max" true
+    (Value.equal (List.assoc 2 result.Executor.outputs) (Value.Int 5))
+
+let test_state_of_view_round0 () =
+  let spec = max_spec 0 in
+  Alcotest.(check bool) "round 0 = init" true
+    (Value.equal
+       (State_protocol.state_of_view spec ~round:0 1 (Value.Int 42))
+       (Value.Int 42))
+
+let test_intermediate_states () =
+  (* state_of_view recovers the state after each round from the nested
+     view, consistently with the executor's round_views. *)
+  let spec = max_spec 2 in
+  let protocol = State_protocol.protocol spec in
+  let schedule =
+    [ Schedule.Is_round [ [ 2 ]; [ 1; 3 ] ]; Schedule.Is_round [ [ 1; 2; 3 ] ] ]
+  in
+  let result = Executor.run protocol ~inputs ~schedule in
+  (match result.Executor.round_views with
+  | [ r1; _ ] ->
+      (* After round 1: 2 ran solo (keeps 5), 1 and 3 saw everyone. *)
+      let state_of i =
+        State_protocol.state_of_view spec ~round:1 i (List.assoc i r1)
+      in
+      Alcotest.(check bool) "p2 solo" true (Value.equal (state_of 2) (Value.Int 5));
+      Alcotest.(check bool) "p1 max" true (Value.equal (state_of 1) (Value.Int 5))
+  | _ -> Alcotest.fail "expected two rounds");
+  ()
+
+let test_malformed_view () =
+  let spec = max_spec 1 in
+  Alcotest.check_raises "malformed view rejected"
+    (Invalid_argument "State_protocol: malformed view") (fun () ->
+      ignore (State_protocol.state_of_view spec ~round:1 1 (Value.Int 3)))
+
+let suite =
+  ( "state_protocol",
+    [
+      Alcotest.test_case "state recovery" `Quick test_state_recovery;
+      Alcotest.test_case "partial visibility" `Quick test_partial_visibility;
+      Alcotest.test_case "round 0" `Quick test_state_of_view_round0;
+      Alcotest.test_case "intermediate states" `Quick test_intermediate_states;
+      Alcotest.test_case "malformed views" `Quick test_malformed_view;
+    ] )

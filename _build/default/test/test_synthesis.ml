@@ -1,0 +1,75 @@
+(* Tests for protocol synthesis from solver witnesses. *)
+
+let aa13 = Approx_agreement.task ~n:2 ~m:3 ~eps:(Frac.make 1 3)
+
+let inputs_all =
+  Complex.all_simplices (Approx_agreement.binary_input_complex ~n:2)
+
+let test_synthesize_and_validate () =
+  match Synthesis.synthesize ~inputs:inputs_all Model.Immediate aa13 ~rounds:1 with
+  | None -> Alcotest.fail "1-round (1/3)-AA must synthesize"
+  | Some protocol ->
+      Alcotest.(check int) "rounds carried" 1 protocol.Protocol.rounds;
+      Alcotest.(check bool) "validates exhaustively" true
+        (Synthesis.validate protocol aa13
+           ~inputs:[ (1, Value.frac 0 1); (2, Value.frac 1 1) ]
+           ~exhaustive:true)
+
+let test_unsolvable_returns_none () =
+  let cons = Consensus.binary ~n:2 in
+  Alcotest.(check bool) "consensus does not synthesize" true
+    (Synthesis.synthesize Model.Immediate cons ~rounds:1 = None)
+
+let test_outside_domain_raises () =
+  match Synthesis.synthesize ~inputs:inputs_all Model.Immediate aa13 ~rounds:1 with
+  | None -> Alcotest.fail "should synthesize"
+  | Some protocol ->
+      (* Run it on inputs the solver never saw: decide must raise. *)
+      Alcotest.(check bool) "foreign input rejected" true
+        (match
+           Executor.run protocol
+             ~inputs:[ (1, Value.frac 1 3); (2, Value.frac 2 3) ]
+             ~schedule:[ Schedule.Is_round [ [ 1; 2 ] ] ]
+         with
+        | exception Invalid_argument _ -> true
+        | _ -> false)
+
+let test_synthesized_matches_task_semantics () =
+  (* Outputs of the synthesized protocol on a specific schedule satisfy
+     both range and precision. *)
+  match Synthesis.synthesize ~inputs:inputs_all Model.Immediate aa13 ~rounds:1 with
+  | None -> Alcotest.fail "should synthesize"
+  | Some protocol ->
+      List.iter
+        (fun schedule ->
+          let result =
+            Executor.run protocol
+              ~inputs:[ (1, Value.frac 0 1); (2, Value.frac 1 1) ]
+              ~schedule
+          in
+          let out = Executor.outputs_simplex result in
+          Alcotest.(check bool) "within eps" true
+            Frac.(Approx_agreement.spread out <= Frac.make 1 3);
+          Alcotest.(check bool) "in range" true
+            (Approx_agreement.in_range ~lo:Frac.zero ~hi:Frac.one out))
+        (Adversary.exhaustive_is ~boxed:false ~participants:[ 1; 2 ] ~rounds:1)
+
+let test_two_round_synthesis () =
+  let aa19 = Approx_agreement.task ~n:2 ~m:9 ~eps:(Frac.make 1 9) in
+  match Synthesis.synthesize ~inputs:inputs_all Model.Immediate aa19 ~rounds:2 with
+  | None -> Alcotest.fail "2-round (1/9)-AA must synthesize"
+  | Some protocol ->
+      Alcotest.(check bool) "validates" true
+        (Synthesis.validate protocol aa19
+           ~inputs:[ (1, Value.frac 0 1); (2, Value.frac 1 1) ]
+           ~exhaustive:true)
+
+let suite =
+  ( "synthesis",
+    [
+      Alcotest.test_case "synthesize + validate" `Quick test_synthesize_and_validate;
+      Alcotest.test_case "unsolvable gives None" `Quick test_unsolvable_returns_none;
+      Alcotest.test_case "foreign inputs raise" `Quick test_outside_domain_raises;
+      Alcotest.test_case "task semantics" `Quick test_synthesized_matches_task_semantics;
+      Alcotest.test_case "two-round synthesis" `Quick test_two_round_synthesis;
+    ] )

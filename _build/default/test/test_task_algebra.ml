@@ -1,0 +1,96 @@
+(* Tests for the task combinators. *)
+
+let aa = Approx_agreement.task ~n:2 ~m:2 ~eps:Frac.half
+let cons = Consensus.binary ~n:2
+
+let test_pairing () =
+  let a = Simplex.of_list [ (1, Value.Int 1); (2, Value.Int 2) ] in
+  let b = Simplex.of_list [ (1, Value.Int 3); (2, Value.Int 4) ] in
+  let p = Task_algebra.pair_simplices a b in
+  Alcotest.(check bool) "components recovered" true
+    (Simplex.equal (Task_algebra.project 1 p) a
+    && Simplex.equal (Task_algebra.project 2 p) b);
+  let c = Simplex.of_list [ (3, Value.Int 0) ] in
+  Alcotest.check_raises "mismatched colors"
+    (Invalid_argument "Task_algebra.pair_simplices: color sets differ")
+    (fun () -> ignore (Task_algebra.pair_simplices a c))
+
+let test_product_delta () =
+  let p = Task_algebra.product aa cons in
+  let sigma =
+    Task_algebra.pair_simplices
+      (Simplex.of_list [ (1, Value.frac 0 1); (2, Value.frac 1 1) ])
+      (Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 1) ])
+  in
+  let d = Task.delta p sigma in
+  (* Component-wise legality of every facet. *)
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "AA component legal" true
+        (Complex.mem (Task_algebra.project 1 f)
+           (Task.delta aa (Task_algebra.project 1 sigma)));
+      Alcotest.(check bool) "consensus component legal" true
+        (Complex.mem (Task_algebra.project 2 f)
+           (Task.delta cons (Task_algebra.project 2 sigma))))
+    (Complex.facets d);
+  (* |Δ_product| = |Δ_1| · |Δ_2| on facets. *)
+  Alcotest.(check int) "product facet count"
+    (Complex.facet_count (Task.delta aa (Task_algebra.project 1 sigma))
+    * Complex.facet_count (Task.delta cons (Task_algebra.project 2 sigma)))
+    (Complex.facet_count d)
+
+let test_product_inherits_hardness () =
+  (* AA x consensus is unsolvable (the consensus component). *)
+  let p = Task_algebra.product aa cons in
+  Alcotest.(check bool) "product with consensus unsolvable" false
+    (Solvability.is_solvable
+       (Solvability.task_in_model Model.Immediate p ~rounds:1));
+  (* AA x AA is solvable in one round. *)
+  let p2 = Task_algebra.product aa aa in
+  Alcotest.(check bool) "AA x AA solvable" true
+    (Solvability.is_solvable
+       (Solvability.task_in_model Model.Immediate p2 ~rounds:1))
+
+let test_closure_of_product_contained () =
+  (* CL(Π1 × Π2) ⊆ CL(Π1) × CL(Π2): projections of closure members
+     are closure members. *)
+  let op = Round_op.plain Model.Immediate in
+  let p = Task_algebra.product aa cons in
+  let sigma =
+    Task_algebra.pair_simplices
+      (Simplex.of_list [ (1, Value.frac 0 1); (2, Value.frac 1 1) ])
+      (Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 1) ])
+  in
+  let d' = Closure.delta ~op p sigma in
+  List.iter
+    (fun tau ->
+      Alcotest.(check bool) "AA projection in CL(AA)" true
+        (Closure.tau_member ~op aa
+           ~sigma:(Task_algebra.project 1 sigma)
+           ~tau:(Task_algebra.project 1 tau));
+      Alcotest.(check bool) "consensus projection in CL(consensus)" true
+        (Closure.tau_member ~op cons
+           ~sigma:(Task_algebra.project 2 sigma)
+           ~tau:(Task_algebra.project 2 tau)))
+    (Complex.facets d')
+
+let test_relax () =
+  let anything sigma =
+    Complex.of_facets
+      (Combinatorics.assignments (Simplex.ids sigma) [ Value.Int 0; Value.Int 1 ])
+  in
+  let r = Task_algebra.relax cons ~with_delta:anything ~name:"chaos" in
+  Alcotest.(check string) "renamed" "chaos" r.Task.name;
+  Alcotest.(check bool) "weaker spec is 0-round solvable" true
+    (Solvability.is_solvable
+       (Solvability.task_in_model Model.Immediate r ~rounds:0))
+
+let suite =
+  ( "task_algebra",
+    [
+      Alcotest.test_case "pairing/projection" `Quick test_pairing;
+      Alcotest.test_case "product Δ" `Quick test_product_delta;
+      Alcotest.test_case "product hardness" `Quick test_product_inherits_hardness;
+      Alcotest.test_case "closure of product" `Quick test_closure_of_product_contained;
+      Alcotest.test_case "relax" `Quick test_relax;
+    ] )

@@ -1,0 +1,79 @@
+(* Tests for the universal vertex-value type. *)
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let test_view_construction () =
+  let v = Value.view [ (3, Value.Int 3); (1, Value.Int 1); (2, Value.Int 2) ] in
+  Alcotest.(check (list int)) "ids sorted" [ 1; 2; 3 ] (Value.view_ids v);
+  Alcotest.(check (option value)) "find present" (Some (Value.Int 2))
+    (Value.view_find 2 v);
+  Alcotest.(check (option value)) "find absent" None (Value.view_find 9 v);
+  Alcotest.check_raises "repeated color rejected"
+    (Invalid_argument "Value.view: repeated color") (fun () ->
+      ignore (Value.view [ (1, Value.Int 0); (1, Value.Int 1) ]))
+
+let test_view_order_irrelevant () =
+  let a = Value.view [ (1, Value.Int 1); (2, Value.Int 2) ] in
+  let b = Value.view [ (2, Value.Int 2); (1, Value.Int 1) ] in
+  Alcotest.(check value) "views equal regardless of insertion order" a b;
+  Alcotest.(check int) "hash equal" (Value.hash a) (Value.hash b)
+
+let test_compare_constructors () =
+  (* The order is total and discriminates constructors. *)
+  let samples =
+    [ Value.Unit; Value.Bool false; Value.Int 0; Value.frac 1 2; Value.Str "x";
+      Value.Pair (Value.Unit, Value.Unit); Value.view [ (1, Value.Unit) ] ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let c = Value.compare a b in
+          Alcotest.(check int) "antisymmetry" (-c) (Value.compare b a))
+        samples)
+    samples
+
+let test_frac_values () =
+  Alcotest.(check value) "frac normalizes" (Value.frac 1 2) (Value.frac 2 4);
+  Alcotest.(check bool) "as_frac" true
+    (Frac.equal (Value.as_frac (Value.frac 3 4)) (Frac.make 3 4));
+  Alcotest.check_raises "as_frac on Int" (Invalid_argument "Value.as_frac")
+    (fun () -> ignore (Value.as_frac (Value.Int 1)));
+  Alcotest.(check bool) "as_bool" true (Value.as_bool (Value.Bool true));
+  Alcotest.check_raises "as_bool on Unit" (Invalid_argument "Value.as_bool")
+    (fun () -> ignore (Value.as_bool Value.Unit))
+
+let test_nested_views () =
+  (* Views of views, the shape of iterated full-information protocols. *)
+  let inner = Value.view [ (1, Value.Int 0); (2, Value.Int 1) ] in
+  let outer = Value.view [ (1, inner); (2, Value.view [ (2, Value.Int 1) ]) ] in
+  Alcotest.(check (option value)) "nested find" (Some inner)
+    (Value.view_find 1 outer);
+  Alcotest.(check string) "pp stable" "{1:{1:0 2:1} 2:{2:1}}"
+    (Value.to_string outer)
+
+let test_pair_values () =
+  let p = Value.Pair (Value.Bool true, Value.view [ (1, Value.Int 0) ]) in
+  Alcotest.(check string) "pp pair" "(true,{1:0})" (Value.to_string p)
+
+let prop_compare_reflexive =
+  QCheck2.Test.make ~name:"compare reflexive" ~count:300 Gen.value (fun v ->
+      Value.compare v v = 0 && Value.equal v v)
+
+let prop_equal_implies_hash =
+  QCheck2.Test.make ~name:"equal values hash equally" ~count:300
+    QCheck2.Gen.(pair Gen.value Gen.value)
+    (fun (a, b) -> (not (Value.equal a b)) || Value.hash a = Value.hash b)
+
+let suite =
+  ( "value",
+    [
+      Alcotest.test_case "view construction" `Quick test_view_construction;
+      Alcotest.test_case "view order-insensitive" `Quick test_view_order_irrelevant;
+      Alcotest.test_case "compare across constructors" `Quick test_compare_constructors;
+      Alcotest.test_case "fraction values" `Quick test_frac_values;
+      Alcotest.test_case "nested views" `Quick test_nested_views;
+      Alcotest.test_case "pair values" `Quick test_pair_values;
+      QCheck_alcotest.to_alcotest prop_compare_reflexive;
+      QCheck_alcotest.to_alcotest prop_equal_implies_hash;
+    ] )
