@@ -24,13 +24,35 @@ let aa_2_9 = Approx_agreement.task ~n:2 ~m:9 ~eps:(Frac.make 1 9)
 let laa_3_4 = Approx_agreement.liberal ~n:3 ~m:4 ~eps:(Frac.make 1 4)
 let relaxed3 = Consensus.relaxed ~n:3 ~values:[ Value.Int 0; Value.Int 1 ]
 
-(* Fresh closure computations each run: a per-call renamed task
-   bypasses the memo table, so Bechamel measures real work. *)
+(* Closure kernels pass [~memo:false] so Bechamel measures real work
+   instead of a table lookup; the certificate store is disabled
+   globally (see [main]) except in the dedicated cert/* kernels. *)
+
+(* e14 bypasses the protocol-complex cache with fresh input values. *)
 let counter = ref 0
 
-let fresh task =
-  incr counter;
-  Task.with_name (Printf.sprintf "%s#%d" task.Task.name !counter) task
+(* Scratch certificate store for the cold/warm cert kernels. *)
+let bench_store_root =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "speedup-bench-certs-%d" (Unix.getpid ()))
+
+let rec remove_tree path =
+  match (Unix.lstat path).Unix.st_kind with
+  | Unix.S_DIR ->
+      Array.iter
+        (fun entry -> remove_tree (Filename.concat path entry))
+        (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let closure_sigma =
+  Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 1); (3, Value.Int 0) ]
+
+let with_bench_store f =
+  Cert_store.set_dir (Some bench_store_root);
+  Fun.protect ~finally:(fun () -> Cert_store.set_dir None) f
 
 let kernels =
   [
@@ -44,16 +66,15 @@ let kernels =
     ( "e2/speedup-verify-aa-n2",
       fun () ->
         ignore
-          (Speedup.verify
+          (Speedup.verify ~memo:false
              (Speedup.of_model Model.Immediate)
-             (fresh (Approx_agreement.task ~n:2 ~m:3 ~eps:(Frac.make 1 3)))
+             (Approx_agreement.task ~n:2 ~m:3 ~eps:(Frac.make 1 3))
              ~rounds:1 ~inputs:(binary_inputs 2)) );
     ( "e3/closure-consensus-n3",
       fun () ->
         ignore
-          (Closure.delta ~op:(Round_op.plain Model.Immediate) (fresh consensus3)
-             (Simplex.of_list
-                [ (1, Value.Int 0); (2, Value.Int 1); (3, Value.Int 0) ])) );
+          (Closure.delta ~memo:false ~op:(Round_op.plain Model.Immediate)
+             consensus3 closure_sigma) );
     ( "e4/solve-tas-consensus2",
       fun () ->
         ignore
@@ -68,25 +89,26 @@ let kernels =
     ( "e5/relaxed-consensus-closure-tas",
       fun () ->
         ignore
-          (Closure.delta ~op:Round_op.test_and_set (fresh relaxed3)
+          (Closure.delta ~memo:false ~op:Round_op.test_and_set relaxed3
              (Simplex.of_list
                 [ (1, Value.Int 0); (2, Value.Int 1); (3, Value.Int 1) ])) );
     ( "e6/closure-aa-edge-n2",
       fun () ->
         ignore
-          (Closure.delta ~op:(Round_op.plain Model.Immediate) (fresh aa_2_9)
-             edge01) );
+          (Closure.delta ~memo:false ~op:(Round_op.plain Model.Immediate)
+             aa_2_9 edge01) );
     ( "e7/closure-liberal-aa-facet-n3",
       fun () ->
         ignore
-          (Closure.delta ~op:(Round_op.plain Model.Immediate) (fresh laa_3_4)
+          (Closure.delta ~memo:false ~op:(Round_op.plain Model.Immediate)
+             laa_3_4
              (Simplex.of_list
                 [ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ])) );
     ( "e8/min-rounds-aa-n2",
       fun () ->
         ignore
           (Solvability.min_rounds ~inputs:(binary_inputs 2) ~max_rounds:3
-             Model.Immediate (fresh aa_2_9)) );
+             Model.Immediate aa_2_9) );
     ( "e9/halving-2197-schedules",
       fun () ->
         let eps = Frac.make 1 8 in
@@ -101,15 +123,15 @@ let kernels =
     ( "e10/closure-tas-liberal-aa",
       fun () ->
         ignore
-          (Closure.delta ~op:Round_op.test_and_set (fresh laa_3_4)
+          (Closure.delta ~memo:false ~op:Round_op.test_and_set laa_3_4
              (Simplex.of_list
                 [ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ])) );
     ( "e11/closure-beta-bincons",
       fun () ->
         ignore
-          (Closure.delta
+          (Closure.delta ~memo:false
              ~op:(Round_op.bin_consensus_beta (fun i -> i mod 2 = 0))
-             (fresh laa_3_4)
+             laa_3_4
              (Simplex.of_list
                 [ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ])) );
     ( "e12/bc-consensus-n5-100-runs",
@@ -149,17 +171,17 @@ let kernels =
     ( "e17/closure-any-beta",
       fun () ->
         ignore
-          (Closure.delta_any
+          (Closure.delta_any ~memo:false
              ~ops:(Closure.bin_consensus_ops [ 1; 2; 3 ])
-             ~name:(Printf.sprintf "bench-any-%d" !counter)
-             (fresh (Approx_agreement.liberal ~n:3 ~m:2 ~eps:Frac.half))
+             ~name:"bench-any"
+             (Approx_agreement.liberal ~n:3 ~m:2 ~eps:Frac.half)
              (Simplex.of_list
                 [ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ])) );
     ( "e19/collect-solvability-t1",
       fun () ->
         ignore
           (Solvability.task_in_model ~inputs:(binary_inputs 3) Model.Collect
-             (fresh (Approx_agreement.task ~n:3 ~m:2 ~eps:Frac.half))
+             (Approx_agreement.task ~n:3 ~m:2 ~eps:Frac.half)
              ~rounds:1) );
     ( "e18/non-iterated-emulated-sweep",
       fun () ->
@@ -168,6 +190,22 @@ let kernels =
         List.iter
           (fun s -> ignore (Non_iterated.run_emulated spec ~inputs ~schedule:s))
           (Non_iterated.exhaustive ~participants:[ 1; 2 ] ~rounds:2) );
+    (* The same closure enumeration through the certificate store: cold
+       (empty store: full search plus certificate writes) and warm
+       (populated store: witness verification replaces the search). *)
+    ( "cert/closure-consensus-n3-cold-store",
+      fun () ->
+        remove_tree bench_store_root;
+        with_bench_store (fun () ->
+            ignore
+              (Closure.delta ~memo:false ~op:(Round_op.plain Model.Immediate)
+                 consensus3 closure_sigma)) );
+    ( "cert/closure-consensus-n3-warm-store",
+      fun () ->
+        with_bench_store (fun () ->
+            ignore
+              (Closure.delta ~memo:false ~op:(Round_op.plain Model.Immediate)
+                 consensus3 closure_sigma)) );
   ]
 
 let tests = List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) kernels
@@ -205,7 +243,20 @@ let print_timings results =
     (fun (name, est, r2) -> Printf.printf "%-45s %s %s\n" name est r2)
     (List.sort compare !rows)
 
+let print_cache_stats () =
+  let m = Closure.memo_stats () in
+  let s = Cert_store.stats () in
+  Printf.printf
+    "closure-stats: memo_hits=%d memo_misses=%d enumerations=%d entries=%d \
+     store_hits=%d store_misses=%d store_writes=%d store_corrupt=%d\n"
+    m.Closure.hits m.Closure.misses m.Closure.enumerations m.Closure.entries
+    s.Cert_store.hits s.Cert_store.misses s.Cert_store.writes
+    s.Cert_store.corrupt
+
 let () =
+  (* Keep timings deterministic: no ambient store for the e* kernels
+     (the cert/* kernels opt in to the scratch store explicitly). *)
+  Cert_store.set_dir None;
   (* Part 1: the reproduction tables. *)
   let t0 = Unix.gettimeofday () in
   let tables = Suite.run_all () in
@@ -215,6 +266,15 @@ let () =
     (List.length tables)
     (if all_ok then "ALL OK" else "FAILURES PRESENT")
     (Unix.gettimeofday () -. t0);
-  (* Part 2: kernel timings. *)
+  print_cache_stats ();
+  (* Part 2: kernel timings.  Pre-populate the scratch store so the
+     warm kernel hits it regardless of execution order. *)
+  remove_tree bench_store_root;
+  with_bench_store (fun () ->
+      ignore
+        (Closure.delta ~memo:false ~op:(Round_op.plain Model.Immediate)
+           consensus3 closure_sigma));
   print_timings (benchmark ());
+  print_cache_stats ();
+  remove_tree bench_store_root;
   if not all_ok then exit 1

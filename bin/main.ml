@@ -344,12 +344,208 @@ let svg_cmd =
     (Cmd.info "svg" ~doc:"Render an iterated protocol complex as SVG (Figure 8 style).")
     Term.(const run $ model $ n $ rounds $ size $ out)
 
+(* ---- cert ---- *)
+
+let cert_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Certificate store root (default: \\$CERT_CACHE_DIR).")
+
+let with_store dir k =
+  (match dir with Some d -> Cert.Store.set_dir (Some d) | None -> ());
+  match Cert.Store.dir () with
+  | None ->
+      Printf.eprintf "no certificate store: pass --dir or set CERT_CACHE_DIR\n";
+      2
+  | Some root -> k root
+
+let verify_cert cert =
+  match Cert.verify Cert_registry.env cert with
+  | Ok () -> `Ok
+  | Error (Cert.Unsupported msg) -> `Skip msg
+  | Error (Cert.Invalid msg) -> `Fail msg
+
+let cert_verify_cmd =
+  let file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Certificate file (canonical S-expression).")
+  in
+  let run file =
+    match
+      try
+        let ic = open_in_bin file in
+        Ok
+          (Fun.protect
+             ~finally:(fun () -> close_in_noerr ic)
+             (fun () -> really_input_string ic (in_channel_length ic)))
+      with Sys_error msg -> Error msg
+    with
+    | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        1
+    | Ok contents -> (
+    match Cert.Sexp.of_string (String.trim contents) with
+    | Error msg ->
+        Printf.eprintf "%s: unreadable: %s\n" file msg;
+        1
+    | Ok sexp -> (
+        match Cert.decode sexp with
+        | Error msg ->
+            Printf.eprintf "%s: undecodable: %s\n" file msg;
+            1
+        | Ok cert -> (
+            match verify_cert cert with
+            | `Ok ->
+                Printf.printf "%s: OK (%s: %s)\n" file (Cert.kind_name cert)
+                  (Cert.subject cert);
+                0
+            | `Skip msg ->
+                Printf.printf "%s: SKIP (%s)\n" file msg;
+                0
+            | `Fail msg ->
+                Printf.eprintf "%s: INVALID: %s\n" file msg;
+                1)))
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Check one exported certificate file.")
+    Term.(const run $ file)
+
+let cert_ls_cmd =
+  let run dir =
+    with_store dir (fun _root ->
+        List.iter
+          (fun (key, path) ->
+            match Cert.Store.load key with
+            | None -> Printf.printf "%s  <unreadable>\n" key
+            | Some sexp -> (
+                match Cert.decode sexp with
+                | Error msg -> Printf.printf "%s  <stale: %s>\n" key msg
+                | Ok cert ->
+                    ignore path;
+                    Printf.printf "%s  %-11s %s\n" key (Cert.kind_name cert)
+                      (Cert.subject cert)))
+          (Cert.Store.entries ());
+        0)
+  in
+  Cmd.v
+    (Cmd.info "ls" ~doc:"List the store's certificates with their subjects.")
+    Term.(const run $ cert_dir_arg)
+
+let cert_verify_store_cmd =
+  let run dir =
+    with_store dir (fun root ->
+        let ok = ref 0 and skipped = ref 0 and failed = ref 0 in
+        List.iter
+          (fun (key, _path) ->
+            match Cert.Store.load key with
+            | None ->
+                incr failed;
+                Printf.printf "%s FAIL unreadable\n" key
+            | Some sexp -> (
+                match Cert.decode sexp with
+                | Error msg ->
+                    incr failed;
+                    Printf.printf "%s FAIL %s\n" key msg
+                | Ok cert -> (
+                    match verify_cert cert with
+                    | `Ok -> incr ok
+                    | `Skip msg ->
+                        incr skipped;
+                        Printf.printf "%s SKIP %s\n" key msg
+                    | `Fail msg ->
+                        incr failed;
+                        Printf.printf "%s FAIL %s: %s\n" key
+                          (Cert.subject cert) msg)))
+          (Cert.Store.entries ());
+        Printf.printf "%s: %d verified, %d skipped (unresolvable names), %d failed\n"
+          root !ok !skipped !failed;
+        if !failed = 0 then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "verify-store"
+       ~doc:"Re-validate every certificate in the store with the standard \
+             task/operator registry.")
+    Term.(const run $ cert_dir_arg)
+
+let cert_gc_cmd =
+  let run dir =
+    with_store dir (fun root ->
+        let removed =
+          Cert.Store.gc ~keep:(fun ~key:_ sexp ->
+              match Cert.decode sexp with
+              | Error _ -> false
+              | Ok cert -> (
+                  match verify_cert cert with
+                  | `Ok | `Skip _ -> true
+                  | `Fail _ -> false))
+        in
+        Printf.printf "%s: removed %d file(s)\n" root removed;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:"Drop quarantined, stale-version, undecodable, and invalid entries.")
+    Term.(const run $ cert_dir_arg)
+
+let cert_export_cmd =
+  let key_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"KEY" ~doc:"Store key (as printed by 'cert ls').")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Output file (default: stdout).")
+  in
+  let run dir key out =
+    with_store dir (fun _root ->
+        match Cert.Store.load key with
+        | None ->
+            Printf.eprintf "no entry for key %s\n" key;
+            1
+        | Some sexp -> (
+            let text = Cert.Sexp.to_string sexp ^ "\n" in
+            match out with
+            | None ->
+                print_string text;
+                0
+            | Some file ->
+                let oc = open_out_bin file in
+                Fun.protect
+                  ~finally:(fun () -> close_out_noerr oc)
+                  (fun () -> output_string oc text);
+                Printf.printf "wrote %s\n" file;
+                0))
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Print or save one certificate by key.")
+    Term.(const run $ cert_dir_arg $ key_arg $ out)
+
+let cert_stats_cmd =
+  let run dir =
+    with_store dir (fun root ->
+        let n = List.length (Cert.Store.entries ()) in
+        Printf.printf "%s: %d certificate(s)\n" root n;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Entry count of the store.")
+    Term.(const run $ cert_dir_arg)
+
+let cert_cmd =
+  Cmd.group
+    (Cmd.info "cert"
+       ~doc:"Inspect, verify, export, and garbage-collect proof certificates \
+             (see docs/CERTIFICATES.md).")
+    [ cert_verify_cmd; cert_ls_cmd; cert_verify_store_cmd; cert_gc_cmd;
+      cert_export_cmd; cert_stats_cmd ]
+
 let main_cmd =
   let doc = "Reproduction of the PODC'22 asynchronous speedup theorem paper." in
   Cmd.group
     (Cmd.info "speedup" ~version:"1.0.0" ~doc)
     [ experiment_cmd; list_cmd; complex_cmd; solve_cmd; closure_cmd;
-      run_algo_cmd; figure_cmd; svg_cmd ]
+      run_algo_cmd; figure_cmd; svg_cmd; cert_cmd ]
 
 let () =
   (* Debug logging is opt-in via the environment so that every
@@ -359,4 +555,19 @@ let () =
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Debug)
   | Some _ | None -> Logs.set_level (Some Logs.Warning));
-  exit (Cmd.eval' main_cmd)
+  let code = Cmd.eval' main_cmd in
+  (* One greppable line for CI: a warm certificate store must show
+     enumerations=0 and store_hits>0. *)
+  (match Sys.getenv_opt "SPEEDUP_STATS" with
+  | Some ("1" | "true" | "yes") ->
+      let m = Closure.memo_stats () in
+      let s = Cert.Store.stats () in
+      Printf.eprintf
+        "closure-stats: memo_hits=%d memo_misses=%d enumerations=%d \
+         entries=%d store_hits=%d store_misses=%d store_writes=%d \
+         store_corrupt=%d\n"
+        m.Closure.hits m.Closure.misses m.Closure.enumerations m.Closure.entries
+        s.Cert_store.hits s.Cert_store.misses s.Cert_store.writes
+        s.Cert_store.corrupt
+  | Some _ | None -> ());
+  exit code

@@ -1,0 +1,108 @@
+open Cert_sexp
+
+exception Decode_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Decode_error msg)) fmt
+
+let int_of = function
+  | Atom s -> (
+      match int_of_string_opt s with
+      | Some n -> n
+      | None -> fail "bad integer %S" s)
+  | List _ -> fail "expected integer atom"
+
+let bool_of = function
+  | Atom "true" -> true
+  | Atom "false" -> false
+  | Atom s -> fail "bad boolean %S" s
+  | List _ -> fail "expected boolean atom"
+
+let string_of = function
+  | Atom s -> s
+  | List _ -> fail "expected string atom"
+
+let frac q = Atom (Frac.to_string q)
+
+let frac_of = function
+  | Atom s -> (
+      match String.split_on_char '/' s with
+      | [ n ] -> (
+          match int_of_string_opt n with
+          | Some n -> Frac.of_int n
+          | None -> fail "bad fraction %S" s)
+      | [ n; d ] -> (
+          match (int_of_string_opt n, int_of_string_opt d) with
+          | Some n, Some d when d <> 0 -> Frac.make n d
+          | _ -> fail "bad fraction %S" s)
+      | _ -> fail "bad fraction %S" s)
+  | List _ -> fail "expected fraction atom"
+
+let rec value = function
+  | Value.Unit -> Atom "u"
+  | Value.Bool b -> List [ Atom "b"; Atom (string_of_bool b) ]
+  | Value.Int n -> List [ Atom "i"; Atom (string_of_int n) ]
+  | Value.Frac q -> List [ Atom "q"; frac q ]
+  | Value.Str s -> List [ Atom "s"; Atom s ]
+  | Value.Pair (a, b) -> List [ Atom "p"; value a; value b ]
+  | Value.View assoc ->
+      List
+        (Atom "w"
+        :: List.map
+             (fun (i, v) -> List [ Atom (string_of_int i); value v ])
+             assoc)
+
+let rec value_of = function
+  | Atom "u" -> Value.Unit
+  | List [ Atom "b"; b ] -> Value.Bool (bool_of b)
+  | List [ Atom "i"; n ] -> Value.Int (int_of n)
+  | List [ Atom "q"; q ] -> Value.Frac (frac_of q)
+  | List [ Atom "s"; s ] -> Value.Str (string_of s)
+  | List [ Atom "p"; a; b ] -> Value.Pair (value_of a, value_of b)
+  | List (Atom "w" :: entries) ->
+      Value.view
+        (List.map
+           (function
+             | List [ i; v ] -> (int_of i, value_of v)
+             | _ -> fail "bad view entry")
+           entries)
+  | s -> fail "bad value %s" (to_string s)
+
+let vertex v =
+  List
+    [ Atom "v"; Atom (string_of_int (Vertex.color v)); value (Vertex.value v) ]
+
+let vertex_of = function
+  | List [ Atom "v"; color; v ] -> Vertex.make (int_of color) (value_of v)
+  | s -> fail "bad vertex %s" (to_string s)
+
+let simplex s = List (Atom "x" :: List.map vertex (Simplex.vertices s))
+
+let simplex_of = function
+  | List (Atom "x" :: vertices) ->
+      Simplex.of_vertices (List.map vertex_of vertices)
+  | s -> fail "bad simplex %s" (to_string s)
+
+let complex c = List (Atom "c" :: List.map simplex (Complex.facets c))
+
+let complex_of = function
+  | List (Atom "c" :: facets) -> Complex.of_facets (List.map simplex_of facets)
+  | s -> fail "bad complex %s" (to_string s)
+
+let simplicial_map f =
+  List
+    (Atom "f"
+    :: List.map
+         (fun (v, w) -> List [ vertex v; vertex w ])
+         (Simplicial_map.graph f))
+
+let simplicial_map_of = function
+  | List (Atom "f" :: pairs) ->
+      Simplicial_map.of_assoc
+        (List.map
+           (function
+             | List [ v; w ] -> (vertex_of v, vertex_of w)
+             | _ -> fail "bad map entry")
+           pairs)
+  | s -> fail "bad simplicial map %s" (to_string s)
+
+let digest sexp = Digest.to_hex (Digest.string (to_string sexp))

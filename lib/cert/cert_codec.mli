@@ -1,0 +1,45 @@
+(** Canonical serialization of the topology types carried by
+    certificates.
+
+    Every encoder produces a canonical [Cert_sexp.t] (identical values
+    encode to identical strings, so content addresses are stable), and
+    every decoder revalidates the structural invariants on the way in:
+    a decoded simplex goes through [Simplex.of_vertices] (distinct
+    colors), a decoded view through [Value.view], a decoded map through
+    [Simplicial_map.of_assoc].  Corrupt bytes therefore surface as
+    [Decode_error], never as an ill-formed value. *)
+
+exception Decode_error of string
+
+val fail : ('a, unit, string, 'b) format4 -> 'a
+(** Raises [Decode_error] with a formatted message. *)
+
+val frac : Frac.t -> Cert_sexp.t
+val frac_of : Cert_sexp.t -> Frac.t
+
+val value : Value.t -> Cert_sexp.t
+val value_of : Cert_sexp.t -> Value.t
+
+val vertex : Vertex.t -> Cert_sexp.t
+val vertex_of : Cert_sexp.t -> Vertex.t
+
+val simplex : Simplex.t -> Cert_sexp.t
+val simplex_of : Cert_sexp.t -> Simplex.t
+
+val complex : Complex.t -> Cert_sexp.t
+(** Encoded by its facet list. *)
+
+val complex_of : Cert_sexp.t -> Complex.t
+
+val simplicial_map : Simplicial_map.t -> Cert_sexp.t
+(** Encoded by its graph. *)
+
+val simplicial_map_of : Cert_sexp.t -> Simplicial_map.t
+
+val int_of : Cert_sexp.t -> int
+val bool_of : Cert_sexp.t -> bool
+val string_of : Cert_sexp.t -> string
+
+val digest : Cert_sexp.t -> string
+(** Hex digest of the canonical rendering — the content address used
+    for store keys. *)

@@ -1,0 +1,61 @@
+let try_scan name fmt k = try Some (Scanf.sscanf name fmt k) with
+  | Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+
+let first_some fs = List.find_map (fun f -> f ()) fs
+
+let int_values k = List.init k (fun i -> Value.Int i)
+
+let task_of_name name =
+  first_some
+    [
+      (fun () ->
+        try_scan name "binary-consensus(n=%d)" (fun n -> Consensus.binary ~n));
+      (fun () ->
+        try_scan name "relaxed-consensus(n=%d)" (fun n ->
+            Consensus.relaxed ~n ~values:(int_values 2)));
+      (fun () ->
+        try_scan name "consensus(n=%d)" (fun n ->
+            Consensus.multi ~n
+              ~values:(List.init n (fun i -> Value.Int (i + 1)))));
+      (fun () ->
+        try_scan name "liberal-%d/%d-AA(n=%d,m=%d)" (fun a b n m ->
+            Approx_agreement.liberal ~n ~m ~eps:(Frac.make a b)));
+      (fun () ->
+        try_scan name "liberal-%d-AA(n=%d,m=%d)" (fun a n m ->
+            Approx_agreement.liberal ~n ~m ~eps:(Frac.of_int a)));
+      (fun () ->
+        try_scan name "%d/%d-AA(n=%d,m=%d)" (fun a b n m ->
+            Approx_agreement.task ~n ~m ~eps:(Frac.make a b)));
+      (fun () ->
+        try_scan name "%d-AA(n=%d,m=%d)" (fun a n m ->
+            Approx_agreement.task ~n ~m ~eps:(Frac.of_int a)));
+      (fun () ->
+        try_scan name "%d-set-agreement(n=%d)" (fun k n ->
+            Set_agreement.task ~n ~k ~values:(int_values (k + 1))));
+    ]
+
+let known_task name = task_of_name name <> None
+
+let facets_of_op name =
+  match Model.of_string name with
+  | Some model -> Some (Model.one_round_facets model)
+  | None ->
+      first_some
+        [
+          (fun () ->
+            if name = "immediate+test&set" then
+              Some
+                (Augmented.one_round_facets ~box:Black_box.test_and_set
+                   ~alpha:(Augmented.alpha_const Value.Unit) ~round:1)
+            else None);
+          (fun () ->
+            try_scan name "%d-concurrency" (fun k -> Affine.k_concurrency k));
+          (fun () -> try_scan name "%d-solo" (fun d -> Affine.d_solo d));
+        ]
+
+let protocol_of_model name =
+  match Model.of_string name with
+  | Some model -> Some (fun sigma rounds -> Model.protocol_complex model sigma rounds)
+  | None -> None
+
+let env = { Cert.task_of_name; facets_of_op; protocol_of_model }

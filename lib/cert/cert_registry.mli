@@ -1,0 +1,34 @@
+(** Reconstructing tasks, one-round operators, and iterated models from
+    the names certificates carry.
+
+    Task constructors encode their parameters in the task name (the
+    same convention the closure memo table relies on), so a standalone
+    checker — [speedup cert verify], with nothing but a certificate
+    file — can rebuild the named task and re-validate the witness.
+    Names it cannot resolve (session-unique β operators, tasks whose
+    value sets are not part of the name) yield [None], which [Cert.verify]
+    reports as [Unsupported] rather than [Invalid]. *)
+
+val task_of_name : string -> Task.t option
+(** Resolves [binary-consensus(n=_)], [consensus(n=_)] (values
+    [1..n]), [relaxed-consensus(n=_)] (values [{0,1}]),
+    [<eps>-AA(n=_,m=_)], [liberal-<eps>-AA(n=_,m=_)], and
+    [<k>-set-agreement(n=_)] (values [0..k]). *)
+
+val known_task : string -> bool
+(** Whether {!task_of_name} resolves the name.  Producers use this as a
+    persistence gate: only certificates whose task is reconstructible
+    from its name are worth writing to the store — names outside the
+    registry (randomly synthesized tasks, closure-of tasks) need not
+    denote the same task in another session, so their entries would
+    only be quarantined on the next read. *)
+
+val facets_of_op : string -> (Simplex.t -> Simplex.t list) option
+(** Resolves the plain models ([collect], [snapshot], [immediate]),
+    [immediate+test&set], [<k>-concurrency], and [<d>-solo]. *)
+
+val protocol_of_model : string -> (Simplex.t -> int -> Complex.t) option
+(** Resolves the plain iterated models to their [P^(t)]. *)
+
+val env : Cert.env
+(** The three resolvers bundled for [Cert.verify]. *)

@@ -1,0 +1,141 @@
+type t = Atom of string | List of t list
+
+let atom s = Atom s
+let list l = List l
+
+let needs_quoting s =
+  s = ""
+  || String.exists
+       (fun c ->
+         match c with
+         | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';' | '\\' -> true
+         | _ -> false)
+       s
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_string sexp =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Atom s -> Buffer.add_string buf (if needs_quoting s then escape s else s)
+    | List items ->
+        Buffer.add_char buf '(';
+        List.iteri
+          (fun k item ->
+            if k > 0 then Buffer.add_char buf ' ';
+            go item)
+          items;
+        Buffer.add_char buf ')'
+  in
+  go sexp;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let of_string input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | Some _ | None -> ()
+  in
+  let quoted_atom () =
+    advance ();
+    (* opening quote *)
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | None -> fail "dangling escape"
+          | Some c ->
+              advance ();
+              Buffer.add_char buf
+                (match c with
+                | 'n' -> '\n'
+                | 't' -> '\t'
+                | 'r' -> '\r'
+                | c -> c);
+              go ())
+      | Some c ->
+          advance ();
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ();
+    Atom (Buffer.contents buf)
+  in
+  let bare_atom () =
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r' | '(' | ')' | '"' | ';' | '\\') | None ->
+          ()
+      | Some _ ->
+          advance ();
+          go ()
+    in
+    go ();
+    if !pos = start then fail "expected atom";
+    Atom (String.sub input start (!pos - start))
+  in
+  let rec parse_one () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '(' ->
+        advance ();
+        let rec items acc =
+          skip_ws ();
+          match peek () with
+          | None -> fail "unbalanced parenthesis"
+          | Some ')' ->
+              advance ();
+              List (List.rev acc)
+          | Some _ -> items (parse_one () :: acc)
+        in
+        items []
+    | Some ')' -> fail "unexpected )"
+    | Some '"' -> quoted_atom ()
+    | Some _ -> bare_atom ()
+  in
+  match
+    let s = parse_one () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    s
+  with
+  | s -> Ok s
+  | exception Parse_error msg -> Error msg
+
+let rec equal a b =
+  match (a, b) with
+  | Atom x, Atom y -> String.equal x y
+  | List xs, List ys -> (
+      try List.for_all2 equal xs ys with Invalid_argument _ -> false)
+  | Atom _, List _ | List _, Atom _ -> false
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)

@@ -1,0 +1,24 @@
+(** Canonical S-expressions, the wire format of proof certificates.
+
+    Certificates must hash identically across sessions, so the printer
+    is canonical: one space between siblings, no layout choices, and an
+    atom is quoted exactly when it is empty or contains a delimiter.
+    [of_string (to_string s) = Ok s] for every [s]. *)
+
+type t = Atom of string | List of t list
+
+val atom : string -> t
+val list : t list -> t
+
+val to_string : t -> string
+(** Canonical rendering; the content-address of a certificate is the
+    digest of this string. *)
+
+val of_string : string -> (t, string) result
+(** Parses one S-expression (surrounding whitespace allowed).  Returns
+    [Error] on malformed input, trailing garbage, or unbalanced
+    parentheses — corrupt store entries must fail loudly, not
+    half-parse. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

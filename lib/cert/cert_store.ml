@@ -1,0 +1,174 @@
+let log_src = Logs.Src.create "speedup.cert.store" ~doc:"Certificate store"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type stats = { hits : int; misses : int; writes : int; corrupt : int }
+
+let hits = ref 0
+let misses = ref 0
+let writes = ref 0
+let corrupt = ref 0
+let stats () = { hits = !hits; misses = !misses; writes = !writes; corrupt = !corrupt }
+
+let reset_stats () =
+  hits := 0;
+  misses := 0;
+  writes := 0;
+  corrupt := 0
+
+(* [None] = no override yet (consult the environment); [Some None] =
+   explicitly disabled; [Some (Some d)] = explicit root. *)
+let override : string option option ref = ref None
+
+let set_dir d = override := Some d
+let unset_dir () = override := None
+
+let dir () =
+  match !override with
+  | Some d -> d
+  | None -> (
+      match Sys.getenv_opt "CERT_CACHE_DIR" with
+      | Some d when String.length d > 0 -> Some d
+      | Some _ | None -> None)
+
+let enabled () = dir () <> None
+
+let shard_of_key key = if String.length key >= 2 then String.sub key 0 2 else "00"
+
+let path_of_key root key =
+  Filename.concat (Filename.concat root (shard_of_key key)) (key ^ ".cert")
+
+let mkdir_p path =
+  let rec go p =
+    if p <> "" && p <> "/" && p <> "." && not (Sys.file_exists p) then begin
+      go (Filename.dirname p);
+      try Sys.mkdir p 0o755 with Sys_error _ -> ()
+    end
+  in
+  go path
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  with Sys_error _ | End_of_file -> None
+
+let quarantine_path path = path ^ ".quarantined"
+
+let quarantine_file path =
+  incr corrupt;
+  Log.warn (fun m -> m "quarantining corrupt store entry %s" path);
+  try Sys.rename path (quarantine_path path) with Sys_error _ -> ()
+
+let quarantine key =
+  match dir () with
+  | None -> ()
+  | Some root ->
+      let path = path_of_key root key in
+      if Sys.file_exists path then quarantine_file path
+
+let load key =
+  match dir () with
+  | None -> None
+  | Some root -> (
+      let path = path_of_key root key in
+      if not (Sys.file_exists path) then begin
+        incr misses;
+        None
+      end
+      else
+        match read_file path with
+        | None ->
+            incr misses;
+            None
+        | Some contents -> (
+            match Cert_sexp.of_string contents with
+            | Ok sexp ->
+                incr hits;
+                Some sexp
+            | Error msg ->
+                Log.warn (fun m -> m "unparseable entry %s: %s" path msg);
+                quarantine_file path;
+                incr misses;
+                None))
+
+let tmp_counter = ref 0
+
+let save ~key sexp =
+  match dir () with
+  | None -> ()
+  | Some root -> (
+      let path = path_of_key root key in
+      let shard = Filename.dirname path in
+      mkdir_p shard;
+      incr tmp_counter;
+      let tmp =
+        Filename.concat shard
+          (Printf.sprintf ".tmp.%d.%d" (Unix.getpid ()) !tmp_counter)
+      in
+      try
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (Cert_sexp.to_string sexp));
+        Sys.rename tmp path;
+        incr writes
+      with Sys_error msg ->
+        Log.warn (fun m -> m "failed to store %s: %s" path msg);
+        (try Sys.remove tmp with Sys_error _ -> ()))
+
+let entries () =
+  match dir () with
+  | None -> []
+  | Some root ->
+      if not (Sys.file_exists root && Sys.is_directory root) then []
+      else
+        Sys.readdir root |> Array.to_list
+        |> List.concat_map (fun shard ->
+               let shard_path = Filename.concat root shard in
+               if not (Sys.is_directory shard_path) then []
+               else
+                 Sys.readdir shard_path |> Array.to_list
+                 |> List.filter_map (fun file ->
+                        if Filename.check_suffix file ".cert" then
+                          Some
+                            ( Filename.chop_suffix file ".cert",
+                              Filename.concat shard_path file )
+                        else None))
+        |> List.sort compare
+
+let gc ~keep =
+  match dir () with
+  | None -> 0
+  | Some root ->
+      let removed = ref 0 in
+      let remove path =
+        try
+          Sys.remove path;
+          incr removed
+        with Sys_error _ -> ()
+      in
+      (* Quarantined and temporary leftovers first. *)
+      (if Sys.file_exists root && Sys.is_directory root then
+         Sys.readdir root |> Array.iter
+         @@ fun shard ->
+         let shard_path = Filename.concat root shard in
+         if Sys.is_directory shard_path then
+           Sys.readdir shard_path |> Array.iter
+           @@ fun file ->
+           if
+             Filename.check_suffix file ".quarantined"
+             || String.length file >= 4 && String.sub file 0 4 = ".tmp"
+           then remove (Filename.concat shard_path file));
+      List.iter
+        (fun (key, path) ->
+          match read_file path with
+          | None -> remove path
+          | Some contents -> (
+              match Cert_sexp.of_string contents with
+              | Error _ -> remove path
+              | Ok sexp -> if not (keep ~key sexp) then remove path))
+        (entries ());
+      !removed

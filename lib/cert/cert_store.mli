@@ -1,0 +1,54 @@
+(** Content-addressed persistent certificate store.
+
+    Layout: a root directory (the [CERT_CACHE_DIR] environment
+    variable, or [set_dir]) holding two-hex-character shard
+    subdirectories, each entry a file [<key>.cert] containing one
+    canonical S-expression.  Writes go through a temporary file in the
+    same shard followed by an atomic [Sys.rename], so concurrent
+    producers never expose a torn entry.  Entries that fail to parse
+    are quarantined (renamed to [<key>.cert.quarantined]) rather than
+    deleted, and never crash a computation: a corrupt store degrades to
+    a cache miss.
+
+    The store is deliberately dumb: it maps keys to S-expressions and
+    leaves certificate semantics (decoding, verification, version
+    checks) to its callers, which keeps the dependency graph acyclic
+    ([Cert] aliases this module as [Cert.Store]). *)
+
+type stats = { hits : int; misses : int; writes : int; corrupt : int }
+
+val stats : unit -> stats
+val reset_stats : unit -> unit
+
+val set_dir : string option -> unit
+(** Overrides (or, with [None], disables) the store root for the rest
+    of the session, taking precedence over [CERT_CACHE_DIR]. *)
+
+val unset_dir : unit -> unit
+(** Drops any [set_dir] override, returning to [CERT_CACHE_DIR]. *)
+
+val dir : unit -> string option
+(** The effective root: the [set_dir] override if any, otherwise
+    [CERT_CACHE_DIR], otherwise [None] (store disabled). *)
+
+val enabled : unit -> bool
+
+val load : string -> Cert_sexp.t option
+(** [load key] reads and parses the entry, counting a hit or a miss.
+    Unparseable entries are quarantined and count as [corrupt]. *)
+
+val save : key:string -> Cert_sexp.t -> unit
+(** Atomic write-through; a no-op when the store is disabled.  I/O
+    failures are logged and swallowed — caching must never break the
+    computation it caches. *)
+
+val quarantine : string -> unit
+(** [quarantine key] sets a semantically invalid entry aside (caller
+    detected tampering or a stale format that still parses). *)
+
+val entries : unit -> (string * string) list
+(** All [(key, path)] pairs currently stored, sorted by key. *)
+
+val gc : keep:(key:string -> Cert_sexp.t -> bool) -> int
+(** Removes quarantined files, unparseable entries, and entries the
+    predicate rejects; returns the number of files removed. *)

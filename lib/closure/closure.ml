@@ -5,80 +5,298 @@ module Log = (val Logs.src_log src : Logs.LOG)
 let memo : (string * string, Complex.t Simplex.Map.t ref) Hashtbl.t =
   Hashtbl.create 32
 
+(* ---- observability ---- *)
+
+type memo_stats = { hits : int; misses : int; entries : int; enumerations : int }
+
+let memo_hits = ref 0
+let memo_misses = ref 0
+let enumeration_count = ref 0
+
+let memo_stats () =
+  let entries =
+    Hashtbl.fold (fun _ slot acc -> acc + Simplex.Map.cardinal !slot) memo 0
+  in
+  {
+    hits = !memo_hits;
+    misses = !memo_misses;
+    entries;
+    enumerations = !enumeration_count;
+  }
+
+let reset_memo () =
+  Hashtbl.reset memo;
+  memo_hits := 0;
+  memo_misses := 0;
+  enumeration_count := 0
+
+(* ---- the membership test (Definition 2) ---- *)
+
+(* Raw membership with its witness map: the zero-round shortcut
+   (simplices of Δ(σ) are always in Δ'(σ), Remark after Definition 2)
+   needs no witness; a one-round membership carries the local-task
+   decision map found by the solver. *)
+let compute_member ?node_limit ~op task ~sigma ~tau =
+  if Complex.mem tau (Task.delta task sigma) then (true, None)
+  else
+    match
+      Solvability.local_task_solvable ?node_limit
+        ~one_round:(Round_op.facets op) task ~sigma ~tau
+    with
+    | Solvability.Solvable f -> (true, Some f)
+    | Solvability.Unsolvable -> (false, None)
+    | Solvability.Undecided ->
+        failwith "Closure: local task solvability undecided (node limit)"
+
+(* ---- certificate store plumbing ---- *)
+
+(* The environment for re-validating a store entry against the live
+   task and operator: names must match exactly what we are about to
+   compute, so no registry lookup is involved. *)
+let live_env ~op_name ~facets task =
+  {
+    Cert.task_of_name =
+      (fun n -> if n = task.Task.name then Some task else None);
+    facets_of_op = (fun n -> if n = op_name then Some facets else None);
+    protocol_of_model = (fun _ -> None);
+  }
+
+(* Persist only when both names identify their semantics across
+   sessions — otherwise the next session's read would just fail
+   verification and quarantine the entry (e.g. randomly synthesized
+   tasks, fresh-named β operators). *)
+let store_ready op task =
+  Cert_store.enabled ()
+  && Round_op.persistent op
+  && Cert_registry.known_task task.Task.name
+
+(* Read-through: a store entry is only accepted after [Cert.verify]
+   re-validates every witness; anything else is quarantined and
+   recomputed. *)
+let load_verified ~key ~env ~select =
+  match Cert_store.load key with
+  | None -> None
+  | Some sexp -> (
+      match Cert.decode sexp with
+      | Error msg ->
+          Log.warn (fun m -> m "stale/corrupt certificate %s: %s" key msg);
+          Cert_store.quarantine key;
+          None
+      | Ok cert -> (
+          match select cert with
+          | None ->
+              Cert_store.quarantine key;
+              None
+          | Some v -> (
+              match Cert.verify env cert with
+              | Ok () -> Some v
+              | Error e ->
+                  Log.warn (fun m ->
+                      m "certificate %s failed verification: %s" key
+                        (Cert.error_message e));
+                  Cert_store.quarantine key;
+                  None)))
+
 let tau_member ?node_limit ~op task ~sigma ~tau =
-  (* Zero-round shortcut: simplices of Δ(σ) are always in Δ'(σ)
-     (Remark after Definition 2). *)
   Complex.mem tau (Task.delta task sigma)
   ||
-  match
-    Solvability.local_task_solvable ?node_limit ~one_round:(Round_op.facets op)
-      task ~sigma ~tau
-  with
-  | Solvability.Solvable _ -> true
-  | Solvability.Unsolvable -> false
-  | Solvability.Undecided ->
-      failwith "Closure: local task solvability undecided (node limit)"
+  let compute () = fst (compute_member ?node_limit ~op task ~sigma ~tau) in
+  if not (store_ready op task) then compute ()
+  else
+    let op_name = Round_op.name op in
+    let key =
+      Cert.query_key
+        (Cert.Q_member { op_name; task_name = task.Task.name; sigma; tau })
+    in
+    let env = live_env ~op_name ~facets:(Round_op.facets op) task in
+    let select = function
+      | Cert.Membership m
+        when m.Cert.op_name = op_name
+             && m.Cert.task_name = task.Task.name
+             && Simplex.equal m.Cert.sigma sigma
+             && Simplex.equal m.Cert.tau tau ->
+          Some m.Cert.member
+      | _ -> None
+    in
+    match load_verified ~key ~env ~select with
+    | Some member -> member
+    | None ->
+        let member, witness = compute_member ?node_limit ~op task ~sigma ~tau in
+        Cert_store.save ~key
+          (Cert.encode
+             (Cert.Membership
+                {
+                  op_name;
+                  task_name = task.Task.name;
+                  sigma;
+                  tau;
+                  member;
+                  witness;
+                }));
+        member
 
 let witness ?node_limit ~op task ~sigma ~tau =
-  match
-    Solvability.local_task_solvable ?node_limit ~one_round:(Round_op.facets op)
-      task ~sigma ~tau
-  with
-  | Solvability.Solvable f -> Some f
-  | Solvability.Undecided -> None
-  | Solvability.Unsolvable ->
-      (* The search may be vacuously unsolvable only because τ was not
-         a legal chromatic set; tau_member's zero-round shortcut case
-         (τ ∈ Δ(σ)) is always solvable, so reaching here with a Δ(σ)
-         member cannot happen: the CSP covers that map too. *)
-      None
-
-let delta ?node_limit ~op task sigma =
-  let key = (Round_op.name op, task.Task.name) in
-  let slot =
-    match Hashtbl.find_opt memo key with
-    | Some r -> r
-    | None ->
-        let r = ref Simplex.Map.empty in
-        Hashtbl.add memo key r;
-        r
+  let compute () =
+    match
+      Solvability.local_task_solvable ?node_limit
+        ~one_round:(Round_op.facets op) task ~sigma ~tau
+    with
+    | Solvability.Solvable f -> Some f
+    | Solvability.Undecided -> None
+    | Solvability.Unsolvable ->
+        (* The search may be vacuously unsolvable only because τ was not
+           a legal chromatic set; tau_member's zero-round shortcut case
+           (τ ∈ Δ(σ)) is always solvable, so reaching here with a Δ(σ)
+           member cannot happen: the CSP covers that map too. *)
+        None
   in
-  match Simplex.Map.find_opt sigma !slot with
-  | Some c -> c
+  if not (store_ready op task) then compute ()
+  else
+    let op_name = Round_op.name op in
+    let key =
+      Cert.query_key
+        (Cert.Q_member { op_name; task_name = task.Task.name; sigma; tau })
+    in
+    let env = live_env ~op_name ~facets:(Round_op.facets op) task in
+    let select = function
+      | Cert.Membership m
+        when m.Cert.op_name = op_name
+             && m.Cert.task_name = task.Task.name
+             && Simplex.equal m.Cert.sigma sigma
+             && Simplex.equal m.Cert.tau tau ->
+          Some (m.Cert.member, m.Cert.witness)
+      | _ -> None
+    in
+    match load_verified ~key ~env ~select with
+    | Some (true, (Some _ as w)) -> w
+    | Some (false, _) -> None
+    | Some (true, None) | None ->
+        (* No usable stored witness (zero-round entries have none):
+           compute, and persist the result when it is decisive. *)
+        let result = compute () in
+        (match result with
+        | Some f ->
+            Cert_store.save ~key
+              (Cert.encode
+                 (Cert.Membership
+                    {
+                      op_name;
+                      task_name = task.Task.name;
+                      sigma;
+                      tau;
+                      member = true;
+                      witness = Some f;
+                    }))
+        | None -> ());
+        result
+
+(* ---- Δ' enumeration ---- *)
+
+let memo_slot key =
+  match Hashtbl.find_opt memo key with
+  | Some r -> r
   | None ->
-      let taus = Task.chromatic_output_sets task sigma in
-      let members =
-        List.filter (fun tau -> tau_member ?node_limit ~op task ~sigma ~tau) taus
-      in
-      let c = Complex.of_facets members in
-      Log.debug (fun m ->
-          m "Δ'[%s](%a): %d of %d candidate sets admitted"
-            (Round_op.name op) Simplex.pp sigma (List.length members)
-            (List.length taus));
-      slot := Simplex.Map.add sigma c !slot;
+      let r = ref Simplex.Map.empty in
+      Hashtbl.add memo key r;
+      r
+
+(* Enumerate the candidate chromatic sets and keep the members, with
+   witnesses (free: the membership search already produces the map). *)
+let enumerate ?node_limit ~op task sigma =
+  incr enumeration_count;
+  let taus = Task.chromatic_output_sets task sigma in
+  let members =
+    List.filter_map
+      (fun tau ->
+        match compute_member ?node_limit ~op task ~sigma ~tau with
+        | true, w -> Some (tau, w)
+        | false, _ -> None)
+      taus
+  in
+  Log.debug (fun m ->
+      m "Δ'[%s](%a): %d of %d candidate sets admitted" (Round_op.name op)
+        Simplex.pp sigma (List.length members) (List.length taus));
+  members
+
+let delta ?node_limit ?(memo = true) ~op task sigma =
+  let op_name = Round_op.name op in
+  let key = (op_name, task.Task.name) in
+  let slot = if memo then Some (memo_slot key) else None in
+  let cached =
+    match slot with
+    | None -> None
+    | Some slot -> Simplex.Map.find_opt sigma !slot
+  in
+  match cached with
+  | Some c ->
+      incr memo_hits;
       c
-
-let delta_any ?node_limit ~ops ~name task sigma =
-  let key = (name, task.Task.name) in
-  let slot =
-    match Hashtbl.find_opt memo key with
-    | Some r -> r
-    | None ->
-        let r = ref Simplex.Map.empty in
-        Hashtbl.add memo key r;
-        r
-  in
-  match Simplex.Map.find_opt sigma !slot with
-  | Some c -> c
   | None ->
+      if memo then incr memo_misses;
+      let memoize c =
+        (match slot with
+        | Some slot -> slot := Simplex.Map.add sigma c !slot
+        | None -> ());
+        c
+      in
+      if not (store_ready op task) then
+        memoize
+          (Complex.of_facets
+             (List.map fst (enumerate ?node_limit ~op task sigma)))
+      else
+        let store_key =
+          Cert.query_key
+            (Cert.Q_delta { op_name; task_name = task.Task.name; sigma })
+        in
+        let env = live_env ~op_name ~facets:(Round_op.facets op) task in
+        let select = function
+          | Cert.Enumeration e
+            when e.Cert.op_name = op_name
+                 && e.Cert.task_name = task.Task.name
+                 && Simplex.equal e.Cert.sigma sigma ->
+              Some (Complex.of_facets (List.map fst e.Cert.members))
+          | _ -> None
+        in
+        match load_verified ~key:store_key ~env ~select with
+        | Some c -> memoize c
+        | None ->
+            let members = enumerate ?node_limit ~op task sigma in
+            Cert_store.save ~key:store_key
+              (Cert.encode
+                 (Cert.Enumeration
+                    { op_name; task_name = task.Task.name; sigma; members }));
+            memoize (Complex.of_facets (List.map fst members))
+
+let delta_any ?node_limit ?(memo = true) ~ops ~name task sigma =
+  (* Not persisted: membership here is a union over operators whose β
+     functions are session-local, so no single stored witness would be
+     re-checkable against the recorded operator name. *)
+  let key = (name, task.Task.name) in
+  let slot = if memo then Some (memo_slot key) else None in
+  let cached =
+    match slot with
+    | None -> None
+    | Some slot -> Simplex.Map.find_opt sigma !slot
+  in
+  match cached with
+  | Some c ->
+      incr memo_hits;
+      c
+  | None ->
+      if memo then incr memo_misses;
+      incr enumeration_count;
       let members =
         List.filter
           (fun tau ->
-            List.exists (fun op -> tau_member ?node_limit ~op task ~sigma ~tau) ops)
+            List.exists
+              (fun op -> tau_member ?node_limit ~op task ~sigma ~tau)
+              ops)
           (Task.chromatic_output_sets task sigma)
       in
       let c = Complex.of_facets members in
-      slot := Simplex.Map.add sigma c !slot;
+      (match slot with
+      | Some slot -> slot := Simplex.Map.add sigma c !slot
+      | None -> ());
       c
 
 let bin_consensus_ops ids =
@@ -96,9 +314,9 @@ let bin_consensus_ops ids =
           match List.assoc_opt i beta with Some b -> b | None -> false))
     (betas ids)
 
-let task ?node_limit ~op t =
+let task ?node_limit ?memo ~op t =
   let name = Printf.sprintf "CL[%s](%s)" (Round_op.name op) t.Task.name in
-  let delta' = delta ?node_limit ~op t in
+  let delta' = delta ?node_limit ?memo ~op t in
   Task.make ~name ~arity:t.Task.arity ~inputs:t.Task.inputs
     ~outputs:
       (lazy
@@ -108,9 +326,54 @@ let task ?node_limit ~op t =
     ~delta:delta'
 
 let fixed_point_on ?node_limit ~op t simplices =
-  List.for_all
-    (fun sigma -> Complex.equal (delta ?node_limit ~op t sigma) (Task.delta t sigma))
-    simplices
+  let compute () =
+    List.for_all
+      (fun sigma ->
+        Complex.equal (delta ?node_limit ~op t sigma) (Task.delta t sigma))
+      simplices
+  in
+  if not (store_ready op t) then compute ()
+  else
+    let op_name = Round_op.name op in
+    let key =
+      Cert.query_key
+        (Cert.Q_fixed_point
+           { op_name; task_name = t.Task.name; sigmas = simplices })
+    in
+    let env = live_env ~op_name ~facets:(Round_op.facets op) t in
+    let select = function
+      | Cert.Fixed_point fp
+        when fp.Cert.op_name = op_name
+             && fp.Cert.task_name = t.Task.name
+             && List.length fp.Cert.per_sigma = List.length simplices
+             && List.for_all2
+                  (fun (s, _) s' -> Simplex.equal s s')
+                  fp.Cert.per_sigma simplices ->
+          Some true
+      | _ -> None
+    in
+    match load_verified ~key ~env ~select with
+    | Some fixed -> fixed
+    | None ->
+        let fixed = compute () in
+        (* Only a positive outcome is a certificate (the extensional
+           Δ' = Δ data of Lemma 1); a refutation is re-derived from the
+           per-σ enumeration certificates instead. *)
+        if fixed then
+          Cert_store.save ~key
+            (Cert.encode
+               (Cert.Fixed_point
+                  {
+                    op_name;
+                    task_name = t.Task.name;
+                    per_sigma =
+                      List.map
+                        (fun sigma ->
+                          ( sigma,
+                            Complex.facets (delta ?node_limit ~op t sigma) ))
+                        simplices;
+                  }));
+        fixed
 
 let iterate ?node_limit ~op k t =
   let rec go k acc = if k <= 0 then acc else go (k - 1) (task ?node_limit ~op acc) in

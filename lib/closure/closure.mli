@@ -2,19 +2,33 @@
 
     [Δ'(σ)] consists of all chromatic sets [τ ⊆ V(Δ(σ))] with
     [ID(τ) = ID(σ)] whose local task [Π_{τ,σ}] is solvable in at most
-    one round of the model; always [Δ(σ) ⊆ Δ'(σ)]. *)
+    one round of the model; always [Δ(σ) ⊆ Δ'(σ)].
+
+    Results are cached at two levels.  An in-memory memo table (per
+    operator name, task name and σ) serves repeated queries within a
+    session; it can be bypassed per call with [~memo:false].  When the
+    certificate store is enabled ([Cert_store.set_dir] or the
+    [CERT_CACHE_DIR] environment variable) and the operator is
+    {!Round_op.persistent}, results are additionally persisted as
+    proof-carrying certificates: a warm store answers enumeration and
+    membership queries by {!Cert.verify}-ing the stored witnesses
+    instead of re-running the solvability search, and entries that fail
+    verification are quarantined and recomputed. *)
 
 val delta :
-  ?node_limit:int -> op:Round_op.t -> Task.t -> Simplex.t -> Complex.t
+  ?node_limit:int -> ?memo:bool -> op:Round_op.t -> Task.t -> Simplex.t ->
+  Complex.t
 (** [Δ'(σ)], computed by enumerating candidate chromatic sets and
     running the local-task solvability test on each.  Memoized per
-    (operator name, task name, σ): operator and task names must
-    therefore identify their semantics — [Round_op] guarantees this by
-    giving every augmented operator instance a unique name, and task
-    constructors encode their parameters in the name.
+    (operator name, task name, σ) unless [~memo:false]: operator and
+    task names must therefore identify their semantics — [Round_op]
+    guarantees this by giving every augmented operator instance a
+    unique name, and task constructors encode their parameters in the
+    name.  Read/write-through the certificate store for persistent
+    operators.
     @raise Failure if some local-task instance is undecided. *)
 
-val task : ?node_limit:int -> op:Round_op.t -> Task.t -> Task.t
+val task : ?node_limit:int -> ?memo:bool -> op:Round_op.t -> Task.t -> Task.t
 (** The closure task [CL_M(Π) = (I, O', Δ')].  Its [outputs] complex
     (the images of Δ' and their faces, over all input simplices) is
     lazy and rarely needed. *)
@@ -35,15 +49,16 @@ val witness :
     every view to its owner's τ-vertex. *)
 
 val delta_any :
-  ?node_limit:int -> ops:Round_op.t list -> name:string -> Task.t ->
-  Simplex.t -> Complex.t
+  ?node_limit:int -> ?memo:bool -> ops:Round_op.t list -> name:string ->
+  Task.t -> Simplex.t -> Complex.t
 (** Closure when the one-round local algorithm may pick its black-box
     inputs: [τ ∈ Δ'(σ)] iff the local task is solvable under {e some}
     operator of the list.  Used for the unrestricted binary-consensus
     model: in the Theorem 2 proof the box input of a process in the
     local algorithm is a constant, so quantifying over all per-process
     constant assignments [β] is exactly Definition 2 for that model.
-    [name] keys the memo table. *)
+    [name] keys the memo table.  Never persisted to the certificate
+    store (the β operators are session-local). *)
 
 val bin_consensus_ops : int list -> Round_op.t list
 (** The [2^{|ids|}] operators "IIS + binary consensus with constant
@@ -52,7 +67,9 @@ val bin_consensus_ops : int list -> Round_op.t list
 val fixed_point_on :
   ?node_limit:int -> op:Round_op.t -> Task.t -> Simplex.t list -> bool
 (** Whether [Δ'(σ) = Δ(σ)] on every listed input simplex — the
-    fixed-point condition of Lemma 1, checked extensionally. *)
+    fixed-point condition of Lemma 1, checked extensionally.  A
+    positive answer is persisted as a {!Cert.Fixed_point} certificate
+    when the store is enabled. *)
 
 val iterate : ?node_limit:int -> op:Round_op.t -> int -> Task.t -> Task.t
 (** [iterate op k task]: the [k]-fold closure
@@ -63,3 +80,21 @@ val equal_on :
   Simplex.t list -> bool
 (** Whether the closure's Δ' agrees with the reference task's Δ on
     every listed simplex (e.g. Claim 2: closure of ε-AA vs 3ε-AA). *)
+
+(** {2 Observability} *)
+
+type memo_stats = {
+  hits : int;  (** in-memory memo hits *)
+  misses : int;  (** in-memory memo misses (memoizing calls only) *)
+  entries : int;  (** simplices currently memoized, over all tables *)
+  enumerations : int;
+      (** full candidate-set enumerations actually performed — stays at
+          0 on a run fully served by the memo and the certificate
+          store *)
+}
+
+val memo_stats : unit -> memo_stats
+
+val reset_memo : unit -> unit
+(** Clear the memo tables and zero the counters (store stats are
+    tracked separately by {!Cert_store.stats}). *)

@@ -51,6 +51,8 @@ let bin_consensus_beta beta =
   in
   { op with name = Printf.sprintf "immediate+bin-consensus(beta#%d)" (fresh_id ()) }
 
+let persistent op = not (String.contains op.name '#')
+
 let custom ~name facets = { name; kind = Custom; facets }
 let k_concurrency k =
   custom ~name:(Printf.sprintf "%d-concurrency" k) (Affine.k_concurrency k)

@@ -38,6 +38,15 @@ val d_solo : int -> t
 (** The [d]-solo model (Section 1.2; adds executions where up to [d]
     processes run solo concurrently). *)
 
+val persistent : t -> bool
+(** Whether the operator's name identifies its semantics {e across}
+    sessions, so closure results for it may be persisted in the
+    certificate store.  Plain models, [test_and_set], and the affine
+    variants qualify; operators with session-unique names (the
+    [augmented] and [bin_consensus_beta] instances, whose α/β are
+    arbitrary functions) do not — the same ["beta#1"] could denote
+    different semantics in two different sessions. *)
+
 val complex : t -> Simplex.t -> Complex.t
 val solo_vertex : t -> Simplex.t -> int -> Vertex.t
 (** The vertex of the one-round complex where process [i] runs solo.

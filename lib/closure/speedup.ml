@@ -68,7 +68,7 @@ let derive_map setting ~task ~rounds ~inputs ~f =
   Simplicial_map.of_fun (Vertex.Set.elements vertices) (fun v ->
       Simplicial_map.apply f (setting.solo_extend ~round:rounds v))
 
-let verify ?node_limit setting task ~rounds ~inputs =
+let verify ?node_limit ?memo setting task ~rounds ~inputs =
   if rounds < 1 then invalid_arg "Speedup.verify: rounds must be >= 1";
   let base =
     Solvability.decide ?node_limit ~inputs
@@ -76,7 +76,7 @@ let verify ?node_limit setting task ~rounds ~inputs =
       ~delta:(Task.delta task) ()
   in
   let op = setting.closure_op_fn ~rounds in
-  let closure_delta = Closure.delta ?node_limit ~op task in
+  let closure_delta = Closure.delta ?node_limit ?memo ~op task in
   let closure_direct =
     match base with
     | Solvability.Unsolvable | Solvability.Undecided -> Solvability.Unsolvable

@@ -43,10 +43,11 @@ val speedup_holds : report -> bool
     succeed. *)
 
 val verify :
-  ?node_limit:int -> setting -> Task.t -> rounds:int ->
+  ?node_limit:int -> ?memo:bool -> setting -> Task.t -> rounds:int ->
   inputs:Simplex.t list -> report
 (** Checks the speedup theorem for one task/round-count instance over
-    the given input simplices. *)
+    the given input simplices.  [?memo] is forwarded to
+    {!Closure.delta} (default [true]). *)
 
 val derive_map :
   setting -> task:Task.t -> rounds:int -> inputs:Simplex.t list ->

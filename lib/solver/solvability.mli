@@ -27,7 +27,14 @@ val task_in_model :
   verdict
 (** Solvability of a task after [rounds] rounds of the given iterated
     model.  [inputs] defaults to every simplex of the task's input
-    complex. *)
+    complex.
+
+    When the certificate store is enabled ([CERT_CACHE_DIR] or
+    [Cert.Store.set_dir]) and the task name is reconstructible
+    ([Cert_registry.known_task]), verdicts are served from verified
+    [Solution] certificates and decided instances are written back;
+    certificates that fail verification are quarantined and the
+    instance is re-decided. *)
 
 val task_in_augmented :
   ?node_limit:int -> ?inputs:Simplex.t list ->

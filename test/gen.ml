@@ -20,6 +20,9 @@ let value : Value.t Gen.t =
       Gen.map (fun q -> Value.Frac q) small_frac;
     ]
 
+let vertex ?(max_color = 5) () : Vertex.t Gen.t =
+  Gen.map2 Vertex.make (Gen.int_range 1 max_color) value
+
 (* A chromatic simplex over colors drawn from 1..max_color. *)
 let simplex ?(max_color = 5) () : Simplex.t Gen.t =
   let open Gen in
@@ -40,6 +43,17 @@ let complex ?(max_color = 4) ?(max_facets = 4) () : Complex.t Gen.t =
   let open Gen in
   int_range 1 max_facets >>= fun k ->
   list_size (return k) (simplex ~max_color ()) >|= Complex.of_facets
+
+(* A vertex map with distinct domain vertices (one per color of a
+   generated simplex); images are arbitrary. *)
+let simplicial_map ?(max_color = 5) () : Simplicial_map.t Gen.t =
+  let open Gen in
+  simplex ~max_color () >>= fun dom ->
+  flatten_l
+    (List.map
+       (fun v -> map (fun w -> (v, w)) (vertex ~max_color ()))
+       (Simplex.vertices dom))
+  >|= Simplicial_map.of_assoc
 
 let ordered_partition ~ids : Ordered_partition.t Gen.t =
   let parts = Ordered_partition.enumerate ids in

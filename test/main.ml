@@ -27,6 +27,7 @@ let () =
       Test_brute.suite;
       Test_classical.suite;
       Test_closure.suite;
+      Test_cert.suite;
       Test_speedup.suite;
       Test_random_tasks.suite;
       Test_schedule.suite;

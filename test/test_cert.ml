@@ -1,0 +1,473 @@
+(* Tests for the proof-certificate subsystem: canonical S-expressions,
+   codec round-trips, independent verification (including rejection of
+   tampered witnesses), and the persistent store. *)
+
+module G = QCheck2.Gen
+
+(* ---- canonical S-expressions ---- *)
+
+let sexp_gen : Cert_sexp.t G.t =
+  let atom =
+    G.oneof
+      [
+        G.string_size ~gen:G.printable (G.int_range 0 8);
+        G.oneofl
+          [ ""; "plain"; "has space"; "(paren)"; "quo\"te"; "back\\slash";
+            "new\nline"; "tab\there"; ";comment" ];
+      ]
+  in
+  G.sized_size (G.int_range 0 3) (fun n ->
+      G.fix
+        (fun self n ->
+          if n = 0 then G.map (fun a -> Cert_sexp.Atom a) atom
+          else
+            G.oneof
+              [
+                G.map (fun a -> Cert_sexp.Atom a) atom;
+                G.map
+                  (fun l -> Cert_sexp.List l)
+                  (G.list_size (G.int_range 0 4) (self (n - 1)));
+              ])
+        n)
+
+let prop_sexp_roundtrip =
+  QCheck2.Test.make ~name:"sexp: of_string (to_string s) = s" ~count:500
+    sexp_gen (fun s ->
+      match Cert_sexp.of_string (Cert_sexp.to_string s) with
+      | Ok s' -> Cert_sexp.equal s s'
+      | Error _ -> false)
+
+let test_sexp_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Cert_sexp.of_string text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "parsed %S" text)
+    [ ""; "("; ")"; "(a b"; "a)"; "a b"; "(a) b"; "\"unterminated" ]
+
+(* ---- codec round-trips ---- *)
+
+let prop_value_roundtrip =
+  QCheck2.Test.make ~name:"codec: value round-trip" ~count:500 Gen.value
+    (fun v -> Value.equal v (Cert_codec.value_of (Cert_codec.value v)))
+
+let prop_vertex_roundtrip =
+  QCheck2.Test.make ~name:"codec: vertex round-trip" ~count:500
+    (Gen.vertex ()) (fun v ->
+      Vertex.equal v (Cert_codec.vertex_of (Cert_codec.vertex v)))
+
+let prop_simplex_roundtrip =
+  QCheck2.Test.make ~name:"codec: simplex round-trip" ~count:300
+    (Gen.simplex ()) (fun s ->
+      Simplex.equal s (Cert_codec.simplex_of (Cert_codec.simplex s)))
+
+let prop_complex_roundtrip =
+  QCheck2.Test.make ~name:"codec: complex round-trip" ~count:200
+    (Gen.complex ()) (fun c ->
+      Complex.equal c (Cert_codec.complex_of (Cert_codec.complex c)))
+
+let prop_map_roundtrip =
+  QCheck2.Test.make ~name:"codec: simplicial map round-trip" ~count:200
+    (Gen.simplicial_map ()) (fun f ->
+      Simplicial_map.equal f
+        (Cert_codec.simplicial_map_of (Cert_codec.simplicial_map f)))
+
+let prop_simplex_digest_stable =
+  QCheck2.Test.make ~name:"codec: equal simplices share a digest" ~count:200
+    (Gen.simplex ()) (fun s ->
+      let s' = Simplex.of_vertices (List.rev (Simplex.vertices s)) in
+      Cert_codec.digest (Cert_codec.simplex s)
+      = Cert_codec.digest (Cert_codec.simplex s'))
+
+(* ---- certificate round-trips, one per kind ---- *)
+
+let aa = Approx_agreement.task ~n:2 ~m:3 ~eps:(Frac.make 1 3)
+let op = Round_op.plain Model.Immediate
+let aa_sigma = Simplex.of_list [ (1, Value.frac 0 1); (2, Value.frac 1 1) ]
+
+(* A genuine one-round membership: a facet of Δ'(σ) \ Δ(σ) together
+   with the decision map found by the solver. *)
+let genuine_membership =
+  lazy
+    (let d' = Closure.delta ~op aa aa_sigma in
+     let d = Task.delta aa aa_sigma in
+     let tau =
+       List.find
+         (fun t -> Simplex.card t = 2 && not (Complex.mem t d))
+         (Complex.facets d')
+     in
+     let witness = Closure.witness ~op aa ~sigma:aa_sigma ~tau in
+     Alcotest.(check bool) "witness exists" true (witness <> None);
+     Cert.
+       {
+         op_name = Round_op.name op;
+         task_name = aa.Task.name;
+         sigma = aa_sigma;
+         tau;
+         member = true;
+         witness;
+       })
+
+(* The full Δ'(σ) with every member's witness — verifiable, unlike a
+   partial list (the checker requires Δ(σ) ⊆ members). *)
+let genuine_enumeration =
+  lazy
+    (let d' = Closure.delta ~op aa aa_sigma in
+     Cert.Enumeration
+       {
+         op_name = Round_op.name op;
+         task_name = aa.Task.name;
+         sigma = aa_sigma;
+         members =
+           List.map
+             (fun tau -> (tau, Closure.witness ~op aa ~sigma:aa_sigma ~tau))
+             (Complex.facets d');
+       })
+
+let sample_certs () =
+  let m = Lazy.force genuine_membership in
+  let cons = Consensus.binary ~n:2 in
+  let sigma = Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 1) ] in
+  let square =
+    Complex.of_facets
+      [
+        Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 0) ];
+        Simplex.of_list [ (1, Value.Int 1); (2, Value.Int 1) ];
+      ]
+  in
+  [
+    Cert.Membership m;
+    Cert.Membership { m with member = false; witness = None };
+    Lazy.force genuine_enumeration;
+    Cert.Solution
+      {
+        model_name = "immediate";
+        task_name = cons.Task.name;
+        rounds = 1;
+        inputs = [ sigma ];
+        verdict = false;
+        map = None;
+      };
+    Cert.Fixed_point
+      {
+        op_name = m.Cert.op_name;
+        task_name = cons.Task.name;
+        per_sigma = [ (sigma, Complex.facets (Task.delta cons sigma)) ];
+      };
+    Cert.Unsolvable
+      {
+        task_name = cons.Task.name;
+        rounds = 0;
+        reason =
+          Cert.Disconnected
+            {
+              complex = square;
+              u = Vertex.make 1 (Value.Int 0);
+              v = Vertex.make 1 (Value.Int 1);
+            };
+      };
+  ]
+
+let test_cert_roundtrip () =
+  List.iter
+    (fun cert ->
+      match Cert.decode (Cert.encode cert) with
+      | Ok cert' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "round-trip %s" (Cert.kind_name cert))
+            true (Cert.equal cert cert')
+      | Error msg ->
+          Alcotest.failf "decode (%s): %s" (Cert.kind_name cert) msg)
+    (sample_certs ())
+
+let test_key_is_query_addressed () =
+  (* Same question, different answers: one key. *)
+  let m = Lazy.force genuine_membership in
+  let yes = Cert.Membership m in
+  let no = Cert.Membership { m with member = false; witness = None } in
+  Alcotest.(check string) "key ignores the answer" (Cert.key yes) (Cert.key no);
+  Alcotest.(check bool)
+    "distinct τ, distinct key" true
+    (Cert.key yes
+    <> Cert.key (Cert.Membership { m with tau = m.Cert.sigma }))
+
+(* ---- verification ---- *)
+
+let env = Cert_registry.env
+
+let check_verify name expected cert =
+  let got =
+    match Cert.verify env cert with
+    | Ok () -> `Ok
+    | Error (Cert.Unsupported _) -> `Unsupported
+    | Error (Cert.Invalid _) -> `Invalid
+  in
+  Alcotest.(check bool) name true (got = expected)
+
+let test_verify_genuine () =
+  let m = Lazy.force genuine_membership in
+  check_verify "genuine membership verifies" `Ok (Cert.Membership m);
+  check_verify "genuine enumeration verifies" `Ok
+    (Lazy.force genuine_enumeration)
+
+let test_verify_rejects_tampered_witness () =
+  let m = Lazy.force genuine_membership in
+  let f = Option.get m.Cert.witness in
+  (* Redirect every image to an off-grid value: the map is still
+     well-formed, but its facet images leave Δ of the local task. *)
+  let tampered =
+    Simplicial_map.of_assoc
+      (List.map
+         (fun (v, w) -> (v, Vertex.make (Vertex.color w) (Value.Int 999)))
+         (Simplicial_map.graph f))
+  in
+  check_verify "tampered witness rejected" `Invalid
+    (Cert.Membership { m with witness = Some tampered })
+
+let test_verify_rejects_wrong_carrier () =
+  let m = Lazy.force genuine_membership in
+  (* σ shrunk to one vertex: τ is no longer a chromatic set over it. *)
+  let small_sigma =
+    Simplex.of_list [ (1, Value.frac 0 1) ]
+  in
+  check_verify "wrong carrier rejected" `Invalid
+    (Cert.Membership { m with sigma = small_sigma })
+
+let test_verify_rejects_forged_enumeration () =
+  let m = Lazy.force genuine_membership in
+  (* An enumeration claiming a τ without any grounds: the solver's map
+     is missing and τ is not in Δ(σ). *)
+  check_verify "forged enumeration member rejected" `Invalid
+    (Cert.Enumeration
+       {
+         op_name = m.Cert.op_name;
+         task_name = m.Cert.task_name;
+         sigma = aa_sigma;
+         members = [ (m.Cert.tau, None) ];
+       })
+
+let test_decode_rejects_stale_version () =
+  let m = Lazy.force genuine_membership in
+  let stale =
+    match Cert.encode (Cert.Membership m) with
+    | Cert_sexp.List (tag :: Cert_sexp.List [ v; Cert_sexp.Atom _ ] :: rest) ->
+        Cert_sexp.List
+          (tag :: Cert_sexp.List [ v; Cert_sexp.Atom "speedup-cert/0" ] :: rest)
+    | _ -> Alcotest.fail "unexpected certificate layout"
+  in
+  match Cert.decode stale with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "stale engine version accepted"
+
+let test_verify_disconnection () =
+  let square =
+    Complex.of_facets
+      [
+        Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 0) ];
+        Simplex.of_list [ (1, Value.Int 1); (2, Value.Int 1) ];
+      ]
+  in
+  let cert u v =
+    Cert.Unsolvable
+      {
+        task_name = "binary-consensus(n=2)";
+        rounds = 0;
+        reason = Cert.Disconnected { complex = square; u; v };
+      }
+  in
+  check_verify "true disconnection verifies" `Ok
+    (cert (Vertex.make 1 (Value.Int 0)) (Vertex.make 1 (Value.Int 1)));
+  check_verify "connected pair rejected" `Invalid
+    (cert (Vertex.make 1 (Value.Int 0)) (Vertex.make 2 (Value.Int 0)))
+
+(* ---- persistent store ---- *)
+
+let mk_temp_dir () =
+  let path = Filename.temp_file "speedup-cert-test" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rec rm_rf path =
+  match (Unix.lstat path).Unix.st_kind with
+  | Unix.S_DIR ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let with_store f =
+  let dir = mk_temp_dir () in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Back to CERT_CACHE_DIR (if any), not force-disabled: later
+         suites should see the ambient store configuration. *)
+      Cert_store.unset_dir ();
+      rm_rf dir)
+    (fun () ->
+      Cert_store.set_dir (Some dir);
+      Cert_store.reset_stats ();
+      f dir)
+
+let test_store_save_load () =
+  with_store (fun _dir ->
+      let cert = Cert.Membership (Lazy.force genuine_membership) in
+      let key = Cert.key cert in
+      Alcotest.(check bool) "miss before save" true (Cert_store.load key = None);
+      Cert_store.save ~key (Cert.encode cert);
+      (match Cert_store.load key with
+      | None -> Alcotest.fail "entry missing after save"
+      | Some sexp ->
+          Alcotest.(check bool)
+            "loaded = saved" true
+            (Cert_sexp.equal sexp (Cert.encode cert)));
+      Alcotest.(check (list string))
+        "entries" [ key ]
+        (List.map fst (Cert_store.entries ())))
+
+let test_store_quarantines_corrupt () =
+  with_store (fun _dir ->
+      let cert = Cert.Membership (Lazy.force genuine_membership) in
+      let key = Cert.key cert in
+      Cert_store.save ~key (Cert.encode cert);
+      let path = List.assoc key (Cert_store.entries ()) in
+      let oc = open_out path in
+      output_string oc "(cert torn";
+      close_out oc;
+      Alcotest.(check bool) "corrupt load misses" true (Cert_store.load key = None);
+      Alcotest.(check bool)
+        "corrupt counted" true
+        ((Cert_store.stats ()).Cert_store.corrupt > 0);
+      Alcotest.(check (list string)) "quarantined out of the index" []
+        (List.map fst (Cert_store.entries ()));
+      Alcotest.(check bool) "gc sweeps the quarantine" true
+        (Cert_store.gc ~keep:(fun ~key:_ _ -> true) >= 1))
+
+let test_store_gc_keep_predicate () =
+  with_store (fun _dir ->
+      List.iter
+        (fun cert -> Cert_store.save ~key:(Cert.key cert) (Cert.encode cert))
+        (sample_certs ());
+      (* Note the two Membership samples answer the same query, hence
+         share a key: the store holds one entry for them. *)
+      let is_membership (key, _path) =
+        match Option.map Cert.decode (Cert_store.load key) with
+        | Some (Ok (Cert.Membership _)) -> true
+        | _ -> false
+      in
+      let before = Cert_store.entries () in
+      let memberships = List.length (List.filter is_membership before) in
+      Alcotest.(check bool) "some membership entries" true (memberships > 0);
+      let removed =
+        Cert_store.gc ~keep:(fun ~key:_ sexp ->
+            match Cert.decode sexp with
+            | Ok (Cert.Membership _) -> true
+            | Ok _ | Error _ -> false)
+      in
+      Alcotest.(check int) "non-membership entries removed"
+        (List.length before - memberships)
+        removed;
+      Alcotest.(check int) "membership entries survive" memberships
+        (List.length (Cert_store.entries ())))
+
+let test_warm_store_skips_enumeration () =
+  with_store (fun _dir ->
+      let t = Consensus.binary ~n:2 in
+      let sigma = Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 1) ] in
+      Closure.reset_memo ();
+      let cold = Closure.delta ~memo:false ~op t sigma in
+      let st = Closure.memo_stats () in
+      Alcotest.(check bool) "cold run enumerates" true (st.Closure.enumerations > 0);
+      Closure.reset_memo ();
+      let warm = Closure.delta ~memo:false ~op t sigma in
+      let st = Closure.memo_stats () in
+      Alcotest.(check int) "warm run: zero enumerations" 0 st.Closure.enumerations;
+      Alcotest.(check bool) "warm = cold" true (Complex.equal cold warm);
+      Alcotest.(check bool)
+        "served by the store" true
+        ((Cert_store.stats ()).Cert_store.hits > 0))
+
+let test_tampered_store_entry_recovers () =
+  with_store (fun _dir ->
+      let t = Consensus.binary ~n:2 in
+      let sigma = Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 1) ] in
+      Closure.reset_memo ();
+      let honest = Closure.delta ~memo:false ~op t sigma in
+      (* Swap the entry for a verifiable-looking forgery claiming an
+         extra member without a witness: verification must reject it
+         and the computation must recompute the honest answer. *)
+      let key =
+        Cert.query_key
+          (Cert.Q_delta
+             { op_name = Round_op.name op; task_name = t.Task.name; sigma })
+      in
+      let forged =
+        Cert.Enumeration
+          {
+            op_name = Round_op.name op;
+            task_name = t.Task.name;
+            sigma;
+            members =
+              [ (Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 0) ], None) ];
+          }
+      in
+      Cert_store.save ~key (Cert.encode forged);
+      Closure.reset_memo ();
+      let recovered = Closure.delta ~memo:false ~op t sigma in
+      Alcotest.(check bool) "forgery rejected, honest answer recomputed" true
+        (Complex.equal honest recovered);
+      Alcotest.(check bool) "recomputation enumerated" true
+        ((Closure.memo_stats ()).Closure.enumerations > 0))
+
+let test_unpersistent_ops_stay_out () =
+  with_store (fun _dir ->
+      let t = Approx_agreement.liberal ~n:2 ~m:2 ~eps:Frac.half in
+      let sigma = Simplex.of_list [ (1, Value.frac 0 1); (2, Value.frac 1 1) ] in
+      let beta_op = Round_op.bin_consensus_beta (fun _ -> true) in
+      Alcotest.(check bool) "β op is not persistent" false
+        (Round_op.persistent beta_op);
+      ignore (Closure.delta ~memo:false ~op:beta_op t sigma);
+      Alcotest.(check (list string))
+        "no certificates for session-local operators" []
+        (List.map fst (Cert_store.entries ())))
+
+let suite =
+  ( "cert",
+    [
+      QCheck_alcotest.to_alcotest prop_sexp_roundtrip;
+      Alcotest.test_case "sexp parser rejects garbage" `Quick
+        test_sexp_rejects_garbage;
+      QCheck_alcotest.to_alcotest prop_value_roundtrip;
+      QCheck_alcotest.to_alcotest prop_vertex_roundtrip;
+      QCheck_alcotest.to_alcotest prop_simplex_roundtrip;
+      QCheck_alcotest.to_alcotest prop_complex_roundtrip;
+      QCheck_alcotest.to_alcotest prop_map_roundtrip;
+      QCheck_alcotest.to_alcotest prop_simplex_digest_stable;
+      Alcotest.test_case "certificate round-trip (all kinds)" `Quick
+        test_cert_roundtrip;
+      Alcotest.test_case "keys address the query" `Quick
+        test_key_is_query_addressed;
+      Alcotest.test_case "verify: genuine certificates" `Quick
+        test_verify_genuine;
+      Alcotest.test_case "verify: tampered witness" `Quick
+        test_verify_rejects_tampered_witness;
+      Alcotest.test_case "verify: wrong carrier" `Quick
+        test_verify_rejects_wrong_carrier;
+      Alcotest.test_case "verify: forged enumeration" `Quick
+        test_verify_rejects_forged_enumeration;
+      Alcotest.test_case "decode: stale version" `Quick
+        test_decode_rejects_stale_version;
+      Alcotest.test_case "verify: disconnection obstruction" `Quick
+        test_verify_disconnection;
+      Alcotest.test_case "store: save/load" `Quick test_store_save_load;
+      Alcotest.test_case "store: corrupt entry quarantined" `Quick
+        test_store_quarantines_corrupt;
+      Alcotest.test_case "store: gc keep predicate" `Quick
+        test_store_gc_keep_predicate;
+      Alcotest.test_case "store: warm run skips enumeration" `Quick
+        test_warm_store_skips_enumeration;
+      Alcotest.test_case "store: tampered entry recovers" `Quick
+        test_tampered_store_entry_recovers;
+      Alcotest.test_case "store: session-local ops not persisted" `Quick
+        test_unpersistent_ops_stay_out;
+    ] )
