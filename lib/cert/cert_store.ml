@@ -4,17 +4,26 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type stats = { hits : int; misses : int; writes : int; corrupt : int }
 
-let hits = ref 0
-let misses = ref 0
-let writes = ref 0
-let corrupt = ref 0
-let stats () = { hits = !hits; misses = !misses; writes = !writes; corrupt = !corrupt }
+(* Atomic: load/save run from domain-pool workers during parallel
+   closure enumeration, and the counts must stay exact. *)
+let hits = Atomic.make 0
+let misses = Atomic.make 0
+let writes = Atomic.make 0
+let corrupt = Atomic.make 0
+
+let stats () =
+  {
+    hits = Atomic.get hits;
+    misses = Atomic.get misses;
+    writes = Atomic.get writes;
+    corrupt = Atomic.get corrupt;
+  }
 
 let reset_stats () =
-  hits := 0;
-  misses := 0;
-  writes := 0;
-  corrupt := 0
+  Atomic.set hits 0;
+  Atomic.set misses 0;
+  Atomic.set writes 0;
+  Atomic.set corrupt 0
 
 (* [None] = no override yet (consult the environment); [Some None] =
    explicitly disabled; [Some (Some d)] = explicit root. *)
@@ -58,7 +67,7 @@ let read_file path =
 let quarantine_path path = path ^ ".quarantined"
 
 let quarantine_file path =
-  incr corrupt;
+  Atomic.incr corrupt;
   Log.warn (fun m -> m "quarantining corrupt store entry %s" path);
   try Sys.rename path (quarantine_path path) with Sys_error _ -> ()
 
@@ -75,26 +84,31 @@ let load key =
   | Some root -> (
       let path = path_of_key root key in
       if not (Sys.file_exists path) then begin
-        incr misses;
+        Atomic.incr misses;
         None
       end
       else
         match read_file path with
         | None ->
-            incr misses;
+            Atomic.incr misses;
             None
         | Some contents -> (
             match Cert_sexp.of_string contents with
             | Ok sexp ->
-                incr hits;
+                Atomic.incr hits;
                 Some sexp
             | Error msg ->
                 Log.warn (fun m -> m "unparseable entry %s: %s" path msg);
                 quarantine_file path;
-                incr misses;
+                Atomic.incr misses;
                 None))
 
-let tmp_counter = ref 0
+(* Atomic: concurrent writers in one process must never share a
+   temporary file name.  Across processes the pid disambiguates; the
+   final [Sys.rename] is atomic either way, so concurrent writers of
+   the same key race benignly — last rename wins with identical
+   content. *)
+let tmp_counter = Atomic.make 0
 
 let save ~key sexp =
   match dir () with
@@ -103,10 +117,10 @@ let save ~key sexp =
       let path = path_of_key root key in
       let shard = Filename.dirname path in
       mkdir_p shard;
-      incr tmp_counter;
       let tmp =
         Filename.concat shard
-          (Printf.sprintf ".tmp.%d.%d" (Unix.getpid ()) !tmp_counter)
+          (Printf.sprintf ".tmp.%d.%d" (Unix.getpid ())
+             (Atomic.fetch_and_add tmp_counter 1))
       in
       try
         let oc = open_out_bin tmp in
@@ -114,7 +128,7 @@ let save ~key sexp =
           ~finally:(fun () -> close_out_noerr oc)
           (fun () -> output_string oc (Cert_sexp.to_string sexp));
         Sys.rename tmp path;
-        incr writes
+        Atomic.incr writes
       with Sys_error msg ->
         Log.warn (fun m -> m "failed to store %s: %s" path msg);
         (try Sys.remove tmp with Sys_error _ -> ()))

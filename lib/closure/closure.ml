@@ -2,6 +2,15 @@ let src = Logs.Src.create "speedup.closure" ~doc:"Closure computation"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Domain-safety: closure enumeration fans out across a domain pool
+   (see lib/parallel), and a closure task's Δ' may itself be evaluated
+   from pool workers (e.g. the solver's per-input pass), so the memo
+   table and its slots are guarded by [memo_lock].  Slot *reads* are
+   deliberately lock-free: a ref read is a single atomic load in the
+   OCaml memory model, and a stale miss merely recomputes a
+   deterministic value. *)
+let memo_lock = Mutex.create ()
+
 let memo : (string * string, Complex.t Simplex.Map.t ref) Hashtbl.t =
   Hashtbl.create 32
 
@@ -9,26 +18,29 @@ let memo : (string * string, Complex.t Simplex.Map.t ref) Hashtbl.t =
 
 type memo_stats = { hits : int; misses : int; entries : int; enumerations : int }
 
-let memo_hits = ref 0
-let memo_misses = ref 0
-let enumeration_count = ref 0
+(* Atomic so counts stay exact — not merely non-crashing — when bumped
+   from concurrent domains. *)
+let memo_hits = Atomic.make 0
+let memo_misses = Atomic.make 0
+let enumeration_count = Atomic.make 0
 
 let memo_stats () =
   let entries =
-    Hashtbl.fold (fun _ slot acc -> acc + Simplex.Map.cardinal !slot) memo 0
+    Mutex.protect memo_lock (fun () ->
+        Hashtbl.fold (fun _ slot acc -> acc + Simplex.Map.cardinal !slot) memo 0)
   in
   {
-    hits = !memo_hits;
-    misses = !memo_misses;
+    hits = Atomic.get memo_hits;
+    misses = Atomic.get memo_misses;
     entries;
-    enumerations = !enumeration_count;
+    enumerations = Atomic.get enumeration_count;
   }
 
 let reset_memo () =
-  Hashtbl.reset memo;
-  memo_hits := 0;
-  memo_misses := 0;
-  enumeration_count := 0
+  Mutex.protect memo_lock (fun () -> Hashtbl.reset memo);
+  Atomic.set memo_hits 0;
+  Atomic.set memo_misses 0;
+  Atomic.set enumeration_count 0
 
 (* ---- the membership test (Definition 2) ---- *)
 
@@ -193,20 +205,29 @@ let witness ?node_limit ~op task ~sigma ~tau =
 (* ---- Δ' enumeration ---- *)
 
 let memo_slot key =
-  match Hashtbl.find_opt memo key with
-  | Some r -> r
-  | None ->
-      let r = ref Simplex.Map.empty in
-      Hashtbl.add memo key r;
-      r
+  Mutex.protect memo_lock (fun () ->
+      match Hashtbl.find_opt memo key with
+      | Some r -> r
+      | None ->
+          let r = ref Simplex.Map.empty in
+          Hashtbl.add memo key r;
+          r)
+
+(* Race-free slot insertion: concurrent domains memoizing different σ
+   under the same (op, task) key must not lose each other's updates. *)
+let memo_add slot sigma c =
+  Mutex.protect memo_lock (fun () -> slot := Simplex.Map.add sigma c !slot)
 
 (* Enumerate the candidate chromatic sets and keep the members, with
-   witnesses (free: the membership search already produces the map). *)
+   witnesses (free: the membership search already produces the map).
+   Each candidate τ is an independent CSP search, so the enumeration
+   fans out across the domain pool; order-preserving collection keeps
+   the member list — and hence Δ' — identical at every job count. *)
 let enumerate ?node_limit ~op task sigma =
-  incr enumeration_count;
+  Atomic.incr enumeration_count;
   let taus = Task.chromatic_output_sets task sigma in
   let members =
-    List.filter_map
+    Pool.filter_map
       (fun tau ->
         match compute_member ?node_limit ~op task ~sigma ~tau with
         | true, w -> Some (tau, w)
@@ -229,13 +250,13 @@ let delta ?node_limit ?(memo = true) ~op task sigma =
   in
   match cached with
   | Some c ->
-      incr memo_hits;
+      Atomic.incr memo_hits;
       c
   | None ->
-      if memo then incr memo_misses;
+      if memo then Atomic.incr memo_misses;
       let memoize c =
         (match slot with
-        | Some slot -> slot := Simplex.Map.add sigma c !slot
+        | Some slot -> memo_add slot sigma c
         | None -> ());
         c
       in
@@ -280,13 +301,16 @@ let delta_any ?node_limit ?(memo = true) ~ops ~name task sigma =
   in
   match cached with
   | Some c ->
-      incr memo_hits;
+      Atomic.incr memo_hits;
       c
   | None ->
-      if memo then incr memo_misses;
-      incr enumeration_count;
+      if memo then Atomic.incr memo_misses;
+      Atomic.incr enumeration_count;
+      (* Membership under *some* operator is one independent search per
+         candidate τ — the widest fan-out in the repo (|ops| solver
+         calls per τ), so it runs on the pool. *)
       let members =
-        List.filter
+        Pool.filter
           (fun tau ->
             List.exists
               (fun op -> tau_member ?node_limit ~op task ~sigma ~tau)
@@ -295,7 +319,7 @@ let delta_any ?node_limit ?(memo = true) ~ops ~name task sigma =
       in
       let c = Complex.of_facets members in
       (match slot with
-      | Some slot -> slot := Simplex.Map.add sigma c !slot
+      | Some slot -> memo_add slot sigma c
       | None -> ());
       c
 
@@ -327,7 +351,7 @@ let task ?node_limit ?memo ~op t =
 
 let fixed_point_on ?node_limit ~op t simplices =
   let compute () =
-    List.for_all
+    Pool.for_all
       (fun sigma ->
         Complex.equal (delta ?node_limit ~op t sigma) (Task.delta t sigma))
       simplices
@@ -380,7 +404,7 @@ let iterate ?node_limit ~op k t =
   go k t
 
 let equal_on ?node_limit ~op t ~reference simplices =
-  List.for_all
+  Pool.for_all
     (fun sigma ->
       Complex.equal (delta ?node_limit ~op t sigma) (Task.delta reference sigma))
     simplices

@@ -94,6 +94,11 @@ type memo_stats = {
 }
 
 val memo_stats : unit -> memo_stats
+(** Counters are {!Atomic.t}-backed and the memo tables mutex-guarded,
+    so the numbers are exact even when the candidate enumeration runs
+    on the {!Pool} domain pool.  [enumerations] is incremented on the
+    caller before the parallel fan-out, so a warm-store run still
+    reports [enumerations=0] at any job count. *)
 
 val reset_memo : unit -> unit
 (** Clear the memo tables and zero the counters (store stats are

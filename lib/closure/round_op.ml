@@ -22,10 +22,8 @@ let plain model =
    instance gets a unique name; reuse the same instance to benefit
    from memoization. *)
 let fresh_id =
-  let counter = ref 0 in
-  fun () ->
-    incr counter;
-    !counter
+  let counter = Atomic.make 0 in
+  fun () -> Atomic.fetch_and_add counter 1 + 1
 
 let augmented ~box ~alpha ~round =
   {

@@ -16,6 +16,13 @@ let filter_of = function
   | Snapshot -> Collect_matrix.is_snapshot
   | Immediate -> Collect_matrix.is_immediate
 
+(* Both caches below are hit from domain-pool workers (closure
+   enumeration calls [one_round_facets], the solver's per-input pass
+   calls [protocol_complex]), so table accesses are mutex-guarded.
+   Values are pure functions of their keys: when two domains race on a
+   miss, both compute the same result and either insert wins. *)
+let cache_lock = Mutex.create ()
+
 (* Matrices depend only on the color set; memoize per (model, ids). *)
 let matrix_cache : (string * int list, Collect_matrix.t list) Hashtbl.t =
   Hashtbl.create 32
@@ -23,13 +30,18 @@ let matrix_cache : (string * int list, Collect_matrix.t list) Hashtbl.t =
 let matrices m ids =
   let ids = List.sort_uniq Stdlib.compare ids in
   let key = (name m, ids) in
-  match Hashtbl.find_opt matrix_cache key with
+  match Mutex.protect cache_lock (fun () -> Hashtbl.find_opt matrix_cache key) with
   | Some r -> r
   | None ->
+      (* Enumerate outside the lock: misses are the expensive case. *)
       let all = Collect_matrix.enumerate ids in
       let r = List.filter (filter_of m) all in
-      Hashtbl.add matrix_cache key r;
-      r
+      Mutex.protect cache_lock (fun () ->
+          match Hashtbl.find_opt matrix_cache key with
+          | Some r -> r
+          | None ->
+              Hashtbl.add matrix_cache key r;
+              r)
 
 let facet_of_views sigma views =
   Simplex.of_vertices
@@ -64,19 +76,23 @@ let rec protocol_complex m sigma t =
   else
     let key = (name m, t) in
     let slot =
-      match Hashtbl.find_opt protocol_cache key with
-      | Some r -> r
-      | None ->
-          let r = ref Simplex.Map.empty in
-          Hashtbl.add protocol_cache key r;
-          r
+      Mutex.protect cache_lock (fun () ->
+          match Hashtbl.find_opt protocol_cache key with
+          | Some r -> r
+          | None ->
+              let r = ref Simplex.Map.empty in
+              Hashtbl.add protocol_cache key r;
+              r)
     in
+    (* Lock-free slot read: a stale miss recomputes a pure value. *)
     match Simplex.Map.find_opt sigma !slot with
     | Some c -> c
     | None ->
+        (* Recurses, so the lock must not be held here. *)
         let prev = protocol_complex m sigma (t - 1) in
         let c = one_round m prev in
-        slot := Simplex.Map.add sigma c !slot;
+        Mutex.protect cache_lock (fun () ->
+            slot := Simplex.Map.add sigma c !slot);
         c
 
 let solo_view i x = Value.view [ (i, x) ]

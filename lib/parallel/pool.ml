@@ -1,0 +1,212 @@
+(* Fixed-size domain pool.
+
+   Design: one batch at a time (serialized by [submit_lock]).  The
+   submitter publishes a batch under [mutex], broadcasts, runs the
+   batch body itself, then waits until every spawned worker has
+   acknowledged the batch generation.  Workers idle in
+   [Condition.wait] between batches, so an idle pool costs nothing.
+
+   The batch body is self-limiting: an atomic [joined] gate admits at
+   most [jobs] participants (the submitter plus workers, first come
+   first served); workers beyond the gate acknowledge immediately.
+   Within the body, an atomic cursor hands out contiguous chunks of
+   the input array, each participant writing results to disjoint
+   indices.  The mutex handshake at the end of the batch establishes
+   the happens-before edge that makes those plain array writes visible
+   to the submitter. *)
+
+(* ---- job count resolution ---- *)
+
+let override : int option Atomic.t = Atomic.make None
+
+let env_jobs () =
+  match Sys.getenv_opt "SPEEDUP_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None -> None)
+
+let jobs () =
+  match Atomic.get override with
+  | Some n -> n
+  | None -> (
+      match env_jobs () with
+      | Some n -> n
+      | None -> Domain.recommended_domain_count ())
+
+let set_jobs n = Atomic.set override (Option.map (max 1) n)
+
+(* ---- pool state ---- *)
+
+let submit_lock = Mutex.create ()
+
+(* All of the following are read/written under [mutex] only, except
+   [workers], which is additionally written under [submit_lock] before
+   the publishing lock round (see [ensure_workers]). *)
+let mutex = Mutex.create ()
+let cond_work = Condition.create ()
+let cond_done = Condition.create ()
+let generation = ref 0
+let acks = ref 0
+let workers = ref 0
+let batch : (unit -> unit) option ref = ref None
+
+let region_key = Domain.DLS.new_key (fun () -> false)
+let in_parallel_region () = Domain.DLS.get region_key
+
+let rec worker_loop my_gen =
+  Mutex.lock mutex;
+  while !generation = my_gen do
+    Condition.wait cond_work mutex
+  done;
+  let gen = !generation in
+  let body = !batch in
+  Mutex.unlock mutex;
+  (match body with Some run -> (try run () with _ -> ()) | None -> ());
+  Mutex.lock mutex;
+  incr acks;
+  if !acks = !workers then Condition.signal cond_done;
+  Mutex.unlock mutex;
+  worker_loop gen
+
+(* Called with [submit_lock] held, so [generation] cannot move: the
+   captured generation is necessarily older than the batch about to be
+   published, and the new worker will ack it. *)
+let ensure_workers n =
+  while !workers < n do
+    incr workers;
+    let g = Mutex.protect mutex (fun () -> !generation) in
+    ignore
+      (Domain.spawn (fun () ->
+           Domain.DLS.set region_key true;
+           worker_loop g))
+  done
+
+let run_batch ~participants run =
+  Mutex.lock submit_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock submit_lock)
+    (fun () ->
+      ensure_workers (participants - 1);
+      let nworkers =
+        Mutex.protect mutex (fun () ->
+            batch := Some run;
+            incr generation;
+            acks := 0;
+            Condition.broadcast cond_work;
+            !workers)
+      in
+      let saved = Domain.DLS.get region_key in
+      Domain.DLS.set region_key true;
+      (try run () with _ -> ());
+      Domain.DLS.set region_key saved;
+      Mutex.lock mutex;
+      while !acks < nworkers do
+        Condition.wait cond_done mutex
+      done;
+      batch := None;
+      Mutex.unlock mutex)
+
+(* ---- chunked execution over an array ---- *)
+
+(* [process ~lo ~hi] handles indices [lo, hi); it is never called
+   concurrently on overlapping ranges.  The first exception cancels
+   the remaining chunks and is re-raised on the submitter. *)
+let parallel_chunks ~jobs:n ~len process =
+  let chunk = max 1 ((len + (n * 4) - 1) / (n * 4)) in
+  let nchunks = (len + chunk - 1) / chunk in
+  let cursor = Atomic.make 0 in
+  let joined = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let error : (exn * Printexc.raw_backtrace) option Atomic.t =
+    Atomic.make None
+  in
+  run_batch ~participants:n (fun () ->
+      if Atomic.fetch_and_add joined 1 < n then begin
+        let continue = ref true in
+        while !continue && not (Atomic.get stop) do
+          let c = Atomic.fetch_and_add cursor 1 in
+          if c >= nchunks then continue := false
+          else begin
+            let lo = c * chunk in
+            let hi = min len (lo + chunk) in
+            try process ~lo ~hi ~stop
+            with exn ->
+              let bt = Printexc.get_raw_backtrace () in
+              if Atomic.compare_and_set error None (Some (exn, bt)) then
+                Atomic.set stop true
+          end
+        done
+      end);
+  match Atomic.get error with
+  | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+  | None -> ()
+
+let sequential () = jobs () <= 1 || in_parallel_region ()
+
+(* ---- combinators ---- *)
+
+let map f l =
+  if sequential () then List.map f l
+  else
+    let arr = Array.of_list l in
+    let len = Array.length arr in
+    if len <= 1 then List.map f l
+    else begin
+      let out = Array.make len None in
+      parallel_chunks ~jobs:(min (jobs ()) len) ~len
+        (fun ~lo ~hi ~stop ->
+          for i = lo to hi - 1 do
+            if not (Atomic.get stop) then out.(i) <- Some (f arr.(i))
+          done);
+      List.init len (fun i ->
+          match out.(i) with Some v -> v | None -> assert false)
+    end
+
+let filter_map f l =
+  if sequential () then List.filter_map f l
+  else
+    let arr = Array.of_list l in
+    let len = Array.length arr in
+    if len <= 1 then List.filter_map f l
+    else begin
+      let out = Array.make len None in
+      parallel_chunks ~jobs:(min (jobs ()) len) ~len
+        (fun ~lo ~hi ~stop ->
+          for i = lo to hi - 1 do
+            if not (Atomic.get stop) then out.(i) <- Some (f arr.(i))
+          done);
+      let rec collect i acc =
+        if i < 0 then acc
+        else
+          match out.(i) with
+          | Some (Some v) -> collect (i - 1) (v :: acc)
+          | Some None -> collect (i - 1) acc
+          | None -> assert false
+      in
+      collect (len - 1) []
+    end
+
+let filter p l =
+  if sequential () then List.filter p l
+  else filter_map (fun x -> if p x then Some x else None) l
+
+let for_all p l =
+  if sequential () then List.for_all p l
+  else
+    let arr = Array.of_list l in
+    let len = Array.length arr in
+    if len <= 1 then List.for_all p l
+    else begin
+      let ok = Atomic.make true in
+      parallel_chunks ~jobs:(min (jobs ()) len) ~len
+        (fun ~lo ~hi ~stop ->
+          for i = lo to hi - 1 do
+            if (not (Atomic.get stop)) && not (p arr.(i)) then begin
+              Atomic.set ok false;
+              Atomic.set stop true
+            end
+          done);
+      Atomic.get ok
+    end

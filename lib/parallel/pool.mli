@@ -1,0 +1,72 @@
+(** A fixed-size domain pool for data-parallel fan-outs.
+
+    The pool is dependency-free (OCaml 5 [Domain] + [Mutex] /
+    [Condition] + [Atomic] only) and built for the repo's three hot
+    fan-outs: closure enumeration over candidate chromatic sets,
+    adversary sweeps over schedules, and the per-input protocol/Δ
+    construction pass of the solver.
+
+    {2 Determinism guarantee}
+
+    Results are collected in input order, so for a pure (or
+    commutatively-effectful) [f], [map f l] returns exactly
+    [List.map f l] regardless of the job count.  Parallelism must
+    never change a reproduced table: callers rely on this to keep
+    experiment output byte-identical across [SPEEDUP_JOBS] settings.
+
+    {2 Job count}
+
+    The job count is resolved, in order of precedence, from
+    {!set_jobs}, the [SPEEDUP_JOBS] environment variable, and
+    [Domain.recommended_domain_count ()].  With one job every
+    combinator takes the plain sequential [List] path — no domains are
+    spawned, no arrays allocated — so [SPEEDUP_JOBS=1] is
+    byte-for-byte the pre-parallel behaviour.
+
+    {2 Nesting and re-entrancy}
+
+    A function running inside a pool batch (worker domain or the
+    submitting domain, which participates in its own batch) that calls
+    back into [map]/[filter_map]/[for_all] gets the sequential path:
+    nested parallelism is flattened rather than deadlocking on the
+    pool.  Worker domains are spawned lazily on the first parallel
+    batch and live for the rest of the session, idling on a condition
+    variable between batches. *)
+
+val jobs : unit -> int
+(** The effective job count (≥ 1): the {!set_jobs} override if any,
+    else [SPEEDUP_JOBS] when it parses as a positive integer, else
+    [Domain.recommended_domain_count ()]. *)
+
+val set_jobs : int option -> unit
+(** [set_jobs (Some n)] overrides the job count for subsequent
+    batches (clamped to ≥ 1); [set_jobs None] drops the override,
+    returning to the environment.  Used by the bench harness to
+    compare job counts within one process. *)
+
+val in_parallel_region : unit -> bool
+(** Whether the calling domain is currently executing pool work (a
+    worker domain, or the submitter inside one of its own batches).
+    Combinators consult this to flatten nested parallelism. *)
+
+val map : ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map: [map f l = List.map f l] for pure
+    [f].  Work is distributed in contiguous chunks (≈ 4 per job) via
+    an atomic cursor, so unevenly-priced items load-balance.  If one
+    or more applications of [f] raise, the first exception observed
+    cancels the remaining chunks and is re-raised on the caller (with
+    its backtrace). *)
+
+val filter_map : ('a -> 'b option) -> 'a list -> 'b list
+(** Order-preserving parallel filter_map, with the same distribution,
+    cancellation, and exception contract as {!map}. *)
+
+val filter : ('a -> bool) -> 'a list -> 'a list
+(** Order-preserving parallel filter. *)
+
+val for_all : ('a -> bool) -> 'a list -> bool
+(** Parallel universal quantifier.  A [false] result cancels the
+    remaining chunks (early exit), so [p] may be applied to fewer
+    elements than the sequential [List.for_all] — or to more, since
+    chunks already in flight complete; [p] must therefore be pure or
+    effect-tolerant.  The boolean result is deterministic. *)

@@ -42,10 +42,15 @@ type failure = {
   reason : string;
 }
 
+(* Each schedule is one independent simulator run, so the sweep fans
+   out across the domain pool (e9 alone checks 2197 schedules).  The
+   executor allocates all its state per run and boxes are created
+   fresh each round, so runs share nothing mutable; order-preserving
+   collection keeps the failure list identical at every job count. *)
 let check_task ?box protocol task ~inputs ~schedules =
   let sigma = Simplex.of_list inputs in
   let legal = Task.delta task sigma in
-  List.filter_map
+  Pool.filter_map
     (fun schedule ->
       match Executor.run ?box protocol ~inputs ~schedule with
       | exception Invalid_argument msg ->

@@ -59,17 +59,22 @@ let cand_index tb v =
 
 let decide ?node_limit ~inputs ~protocol ~delta () =
   let tb = fresh_tables () in
-  (* Pass 1: register candidates (all Δ vertices) and variables (all
-     protocol vertices), and collect the raw constraints. *)
+  (* Pass 1a: build the per-input protocol complexes and Δ images.
+     These are independent and often the dominant cost (protocol
+     complexes grow exponentially in rounds), so the pass fans out
+     across the domain pool.  Registration stays sequential below, in
+     input order, so variable and candidate numbering — and hence the
+     whole CSP search — is identical at every job count. *)
+  let pairs = Pool.map (fun sigma -> (protocol sigma, delta sigma)) inputs in
+  (* Pass 1b: register candidates (all Δ vertices) and variables (all
+     protocol vertices). *)
   let raw =
     List.map
-      (fun sigma ->
-        let p = protocol sigma in
-        let d = delta sigma in
+      (fun (p, d) ->
         List.iter (fun v -> ignore (cand_index tb v)) (Complex.vertices d);
         List.iter (fun v -> ignore (var_id tb v)) (Complex.vertices p);
         (p, d))
-      inputs
+      pairs
   in
   let counts = Array.make tb.num_vars 0 in
   List.iter

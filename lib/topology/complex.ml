@@ -27,13 +27,27 @@ let vertices c =
     c.facets Vertex.Set.empty
   |> Vertex.Set.elements
 
-let vertices_of_color i c = List.filter (fun v -> Vertex.color v = i) (vertices c)
+(* Both sit inside the per-τ hot loop of closure enumeration (via
+   [Task.delta_candidates] and the solver's candidate registration):
+   fold straight into sets instead of materializing all vertices and
+   rescanning, and skip the quadratic membership test on the
+   accumulator.  Output order is unchanged (ascending set order). *)
+let vertices_of_color i c =
+  Simplex.Set.fold
+    (fun f acc ->
+      List.fold_left
+        (fun acc v -> if Vertex.color v = i then Vertex.Set.add v acc else acc)
+        acc (Simplex.vertices f))
+    c.facets Vertex.Set.empty
+  |> Vertex.Set.elements
+
+module Int_set = Set.Make (Int)
 
 let colors c =
   Simplex.Set.fold
-    (fun f acc -> List.fold_left (fun acc i -> if List.mem i acc then acc else i :: acc) acc (Simplex.ids f))
-    c.facets []
-  |> List.sort Stdlib.compare
+    (fun f acc -> List.fold_left (fun acc i -> Int_set.add i acc) acc (Simplex.ids f))
+    c.facets Int_set.empty
+  |> Int_set.elements
 
 let all_simplices c =
   Simplex.Set.fold

@@ -28,6 +28,7 @@ let () =
       Test_classical.suite;
       Test_closure.suite;
       Test_cert.suite;
+      Test_parallel.suite;
       Test_speedup.suite;
       Test_random_tasks.suite;
       Test_schedule.suite;

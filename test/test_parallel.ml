@@ -1,0 +1,152 @@
+(* Tests for the domain-pool runtime (lib/parallel): determinism,
+   exception propagation, nesting, and the jobs=1 sequential
+   equivalence that the byte-identical-tables guarantee rests on. *)
+
+let with_jobs n f =
+  Pool.set_jobs (Some n);
+  Fun.protect ~finally:(fun () -> Pool.set_jobs None) f
+
+let test_jobs_resolution () =
+  with_jobs 3 (fun () -> Alcotest.(check int) "override wins" 3 (Pool.jobs ()));
+  Pool.set_jobs (Some 0);
+  Alcotest.(check int) "clamped to 1" 1 (Pool.jobs ());
+  Pool.set_jobs None;
+  Alcotest.(check bool) "default is positive" true (Pool.jobs () >= 1)
+
+let test_order_preserved () =
+  let l = List.init 257 (fun i -> i) in
+  with_jobs 4 (fun () ->
+      Alcotest.(check (list int))
+        "map order" (List.map (fun x -> (x * 31) mod 97) l)
+        (Pool.map (fun x -> (x * 31) mod 97) l);
+      Alcotest.(check (list int))
+        "filter_map order"
+        (List.filter_map (fun x -> if x mod 3 = 0 then Some (x * 2) else None) l)
+        (Pool.filter_map (fun x -> if x mod 3 = 0 then Some (x * 2) else None) l);
+      Alcotest.(check (list int))
+        "filter order"
+        (List.filter (fun x -> x mod 7 <> 0) l)
+        (Pool.filter (fun x -> x mod 7 <> 0) l))
+
+let test_empty_and_singleton () =
+  with_jobs 4 (fun () ->
+      Alcotest.(check (list int)) "empty map" [] (Pool.map succ []);
+      Alcotest.(check (list int)) "singleton map" [ 8 ] (Pool.map succ [ 7 ]);
+      Alcotest.(check bool) "empty for_all" true (Pool.for_all (fun _ -> false) []))
+
+let test_for_all () =
+  let l = List.init 500 (fun i -> i) in
+  with_jobs 4 (fun () ->
+      Alcotest.(check bool) "all pass" true (Pool.for_all (fun x -> x >= 0) l);
+      Alcotest.(check bool) "one fails" false
+        (Pool.for_all (fun x -> x <> 311) l))
+
+let test_exception_propagation () =
+  with_jobs 4 (fun () ->
+      Alcotest.check_raises "exception re-raised" (Failure "boom") (fun () ->
+          ignore (Pool.map (fun x -> if x = 137 then failwith "boom" else x)
+                    (List.init 400 (fun i -> i))));
+      (* The pool survives an exceptional batch. *)
+      Alcotest.(check (list int)) "pool reusable" [ 2; 3; 4 ]
+        (Pool.map succ [ 1; 2; 3 ]))
+
+let test_nested_no_deadlock () =
+  (* Inner calls — from workers and from the participating submitter —
+     must flatten to the sequential path instead of waiting on the
+     pool.  A deadlock here would hang the suite, so keep it small. *)
+  let l = List.init 60 (fun i -> i) in
+  with_jobs 4 (fun () ->
+      let sums =
+        Pool.map
+          (fun x ->
+            List.fold_left ( + ) 0 (Pool.map (fun y -> x + y) (List.init 30 Fun.id)))
+          l
+      in
+      Alcotest.(check int) "nested result" (List.length l) (List.length sums);
+      Alcotest.(check bool) "caller not left flagged" false
+        (Pool.in_parallel_region ()))
+
+let test_jobs1_equals_sequential () =
+  (* SPEEDUP_JOBS=1 must be the plain List path: identical results and
+     identical (left-to-right) effect order. *)
+  let l = List.init 100 (fun i -> i) in
+  let trace_par = ref [] and trace_seq = ref [] in
+  with_jobs 1 (fun () ->
+      ignore (Pool.map (fun x -> trace_par := x :: !trace_par; x) l));
+  ignore (List.map (fun x -> trace_seq := x :: !trace_seq; x) l);
+  Alcotest.(check (list int)) "effect order" !trace_seq !trace_par;
+  with_jobs 1 (fun () ->
+      Alcotest.(check (list int)) "filter_map"
+        (List.filter_map (fun x -> if x mod 2 = 0 then Some x else None) l)
+        (Pool.filter_map (fun x -> if x mod 2 = 0 then Some x else None) l);
+      Alcotest.(check bool) "for_all" true (Pool.for_all (fun x -> x < 100) l))
+
+(* ---- the determinism guarantee on the real hot path ---- *)
+
+let op = Round_op.plain Model.Immediate
+
+let delta_at_jobs n t sigma =
+  with_jobs n (fun () -> Closure.delta ~memo:false ~op t sigma)
+
+let prop_closure_jobs_invariant =
+  QCheck2.Test.make
+    ~name:"Closure.delta at jobs=4 equals jobs=1 (random tasks)" ~count:15
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let t = Test_random_tasks.random_task seed in
+      List.for_all
+        (fun sigma ->
+          Complex.equal (delta_at_jobs 1 t sigma) (delta_at_jobs 4 t sigma))
+        (Task.input_simplices t))
+
+let test_closure_known_instance_jobs_invariant () =
+  (* A named instance (liberal AA, the e7 facet) on top of the random
+     family: closure and solvability agree across job counts. *)
+  let t = Approx_agreement.liberal ~n:3 ~m:2 ~eps:Frac.half in
+  let sigma =
+    Simplex.of_list
+      [ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ]
+  in
+  Alcotest.(check bool) "Δ' identical across job counts" true
+    (Complex.equal (delta_at_jobs 1 t sigma) (delta_at_jobs 4 t sigma));
+  let solve n =
+    with_jobs n (fun () ->
+        Solvability.is_solvable
+          (Solvability.task_in_model Model.Immediate t ~rounds:1))
+  in
+  Alcotest.(check bool) "solver verdict identical" (solve 1) (solve 4)
+
+let test_adversary_jobs_invariant () =
+  let eps = Frac.make 1 2 in
+  let protocol = Aa_halving.protocol ~m:2 ~eps in
+  let task = Approx_agreement.task ~n:3 ~m:2 ~eps in
+  let inputs =
+    [ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ]
+  in
+  let schedules =
+    Adversary.exhaustive_is ~boxed:false ~participants:[ 1; 2; 3 ] ~rounds:1
+  in
+  let run n =
+    with_jobs n (fun () ->
+        List.map
+          (fun f -> f.Adversary.reason)
+          (Adversary.check_task protocol task ~inputs ~schedules))
+  in
+  Alcotest.(check (list string)) "failure sweep identical" (run 1) (run 4)
+
+let suite =
+  ( "parallel",
+    [
+      Alcotest.test_case "jobs resolution" `Quick test_jobs_resolution;
+      Alcotest.test_case "order preserved" `Quick test_order_preserved;
+      Alcotest.test_case "empty / singleton" `Quick test_empty_and_singleton;
+      Alcotest.test_case "for_all" `Quick test_for_all;
+      Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+      Alcotest.test_case "nested map does not deadlock" `Quick test_nested_no_deadlock;
+      Alcotest.test_case "jobs=1 = sequential path" `Quick test_jobs1_equals_sequential;
+      QCheck_alcotest.to_alcotest prop_closure_jobs_invariant;
+      Alcotest.test_case "closure/solver jobs-invariant" `Quick
+        test_closure_known_instance_jobs_invariant;
+      Alcotest.test_case "adversary sweep jobs-invariant" `Quick
+        test_adversary_jobs_invariant;
+    ] )
