@@ -263,17 +263,16 @@ let timing_rows results =
     | Some i -> String.sub name (i + 1) (String.length name - i - 1)
     | None -> name
   in
-  let rows = ref [] in
-  Hashtbl.iter
-    (fun name ols ->
+  Hashtbl.fold
+    (fun name ols acc ->
       let est =
         match Analyze.OLS.estimates ols with
         | Some (e :: _) -> Some e
         | Some [] | None -> None
       in
-      rows := (strip name, est, Analyze.OLS.r_square ols) :: !rows)
-    results;
-  List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !rows
+      (strip name, est, Analyze.OLS.r_square ols) :: acc)
+    results []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 
 let print_timings rows =
   Printf.printf "\n=== Kernel timings (monotonic clock, ns/run) ===\n";

@@ -26,14 +26,15 @@ let reset_stats () =
   Atomic.set corrupt 0
 
 (* [None] = no override yet (consult the environment); [Some None] =
-   explicitly disabled; [Some (Some d)] = explicit root. *)
-let override : string option option ref = ref None
+   explicitly disabled; [Some (Some d)] = explicit root.  Atomic: the
+   override may be toggled while pool workers consult [dir]. *)
+let override : string option option Atomic.t = Atomic.make None
 
-let set_dir d = override := Some d
-let unset_dir () = override := None
+let set_dir d = Atomic.set override (Some d)
+let unset_dir () = Atomic.set override None
 
 let dir () =
-  match !override with
+  match Atomic.get override with
   | Some d -> d
   | None -> (
       match Sys.getenv_opt "CERT_CACHE_DIR" with

@@ -13,6 +13,7 @@ let memo_lock = Mutex.create ()
 
 let memo : (string * string, Complex.t Simplex.Map.t ref) Hashtbl.t =
   Hashtbl.create 32
+[@@lint.allow "R1: mutations guarded by memo_lock; lock-free slot reads are deliberate (see comment above)"]
 
 (* ---- observability ---- *)
 

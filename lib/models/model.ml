@@ -26,6 +26,7 @@ let cache_lock = Mutex.create ()
 (* Matrices depend only on the color set; memoize per (model, ids). *)
 let matrix_cache : (string * int list, Collect_matrix.t list) Hashtbl.t =
   Hashtbl.create 32
+[@@lint.allow "R1: accesses guarded by cache_lock (see comment above)"]
 
 let matrices m ids =
   let ids = List.sort_uniq Stdlib.compare ids in
@@ -69,6 +70,7 @@ let one_round m complex =
 (* P^(t)(σ) facet lists, keyed by (model, t, σ). *)
 let protocol_cache : (string * int, Complex.t Simplex.Map.t ref) Hashtbl.t =
   Hashtbl.create 32
+[@@lint.allow "R1: accesses guarded by cache_lock; lock-free slot reads recompute pure values"]
 
 let rec protocol_complex m sigma t =
   if t < 0 then invalid_arg "Model.protocol_complex: negative round count";

@@ -57,17 +57,22 @@ let in_parallel_region () = Domain.DLS.get region_key
 
 let rec worker_loop my_gen =
   Mutex.lock mutex;
-  while !generation = my_gen do
-    Condition.wait cond_work mutex
-  done;
-  let gen = !generation in
-  let body = !batch in
-  Mutex.unlock mutex;
+  let gen, body =
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock mutex)
+      (fun () ->
+        while !generation = my_gen do
+          Condition.wait cond_work mutex
+        done;
+        (!generation, !batch))
+  in
   (match body with Some run -> (try run () with _ -> ()) | None -> ());
   Mutex.lock mutex;
-  incr acks;
-  if !acks = !workers then Condition.signal cond_done;
-  Mutex.unlock mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock mutex)
+    (fun () ->
+      incr acks;
+      if !acks = !workers then Condition.signal cond_done);
   worker_loop gen
 
 (* Called with [submit_lock] held, so [generation] cannot move: the
@@ -102,11 +107,13 @@ let run_batch ~participants run =
       (try run () with _ -> ());
       Domain.DLS.set region_key saved;
       Mutex.lock mutex;
-      while !acks < nworkers do
-        Condition.wait cond_done mutex
-      done;
-      batch := None;
-      Mutex.unlock mutex)
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock mutex)
+        (fun () ->
+          while !acks < nworkers do
+            Condition.wait cond_done mutex
+          done;
+          batch := None))
 
 (* ---- chunked execution over an array ---- *)
 

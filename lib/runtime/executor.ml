@@ -48,7 +48,8 @@ let run ?box (protocol : Protocol.t) ~inputs ~schedule =
         in
         let snapshot i =
           Hashtbl.replace collected i
-            (Hashtbl.fold (fun j v acc -> (j, v) :: acc) regs [])
+            (Hashtbl.fold (fun j v acc -> (j, v) :: acc) regs []
+            |> List.sort (fun (a, _) (b, _) -> Int.compare a b))
         in
         (match round with
         | Schedule.Is_round blocks ->

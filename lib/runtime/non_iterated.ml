@@ -43,9 +43,10 @@ let random ~participants ~rounds rng =
   let out = ref [] in
   let alive () =
     Hashtbl.fold (fun i ops acc -> if ops = [] then acc else i :: acc) pending []
+    |> List.sort Int.compare
   in
   let rec drain () =
-    match List.sort Stdlib.compare (alive ()) with
+    match alive () with
     | [] -> ()
     | live ->
         let i = List.nth live (Random.State.int rng (List.length live)) in
@@ -78,7 +79,7 @@ let run spec ~inputs ~schedule =
           if r <= rounds then begin
             let seen =
               Hashtbl.fold (fun j v acc -> (j, v) :: acc) reg []
-              |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+              |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
             in
             Hashtbl.replace state i
               (spec.State_protocol.step ~round:r i ~box:None seen);
@@ -119,7 +120,7 @@ let run_emulated spec ~inputs ~schedule =
                   | Some s -> (j, s) :: acc
                   | None -> acc)
                 reg []
-              |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+              |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
             in
             let s = spec.State_protocol.step ~round:r i ~box:None states in
             Hashtbl.replace history i ((r + 1, s) :: Hashtbl.find history i);

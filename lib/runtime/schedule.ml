@@ -204,6 +204,7 @@ let random_steps ~model ~participants ~rounds rng =
       let steps = ref [] in
       let alive () =
         Hashtbl.fold (fun i ops acc -> if ops = [] then acc else i :: acc) pending []
+        |> List.sort Int.compare
       in
       let rec drain () =
         match alive () with

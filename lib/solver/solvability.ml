@@ -115,11 +115,12 @@ let decide ?node_limit ~inputs ~protocol ~delta () =
   | Csp.Sat assignment ->
       (* Rebuild the vertex-level map from candidate indices. *)
       let cand_arrays = Hashtbl.create 16 in
-      Hashtbl.iter
-        (fun color l ->
-          let arr = Array.of_list (List.rev !l) in
-          Hashtbl.add cand_arrays color arr)
-        tb.cands;
+      (Hashtbl.iter
+         (fun color l ->
+           let arr = Array.of_list (List.rev !l) in
+           Hashtbl.add cand_arrays color arr)
+         tb.cands
+       [@lint.allow "R2: builds a key-indexed copy; iteration order is irrelevant"]);
       let pairs =
         List.map
           (fun v ->

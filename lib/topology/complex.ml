@@ -5,7 +5,7 @@ let empty = { facets = Simplex.Set.empty }
 
 let maximalize simplices =
   let sorted =
-    List.sort (fun a b -> Stdlib.compare (Simplex.card b) (Simplex.card a)) simplices
+    List.sort (fun a b -> Int.compare (Simplex.card b) (Simplex.card a)) simplices
   in
   List.fold_left
     (fun acc s ->
@@ -57,7 +57,7 @@ let all_simplices c =
   |> Simplex.Set.elements
 
 let simplices_with_ids sel c =
-  let sel = List.sort_uniq Stdlib.compare sel in
+  let sel = List.sort_uniq Int.compare sel in
   Simplex.Set.fold
     (fun f acc ->
       if List.for_all (fun i -> Simplex.mem_color i f) sel then

@@ -6,7 +6,7 @@ type point = { x : float; y : float }
 let own_bias = 0.55
 
 let corner colors i =
-  let colors = List.sort_uniq Stdlib.compare colors in
+  let colors = List.sort_uniq Int.compare colors in
   if List.length colors > 3 then
     invalid_arg "Geometry.corner: at most three colors";
   let positions =
@@ -101,15 +101,23 @@ let svg ?(size = 640) sigma complex =
             vs)
         vs)
     (Complex.facets complex);
-  Hashtbl.iter
-    (fun _ (a, b) ->
+  (* Deterministic edge order: hash order would leak into the SVG. *)
+  let sorted_edges =
+    Hashtbl.fold (fun key edge acc -> (key, edge) :: acc) edges []
+    |> List.sort (fun ((a1, a2), _) ((b1, b2), _) ->
+           match String.compare a1 b1 with
+           | 0 -> String.compare a2 b2
+           | c -> c)
+  in
+  List.iter
+    (fun (_, (a, b)) ->
       let pa = find a and pb = find b in
       Buffer.add_string buf
         (Printf.sprintf
            "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
             stroke=\"#446688\" stroke-width=\"1.2\"/>\n"
            (px pa) (py pa) (px pb) (py pb)))
-    edges;
+    sorted_edges;
   let color_index =
     let colors = Simplex.ids sigma in
     fun i ->

@@ -20,8 +20,8 @@ let enumerate ids =
             insertions [] part)
           smaller
   in
-  go (List.sort_uniq Stdlib.compare ids)
-  |> List.map (List.map (List.sort Stdlib.compare))
+  go (List.sort_uniq Int.compare ids)
+  |> List.map (List.map (List.sort Int.compare))
 
 let count k =
   (* a(k) = sum_{j=1..k} C(k,j) a(k-j), a(0) = 1 (ordered Bell). *)
@@ -45,7 +45,7 @@ let views part =
   let rec go seen = function
     | [] -> []
     | blk :: rest ->
-        let seen = List.sort Stdlib.compare (seen @ blk) in
+        let seen = List.sort Int.compare (seen @ blk) in
         List.map (fun i -> (i, seen)) blk @ go seen rest
   in
   List.sort (fun (i, _) (j, _) -> Stdlib.compare i j) (go [] part)
@@ -55,7 +55,7 @@ let first_block = function [] -> [] | b :: _ -> b
 let is_solo_first i = function [ j ] :: _ -> i = j | _ -> false
 
 let solo ids i =
-  let rest = List.filter (fun j -> j <> i) (List.sort_uniq Stdlib.compare ids) in
+  let rest = List.filter (fun j -> j <> i) (List.sort_uniq Int.compare ids) in
   if rest = [] then [ [ i ] ] else [ [ i ]; rest ]
 
 let pp ppf p =

@@ -79,7 +79,7 @@ let rec compare a b =
 let equal a b = compare a b = 0
 
 let is_chromatic_set vs =
-  let colors = List.sort Stdlib.compare (List.map Vertex.color vs) in
+  let colors = List.sort Int.compare (List.map Vertex.color vs) in
   let rec distinct = function
     | a :: (b :: _ as rest) -> a <> b && distinct rest
     | [ _ ] | [] -> true

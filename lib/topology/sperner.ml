@@ -1,4 +1,4 @@
-let union_sorted ls = List.sort_uniq Stdlib.compare (List.concat ls)
+let union_sorted ls = List.sort_uniq Int.compare (List.concat ls)
 
 let rec carrier_of_value key value =
   match value with
@@ -16,7 +16,7 @@ let count_rainbow complex ~labeling =
     (List.filter
        (fun facet ->
          let labels = List.map labeling (Simplex.vertices facet) in
-         List.length (List.sort_uniq Stdlib.compare labels) = List.length labels
+         List.length (List.sort_uniq Int.compare labels) = List.length labels
          && List.length labels >= Simplex.card facet)
        (Complex.facets complex))
 

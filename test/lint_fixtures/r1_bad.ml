@@ -1,0 +1,2 @@
+let cache : (string, int) Hashtbl.t = Hashtbl.create 16
+let lookup k = Hashtbl.find_opt cache k

@@ -1,0 +1,7 @@
+let count = Atomic.make 0
+let bump () = Atomic.incr count
+
+let local_sum l =
+  let acc = ref 0 in
+  List.iter (fun x -> acc := !acc + x) l;
+  !acc

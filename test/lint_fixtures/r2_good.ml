@@ -1,0 +1,4 @@
+let keys tbl =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort Int.compare
+
+let total tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0

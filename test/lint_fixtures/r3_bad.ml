@@ -1,0 +1,7 @@
+let m = Mutex.create ()
+
+let bad f =
+  Mutex.lock m;
+  let r = f () in
+  Mutex.unlock m;
+  r

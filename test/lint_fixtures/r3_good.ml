@@ -1,0 +1,7 @@
+let m = Mutex.create ()
+
+let good f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> f ())
+
+let also_good f = Mutex.protect m f

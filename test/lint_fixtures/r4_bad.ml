@@ -1,0 +1,4 @@
+let sort_by_card simplices =
+  List.sort (fun a b -> Stdlib.compare (Simplex.card b) (Simplex.card a)) simplices
+
+let dedup xs = List.sort_uniq compare xs

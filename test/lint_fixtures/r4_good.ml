@@ -1,0 +1,5 @@
+let sort_by_card simplices =
+  List.sort (fun a b -> Int.compare (Simplex.card b) (Simplex.card a)) simplices
+
+let dedup xs = List.sort_uniq Int.compare xs
+let ordered s t = Simplex.compare s t <= 0

@@ -1,0 +1,5 @@
+let shuffle seed l =
+  let rng = Random.State.make [| seed |] in
+  List.map (fun x -> (Random.State.bits rng, x)) l
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map snd

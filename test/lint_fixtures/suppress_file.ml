@@ -1,0 +1,3 @@
+[@@@lint.allow "R5: whole-file test fixture"]
+
+let jitter () = Random.float 1.0

@@ -1,0 +1,6 @@
+let table : (int, int) Hashtbl.t = Hashtbl.create 8
+[@@lint.allow "R1: test fixture"]
+
+let keys tbl =
+  (Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+  [@lint.allow "R2: test fixture"])

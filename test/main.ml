@@ -44,4 +44,5 @@ let () =
       Test_core.suite;
       Test_golden.suite;
       Test_experiments.suite;
+      Test_lint.suite;
     ]

@@ -1,0 +1,208 @@
+(* Tests for speedup-lint (tools/lint), driven through the built
+   executable: each rule R1–R5 on a good and a bad fixture with exact
+   (rule, line) diagnostics, scope boundaries, the three suppression
+   forms, the baseline mechanism, and the CLI exit codes.  Fixtures
+   live under test/lint_fixtures/ and only need to parse — the
+   analyzer is purely syntactic.
+
+   The linter links compiler-libs, whose cmi directory shadows module
+   names like [Closure]; driving the executable keeps the test binary
+   free of that include path. *)
+
+(* Anchor on the test binary so the paths work from any cwd (both
+   `dune runtest` and `dune exec test/main.exe`). *)
+let test_dir = Filename.dirname Sys.executable_name
+let exe = Filename.concat test_dir "../tools/lint/main.exe"
+
+(* Runs the linter and returns (exit code, stdout lines). *)
+let run_lint args =
+  let cmd =
+    String.concat " " (Filename.quote exe :: List.map Filename.quote args)
+  in
+  let ic = Unix.open_process_in cmd in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  let code =
+    match status with
+    | Unix.WEXITED n -> n
+    | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> -1
+  in
+  (code, List.rev !lines)
+
+(* Under `dune runtest` the fixtures are materialized next to the test
+   binary; under `dune exec` only the binary is built, so fall back to
+   the source tree (_build/default/test → three levels up). *)
+let fixtures_dir =
+  let candidates =
+    [
+      Filename.concat test_dir "lint_fixtures";
+      Filename.concat test_dir "../../../test/lint_fixtures";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some d -> d
+  | None -> List.hd candidates
+
+let fixture name = Filename.concat fixtures_dir name
+
+(* [dir] is the logical repository directory the fixture pretends to
+   live in; it drives the per-directory rule scoping. *)
+let lint ?(args = []) ~dir name =
+  run_lint (args @ [ "--prefix"; dir; fixture name ])
+
+(* Parses "file:line:col: [RULE] message" diagnostic lines, skipping
+   the informational "speedup-lint:" ones. *)
+let rule_lines lines =
+  List.filter_map
+    (fun line ->
+      match String.split_on_char ':' line with
+      | _file :: lnum :: _rest when not (String.length line = 0) -> (
+          match (int_of_string_opt lnum, String.index_opt line '[') with
+          | Some n, Some i -> (
+              match String.index_opt line ']' with
+              | Some j when j > i ->
+                  Some (String.sub line (i + 1) (j - i - 1), n)
+              | _ -> None)
+          | _ -> None)
+      | _ -> None)
+    lines
+
+let check_run label ~expected_code expected (code, lines) =
+  Alcotest.(check int) (label ^ ": exit code") expected_code code;
+  Alcotest.(check (list (pair string int))) label expected (rule_lines lines)
+
+let test_r1 () =
+  check_run "bad: top-level Hashtbl in pool-reachable lib" ~expected_code:1
+    [ ("R1", 1) ]
+    (lint ~dir:"lib/models/" "r1_bad.ml");
+  check_run "good: Atomic + function-local ref" ~expected_code:0 []
+    (lint ~dir:"lib/models/" "r1_good.ml");
+  check_run "out of scope: same code in lib/topology" ~expected_code:0 []
+    (lint ~dir:"lib/topology/" "r1_bad.ml")
+
+let test_r2 () =
+  check_run "bad: unsorted Hashtbl.fold into a list" ~expected_code:1
+    [ ("R2", 1) ]
+    (lint ~dir:"lib/runtime/" "r2_bad.ml");
+  check_run "good: sorted fold + commutative fold" ~expected_code:0 []
+    (lint ~dir:"lib/runtime/" "r2_good.ml")
+
+let test_r3 () =
+  check_run "bad: Mutex.lock without Fun.protect" ~expected_code:1
+    [ ("R3", 4) ]
+    (lint ~dir:"lib/parallel/" "r3_bad.ml");
+  check_run "good: Fun.protect and Mutex.protect" ~expected_code:0 []
+    (lint ~dir:"lib/parallel/" "r3_good.ml")
+
+let test_r4 () =
+  check_run "bad: poly comparator lambda + bare compare" ~expected_code:1
+    [ ("R4", 2); ("R4", 4) ]
+    (lint ~dir:"lib/topology/" "r4_bad.ml");
+  check_run "good: Int.compare keys, Simplex.compare projection"
+    ~expected_code:0 []
+    (lint ~dir:"lib/topology/" "r4_good.ml");
+  (* The bare-comparator limb only applies in the dedicated layer. *)
+  check_run "out of scope: bare compare outside topology/frac"
+    ~expected_code:0 []
+    (lint ~dir:"lib/core/" "r4_bad.ml")
+
+let test_r5 () =
+  check_run "bad: ambient Random + wall clock" ~expected_code:1
+    [ ("R5", 1); ("R5", 2) ]
+    (lint ~dir:"lib/solver/" "r5_bad.ml");
+  check_run "good: caller-seeded Random.State" ~expected_code:0 []
+    (lint ~dir:"lib/solver/" "r5_good.ml");
+  check_run "exempt: same code in bench/" ~expected_code:0 []
+    (lint ~dir:"bench/" "r5_bad.ml")
+
+let test_suppressions () =
+  check_run "binding and expression [@lint.allow]" ~expected_code:0 []
+    (lint ~dir:"lib/models/" "suppress_inline.ml");
+  check_run "floating [@@@lint.allow] silences the file" ~expected_code:0 []
+    (lint ~dir:"lib/solver/" "suppress_file.ml")
+
+let contains_substring needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let check_mentions label needle lines =
+  Alcotest.(check bool) label true
+    (List.exists (contains_substring needle) lines)
+
+let test_baseline () =
+  (* A matching baseline entry absorbs the finding: exit goes green. *)
+  let code, lines =
+    lint ~args:[ "--baseline"; fixture "baseline_r2.json" ] ~dir:"lib/runtime/"
+      "r2_bad.ml"
+  in
+  check_run "baselined finding is not live" ~expected_code:0 [] (code, lines);
+  check_mentions "baselined count reported"
+    "1 finding(s) covered by the baseline" lines;
+  (* A basename entry matches a path-qualified diagnostic ('/'-boundary
+     suffix), so per-directory and whole-tree runs agree. *)
+  let code, lines =
+    lint
+      ~args:[ "--baseline"; fixture "baseline_short.json" ]
+      ~dir:"lib/runtime/" "r2_bad.ml"
+  in
+  check_run "suffix path match" ~expected_code:0 [] (code, lines);
+  check_mentions "suffix match reported" "covered by the baseline" lines;
+  (* Entries that no longer match anything are reported stale. *)
+  let code, lines =
+    lint ~args:[ "--baseline"; fixture "baseline_r2.json" ] ~dir:"lib/runtime/"
+      "r2_good.ml"
+  in
+  Alcotest.(check int) "stale-only run stays green" 0 code;
+  check_mentions "stale entry reported" "stale baseline entry R2" lines;
+  (* Baselines never mask a different line. *)
+  let code, lines =
+    lint
+      ~args:[ "--baseline"; fixture "baseline_wrong.json" ]
+      ~dir:"lib/runtime/" "r2_bad.ml"
+  in
+  check_run "wrong line stays live" ~expected_code:1 [ ("R2", 1) ] (code, lines)
+
+let test_emit_and_json () =
+  let code, lines =
+    lint ~args:[ "--emit-baseline" ] ~dir:"lib/runtime/" "r2_bad.ml"
+  in
+  Alcotest.(check int) "--emit-baseline exits 0" 0 code;
+  check_mentions "emitted entry names the rule" {|"rule": "R2"|} lines;
+  check_mentions "emitted entry names the file" "r2_bad.ml" lines;
+  let code, lines =
+    lint ~args:[ "--format"; "json" ] ~dir:"lib/solver/" "r5_bad.ml"
+  in
+  Alcotest.(check int) "--format json still exits 1" 1 code;
+  check_mentions "json output names the rule" {|"rule": "R5"|} lines;
+  check_mentions "json output carries the line" {|"line": 1|} lines
+
+let test_rules_filter () =
+  (* r5_bad has two findings; restricting to R1 silences both. *)
+  check_run "--rules filters findings" ~expected_code:0 []
+    (lint ~args:[ "--rules"; "R1" ] ~dir:"lib/solver/" "r5_bad.ml")
+
+let test_parse_error () =
+  let code, lines = lint ~dir:"lib/core/" "broken.ml" in
+  Alcotest.(check int) "syntax error fails the run" 1 code;
+  check_mentions "syntax error is reported" "[parse] syntax error" lines
+
+let suite =
+  ( "lint",
+    [
+      Alcotest.test_case "R1 shared mutable state" `Quick test_r1;
+      Alcotest.test_case "R2 hash-order determinism" `Quick test_r2;
+      Alcotest.test_case "R3 lock discipline" `Quick test_r3;
+      Alcotest.test_case "R4 polymorphic compare" `Quick test_r4;
+      Alcotest.test_case "R5 banned nondeterminism" `Quick test_r5;
+      Alcotest.test_case "inline suppressions" `Quick test_suppressions;
+      Alcotest.test_case "baseline load/apply" `Quick test_baseline;
+      Alcotest.test_case "emit-baseline and json output" `Quick test_emit_and_json;
+      Alcotest.test_case "rules filter" `Quick test_rules_filter;
+      Alcotest.test_case "parse failure is reported" `Quick test_parse_error;
+    ] )

@@ -1,0 +1,78 @@
+(* Checked-in baseline: known findings that do not fail the build.
+   The file is a JSON array of {"rule", "file", "line"} objects; it is
+   kept empty on a healthy tree — entries exist only to land the linter
+   on a tree with pre-existing findings, then burn down. *)
+
+type entry = { rule : string; file : string; line : int }
+
+let entry_of_json j =
+  match
+    ( Lint_json.member "rule" j,
+      Lint_json.member "file" j,
+      Lint_json.member "line" j )
+  with
+  | Some (Lint_json.String rule), Some (Lint_json.String file), Some (Lint_json.Int line)
+    ->
+      Some { rule; file; line }
+  | _ -> None
+
+let load path =
+  let ic = open_in_bin path in
+  let source =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  if String.trim source = "" then Ok []
+  else
+    match Lint_json.of_string source with
+    | Lint_json.List items -> (
+        let entries = List.map entry_of_json items in
+        if List.exists Option.is_none entries then
+          Error (path ^ ": baseline entries need \"rule\", \"file\", \"line\"")
+        else Ok (List.filter_map Fun.id entries))
+    | _ -> Error (path ^ ": baseline must be a JSON array")
+    | exception Lint_json.Parse_error msg -> Error (path ^ ": " ^ msg)
+
+(* Files match when equal or when one is a '/'-boundary suffix of the
+   other, so per-directory dune invocations (seeing "schedule.ml")
+   agree with whole-tree invocations (seeing "lib/runtime/schedule.ml"). *)
+let file_matches a b =
+  let suffix_of short long =
+    let ls = String.length short and ll = String.length long in
+    ls < ll
+    && String.sub long (ll - ls) ls = short
+    && long.[ll - ls - 1] = '/'
+  in
+  a = b || suffix_of a b || suffix_of b a
+
+let matches entry (d : Lint_diag.t) =
+  entry.rule = d.rule && entry.line = d.line && file_matches entry.file d.file
+
+(* Splits diagnostics into (live, baselined) and returns baseline
+   entries that no longer match anything (stale). *)
+let apply entries diags =
+  let live, baselined =
+    List.partition (fun d -> not (List.exists (fun e -> matches e d) entries)) diags
+  in
+  let stale =
+    List.filter (fun e -> not (List.exists (matches e) diags)) entries
+  in
+  (live, baselined, stale)
+
+let entry_to_json e =
+  Printf.sprintf {|{"rule": "%s", "file": "%s", "line": %d}|}
+    (Lint_diag.json_escape e.rule)
+    (Lint_diag.json_escape e.file)
+    e.line
+
+let emit diags =
+  let entries =
+    List.map
+      (fun (d : Lint_diag.t) ->
+        entry_to_json { rule = d.rule; file = d.file; line = d.line })
+      diags
+  in
+  match entries with
+  | [] -> "[]\n"
+  | entries -> "[\n  " ^ String.concat ",\n  " entries ^ "\n]\n"

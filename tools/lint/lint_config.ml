@@ -1,0 +1,130 @@
+(* Rule scoping and the repo-specific vocabulary of speedup-lint.
+
+   Classification is by path (as seen from the repository root): which
+   libraries are reachable from Pool callbacks and therefore subject to
+   the shared-mutable-state rule, which layer owns the dedicated
+   comparator types, and which trees are exempt from the
+   nondeterminism ban. *)
+
+(* Libraries whose code runs inside lib/parallel Pool callbacks
+   (closure enumeration, solver fan-out, adversary checks, certificate
+   store): top-level mutable state there must be Atomic, mutex-guarded,
+   or explicitly allowlisted (R1). *)
+let parallel_reachable = [ "closure"; "models"; "runtime"; "solver"; "cert" ]
+
+(* Libraries defining the dedicated comparator types: inside them the
+   stricter R4 comparator-hygiene checks apply. *)
+let dedicated_layer = [ "topology"; "frac" ]
+
+type scope = {
+  label : string;
+  r1 : bool;  (* shared-mutable-state applies *)
+  r4_dedicated : bool;  (* dedicated-comparator layer: strict R4 *)
+  r5 : bool;  (* banned-nondeterminism applies (lib/ only) *)
+}
+
+let classify path =
+  match String.split_on_char '/' path with
+  | "lib" :: name :: _ ->
+      {
+        label = "lib/" ^ name;
+        r1 = List.mem name parallel_reachable;
+        r4_dedicated = List.mem name dedicated_layer;
+        r5 = true;
+      }
+  | "bench" :: _ -> { label = "bench"; r1 = false; r4_dedicated = false; r5 = false }
+  | "bin" :: _ -> { label = "bin"; r1 = false; r4_dedicated = false; r5 = false }
+  | "tools" :: _ -> { label = "tools"; r1 = false; r4_dedicated = false; r5 = false }
+  | _ -> { label = "other"; r1 = false; r4_dedicated = false; r5 = false }
+
+(* Modules whose main type has a dedicated comparator (R4). *)
+let dedicated_modules = [ "Simplex"; "Vertex"; "Complex"; "Frac" ]
+
+(* Functions of a dedicated module returning scalars (or being the
+   dedicated comparator itself): applying a polymorphic operation to
+   their result is not a polymorphic comparison of the abstract type. *)
+let scalar_projections =
+  [
+    ( "Simplex",
+      [
+        "card"; "dim"; "ids"; "mem"; "mem_color"; "is_chromatic_set";
+        "to_string"; "compare"; "equal"; "pp";
+      ] );
+    ("Vertex", [ "color"; "to_string"; "compare"; "equal"; "pp" ]);
+    ( "Complex",
+      [
+        "dim"; "facet_count"; "vertex_count"; "simplex_count"; "is_empty";
+        "is_pure"; "mem"; "mem_vertex"; "subcomplex"; "colors"; "compare";
+        "equal"; "pp"; "pp_stats";
+      ] );
+    ( "Frac",
+      [ "num"; "den"; "sign"; "to_string"; "to_float"; "compare"; "equal"; "pp" ]
+    );
+  ]
+
+(* Scalar-returning operations of the Set/Map/Tbl submodules. *)
+let container_scalars =
+  [
+    "cardinal"; "is_empty"; "mem"; "for_all"; "exists"; "equal"; "compare";
+    "subset"; "disjoint"; "length";
+  ]
+
+(* R1: constructors of shared mutable state banned at top level. *)
+let mutable_creators =
+  [
+    [ "ref" ];
+    [ "Hashtbl"; "create" ];
+    [ "Queue"; "create" ];
+    [ "Stack"; "create" ];
+    [ "Buffer"; "create" ];
+    [ "Array"; "make" ];
+    [ "Array"; "init" ];
+    [ "Array"; "create_float" ];
+    [ "Bytes"; "create" ];
+    [ "Bytes"; "make" ];
+  ]
+
+(* R5: ambient nondeterminism. [Random.State] with a caller-supplied
+   seed is deterministic and allowed; everything else in [Random] reads
+   or mutates the ambient generator. *)
+let banned_idents =
+  [
+    [ "Sys"; "time" ];
+    [ "Unix"; "gettimeofday" ];
+    [ "Unix"; "time" ];
+    [ "Printexc"; "get_callstack" ];
+    [ "Random"; "State"; "make_self_init" ];
+  ]
+
+(* Polymorphic operations whose application to dedicated types is an
+   error (R4). *)
+let poly_compare_ops =
+  [
+    [ "compare" ]; [ "Stdlib"; "compare" ]; [ "Hashtbl"; "hash" ];
+    [ "Hashtbl"; "seeded_hash" ]; [ "=" ]; [ "<>" ]; [ "<" ]; [ ">" ];
+    [ "<=" ]; [ ">=" ]; [ "min" ]; [ "max" ]; [ "Stdlib"; "min" ];
+    [ "Stdlib"; "max" ]; [ "Stdlib"; "=" ]; [ "Stdlib"; "<>" ];
+    [ "Stdlib"; "<" ]; [ "Stdlib"; ">" ]; [ "Stdlib"; "<=" ];
+    [ "Stdlib"; ">=" ];
+  ]
+
+(* Bare polymorphic comparators: passing one of these as a function
+   argument inside the dedicated layer is an error (R4). *)
+let poly_comparator_idents =
+  [
+    [ "compare" ]; [ "Stdlib"; "compare" ]; [ "Poly"; "compare" ];
+    [ "Hashtbl"; "hash" ]; [ "=" ]; [ "Stdlib"; "=" ];
+  ]
+
+(* Sort functions recognized as R2 sanitizers. *)
+let sorters =
+  [
+    [ "List"; "sort" ]; [ "List"; "sort_uniq" ]; [ "List"; "stable_sort" ];
+    [ "List"; "fast_sort" ];
+  ]
+
+(* Commutative, associative binary operators: a [Hashtbl.fold] whose
+   body only combines the accumulator through one of these is
+   insensitive to iteration order. *)
+let commutative_ops =
+  [ "+"; "+."; "*"; "*."; "max"; "min"; "land"; "lor"; "lxor"; "&&"; "||" ]

@@ -1,0 +1,59 @@
+(* Diagnostics for speedup-lint: location-tagged findings with stable
+   ordering so output is reproducible across runs and job counts. *)
+
+type t = {
+  rule : string;  (* "R1".."R5", or "lint" for tool-level problems *)
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let make ~rule ~file ~line ~col message = { rule; file; line; col; message }
+
+let of_location ~rule ~file (loc : Location.t) message =
+  let p = loc.loc_start in
+  make ~rule ~file ~line:p.pos_lnum ~col:(p.pos_cnum - p.pos_bol) message
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.message b.message
+
+let to_human d =
+  Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf
+    {|{"rule": "%s", "file": "%s", "line": %d, "col": %d, "message": "%s"}|}
+    (json_escape d.rule) (json_escape d.file) d.line d.col
+    (json_escape d.message)
+
+let list_to_json ds =
+  match ds with
+  | [] -> "[]"
+  | ds -> "[\n  " ^ String.concat ",\n  " (List.map to_json ds) ^ "\n]"

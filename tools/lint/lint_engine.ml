@@ -1,0 +1,606 @@
+(* speedup-lint analyzer: a purely syntactic pass over the parsetree
+   enforcing the determinism and domain-safety contracts of
+   DESIGN.md §8/§9.
+
+   Rules:
+     R1 shared-mutable-state  — no bare top-level mutable state in
+        libraries reachable from Pool callbacks.
+     R2 determinism           — Hashtbl iteration order must not leak
+        into results: folds must be sorted with a keyed comparator or
+        be commutative; iter is always suspect.
+     R3 lock-discipline       — every Mutex.lock pairs with
+        Fun.protect ~finally:(... Mutex.unlock ...) in the same
+        function.
+     R4 polymorphic-compare   — no polymorphic compare/hash/equality at
+        the dedicated comparator types (Simplex, Vertex, Complex,
+        Frac), and no bare polymorphic comparators inside the layer
+        that defines them.
+     R5 banned-nondeterminism — no ambient randomness or wall-clock
+        reads in lib/.
+
+   The analysis is conservative and has two escape hatches: inline
+   [@lint.allow "RULE: reason"] attributes and the checked-in baseline
+   (tools/lint/baseline.json).  See docs/LINT.md. *)
+
+open Parsetree
+
+(* ---- small helpers ---- *)
+
+let flatten lid = try Longident.flatten lid with _ -> []
+
+let ident_path e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (flatten txt)
+  | _ -> None
+
+let rec peel e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_open (_, e) -> peel e
+  | _ -> e
+
+(* Does any identifier in [e] satisfy [pred]? *)
+let expr_mentions pred e =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } when pred (flatten txt) -> found := true
+          | _ -> ());
+          if not !found then Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  !found
+
+(* ---- suppression attributes ---- *)
+
+let allow_attr = "lint.allow"
+
+let string_payload = function
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+(* Returns the rules suppressed by [attrs]; malformed payloads are
+   reported through [report]. *)
+let suppressions_of_attrs ~report attrs =
+  List.filter_map
+    (fun a ->
+      if a.attr_name.txt <> allow_attr then None
+      else
+        match string_payload a.attr_payload with
+        | Some s ->
+            let rule =
+              match String.index_opt s ':' with
+              | Some i -> String.sub s 0 i
+              | None -> s
+            in
+            Some (String.trim rule)
+        | None ->
+            report a.attr_loc "lint"
+              "[@lint.allow] needs a string payload, e.g. \
+               [@lint.allow \"R2: commutative fold\"]";
+            None)
+    attrs
+
+(* ---- per-file analysis state ---- *)
+
+type ctx = {
+  file : string;
+  scope : Lint_config.scope;
+  mutable mutable_fields : string list;  (* fields declared mutable here *)
+  mutable suppressed : string list list;  (* stack of active suppressions *)
+  mutable file_suppressed : string list;  (* from floating [@@@lint.allow] *)
+  mutable open_depth : int;  (* enclosing M.(…) / let-open scopes *)
+  mutable file_open : bool;  (* file has a structure-level open *)
+  mutable cleared : expression list;  (* nodes proved safe, by identity *)
+  mutable findings : Lint_diag.t list;
+}
+
+let active_suppressions ctx =
+  ctx.file_suppressed @ List.concat ctx.suppressed
+
+let report ctx ~rule ~loc msg =
+  let sup = active_suppressions ctx in
+  if not (List.mem rule sup || List.mem "all" sup) then
+    ctx.findings <- Lint_diag.of_location ~rule ~file:ctx.file loc msg :: ctx.findings
+
+let report_raw ctx loc rule msg =
+  ctx.findings <- Lint_diag.of_location ~rule ~file:ctx.file loc msg :: ctx.findings
+
+let clear ctx e = ctx.cleared <- e :: ctx.cleared
+let is_cleared ctx e = List.memq e ctx.cleared
+
+(* ---- vocabulary predicates ---- *)
+
+let is_poly_comparator p = List.mem p Lint_config.poly_comparator_idents
+
+(* Unqualified operators under an [open] (e.g. [Frac.(lo <= v)]) may
+   resolve to the opened module's dedicated operators, not Stdlib's;
+   treat them as non-polymorphic there. *)
+let ambiguous_by_open ctx p =
+  (ctx.open_depth > 0 || ctx.file_open) && List.length p = 1
+
+let is_poly_op ctx p =
+  List.mem p Lint_config.poly_compare_ops && not (ambiguous_by_open ctx p)
+let is_sorter p = List.mem p Lint_config.sorters
+let is_banned_ident p = List.mem p Lint_config.banned_idents
+
+let is_ambient_random = function
+  | "Random" :: rest -> (
+      match rest with "State" :: _ -> false | _ -> true)
+  | _ -> false
+
+(* Hashtbl.fold / Hashtbl.iter / M.Tbl.fold …: iteration over a hash
+   table, whose order is an implementation detail. *)
+let hashtbl_iteration p =
+  match List.rev p with
+  | fn :: rev_prefix -> (
+      let over_table =
+        match List.rev rev_prefix with
+        | [ "Hashtbl" ] -> true
+        | prefix -> ( match List.rev prefix with "Tbl" :: _ -> true | _ -> false)
+      in
+      if not over_table then None
+      else
+        match fn with
+        | "fold" -> Some `Fold
+        | "iter" | "to_seq" | "to_seq_keys" | "to_seq_values" -> Some `Iter
+        | _ -> None)
+  | [] -> None
+
+(* A comparator free of polymorphic compare/hash. *)
+let comparator_is_keyed cmp =
+  not
+    (expr_mentions
+       (fun p -> is_poly_comparator p || p = [ "Stdlib"; "compare" ])
+       cmp)
+
+(* Is [e] (the peeled head of an expression) an application of a sort
+   sanitizer with a keyed comparator?  Returns the sorted operand(s)
+   when the sort is fully applied, [] for a partial application. *)
+let sort_sanitizer e =
+  match (peel e).pexp_desc with
+  | Pexp_apply (f, args) -> (
+      match ident_path f with
+      | Some p when is_sorter p -> (
+          let positional =
+            List.filter_map
+              (function Asttypes.Nolabel, a -> Some a | _ -> None)
+              args
+          in
+          match positional with
+          | cmp :: rest when comparator_is_keyed cmp -> Some rest
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* Commutative fold recognizer: [fun _k _v acc -> acc <op> e] with a
+   commutative/associative operator touching the accumulator. *)
+let fold_is_commutative fn =
+  let rec params acc e =
+    match (peel e).pexp_desc with
+    | Pexp_fun (_, _, pat, body) ->
+        let name =
+          match pat.ppat_desc with
+          | Ppat_var { txt; _ } -> Some txt
+          | Ppat_any -> None
+          | Ppat_constraint ({ ppat_desc = Ppat_var { txt; _ }; _ }, _) ->
+              Some txt
+          | _ -> None
+        in
+        params (name :: acc) body
+    | _ -> (acc, e)
+  in
+  match params [] (peel fn) with
+  | acc_param :: _, body -> (
+      match acc_param with
+      | None -> false
+      | Some acc_name -> (
+          match (peel body).pexp_desc with
+          | Pexp_apply (op, [ (_, a); (_, b) ]) -> (
+              match ident_path op with
+              | Some [ o ] when List.mem o Lint_config.commutative_ops ->
+                  let is_acc e =
+                    match ident_path (peel e) with
+                    | Some [ n ] -> n = acc_name
+                    | _ -> false
+                  in
+                  is_acc a || is_acc b
+              | _ -> false)
+          | _ -> false))
+  | [], _ -> false
+
+(* ---- R4 helpers ---- *)
+
+let is_dedicated m = List.mem m Lint_config.dedicated_modules
+
+let scalar_projection m fn =
+  match List.assoc_opt m Lint_config.scalar_projections with
+  | Some fns -> List.mem fn fns
+  | None -> false
+
+(* Is the value of [e] (possibly) of a dedicated abstract type?  Heads
+   rooted in a dedicated module that are not scalar projections are
+   treated as abstract. *)
+let rec abstract_rooted e =
+  match (peel e).pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match flatten txt with
+      | [ m; fn ] when is_dedicated m -> not (scalar_projection m fn)
+      | [ m; ("Set" | "Map" | "Tbl"); fn ] when is_dedicated m ->
+          not (List.mem fn Lint_config.container_scalars)
+      | _ -> false)
+  | Pexp_apply (f, _) -> abstract_rooted f
+  | Pexp_tuple es -> List.exists abstract_rooted es
+  | Pexp_construct (_, Some e) | Pexp_variant (_, Some e) -> abstract_rooted e
+  | Pexp_field (e, _) -> abstract_rooted e
+  | _ -> false
+
+(* "Simple scalar" expressions tolerated under polymorphic compare in
+   the dedicated layer: the destructured-scalar idiom used inside the
+   dedicated comparator definitions themselves. *)
+let rec simple_scalar e =
+  match (peel e).pexp_desc with
+  | Pexp_ident { txt; _ } -> ( match flatten txt with [ _ ] -> true | _ -> false)
+  | Pexp_constant _ -> true
+  | Pexp_field (e, _) -> simple_scalar e
+  | Pexp_tuple es -> List.for_all simple_scalar es
+  | Pexp_apply (op, args) -> (
+      match ident_path op with
+      | Some [ o ]
+        when List.mem o
+               [ "+"; "-"; "*"; "/"; "mod"; "land"; "lor"; "lxor"; "abs"; "~-" ]
+        ->
+          List.for_all (fun (_, a) -> simple_scalar a) args
+      | _ -> false)
+  | _ -> false
+
+(* In a lambda passed as an argument (comparator position), flag
+   polymorphic compares applied to anything but simple scalars. *)
+let check_comparator_lambda ctx body =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_apply (f, args) -> (
+              match ident_path f with
+              | Some p
+                when (p = [ "compare" ] || p = [ "Stdlib"; "compare" ]
+                    || p = [ "Hashtbl"; "hash" ])
+                     && not
+                          (List.for_all (fun (_, a) -> simple_scalar a) args) ->
+                  report ctx ~rule:"R4" ~loc:e.pexp_loc
+                    "polymorphic compare inside a comparator lambda in the \
+                     dedicated-comparator layer; key it with Int.compare / \
+                     String.compare or use the module's compare"
+              | _ -> ())
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it body
+
+(* ---- R3 helpers ---- *)
+
+let is_mutex_lock e =
+  match (peel e).pexp_desc with
+  | Pexp_apply (f, _) -> ident_path f = Some [ "Mutex"; "lock" ]
+  | _ -> false
+
+let is_protect_with_unlock e =
+  match (peel e).pexp_desc with
+  | Pexp_apply (f, args) ->
+      ident_path f = Some [ "Fun"; "protect" ]
+      && List.exists
+           (fun (lbl, a) ->
+             lbl = Asttypes.Labelled "finally"
+             && expr_mentions (fun p -> p = [ "Mutex"; "unlock" ]) a)
+           args
+  | _ -> false
+
+(* First meaningful expression of a continuation: peels let-bindings
+   and sequencing so [Mutex.lock m; let x = Fun.protect … in …] and
+   [Mutex.lock m; Fun.protect …; …] both count. *)
+let rec protect_follows e =
+  if is_protect_with_unlock e then true
+  else
+    match (peel e).pexp_desc with
+    | Pexp_sequence (e1, _) -> protect_follows e1
+    | Pexp_let (_, vbs, _) ->
+        List.exists (fun vb -> is_protect_with_unlock vb.pvb_expr) vbs
+    | _ -> false
+
+(* ---- the walk ---- *)
+
+let visit_expr ctx e =
+  (* Pre-marking: recognize sanitized children before they are
+     visited. *)
+  (match e.pexp_desc with
+  (* fold |> List.sort keyed_cmp *)
+  | Pexp_apply (pipe, [ (_, lhs); (_, rhs) ])
+    when ident_path pipe = Some [ "|>" ] -> (
+      match sort_sanitizer rhs with
+      | Some _ -> clear ctx (peel lhs)
+      | None -> ())
+  (* List.sort keyed_cmp (Hashtbl.fold …) *)
+  | Pexp_apply (_, _) -> (
+      match sort_sanitizer e with
+      | Some operands -> List.iter (fun a -> clear ctx (peel a)) operands
+      | None -> ())
+  (* Mutex.lock m; <protected continuation> *)
+  | Pexp_sequence (e1, e2) when is_mutex_lock e1 ->
+      if protect_follows e2 then clear ctx (peel e1)
+  | _ -> ());
+  (* Node checks on the raw node: constraint/open wrappers are handled
+     when recursion reaches the inner node itself. *)
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } ->
+      let p = flatten txt in
+      if ctx.scope.Lint_config.r5 && (is_banned_ident p || is_ambient_random p)
+      then
+        report ctx ~rule:"R5" ~loc:e.pexp_loc
+          (Printf.sprintf
+             "'%s' is nondeterministic and forbidden in lib/; thread an \
+              explicit Random.State (seeded by the caller) or move the \
+              timing/IO to bin/ or bench/"
+             (String.concat "." p))
+  | Pexp_apply (f, args) -> (
+      (match ident_path f with
+      | Some p -> (
+          (* R2: hash-order leaks. *)
+          (match hashtbl_iteration p with
+          | Some kind when not (is_cleared ctx e) ->
+              let name = String.concat "." p in
+              (match kind with
+              | `Fold ->
+                  let commutative =
+                    match args with
+                    | (_, fn) :: _ -> fold_is_commutative fn
+                    | [] -> false
+                  in
+                  if not commutative then
+                    report ctx ~rule:"R2" ~loc:e.pexp_loc
+                      (Printf.sprintf
+                         "%s result depends on hash iteration order; pipe it \
+                          through List.sort with a keyed comparator (e.g. \
+                          Int.compare), make the fold commutative, or \
+                          suppress with [@lint.allow \"R2: reason\"]"
+                         name)
+              | `Iter ->
+                  report ctx ~rule:"R2" ~loc:e.pexp_loc
+                    (Printf.sprintf
+                       "%s visits bindings in hash order; collect with \
+                        Hashtbl.fold and sort with a keyed comparator, or \
+                        suppress with [@lint.allow \"R2: reason\"]"
+                       name))
+          | _ -> ());
+          (* R3: unprotected lock. *)
+          if p = [ "Mutex"; "lock" ] && not (is_cleared ctx e) then
+            report ctx ~rule:"R3" ~loc:e.pexp_loc
+              "Mutex.lock without a following Fun.protect \
+               ~finally:(… Mutex.unlock …) in the same function; an \
+               exception in the critical section would leave the mutex \
+               held (or use Mutex.protect)";
+          (* R4: polymorphic compare applied at a dedicated type. *)
+          if is_poly_op ctx p then
+            List.iter
+              (fun (_, a) ->
+                if abstract_rooted a then
+                  report ctx ~rule:"R4" ~loc:e.pexp_loc
+                    (Printf.sprintf
+                       "polymorphic '%s' applied to a value of a dedicated \
+                        comparator type; use Simplex.compare / Vertex.compare \
+                        / Complex.compare / Frac.compare (or key with \
+                        Int.compare)"
+                       (String.concat "." p)))
+              args)
+      | None -> ());
+      (* R4 (dedicated layer): bare polymorphic comparators and
+         comparator lambdas in argument position. *)
+      if ctx.scope.Lint_config.r4_dedicated then
+        List.iter
+          (fun (_, a) ->
+            let a = peel a in
+            match a.pexp_desc with
+            | Pexp_ident { txt; _ }
+              when is_poly_comparator (flatten txt)
+                   && not (ambiguous_by_open ctx (flatten txt)) ->
+                report ctx ~rule:"R4" ~loc:a.pexp_loc
+                  (Printf.sprintf
+                     "bare polymorphic comparator '%s' passed in the \
+                      dedicated-comparator layer; use Int.compare / \
+                      String.compare or the module's compare"
+                     (String.concat "." (flatten txt)))
+            | Pexp_fun _ -> check_comparator_lambda ctx a
+            | _ -> ())
+          args)
+  | _ -> ()
+
+(* R1: top-level mutable state in Pool-reachable libraries. *)
+let check_toplevel_binding ctx vb =
+  let rec head e =
+    match (peel e).pexp_desc with
+    | Pexp_lazy e -> head e
+    | d -> d
+  in
+  match head vb.pvb_expr with
+  | Pexp_apply (f, _) -> (
+      match ident_path f with
+      | Some p when List.mem p Lint_config.mutable_creators ->
+          report ctx ~rule:"R1" ~loc:vb.pvb_loc
+            (Printf.sprintf
+               "top-level '%s' creates shared mutable state in a library \
+                reachable from Pool callbacks; use Atomic, guard every \
+                access with a mutex and suppress with [@lint.allow \"R1: \
+                reason\"], or move it into the function that uses it"
+               (String.concat "." p))
+      | Some p when (match List.rev p with "create" :: "Tbl" :: _ -> true | _ -> false)
+        ->
+          report ctx ~rule:"R1" ~loc:vb.pvb_loc
+            (Printf.sprintf
+               "top-level '%s' creates a shared hash table in a library \
+                reachable from Pool callbacks; guard it or allowlist it"
+               (String.concat "." p))
+      | _ -> ())
+  | Pexp_record (fields, _) ->
+      if
+        List.exists
+          (fun ({ Asttypes.txt; _ }, _) ->
+            match Longident.last txt with
+            | fld -> List.mem fld ctx.mutable_fields
+            | exception _ -> false)
+          fields
+      then
+        report ctx ~rule:"R1" ~loc:vb.pvb_loc
+          "top-level record with mutable fields is shared mutable state in a \
+           library reachable from Pool callbacks; use Atomic fields or \
+           allowlist it"
+  | Pexp_array _ ->
+      report ctx ~rule:"R1" ~loc:vb.pvb_loc
+        "top-level array literal is shared mutable state in a library \
+         reachable from Pool callbacks; use an immutable list/tuple or \
+         allowlist it"
+  | _ -> ()
+
+(* Collect field names declared mutable anywhere in the file. *)
+let collect_mutable_fields structure =
+  let fields = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      type_declaration =
+        (fun it td ->
+          (match td.ptype_kind with
+          | Ptype_record labels ->
+              List.iter
+                (fun ld ->
+                  if ld.pld_mutable = Asttypes.Mutable then
+                    fields := ld.pld_name.txt :: !fields)
+                labels
+          | _ -> ());
+          Ast_iterator.default_iterator.type_declaration it td);
+    }
+  in
+  it.structure it structure;
+  !fields
+
+let analyze_structure ctx structure =
+  let report_attr loc rule msg = report_raw ctx loc rule msg in
+  (* Floating [@@@lint.allow "R"] suppresses for the whole file. *)
+  List.iter
+    (fun item ->
+      match item.pstr_desc with
+      | Pstr_attribute a when a.attr_name.txt = allow_attr ->
+          ctx.file_suppressed <-
+            suppressions_of_attrs ~report:report_attr [ a ] @ ctx.file_suppressed
+      | _ -> ())
+    structure;
+  let push attrs =
+    ctx.suppressed <-
+      suppressions_of_attrs ~report:report_attr attrs :: ctx.suppressed
+  in
+  let pop () = ctx.suppressed <- List.tl ctx.suppressed in
+  let toplevel = ref true in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          push e.pexp_attributes;
+          visit_expr ctx e;
+          let saved = !toplevel in
+          toplevel := false;
+          let opened =
+            match e.pexp_desc with Pexp_open _ | Pexp_letop _ -> true | _ -> false
+          in
+          if opened then ctx.open_depth <- ctx.open_depth + 1;
+          Ast_iterator.default_iterator.expr it e;
+          if opened then ctx.open_depth <- ctx.open_depth - 1;
+          toplevel := saved;
+          pop ());
+      value_binding =
+        (fun it vb ->
+          push vb.pvb_attributes;
+          if !toplevel && ctx.scope.Lint_config.r1 then
+            check_toplevel_binding ctx vb;
+          Ast_iterator.default_iterator.value_binding it vb;
+          pop ());
+      structure_item =
+        (fun it item ->
+          let attrs =
+            match item.pstr_desc with Pstr_eval (_, attrs) -> attrs | _ -> []
+          in
+          push attrs;
+          (match item.pstr_desc with
+          | Pstr_value _ | Pstr_module _ | Pstr_recmodule _ ->
+              (* modules re-enter "top level" for their own items *)
+              toplevel := true
+          | Pstr_open _ ->
+              ctx.file_open <- true;
+              toplevel := false
+          | _ -> toplevel := false);
+          Ast_iterator.default_iterator.structure_item it item;
+          pop ());
+    }
+  in
+  it.structure it structure
+
+(* ---- entry points ---- *)
+
+let parse_diag ctx loc msg = report_raw ctx loc "parse" msg
+
+let lint_source ~path source =
+  let scope = Lint_config.classify path in
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  let ctx =
+    {
+      file = path;
+      scope;
+      mutable_fields = [];
+      suppressed = [];
+      file_suppressed = [];
+      open_depth = 0;
+      file_open = false;
+      cleared = [];
+      findings = [];
+    }
+  in
+  (if Filename.check_suffix path ".mli" then
+     (* Interfaces carry no expressions; parse for syntax only. *)
+     try ignore (Parse.interface lexbuf) with
+     | Syntaxerr.Error _ | Lexer.Error _ ->
+         parse_diag ctx Location.none ("syntax error in " ^ path)
+   else
+     try
+       let structure = Parse.implementation lexbuf in
+       ctx.mutable_fields <- collect_mutable_fields structure;
+       analyze_structure ctx structure
+     with Syntaxerr.Error _ | Lexer.Error _ ->
+       parse_diag ctx Location.none ("syntax error in " ^ path));
+  List.sort_uniq Lint_diag.compare ctx.findings
+
+let lint_file ?(prefix = "") real_path =
+  let path = prefix ^ Filename.basename real_path in
+  let path = if prefix = "" then real_path else path in
+  let ic = open_in_bin real_path in
+  let source =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  lint_source ~path source

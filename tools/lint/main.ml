@@ -1,0 +1,111 @@
+(* speedup-lint driver.
+
+   Usage: main.exe [options] <file|dir>...
+     --baseline FILE   known findings that do not fail the run
+     --prefix P        logical path prefix for bare file arguments
+                       (per-directory dune rules pass e.g. lib/runtime/)
+     --format human|json
+     --emit-baseline   print a baseline covering the current findings
+     --rules R1,R3     restrict to a subset of rules
+
+   Exit codes: 0 clean, 1 findings, 2 usage or I/O error. *)
+
+let usage = "speedup-lint [options] <file|dir>..."
+
+let rec collect_files acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if name = "_build" || name = ".git" then acc
+           else collect_files acc (Filename.concat path name))
+         acc
+  else if
+    Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+  then path :: acc
+  else acc
+
+let () =
+  let baseline_path = ref None in
+  let prefix = ref "" in
+  let format = ref "human" in
+  let emit_baseline = ref false in
+  let rules = ref None in
+  let paths = ref [] in
+  let spec =
+    [
+      ( "--baseline",
+        Arg.String (fun s -> baseline_path := Some s),
+        "FILE baseline of known findings" );
+      ( "--prefix",
+        Arg.Set_string prefix,
+        "P logical path prefix for bare file arguments" );
+      ("--format", Arg.Set_string format, "human|json output format");
+      ( "--emit-baseline",
+        Arg.Set emit_baseline,
+        " print a baseline for the current findings" );
+      ( "--rules",
+        Arg.String (fun s -> rules := Some (String.split_on_char ',' s)),
+        "R1,R2,... restrict to these rules" );
+    ]
+  in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  if !paths = [] then (
+    prerr_endline usage;
+    exit 2);
+  if !format <> "human" && !format <> "json" then (
+    prerr_endline "speedup-lint: --format must be human or json";
+    exit 2);
+  (* Files named on the command line get --prefix for their logical
+     path; files found under a directory argument already carry it. *)
+  let files =
+    List.concat_map
+      (fun p ->
+        if not (Sys.file_exists p) then (
+          Printf.eprintf "speedup-lint: no such file: %s\n" p;
+          exit 2);
+        if Sys.is_directory p then
+          List.map (fun f -> ("", f)) (List.rev (collect_files [] p))
+        else [ (!prefix, p) ])
+      (List.rev !paths)
+  in
+  let diags =
+    List.concat_map (fun (prefix, f) -> Lint_engine.lint_file ~prefix f) files
+    |> List.sort_uniq Lint_diag.compare
+  in
+  let diags =
+    match !rules with
+    | None -> diags
+    | Some rs -> List.filter (fun (d : Lint_diag.t) -> List.mem d.rule rs) diags
+  in
+  if !emit_baseline then (
+    print_string (Lint_baseline.emit diags);
+    exit 0);
+  let entries =
+    match !baseline_path with
+    | None -> []
+    | Some p -> (
+        match Lint_baseline.load p with
+        | Ok entries -> entries
+        | Error msg ->
+            Printf.eprintf "speedup-lint: %s\n" msg;
+            exit 2)
+  in
+  let live, baselined, stale = Lint_baseline.apply entries diags in
+  (match !format with
+  | "json" -> print_endline (Lint_diag.list_to_json live)
+  | _ ->
+      List.iter (fun d -> print_endline (Lint_diag.to_human d)) live;
+      if baselined <> [] then
+        Printf.printf "speedup-lint: %d finding(s) covered by the baseline\n"
+          (List.length baselined);
+      List.iter
+        (fun (e : Lint_baseline.entry) ->
+          Printf.printf
+            "speedup-lint: stale baseline entry %s %s:%d (no longer fires — \
+             remove it)\n"
+            e.rule e.file e.line)
+        stale;
+      if live = [] then
+        Printf.printf "speedup-lint: %d file(s) clean\n" (List.length files));
+  exit (if live = [] then 0 else 1)
