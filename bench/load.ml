@@ -1,0 +1,235 @@
+(* Load generator for the query daemon: N concurrent clients firing M
+   queries each (fixed seed, deterministic mix) at an in-process
+   server, run twice against the same certificate store — a cold pass
+   (empty store, full enumerations) and a warm pass (populated store,
+   in-process memo reset in between so the speedup measured is the
+   store's).  Throughput and latency percentiles for both passes are
+   merged into BENCH_kernels.json under a "load" key, and the exit
+   status asserts the warm pass is strictly faster — the acceptance
+   check CI relies on. *)
+
+let clients = ref 4
+let queries = ref 25
+let seed = ref 42
+let json_path = ref "BENCH_kernels.json"
+let socket_path = ref ""
+let workers = ref 2
+
+let spec =
+  [
+    ("-clients", Arg.Set_int clients, "N concurrent client domains (default 4)");
+    ("-queries", Arg.Set_int queries, "M queries per client (default 25)");
+    ("-seed", Arg.Set_int seed, "mix seed (default 42)");
+    ( "-json",
+      Arg.Set_string json_path,
+      "FILE merge results into FILE (default BENCH_kernels.json)" );
+    ( "-socket",
+      Arg.Set_string socket_path,
+      "PATH Unix socket path (default: under the temp dir)" );
+    ("-workers", Arg.Set_int workers, "server worker domains (default 2)");
+  ]
+
+(* A 48-bit LCG (the drand48 constants) keeps the mix deterministic
+   without touching [Random] (whose ambient state the lint bans in
+   engine code). *)
+let lcg s = ((s * 25214903917) + 11) land 0xFFFFFFFFFFFF
+
+(* The query mix: cheap liveness probes plus closure/solvability calls
+   whose enumerations the certificate store absorbs on the warm pass. *)
+let mix =
+  [|
+    ("ping", []);
+    ("closure", [ ("task", Jsonl.String "consensus"); ("n", Jsonl.Int 2) ]);
+    ( "closure",
+      [
+        ("task", Jsonl.String "aa");
+        ("n", Jsonl.Int 2);
+        ("m", Jsonl.Int 3);
+        ("eps", Jsonl.String "1/3");
+      ] );
+    ( "solvable",
+      [
+        ("task", Jsonl.String "consensus");
+        ("n", Jsonl.Int 2);
+        ("rounds", Jsonl.Int 1);
+      ] );
+    ("closure", [ ("task", Jsonl.String "consensus"); ("n", Jsonl.Int 3) ]);
+    ( "complex-stats",
+      [ ("task", Jsonl.String "aa"); ("n", Jsonl.Int 2); ("m", Jsonl.Int 4) ] );
+  |]
+
+type pass = {
+  label : string;
+  wall_s : float;
+  total : int;
+  qps : float;
+  p50_ms : float;
+  p95_ms : float;
+}
+
+let percentile sorted q =
+  match Array.length sorted with
+  | 0 -> 0.
+  | n ->
+      let idx = int_of_float (Float.of_int (n - 1) *. q +. 0.5) in
+      sorted.(Int.max 0 (Int.min (n - 1) idx))
+
+(* One client: its own connection, [queries] requests drawn from the
+   mix by a per-client deterministic stream.  Returns the latencies;
+   any error is fatal — a load run with failed queries is meaningless. *)
+let run_client addr ~client_id =
+  match Client.connect_retry addr with
+  | Error e -> failwith (Printf.sprintf "client %d: connect: %s" client_id e)
+  | Ok c ->
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let state = ref (lcg (!seed + (client_id * 7919))) in
+      List.init !queries (fun i ->
+          state := lcg !state;
+          let meth, params =
+            mix.(abs (!state mod Array.length mix) mod Array.length mix)
+          in
+          let t0 = Unix.gettimeofday () in
+          match Client.rpc c ~id:(Jsonl.Int i) ~meth ~params with
+          | Ok _ -> (Unix.gettimeofday () -. t0) *. 1000.
+          | Error e ->
+              failwith
+                (Printf.sprintf "client %d query %d (%s): %s" client_id i meth e))
+
+let run_pass addr ~label =
+  let t0 = Unix.gettimeofday () in
+  let latencies =
+    List.init !clients (fun cid ->
+        Domain.spawn (fun () -> run_client addr ~client_id:cid))
+    |> List.map Domain.join |> List.concat |> Array.of_list
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Array.sort Float.compare latencies;
+  let total = Array.length latencies in
+  {
+    label;
+    wall_s;
+    total;
+    qps = (if wall_s > 0. then Float.of_int total /. wall_s else 0.);
+    p50_ms = percentile latencies 0.5;
+    p95_ms = percentile latencies 0.95;
+  }
+
+let pass_json p =
+  Jsonl.Obj
+    [
+      ("wall_s", Jsonl.Float p.wall_s);
+      ("queries", Jsonl.Int p.total);
+      ("throughput_qps", Jsonl.Float p.qps);
+      ("latency_p50_ms", Jsonl.Float p.p50_ms);
+      ("latency_p95_ms", Jsonl.Float p.p95_ms);
+    ]
+
+(* Merge the load section into BENCH_kernels.json, preserving whatever
+   bench/main.ml wrote.  Top-level keys are re-rendered one per line so
+   the file stays diffable. *)
+let merge_json cold warm =
+  let load =
+    Jsonl.Obj
+      [
+        ("clients", Jsonl.Int !clients);
+        ("queries_per_client", Jsonl.Int !queries);
+        ("seed", Jsonl.Int !seed);
+        ("cold", pass_json cold);
+        ("warm", pass_json warm);
+        ( "warm_speedup",
+          if cold.qps > 0. then Jsonl.Float (warm.qps /. cold.qps)
+          else Jsonl.Null );
+      ]
+  in
+  let existing =
+    match In_channel.with_open_text !json_path In_channel.input_all with
+    | s -> (
+        match Jsonl.of_string s with Ok (Jsonl.Obj fs) -> fs | _ -> [])
+    | exception Sys_error _ -> []
+  in
+  let fields =
+    (if List.mem_assoc "schema" existing then []
+     else [ ("schema", Jsonl.String "speedup-bench/v1") ])
+    @ List.remove_assoc "load" existing
+    @ [ ("load", load) ]
+  in
+  let oc = open_out !json_path in
+  output_string oc "{\n";
+  output_string oc
+    (String.concat ",\n"
+       (List.map
+          (fun (k, v) ->
+            Printf.sprintf "  \"%s\": %s" (Jsonl.escape k) (Jsonl.to_string v))
+          fields));
+  output_string oc "\n}\n";
+  close_out oc
+
+let rec remove_tree path =
+  match (Unix.lstat path).Unix.st_kind with
+  | Unix.S_DIR ->
+      Array.iter
+        (fun entry -> remove_tree (Filename.concat path entry))
+        (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let () =
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "load [-clients N] [-queries M] [-seed S] [-json FILE]";
+  let tmp = Filename.get_temp_dir_name () in
+  let store_dir =
+    Filename.concat tmp (Printf.sprintf "speedup-load-certs-%d" (Unix.getpid ()))
+  in
+  let sock =
+    if !socket_path <> "" then !socket_path
+    else
+      Filename.concat tmp (Printf.sprintf "speedup-load-%d.sock" (Unix.getpid ()))
+  in
+  remove_tree store_dir;
+  Cert_store.set_dir (Some store_dir);
+  Closure.reset_memo ();
+  let addr = Server.Unix_path sock in
+  let cfg =
+    { (Server.default_config addr) with workers = !workers; queue_limit = 256 }
+  in
+  let server = Domain.spawn (fun () -> Server.run cfg) in
+  let finish () =
+    (match Client.connect_retry addr with
+    | Ok c ->
+        ignore (Client.rpc c ~id:(Jsonl.String "drain") ~meth:"shutdown" ~params:[]);
+        Client.close c
+    | Error _ -> ());
+    ignore (Domain.join server)
+  in
+  match
+    let cold = run_pass addr ~label:"cold" in
+    (* Reset the in-process memo so the warm pass measures the store,
+       not the memo table the cold pass just filled. *)
+    Closure.reset_memo ();
+    let warm = run_pass addr ~label:"warm" in
+    (cold, warm)
+  with
+  | exception e ->
+      finish ();
+      remove_tree store_dir;
+      prerr_endline ("load: " ^ Printexc.to_string e);
+      exit 2
+  | cold, warm ->
+      finish ();
+      remove_tree store_dir;
+      List.iter
+        (fun p ->
+          Printf.printf
+            "load %-4s: %d queries in %6.2fs  %8.1f q/s  p50 %6.2fms  p95 %6.2fms\n"
+            p.label p.total p.wall_s p.qps p.p50_ms p.p95_ms)
+        [ cold; warm ];
+      merge_json cold warm;
+      Printf.printf "load: warm/cold throughput %.2fx; merged into %s\n"
+        (if cold.qps > 0. then warm.qps /. cold.qps else 0.)
+        !json_path;
+      if warm.qps <= cold.qps then (
+        prerr_endline
+          "load: FAIL — warm-store throughput not above cold-store throughput";
+        exit 1)

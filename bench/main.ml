@@ -313,6 +313,18 @@ let json_float = function
   | Some f when Float.is_finite f -> Printf.sprintf "%.6g" f
   | Some _ | None -> "null"
 
+(* The commit the numbers belong to, so BENCH_kernels.json files are
+   comparable across PRs.  Best-effort: outside a git checkout (or
+   without git on PATH) the field reads "unknown". *)
+let git_describe () =
+  match Unix.open_process_in "git describe --always --dirty 2>/dev/null" with
+  | ic -> (
+      let line = try input_line ic with End_of_file -> "" in
+      match (Unix.close_process_in ic, String.trim line) with
+      | Unix.WEXITED 0, s when s <> "" -> s
+      | _ -> "unknown")
+  | exception _ -> "unknown"
+
 let write_json ~rows ~jobs1_wall ~jobsn_wall ~identical ~all_ok path =
   let oc = open_out path in
   let kernel (name, est, r2) =
@@ -322,6 +334,9 @@ let write_json ~rows ~jobs1_wall ~jobsn_wall ~identical ~all_ok path =
   Printf.fprintf oc
     {|{
   "schema": "speedup-bench/v1",
+  "meta": {
+    "git": "%s"
+  },
   "jobs": {
     "parallel": %d,
     "recommended": %d,
@@ -338,6 +353,7 @@ let write_json ~rows ~jobs1_wall ~jobsn_wall ~identical ~all_ok path =
   ]
 }
 |}
+    (json_escape (git_describe ()))
     jobs_n
     (Domain.recommended_domain_count ())
     (match Sys.getenv_opt "SPEEDUP_JOBS" with

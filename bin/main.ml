@@ -540,12 +540,195 @@ let cert_cmd =
     [ cert_verify_cmd; cert_ls_cmd; cert_verify_store_cmd; cert_gc_cmd;
       cert_export_cmd; cert_stats_cmd ]
 
+(* ---- serve / query ---- *)
+
+let addr_args =
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+  in
+  let host =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"HOST" ~doc:"TCP host (with --port).")
+  in
+  let port =
+    Arg.(value & opt (some int) None
+         & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (0 picks a free one).")
+  in
+  let combine socket host port =
+    match (socket, port) with
+    | Some path, None -> Ok (Server.Unix_path path)
+    | None, Some p -> Ok (Server.Tcp (host, p))
+    | None, None -> Ok (Server.Unix_path "speedup.sock")
+    | Some _, Some _ -> Error (`Msg "--socket and --port are exclusive")
+  in
+  Term.(term_result (const combine $ socket $ host $ port))
+
+let serve_cmd =
+  let workers =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let queue_limit =
+    Arg.(value & opt int 64
+         & info [ "queue-limit" ] ~docv:"N"
+             ~doc:"Backpressure high-water mark: past this many queued \
+                   requests, compute requests are rejected as overloaded.")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some int) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Default per-request deadline for requests without one.")
+  in
+  let access_log =
+    Arg.(value & opt (some string) None
+         & info [ "access-log" ] ~docv:"FILE"
+             ~doc:"Append one JSON line per request ('-' for stderr).")
+  in
+  let run addr workers queue_limit deadline_ms access_log =
+    let log_oc =
+      match access_log with
+      | None -> None
+      | Some "-" -> Some stderr
+      | Some path ->
+          Some (open_out_gen [ Open_append; Open_creat ] 0o644 path)
+    in
+    let config =
+      {
+        Server.addr;
+        workers;
+        queue_limit;
+        default_deadline_ms = deadline_ms;
+        access_log = log_oc;
+      }
+    in
+    let pp_addr = function
+      | Server.Unix_path p -> Printf.sprintf "unix:%s" p
+      | Server.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+    in
+    let summary =
+      Server.run
+        ~on_ready:(fun addr ->
+          Printf.eprintf "speedup serve: listening on %s (workers=%d)\n%!"
+            (pp_addr addr) (max 1 workers))
+        config
+    in
+    (match log_oc with
+    | Some oc when oc != stderr -> close_out_noerr oc
+    | _ -> ());
+    Printf.eprintf
+      "speedup serve: drained (requests=%d completed=%d rejected=%d)\n%!"
+      summary.Server.requests summary.Server.completed summary.Server.rejected;
+    if summary.Server.drained then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the query daemon (line-delimited JSON; see docs/SERVER.md). \
+             Drains gracefully on SIGINT or a shutdown request.")
+    Term.(const run $ addr_args $ workers $ queue_limit $ deadline_ms
+          $ access_log)
+
+let query_cmd =
+  let meth =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"METHOD"
+             ~doc:"ping, stats, solvable, closure, experiment, complex-stats, \
+                   or shutdown.")
+  in
+  let experiment_id =
+    Arg.(value & pos 1 (some string) None
+         & info [] ~docv:"ARG" ~doc:"Experiment id (for 'experiment').")
+  in
+  let rounds =
+    Arg.(value & opt int 1 & info [ "rounds"; "t" ] ~doc:"Rounds (solvable).")
+  in
+  let tas =
+    Arg.(value & flag & info [ "tas" ] ~doc:"Augment IIS with test\\&set.")
+  in
+  let binary_inputs =
+    Arg.(value & flag
+         & info [ "binary-inputs" ]
+             ~doc:"Restrict inputs to the binary input complex (solvable).")
+  in
+  let model =
+    Arg.(value & opt string "immediate"
+         & info [ "model" ] ~docv:"MODEL" ~doc:"collect, snapshot, immediate.")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some int) None
+         & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request deadline.")
+  in
+  let id_arg =
+    Arg.(value & opt int 1 & info [ "id" ] ~docv:"N" ~doc:"Request id.")
+  in
+  let retries =
+    Arg.(value & opt int 20
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Connection attempts (0.1s apart), for racing a server \
+                   that is still starting.")
+  in
+  let run addr meth experiment_id task n m eps rounds tas binary_inputs model
+      deadline_ms id retries =
+    let params =
+      match meth with
+      | "ping" | "stats" | "shutdown" -> []
+      | "experiment" -> (
+          match experiment_id with
+          | Some eid -> [ ("id", Jsonl.String eid) ]
+          | None ->
+              Printf.eprintf "query experiment needs an id argument\n";
+              exit 2)
+      | _ ->
+          [
+            ("task", Jsonl.String task);
+            ("n", Jsonl.Int n);
+            ("m", Jsonl.Int m);
+            ("eps", Jsonl.String (Format.asprintf "%a" Frac.pp eps));
+            ("rounds", Jsonl.Int rounds);
+            ("tas", Jsonl.Bool tas);
+            ("binary_inputs", Jsonl.Bool binary_inputs);
+            ("model", Jsonl.String model);
+          ]
+    in
+    match Client.connect_retry ~attempts:(max 1 retries) addr with
+    | Error msg ->
+        Printf.eprintf "cannot connect: %s\n" msg;
+        2
+    | Ok client ->
+        Fun.protect
+          ~finally:(fun () -> Client.close client)
+          (fun () ->
+            match
+              Client.request ?deadline_ms client ~id:(Jsonl.Int id) ~meth
+                ~params
+            with
+            | Error msg ->
+                Printf.eprintf "transport error: %s\n" msg;
+                2
+            | Ok line ->
+                print_endline line;
+                let ok =
+                  match Jsonl.of_string line with
+                  | Ok reply -> Jsonl.member "ok" reply = Some (Jsonl.Bool true)
+                  | Error _ -> false
+                in
+                if ok then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Send one request to a running query daemon and print the raw \
+             reply line.  Exits 0 on an ok reply, 1 on an error reply, 2 on \
+             a transport failure.")
+    Term.(const run $ addr_args $ meth $ experiment_id $ task_arg $ n_arg
+          $ m_arg $ eps_arg $ rounds $ tas $ binary_inputs $ model
+          $ deadline_ms $ id_arg $ retries)
+
 let main_cmd =
   let doc = "Reproduction of the PODC'22 asynchronous speedup theorem paper." in
   Cmd.group
     (Cmd.info "speedup" ~version:"1.0.0" ~doc)
     [ experiment_cmd; list_cmd; complex_cmd; solve_cmd; closure_cmd;
-      run_algo_cmd; figure_cmd; svg_cmd; cert_cmd ]
+      run_algo_cmd; figure_cmd; svg_cmd; cert_cmd; serve_cmd; query_cmd ]
 
 let () =
   (* Debug logging is opt-in via the environment so that every
@@ -555,6 +738,13 @@ let () =
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Debug)
   | Some _ | None -> Logs.set_level (Some Logs.Warning));
+  (* Validate SPEEDUP_JOBS up front so a bad value fails the command
+     before any work starts, not mid-computation. *)
+  (match Pool.jobs () with
+  | _ -> ()
+  | exception Invalid_argument msg ->
+      Printf.eprintf "speedup: %s\n" msg;
+      exit 2);
   let code = Cmd.eval' main_cmd in
   (* One greppable line for CI: a warm certificate store must show
      enumerations=0 and store_hits>0. *)

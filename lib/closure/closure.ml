@@ -49,11 +49,11 @@ let reset_memo () =
    (simplices of Δ(σ) are always in Δ'(σ), Remark after Definition 2)
    needs no witness; a one-round membership carries the local-task
    decision map found by the solver. *)
-let compute_member ?node_limit ~op task ~sigma ~tau =
+let compute_member ?node_limit ?should_stop ~op task ~sigma ~tau =
   if Complex.mem tau (Task.delta task sigma) then (true, None)
   else
     match
-      Solvability.local_task_solvable ?node_limit
+      Solvability.local_task_solvable ?node_limit ?should_stop
         ~one_round:(Round_op.facets op) task ~sigma ~tau
     with
     | Solvability.Solvable f -> (true, Some f)
@@ -224,13 +224,13 @@ let memo_add slot sigma c =
    Each candidate τ is an independent CSP search, so the enumeration
    fans out across the domain pool; order-preserving collection keeps
    the member list — and hence Δ' — identical at every job count. *)
-let enumerate ?node_limit ~op task sigma =
+let enumerate ?node_limit ?should_stop ~op task sigma =
   Atomic.incr enumeration_count;
   let taus = Task.chromatic_output_sets task sigma in
   let members =
     Pool.filter_map
       (fun tau ->
-        match compute_member ?node_limit ~op task ~sigma ~tau with
+        match compute_member ?node_limit ?should_stop ~op task ~sigma ~tau with
         | true, w -> Some (tau, w)
         | false, _ -> None)
       taus
@@ -240,7 +240,7 @@ let enumerate ?node_limit ~op task sigma =
         Simplex.pp sigma (List.length members) (List.length taus));
   members
 
-let delta ?node_limit ?(memo = true) ~op task sigma =
+let delta ?node_limit ?should_stop ?(memo = true) ~op task sigma =
   let op_name = Round_op.name op in
   let key = (op_name, task.Task.name) in
   let slot = if memo then Some (memo_slot key) else None in
@@ -264,7 +264,7 @@ let delta ?node_limit ?(memo = true) ~op task sigma =
       if not (store_ready op task) then
         memoize
           (Complex.of_facets
-             (List.map fst (enumerate ?node_limit ~op task sigma)))
+             (List.map fst (enumerate ?node_limit ?should_stop ~op task sigma)))
       else
         let store_key =
           Cert.query_key
@@ -282,7 +282,7 @@ let delta ?node_limit ?(memo = true) ~op task sigma =
         match load_verified ~key:store_key ~env ~select with
         | Some c -> memoize c
         | None ->
-            let members = enumerate ?node_limit ~op task sigma in
+            let members = enumerate ?node_limit ?should_stop ~op task sigma in
             Cert_store.save ~key:store_key
               (Cert.encode
                  (Cert.Enumeration

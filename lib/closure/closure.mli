@@ -16,7 +16,8 @@
     verification are quarantined and recomputed. *)
 
 val delta :
-  ?node_limit:int -> ?memo:bool -> op:Round_op.t -> Task.t -> Simplex.t ->
+  ?node_limit:int -> ?should_stop:(unit -> bool) -> ?memo:bool ->
+  op:Round_op.t -> Task.t -> Simplex.t ->
   Complex.t
 (** [Δ'(σ)], computed by enumerating candidate chromatic sets and
     running the local-task solvability test on each.  Memoized per
@@ -26,6 +27,12 @@ val delta :
     unique name, and task constructors encode their parameters in the
     name.  Read/write-through the certificate store for persistent
     operators.
+
+    [should_stop] is the cooperative cancellation hook, threaded down
+    to every per-candidate {!Csp.solve}.  When it fires,
+    [Csp.Interrupted] escapes {e before} anything is memoized or
+    persisted, so an interrupted enumeration never poisons the caches.
+    @raise Csp.Interrupted when [should_stop] returns [true].
     @raise Failure if some local-task instance is undecided. *)
 
 val task : ?node_limit:int -> ?memo:bool -> op:Round_op.t -> Task.t -> Task.t

@@ -19,13 +19,29 @@
 
 let override : int option Atomic.t = Atomic.make None
 
+(* An unset or empty/whitespace-only SPEEDUP_JOBS means "use the
+   default".  (Empty counts as unset because [Unix.putenv] cannot
+   remove a variable, so "" is the only way a test or wrapper script
+   can restore the unset state.)  Anything else must parse as a
+   positive integer: rejecting 0, negatives, and garbage loudly beats
+   silently falling back to a job count the user did not ask for. *)
 let env_jobs () =
   match Sys.getenv_opt "SPEEDUP_JOBS" with
   | None -> None
   | Some s -> (
-      match int_of_string_opt (String.trim s) with
-      | Some n when n >= 1 -> Some n
-      | Some _ | None -> None)
+      let s = String.trim s in
+      if s = "" then None
+      else
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> Some n
+        | Some n ->
+            invalid_arg
+              (Printf.sprintf
+                 "SPEEDUP_JOBS must be a positive integer, got %d" n)
+        | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "SPEEDUP_JOBS must be a positive integer, got %S" s))
 
 let jobs () =
   match Atomic.get override with
@@ -35,7 +51,13 @@ let jobs () =
       | Some n -> n
       | None -> Domain.recommended_domain_count ())
 
-let set_jobs n = Atomic.set override (Option.map (max 1) n)
+let set_jobs n =
+  (match n with
+  | Some n when n < 1 ->
+      invalid_arg
+        (Printf.sprintf "Pool.set_jobs: job count must be positive, got %d" n)
+  | Some _ | None -> ());
+  Atomic.set override n
 
 (* ---- pool state ---- *)
 

@@ -23,6 +23,14 @@
     spawned, no arrays allocated — so [SPEEDUP_JOBS=1] is
     byte-for-byte the pre-parallel behaviour.
 
+    [SPEEDUP_JOBS] must be a positive integer; [0], negatives, and
+    garbage raise [Invalid_argument] at resolution time rather than
+    silently picking some other job count.  An unset or
+    empty/whitespace-only value means "use the default" (empty counts
+    as unset because [Unix.putenv] cannot remove a variable).  The
+    [speedup] CLI validates the variable once at startup so users get
+    the error before any work starts.
+
     {2 Nesting and re-entrancy}
 
     A function running inside a pool batch (worker domain or the
@@ -31,18 +39,33 @@
     nested parallelism is flattened rather than deadlocking on the
     pool.  Worker domains are spawned lazily on the first parallel
     batch and live for the rest of the session, idling on a condition
-    variable between batches. *)
+    variable between batches.
+
+    {2 Resident processes}
+
+    Because worker domains live for the rest of the process, a
+    long-running server pays the spawn cost once.  The
+    one-batch-at-a-time discipline ([submit_lock]) makes concurrent
+    submitters (e.g. several query-daemon worker domains calling into
+    {!Closure}) safe: their batches serialize, and a submitter that is
+    itself a pool participant flattens to the sequential path instead
+    of deadlocking.  See the server test-suite, which exercises the
+    pool under a resident multi-domain process at several job
+    counts. *)
 
 val jobs : unit -> int
 (** The effective job count (≥ 1): the {!set_jobs} override if any,
-    else [SPEEDUP_JOBS] when it parses as a positive integer, else
-    [Domain.recommended_domain_count ()]. *)
+    else [SPEEDUP_JOBS] when set, else
+    [Domain.recommended_domain_count ()].
+    @raise Invalid_argument when [SPEEDUP_JOBS] is set (and non-empty)
+    but is not a positive integer. *)
 
 val set_jobs : int option -> unit
 (** [set_jobs (Some n)] overrides the job count for subsequent
-    batches (clamped to ≥ 1); [set_jobs None] drops the override,
-    returning to the environment.  Used by the bench harness to
-    compare job counts within one process. *)
+    batches; [set_jobs None] drops the override, returning to the
+    environment.  Used by the bench harness to compare job counts
+    within one process.
+    @raise Invalid_argument when [n < 1]. *)
 
 val in_parallel_region : unit -> bool
 (** Whether the calling domain is currently executing pool work (a

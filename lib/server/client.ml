@@ -1,0 +1,101 @@
+type t = { fd : Unix.file_descr; rbuf : Buffer.t }
+
+let connect addr =
+  let sock_addr, domain =
+    match addr with
+    | Server.Unix_path path -> (Unix.ADDR_UNIX path, Unix.PF_UNIX)
+    | Server.Tcp (host, port) ->
+        let inet =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        in
+        (Unix.ADDR_INET (inet, port), Unix.PF_INET)
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  match Unix.connect fd sock_addr with
+  | () -> Ok { fd; rbuf = Buffer.create 256 }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Unix.error_message e)
+
+let connect_retry ?(attempts = 20) ?(delay = 0.1) addr =
+  let rec go n =
+    match connect addr with
+    | Ok _ as ok -> ok
+    | Error _ as e -> if n <= 1 then e else (Unix.sleepf delay; go (n - 1))
+  in
+  go (max 1 attempts)
+
+let send_line t line =
+  let data = line ^ "\n" in
+  let len = String.length data in
+  let rec write_all off =
+    if off >= len then Ok ()
+    else
+      match Unix.write_substring t.fd data off (len - off) with
+      | n -> write_all (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  in
+  write_all 0
+
+let recv_line t =
+  let buf = Bytes.create 4096 in
+  let rec go () =
+    let s = Buffer.contents t.rbuf in
+    match String.index_opt s '\n' with
+    | Some i ->
+        let line = String.sub s 0 i in
+        Buffer.clear t.rbuf;
+        Buffer.add_string t.rbuf (String.sub s (i + 1) (String.length s - i - 1));
+        Ok line
+    | None -> (
+        match Unix.read t.fd buf 0 (Bytes.length buf) with
+        | 0 -> Error "connection closed by server"
+        | n ->
+            Buffer.add_subbytes t.rbuf buf 0 n;
+            go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+  in
+  go ()
+
+let request ?deadline_ms t ~id ~meth ~params =
+  let fields =
+    [ ("id", id); ("method", Jsonl.String meth) ]
+    @ (match params with [] -> [] | p -> [ ("params", Jsonl.Obj p) ])
+    @
+    match deadline_ms with
+    | None -> []
+    | Some ms -> [ ("deadline_ms", Jsonl.Int ms) ]
+  in
+  match send_line t (Jsonl.to_string (Jsonl.Obj fields)) with
+  | Error msg -> Error msg
+  | Ok () -> recv_line t
+
+let rpc ?deadline_ms t ~id ~meth ~params =
+  match request ?deadline_ms t ~id ~meth ~params with
+  | Error msg -> Error msg
+  | Ok line -> (
+      match Jsonl.of_string line with
+      | Error msg -> Error ("unparseable reply: " ^ msg)
+      | Ok reply -> (
+          match Jsonl.member "ok" reply with
+          | Some (Jsonl.Bool true) -> (
+              match Jsonl.member "result" reply with
+              | Some r -> Ok r
+              | None -> Ok Jsonl.Null)
+          | _ ->
+              let err = Jsonl.member "error" reply in
+              let get k =
+                Option.bind err (Jsonl.member k)
+                |> Option.map (fun v ->
+                       match Jsonl.to_str v with
+                       | Some s -> s
+                       | None -> Jsonl.to_string v)
+              in
+              let code = Option.value (get "code") ~default:"unknown" in
+              let msg = Option.value (get "message") ~default:line in
+              Error (Printf.sprintf "%s: %s" code msg)))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

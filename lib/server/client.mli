@@ -1,0 +1,35 @@
+(** A minimal blocking client for the query daemon, used by
+    [speedup query], the server test-suite, and the bench load
+    generator. *)
+
+type t
+
+val connect : Server.addr -> (t, string) result
+(** One connection attempt. *)
+
+val connect_retry : ?attempts:int -> ?delay:float -> Server.addr -> (t, string) result
+(** Retries [connect] up to [attempts] times (default 20), sleeping
+    [delay] seconds (default 0.1) between tries — for racing a server
+    that is still binding its socket. *)
+
+val send_line : t -> string -> (unit, string) result
+(** Writes one raw line (newline appended).  Exposed so tests can
+    pipeline several requests in one burst and compare raw reply
+    bytes. *)
+
+val recv_line : t -> (string, string) result
+(** Reads up to the next newline.  [Error] on EOF or socket error. *)
+
+val request :
+  ?deadline_ms:int -> t -> id:Jsonl.t -> meth:string -> params:(string * Jsonl.t) list ->
+  (string, string) result
+(** Sends one request and returns the raw reply line. *)
+
+val rpc :
+  ?deadline_ms:int -> t -> id:Jsonl.t -> meth:string -> params:(string * Jsonl.t) list ->
+  (Jsonl.t, string) result
+(** [request] plus reply parsing: [Ok result] on an [ok] reply,
+    [Error message] on an error reply (message includes the code) or a
+    transport failure. *)
+
+val close : t -> unit

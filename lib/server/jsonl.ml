@@ -1,6 +1,6 @@
-(* Minimal JSON reader for the baseline file.  The repo deliberately
-   avoids external JSON dependencies, and the baseline only needs
-   objects, arrays, strings, and integers. *)
+(* Minimal JSON values: a recursive-descent parser (originally the
+   speedup-lint baseline reader) and a compact one-line printer.  The
+   repo deliberately avoids external JSON dependencies. *)
 
 type t =
   | Null
@@ -10,6 +10,8 @@ type t =
   | String of string
   | List of t list
   | Obj of (string * t) list
+
+(* ---- parsing ---- *)
 
 exception Parse_error of string
 
@@ -67,7 +69,7 @@ let parse_string st =
               try int_of_string ("0x" ^ hex)
               with Failure _ -> error st "bad \\u escape"
             in
-            (* Baseline strings are ASCII paths; clamp the rest. *)
+            (* The consumers only carry ASCII payloads; clamp the rest. *)
             Buffer.add_char buf (if code < 128 then Char.chr code else '?');
             go ()
         | _ -> error st "bad escape")
@@ -140,9 +142,83 @@ let rec parse_value st =
 
 let of_string s =
   let st = { src = s; pos = 0 } in
-  let v = parse_value st in
-  skip_ws st;
-  if st.pos <> String.length s then error st "trailing garbage";
-  v
+  match
+    let v = parse_value st in
+    skip_ws st;
+    if st.pos <> String.length s then error st "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ---- printing ---- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_repr f =
+  if not (Float.is_finite f) then "null"
+  else
+    let s = Printf.sprintf "%.12g" f in
+    (* "%.12g" may yield an int-looking "2" for 2.0 — still valid JSON. *)
+    s
+
+let rec add_to buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ", ";
+          add_to buf v)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\": ";
+          add_to buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 128 in
+  add_to buf v;
+  Buffer.contents buf
+
+(* ---- accessors ---- *)
 
 let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_str = function String s -> Some s | _ -> None
+let to_int = function Int n -> Some n | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+
+let to_float = function
+  | Int n -> Some (float_of_int n)
+  | Float f -> Some f
+  | _ -> None

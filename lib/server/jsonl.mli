@@ -1,0 +1,48 @@
+(** Minimal JSON values for line-delimited protocols.
+
+    One self-contained module (no dependencies beyond the stdlib)
+    shared by the query daemon's wire protocol ({!Wire}), the
+    speedup-lint baseline/JSON output (tools/lint), and the bench load
+    generator.  The printer is deliberately one-line — a value never
+    contains a newline — so a printed value is exactly one frame of a
+    line-delimited stream.
+
+    Restrictions, acceptable for every consumer in this repository:
+    numbers are OCaml [int]/[float] (no bignums); [\u] escapes outside
+    ASCII are clamped to ['?'] on parse; object key order is preserved
+    as written, and duplicate keys are not rejected ([member] returns
+    the first). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val of_string : string -> (t, string) result
+(** Parses one complete JSON value; trailing garbage (other than
+    whitespace) is an error.  Errors carry a byte offset. *)
+
+val to_string : t -> string
+(** Compact one-line rendering with [": "] / [", "] separators (the
+    historical speedup-lint format).  Non-finite floats print as
+    [null]; integral floats print without an exponent where possible. *)
+
+val escape : string -> string
+(** JSON string-body escaping (quotes, backslash, control chars). *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] is the first binding of [k]; [None] on
+    non-objects and absent keys. *)
+
+(** Shape accessors, [None] on a type mismatch. *)
+
+val to_str : t -> string option
+val to_int : t -> int option
+val to_bool : t -> bool option
+
+val to_float : t -> float option
+(** Accepts both [Int] and [Float]. *)

@@ -1,0 +1,536 @@
+(* The query daemon.  See server.mli for the architecture overview and
+   docs/SERVER.md for the wire protocol.
+
+   Concurrency layout: the I/O loop (the domain calling [run]) owns
+   the listener, the connection table, and every connection buffer —
+   no lock needed on those.  Worker domains share only the bounded
+   request queue (mutex + condition), the completion queue (mutex),
+   the stats record (internally locked), the access log (mutex), and
+   a handful of atomics.  Workers wake the loop through a self-pipe.
+
+   Per R1, all of this state is created inside [run]; the module has
+   no top-level mutable bindings, so two servers can in principle run
+   in one process (they would share only the engine-level memo and
+   certificate store, which are designed for that). *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+type config = {
+  addr : addr;
+  workers : int;
+  queue_limit : int;
+  default_deadline_ms : int option;
+  access_log : out_channel option;
+}
+
+let default_config addr =
+  {
+    addr;
+    workers = 2;
+    queue_limit = 64;
+    default_deadline_ms = None;
+    access_log = None;
+  }
+
+type summary = {
+  requests : int;
+  completed : int;
+  rejected : int;
+  drained : bool;
+}
+
+(* Wall clock (config-level R5 exemption, see docs/LINT.md): feeds
+   deadlines and latency accounting only — never a reply body. *)
+let now () = Unix.gettimeofday ()
+
+type conn = {
+  cid : int;
+  fd : Unix.file_descr;
+  rbuf : Buffer.t;  (* bytes read, possibly ending mid-line *)
+  out : Buffer.t;  (* reply bytes not yet written *)
+  mutable closed : bool;
+}
+
+type job = {
+  jconn : conn;
+  jreq : Wire.request;
+  enqueued_at : float;
+  jdeadline : float option;  (* absolute, seconds *)
+}
+
+(* A worker's finished request, ready for the loop to deliver. *)
+type completion = { cconn : conn; creply : string }
+
+let outcome_of_code = function
+  | Wire.Bad_request -> Server_stats.Bad_request
+  | Wire.Overloaded -> Server_stats.Overloaded
+  | Wire.Timeout -> Server_stats.Timeout
+  | Wire.Internal -> Server_stats.Internal
+  | Wire.Shutting_down -> Server_stats.Overloaded
+
+let outcome_string = function
+  | Ok _ -> "ok"
+  | Error (code, _) -> Wire.code_string code
+
+(* Read buffer chunk size; request lines are capped well above any
+   legitimate query to bound memory per connection. *)
+let chunk_size = 4096
+let max_line = 1 lsl 20
+
+let run ?on_ready config =
+  (* ---- shared state (loop + workers) ---- *)
+  let qlock = Mutex.create () in
+  let qcond = Condition.create () in
+  let pending : job Queue.t = Queue.create () in
+  let stopping = ref false in
+  (* workers stopped *)
+  let clock = Mutex.create () in
+  let completions : completion Queue.t = Queue.create () in
+  let in_flight = Atomic.make 0 in
+  let draining = Atomic.make false in
+  let got_sigint = Atomic.make false in
+  let stats = Server_stats.create () in
+  let log_lock = Mutex.create () in
+  let completed = Atomic.make 0 in
+  let rejected = Atomic.make 0 in
+
+  (* ---- self-pipe ---- *)
+  let pipe_r, pipe_w = Unix.pipe () in
+  let wake () = try ignore (Unix.write_substring pipe_w "w" 0 1) with _ -> () in
+
+  (* ---- access log ---- *)
+  let log_line ~req ~cid ~outcome ~queue_s ~wall_s ~memo_hit ~cert_hit =
+    match config.access_log with
+    | None -> ()
+    | Some oc ->
+        let line =
+          Jsonl.to_string
+            (Jsonl.Obj
+               [
+                 ("ts", Jsonl.Float (now ()));
+                 ("id", req.Wire.id);
+                 ("conn", Jsonl.Int cid);
+                 ("method", Jsonl.String req.Wire.meth);
+                 ("params", Jsonl.String (Wire.params_digest req.Wire.params));
+                 ("outcome", Jsonl.String outcome);
+                 ("queue_ms", Jsonl.Float (queue_s *. 1000.));
+                 ("wall_ms", Jsonl.Float (wall_s *. 1000.));
+                 ("memo_hit", Jsonl.Bool memo_hit);
+                 ("cert_hit", Jsonl.Bool cert_hit);
+               ])
+        in
+        Mutex.protect log_lock (fun () ->
+            output_string oc line;
+            output_char oc '\n';
+            flush oc)
+  in
+
+  (* ---- worker domains ---- *)
+  let process job =
+    let started = now () in
+    let queue_s = started -. job.enqueued_at in
+    let should_stop =
+      match job.jdeadline with
+      | None -> fun () -> false
+      | Some d -> fun () -> now () >= d
+    in
+    (* Memo/cert hit flags are deltas of the process-wide counters
+       around this request — exact when requests are serialized,
+       approximate under concurrent workers (documented in
+       docs/SERVER.md). *)
+    let m0 = Closure.memo_stats () in
+    let s0 = Cert_store.stats () in
+    let result =
+      if should_stop () then Error (Wire.Timeout, "deadline exceeded in queue")
+      else Wire.compute ~should_stop job.jreq
+    in
+    let m1 = Closure.memo_stats () in
+    let s1 = Cert_store.stats () in
+    let wall_s = now () -. job.enqueued_at in
+    let id = job.jreq.Wire.id in
+    let reply =
+      match result with
+      | Ok v -> Wire.ok_reply ~id v
+      | Error (code, msg) -> Wire.error_reply ~id code msg
+    in
+    let outcome =
+      match result with
+      | Ok _ -> Server_stats.Ok_reply
+      | Error (code, _) -> outcome_of_code code
+    in
+    Server_stats.record stats ~outcome ~queue_s ~wall_s;
+    Atomic.incr completed;
+    log_line ~req:job.jreq ~cid:job.jconn.cid ~outcome:(outcome_string result)
+      ~queue_s ~wall_s
+      ~memo_hit:(m1.Closure.hits > m0.Closure.hits)
+      ~cert_hit:(s1.Cert_store.hits > s0.Cert_store.hits);
+    Mutex.protect clock (fun () ->
+        Queue.push { cconn = job.jconn; creply = reply } completions);
+    (* Decrement only after the completion is visible, so the loop's
+       drain check (queue empty ∧ in_flight = 0 ∧ completions empty)
+       never passes with a reply still in a worker's hands; the wake
+       byte after the decrement covers both. *)
+    Atomic.decr in_flight;
+    wake ()
+  in
+  let rec worker_loop () =
+    let job =
+      Mutex.lock qlock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock qlock)
+        (fun () ->
+          while Queue.is_empty pending && not !stopping do
+            Condition.wait qcond qlock
+          done;
+          if Queue.is_empty pending then None
+          else begin
+            Atomic.incr in_flight;
+            Some (Queue.pop pending)
+          end)
+    in
+    match job with
+    | None -> ()
+    | Some job ->
+        (try process job
+         with exn ->
+           (* A worker must never die: report and keep serving. *)
+           Mutex.protect clock (fun () ->
+               Queue.push
+                 {
+                   cconn = job.jconn;
+                   creply =
+                     Wire.error_reply ~id:job.jreq.Wire.id Wire.Internal
+                       (Printexc.to_string exn);
+                 }
+                 completions);
+           Atomic.decr in_flight;
+           wake ());
+        worker_loop ()
+  in
+  let workers =
+    List.init (max 1 config.workers) (fun _ -> Domain.spawn worker_loop)
+  in
+
+  (* ---- listener ---- *)
+  let listener =
+    match config.addr with
+    | Unix_path path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        if Sys.file_exists path then Unix.unlink path;
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 64;
+        fd
+    | Tcp (host, port) ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        let inet =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        in
+        Unix.bind fd (Unix.ADDR_INET (inet, port));
+        Unix.listen fd 64;
+        fd
+  in
+  let bound_addr =
+    match config.addr with
+    | Unix_path _ as a -> a
+    | Tcp (host, _) -> (
+        match Unix.getsockname listener with
+        | Unix.ADDR_INET (_, port) -> Tcp (host, port)
+        | _ -> config.addr)
+  in
+
+  (* ---- signals ---- *)
+  let old_sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let old_sigint =
+    Sys.signal Sys.sigint
+      (Sys.Signal_handle
+         (fun _ ->
+           Atomic.set got_sigint true;
+           wake ()))
+  in
+
+  (* ---- connection table (owned by the loop) ---- *)
+  let conns : (int, conn) Hashtbl.t = Hashtbl.create 16 in
+  let next_cid = ref 0 in
+  let listening = ref true in
+  let requests = ref 0 in
+
+  let conn_list () =
+    Hashtbl.fold (fun _ c acc -> c :: acc) conns []
+    |> List.sort (fun a b -> Int.compare a.cid b.cid)
+  in
+  let close_conn c =
+    if not c.closed then begin
+      c.closed <- true;
+      Hashtbl.remove conns c.cid;
+      try Unix.close c.fd with Unix.Unix_error _ -> ()
+    end
+  in
+  let stop_listening () =
+    if !listening then begin
+      listening := false;
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      match config.addr with
+      | Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+      | Tcp _ -> ()
+    end
+  in
+
+  let send c line =
+    if not c.closed then begin
+      Buffer.add_string c.out line;
+      Buffer.add_char c.out '\n'
+    end
+  in
+
+  (* Loop-level reply (never queued): account, log, buffer. *)
+  let loop_reply c (req : Wire.request option) ~meth ~id outcome_result =
+    let outcome, reply =
+      match outcome_result with
+      | Ok v -> (Server_stats.Ok_reply, Wire.ok_reply ~id v)
+      | Error (code, msg) -> (outcome_of_code code, Wire.error_reply ~id code msg)
+    in
+    Server_stats.record_loop_reply stats ~outcome;
+    (match outcome_result with
+    | Error ((Wire.Overloaded | Wire.Shutting_down), _) ->
+        Atomic.incr rejected
+    | _ -> ());
+    let req =
+      match req with
+      | Some r -> r
+      | None -> { Wire.id; meth; params = Jsonl.Obj []; deadline_ms = None }
+    in
+    log_line ~req ~cid:c.cid
+      ~outcome:(outcome_string outcome_result)
+      ~queue_s:0. ~wall_s:0. ~memo_hit:false ~cert_hit:false;
+    send c reply
+  in
+
+  let start_drain () =
+    if not (Atomic.get draining) then begin
+      Atomic.set draining true;
+      stop_listening ()
+    end
+  in
+
+  let handle_line c line =
+    incr requests;
+    match Wire.decode_request line with
+    | Error (id, msg) ->
+        loop_reply c None ~meth:"?" ~id (Error (Wire.Bad_request, msg))
+    | Ok req -> (
+        let id = req.Wire.id in
+        match req.Wire.meth with
+        | "ping" ->
+            loop_reply c (Some req) ~meth:req.Wire.meth ~id
+              (Ok (Jsonl.String "pong"))
+        | "stats" ->
+            loop_reply c (Some req) ~meth:req.Wire.meth ~id
+              (Ok (Server_stats.snapshot stats))
+        | "shutdown" ->
+            loop_reply c (Some req) ~meth:req.Wire.meth ~id
+              (Ok (Jsonl.String "draining"));
+            start_drain ()
+        | _ when Atomic.get draining ->
+            loop_reply c (Some req) ~meth:req.Wire.meth ~id
+              (Error (Wire.Shutting_down, "server is draining"))
+        | _ ->
+            let depth =
+              Mutex.protect qlock (fun () -> Queue.length pending)
+            in
+            if depth >= config.queue_limit then
+              loop_reply c (Some req) ~meth:req.Wire.meth ~id
+                (Error
+                   ( Wire.Overloaded,
+                     Printf.sprintf "queue full (%d pending)" depth ))
+            else begin
+              let enqueued_at = now () in
+              let deadline_ms =
+                match req.Wire.deadline_ms with
+                | Some _ as d -> d
+                | None -> config.default_deadline_ms
+              in
+              let jdeadline =
+                Option.map
+                  (fun ms -> enqueued_at +. (float_of_int ms /. 1000.))
+                  deadline_ms
+              in
+              let depth' =
+                Mutex.lock qlock;
+                Fun.protect
+                  ~finally:(fun () -> Mutex.unlock qlock)
+                  (fun () ->
+                    Queue.push { jconn = c; jreq = req; enqueued_at; jdeadline }
+                      pending;
+                    Condition.signal qcond;
+                    Queue.length pending)
+              in
+              Server_stats.observe_queue_depth stats depth'
+            end)
+  in
+
+  (* Consume complete lines from a connection's read buffer. *)
+  let drain_rbuf c =
+    let rec go () =
+      let s = Buffer.contents c.rbuf in
+      match String.index_opt s '\n' with
+      | None ->
+          if String.length s > max_line then begin
+            send c
+              (Wire.error_reply ~id:Jsonl.Null Wire.Bad_request
+                 "request line too long");
+            close_conn c
+          end
+      | Some i ->
+          let line = String.sub s 0 i in
+          let rest = String.sub s (i + 1) (String.length s - i - 1) in
+          Buffer.clear c.rbuf;
+          Buffer.add_string c.rbuf rest;
+          let line =
+            (* Tolerate CRLF clients. *)
+            if line <> "" && line.[String.length line - 1] = '\r' then
+              String.sub line 0 (String.length line - 1)
+            else line
+          in
+          if String.trim line <> "" then handle_line c line;
+          if not c.closed then go ()
+    in
+    go ()
+  in
+
+  let read_chunk c =
+    let buf = Bytes.create chunk_size in
+    match Unix.read c.fd buf 0 chunk_size with
+    | 0 -> close_conn c
+    | n ->
+        Buffer.add_subbytes c.rbuf buf 0 n;
+        drain_rbuf c
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        close_conn c
+    | exception
+        Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      ->
+        ()
+  in
+
+  let flush_out c =
+    let s = Buffer.contents c.out in
+    if s <> "" then
+      match Unix.write_substring c.fd s 0 (String.length s) with
+      | n ->
+          Buffer.clear c.out;
+          if n < String.length s then
+            Buffer.add_string c.out (String.sub s n (String.length s - n))
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          close_conn c
+      | exception
+          Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        ->
+          ()
+  in
+
+  let deliver_completions () =
+    let ready =
+      Mutex.protect clock (fun () ->
+          let rec pop acc =
+            if Queue.is_empty completions then List.rev acc
+            else pop (Queue.pop completions :: acc)
+          in
+          pop [])
+    in
+    List.iter (fun { cconn; creply } -> send cconn creply) ready
+  in
+
+  (match on_ready with Some f -> f bound_addr | None -> ());
+
+  (* ---- the I/O loop ---- *)
+  let finished = ref false in
+  while not !finished do
+    if Atomic.get got_sigint then start_drain ();
+    deliver_completions ();
+    let cs = conn_list () in
+    List.iter flush_out cs;
+    let cs = conn_list () in
+    (* Drain completion: nothing queued, nothing in flight, nothing to
+       deliver, every reply written out. *)
+    let all_flushed =
+      List.for_all (fun c -> Buffer.length c.out = 0) cs
+    in
+    let queue_empty = Mutex.protect qlock (fun () -> Queue.is_empty pending) in
+    let completions_empty =
+      Mutex.protect clock (fun () -> Queue.is_empty completions)
+    in
+    if
+      Atomic.get draining && queue_empty
+      && Atomic.get in_flight = 0
+      && completions_empty && all_flushed
+    then finished := true
+    else begin
+      let reads =
+        (pipe_r :: (if !listening then [ listener ] else []))
+        @ List.map (fun c -> c.fd) cs
+      in
+      let writes =
+        List.filter_map
+          (fun c -> if Buffer.length c.out > 0 then Some c.fd else None)
+          cs
+      in
+      match Unix.select reads writes [] 0.2 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | readable, writable, _ ->
+          if List.mem pipe_r readable then begin
+            let buf = Bytes.create 64 in
+            try ignore (Unix.read pipe_r buf 0 64)
+            with Unix.Unix_error _ -> ()
+          end;
+          if !listening && List.mem listener readable then begin
+            match Unix.accept listener with
+            | fd, _ ->
+                (* Non-blocking so a slow reader can never stall the
+                   loop on a write; EAGAIN keeps bytes buffered. *)
+                Unix.set_nonblock fd;
+                incr next_cid;
+                let c =
+                  {
+                    cid = !next_cid;
+                    fd;
+                    rbuf = Buffer.create 256;
+                    out = Buffer.create 256;
+                    closed = false;
+                  }
+                in
+                Hashtbl.replace conns c.cid c
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          end;
+          List.iter
+            (fun c ->
+              if (not c.closed) && List.mem c.fd readable then read_chunk c)
+            cs;
+          List.iter
+            (fun c ->
+              if (not c.closed) && List.mem c.fd writable then flush_out c)
+            cs
+    end
+  done;
+
+  (* ---- teardown ---- *)
+  Mutex.lock qlock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock qlock)
+    (fun () ->
+      stopping := true;
+      Condition.broadcast qcond);
+  List.iter Domain.join workers;
+  List.iter close_conn (conn_list ());
+  stop_listening ();
+  Sys.set_signal Sys.sigint old_sigint;
+  Sys.set_signal Sys.sigpipe old_sigpipe;
+  (try Unix.close pipe_r with Unix.Unix_error _ -> ());
+  (try Unix.close pipe_w with Unix.Unix_error _ -> ());
+  {
+    requests = !requests;
+    completed = Atomic.get completed;
+    rejected = Atomic.get rejected;
+    drained = true;
+  }

@@ -1,0 +1,62 @@
+(** The query daemon: a line-delimited JSON server over a Unix-domain
+    or TCP socket (stdlib [Unix] only).
+
+    Architecture: one [Unix.select]-based I/O loop owns the listener
+    and every connection; a fixed set of worker domains pops compute
+    requests from a bounded queue, evaluates them via {!Wire.compute}
+    (sharing the process-wide closure memo and certificate store, so
+    repeated queries are cache hits across connections), and hands the
+    rendered replies back to the loop through a completion queue and a
+    self-pipe wakeup.
+
+    Backpressure: when the queue holds [queue_limit] requests, further
+    compute requests are rejected immediately with an [overloaded]
+    error reply — the connection stays open and in-flight work is
+    unaffected.  [ping], [stats], and [shutdown] are answered by the
+    loop itself and never queue.
+
+    Deadlines: a request's [deadline_ms] (or [default_deadline_ms])
+    budgets queue wait plus compute; expiry yields a [timeout] error
+    reply, cancelling an in-progress search cooperatively through the
+    solver's [should_stop] hook.
+
+    Drain: on SIGINT or a [shutdown] request the server stops
+    accepting, answers queued and in-flight work, rejects new compute
+    requests with [shutting_down], flushes every connection and the
+    certificate store, and returns.  The wire protocol is specified in
+    docs/SERVER.md. *)
+
+type addr =
+  | Unix_path of string  (** Unix-domain socket; the path is created on
+                             bind and unlinked on drain. *)
+  | Tcp of string * int  (** Host and port; port [0] picks a free one
+                             (see [on_ready]). *)
+
+type config = {
+  addr : addr;
+  workers : int;  (** worker domains evaluating compute requests *)
+  queue_limit : int;  (** backpressure high-water mark *)
+  default_deadline_ms : int option;  (** applied when a request has none *)
+  access_log : out_channel option;
+      (** one JSON line per request: id, connection, method, params
+          digest, outcome, queue/wall latency, memo/cert hit flags *)
+}
+
+val default_config : addr -> config
+(** 2 workers, queue limit 64, no default deadline, no access log. *)
+
+type summary = {
+  requests : int;  (** request lines handled, including rejects *)
+  completed : int;  (** compute requests evaluated by workers *)
+  rejected : int;  (** [overloaded] + [shutting_down] rejects *)
+  drained : bool;  (** the server stopped via SIGINT/[shutdown], not
+                       by an internal error *)
+}
+
+val run : ?on_ready:(addr -> unit) -> config -> summary
+(** Binds, serves until drained, and returns.  Blocks the calling
+    domain for the whole server lifetime (tests run it in a spawned
+    domain).  [on_ready] is called once the listener is bound — with
+    the resolved address, so a [Tcp (host, 0)] caller learns the
+    port.  The caller's SIGINT and SIGPIPE handlers are saved and
+    restored. *)

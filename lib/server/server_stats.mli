@@ -1,0 +1,32 @@
+(** Cumulative request statistics of one server run.
+
+    One value is created per {!Server.run}; worker domains and the I/O
+    loop record into it concurrently (mutex-guarded), and the [stats]
+    method renders a snapshot.  Latency percentiles are computed over a
+    bounded reservoir of the most recent worker-computed requests, so a
+    long-lived server stays O(1) in memory. *)
+
+type t
+
+val create : unit -> t
+
+type outcome = Ok_reply | Bad_request | Overloaded | Timeout | Internal
+
+val record : t -> outcome:outcome -> queue_s:float -> wall_s:float -> unit
+(** Account one completed compute request: its outcome, time spent
+    queued, and wall time from enqueue to reply. *)
+
+val record_loop_reply : t -> outcome:outcome -> unit
+(** Account one request answered directly by the I/O loop (ping,
+    stats, backpressure rejects, malformed lines): counted in
+    [requests] and the outcome tallies but not in the latency
+    reservoir. *)
+
+val observe_queue_depth : t -> int -> unit
+(** Update the queue-depth high-water mark. *)
+
+val snapshot : t -> Jsonl.t
+(** The [stats] reply body: requests, completed, errors by code,
+    p50/p95 latency (ms, worker-computed requests only), queue-depth
+    high-water, and the {!Closure.memo_stats} / {!Cert_store.stats}
+    passthrough. *)

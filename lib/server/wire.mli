@@ -1,0 +1,53 @@
+(** The query daemon's wire protocol: line-delimited JSON.
+
+    A request is one line
+    [{"id": …, "method": "…", "params": {…}, "deadline_ms": …}]
+    and a reply is one line
+    [{"id": …, "ok": true, "result": …}] or
+    [{"id": …, "ok": false, "error": {"code": "…", "message": "…"}}].
+
+    [id] (integer, string, or absent) is echoed verbatim so clients can
+    pipeline; [params] and [deadline_ms] are optional.  The grammar,
+    the query vocabulary, and the error codes are documented in
+    docs/SERVER.md.
+
+    This module is transport-free: it decodes/validates requests,
+    renders replies, and evaluates the compute methods ([solvable],
+    [closure], [experiment], [complex-stats]) against the engine.  The
+    loop-level methods ([ping], [stats], [shutdown]) and everything
+    involving sockets, queues, and deadlines-as-clocks live in
+    {!Server}. *)
+
+type error_code = Bad_request | Overloaded | Timeout | Internal | Shutting_down
+
+val code_string : error_code -> string
+(** ["bad_request"], ["overloaded"], ["timeout"], ["internal"],
+    ["shutting_down"]. *)
+
+type request = {
+  id : Jsonl.t;  (** [Int], [String], or [Null] (absent) *)
+  meth : string;
+  params : Jsonl.t;  (** always an [Obj] after decoding *)
+  deadline_ms : int option;  (** per-request budget, milliseconds *)
+}
+
+val decode_request : string -> (request, Jsonl.t * string) result
+(** Parses and validates one request line.  The error branch carries
+    the request id when one could be recovered (so the [bad_request]
+    reply can still echo it) and a human-readable message. *)
+
+val ok_reply : id:Jsonl.t -> Jsonl.t -> string
+val error_reply : id:Jsonl.t -> error_code -> string -> string
+(** One reply line, without the trailing newline. *)
+
+val params_digest : Jsonl.t -> string
+(** Hex digest of the rendered params, for access-log correlation
+    without logging full (possibly large) parameter objects. *)
+
+val compute : should_stop:(unit -> bool) -> request -> (Jsonl.t, error_code * string) result
+(** Evaluates a compute method.  Unknown methods and invalid parameters
+    come back as [Bad_request]; a [Csp.Interrupted] escape (the
+    cooperative cancellation hook observing [should_stop]) becomes
+    [Timeout]; engine failures become [Internal].  Results share the
+    closure memo and certificate store with the rest of the process, so
+    repeated queries are cache hits across connections. *)

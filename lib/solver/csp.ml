@@ -15,6 +15,7 @@ type result = Sat of int array | Unsat | Unknown
 
 exception Inconsistent
 exception Limit
+exception Interrupted
 
 let create ~num_vars ~candidate_counts =
   if Array.length candidate_counts <> num_vars then
@@ -64,6 +65,7 @@ type state = {
   mutable nodes : int;
   mutable revisions : int;
   node_limit : int;
+  should_stop : unit -> bool;
 }
 
 let alive st v k = Bytes.get st.p.domains.(v) k = '\001'
@@ -159,6 +161,10 @@ let extract st =
 let rec search st =
   st.nodes <- st.nodes + 1;
   if st.nodes > st.node_limit then raise Limit;
+  (* Cooperative cancellation: the polling cadence (every 256 nodes)
+     keeps clock reads off the hot path while bounding the response
+     latency to a few thousand table lookups. *)
+  if st.nodes land 255 = 0 && st.should_stop () then raise Interrupted;
   let v = pick_var st in
   if v < 0 then Some (extract st)
   else
@@ -187,7 +193,8 @@ let rec search st =
     in
     try_values 0
 
-let solve ?(node_limit = 10_000_000) t =
+let solve ?(node_limit = 10_000_000) ?(should_stop = fun () -> false) t =
+  if should_stop () then raise Interrupted;
   let cons = Array.of_list (List.rev t.cons_rev) in
   let var_cons = Array.make t.num_vars [] in
   Array.iteri
@@ -212,6 +219,7 @@ let solve ?(node_limit = 10_000_000) t =
         nodes = 0;
         revisions = 0;
         node_limit;
+        should_stop;
       }
     in
     let restore () =
@@ -235,4 +243,7 @@ let solve ?(node_limit = 10_000_000) t =
     | exception Limit ->
         restore ();
         Unknown
+    | exception Interrupted ->
+        restore ();
+        raise Interrupted
   end

@@ -24,9 +24,19 @@ val add_table_constraint : t -> scope:int array -> tuples:int array array -> uni
 val pin : t -> var:int -> value:int -> unit
 (** Restrict a variable's domain to a single candidate. *)
 
-val solve : ?node_limit:int -> t -> result
+exception Interrupted
+(** Raised by {!solve} when its [should_stop] callback returns [true]
+    — the cooperative cancellation hook used by per-request deadlines
+    in the query daemon.  The solver state is restored before the
+    exception escapes, so the object remains reusable. *)
+
+val solve : ?node_limit:int -> ?should_stop:(unit -> bool) -> t -> result
 (** Runs propagation and search.  The solver object can be reused
-    (domains are restored after solving). *)
+    (domains are restored after solving).  [should_stop] (default
+    [fun () -> false]) is polled once up front and then every 256
+    search nodes; when it returns [true], {!Interrupted} is raised
+    after restoring the solver state.  No result — not even a partial
+    one — is produced on interruption. *)
 
 type stats = { nodes : int; revisions : int }
 (** Search nodes explored and constraint revisions performed by the

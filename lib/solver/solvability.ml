@@ -57,7 +57,7 @@ let cand_index tb v =
       l := v :: !l;
       k
 
-let decide ?node_limit ~inputs ~protocol ~delta () =
+let decide ?node_limit ?should_stop ~inputs ~protocol ~delta () =
   let tb = fresh_tables () in
   (* Pass 1a: build the per-input protocol complexes and Δ images.
      These are independent and often the dominant cost (protocol
@@ -104,7 +104,7 @@ let decide ?node_limit ~inputs ~protocol ~delta () =
           Csp.add_table_constraint csp ~scope ~tuples)
         (Complex.facets p))
     raw;
-  let result = Csp.solve ?node_limit csp in
+  let result = Csp.solve ?node_limit ?should_stop csp in
   Log.debug (fun m ->
       let stats = Csp.last_stats csp in
       m "instance: %d inputs, %d variables; search: %d nodes, %d revisions"
@@ -131,12 +131,12 @@ let decide ?node_limit ~inputs ~protocol ~delta () =
       in
       Solvable (Simplicial_map.of_assoc pairs)
 
-let task_in_model ?node_limit ?inputs model task ~rounds =
+let task_in_model ?node_limit ?should_stop ?inputs model task ~rounds =
   let inputs =
     match inputs with Some l -> l | None -> Task.input_simplices task
   in
   let compute () =
-    decide ?node_limit ~inputs
+    decide ?node_limit ?should_stop ~inputs
       ~protocol:(fun sigma -> Model.protocol_complex model sigma rounds)
       ~delta:(Task.delta task) ()
   in
@@ -220,11 +220,11 @@ let task_in_model ?node_limit ?inputs model task ~rounds =
         | Undecided -> ());
         verdict
 
-let task_in_augmented ?node_limit ?inputs ~box ~alpha task ~rounds =
+let task_in_augmented ?node_limit ?should_stop ?inputs ~box ~alpha task ~rounds =
   let inputs =
     match inputs with Some l -> l | None -> Task.input_simplices task
   in
-  decide ?node_limit ~inputs
+  decide ?node_limit ?should_stop ~inputs
     ~protocol:(fun sigma -> Augmented.protocol_complex ~box ~alpha sigma rounds)
     ~delta:(Task.delta task) ()
 
@@ -239,9 +239,9 @@ let min_rounds ?node_limit ?inputs ?(max_rounds = 6) model task =
   in
   scan 0
 
-let local_task_solvable ?node_limit ~one_round task ~sigma ~tau =
+let local_task_solvable ?node_limit ?should_stop ~one_round task ~sigma ~tau =
   let local = Local_task.make task ~sigma ~tau in
-  decide ?node_limit
+  decide ?node_limit ?should_stop
     ~inputs:(Simplex.faces tau)
     ~protocol:(fun tau' -> Complex.of_facets (one_round tau'))
     ~delta:(Task.delta local) ()

@@ -15,15 +15,20 @@ val is_solvable : verdict -> bool
 
 val decide :
   ?node_limit:int ->
+  ?should_stop:(unit -> bool) ->
   inputs:Simplex.t list ->
   protocol:(Simplex.t -> Complex.t) ->
   delta:(Simplex.t -> Complex.t) ->
   unit ->
   verdict
-(** Core entry point.  [Undecided] only when the node limit is hit. *)
+(** Core entry point.  [Undecided] only when the node limit is hit.
+    [should_stop] is forwarded to {!Csp.solve}; when it fires,
+    [Csp.Interrupted] escapes before any verdict (or certificate) is
+    produced. *)
 
 val task_in_model :
-  ?node_limit:int -> ?inputs:Simplex.t list -> Model.t -> Task.t -> rounds:int ->
+  ?node_limit:int -> ?should_stop:(unit -> bool) -> ?inputs:Simplex.t list ->
+  Model.t -> Task.t -> rounds:int ->
   verdict
 (** Solvability of a task after [rounds] rounds of the given iterated
     model.  [inputs] defaults to every simplex of the task's input
@@ -37,7 +42,7 @@ val task_in_model :
     instance is re-decided. *)
 
 val task_in_augmented :
-  ?node_limit:int -> ?inputs:Simplex.t list ->
+  ?node_limit:int -> ?should_stop:(unit -> bool) -> ?inputs:Simplex.t list ->
   box:Black_box.t -> alpha:Augmented.alpha -> Task.t -> rounds:int ->
   verdict
 (** Same in IIS augmented with a black box (Algorithm 2). *)
@@ -51,6 +56,7 @@ val min_rounds :
 
 val local_task_solvable :
   ?node_limit:int ->
+  ?should_stop:(unit -> bool) ->
   one_round:(Simplex.t -> Simplex.t list) ->
   Task.t -> sigma:Simplex.t -> tau:Simplex.t ->
   verdict

@@ -1,0 +1,35 @@
+(* Helper process for the cross-process certificate-store race test
+   (test_cert.ml).  Two instances run concurrently against the same
+   store root: each first drives the real production path (a closure
+   enumeration that persists membership/enumeration certificates),
+   then re-saves every entry [iters] times so the tmp-file + atomic
+   rename sequence races on the same keys across processes.  The
+   parent asserts the surviving entries are valid and re-verifiable.
+
+   Usage: store_writer.exe DIR ITERS *)
+
+let () =
+  if Array.length Sys.argv <> 3 then (
+    prerr_endline "usage: store_writer.exe DIR ITERS";
+    exit 2);
+  let dir = Sys.argv.(1) in
+  let iters = int_of_string Sys.argv.(2) in
+  Cert_store.set_dir (Some dir);
+  let task = Consensus.binary ~n:2 in
+  let op = Round_op.plain Model.Immediate in
+  (* The production path: both processes start on an empty (or
+     freshly-populated) store, so the initial saves already race. *)
+  List.iter
+    (fun sigma -> ignore (Closure.delta ~memo:false ~op task sigma))
+    (Task.input_simplices task);
+  (* Then hammer the same keys directly. *)
+  let entries = Cert_store.entries () in
+  for _ = 1 to iters do
+    List.iter
+      (fun (key, _path) ->
+        match Cert_store.load key with
+        | Some sexp -> Cert_store.save ~key sexp
+        | None -> ())
+      entries
+  done;
+  print_string "ok"

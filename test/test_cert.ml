@@ -431,6 +431,93 @@ let test_unpersistent_ops_stay_out () =
         "no certificates for session-local operators" []
         (List.map fst (Cert_store.entries ())))
 
+(* Concurrent writers from separate *processes* (store_writer.exe):
+   both drive the production path against the same root, then hammer
+   re-saves of the same keys, so the tmp-file + atomic-rename sequence
+   races cross-process.  Last rename wins; every surviving entry must
+   be valid, re-verifiable, and serve a warm read-through — and the
+   CLI [cert verify-store] must stay clean. *)
+
+let run_process cmd =
+  let ic = Unix.open_process_in cmd in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  let code =
+    match Unix.close_process_in ic with Unix.WEXITED n -> n | _ -> -1
+  in
+  (code, List.rev !lines)
+
+let contains_substring needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0
+
+let test_concurrent_process_writers () =
+  with_store (fun dir ->
+      let here = Filename.dirname Sys.executable_name in
+      let writer = Filename.concat here "store_writer.exe" in
+      let spawn () =
+        Unix.create_process writer [| writer; dir; "40" |] Unix.stdin
+          Unix.stdout Unix.stderr
+      in
+      let p1 = spawn () in
+      let p2 = spawn () in
+      List.iter
+        (fun p ->
+          match Unix.waitpid [] p with
+          | _, Unix.WEXITED 0 -> ()
+          | _, _ -> Alcotest.fail "store writer process failed")
+        [ p1; p2 ];
+      (* Every surviving entry parses and decodes; nothing was torn or
+         quarantined by the racing renames. *)
+      let entries = Cert_store.entries () in
+      Alcotest.(check bool) "entries were written" true (entries <> []);
+      List.iter
+        (fun (key, path) ->
+          Alcotest.(check bool) "no quarantined sibling" false
+            (Sys.file_exists (path ^ ".quarantined"));
+          match Option.map Cert.decode (Cert_store.load key) with
+          | Some (Ok _) -> ()
+          | Some (Error msg) ->
+              Alcotest.fail (Printf.sprintf "stale entry %s: %s" key msg)
+          | None -> Alcotest.fail (Printf.sprintf "unreadable entry %s" key))
+        entries;
+      Alcotest.(check int) "no corrupt loads" 0
+        (Cert_store.stats ()).Cert_store.corrupt;
+      (* Re-verifiable on the production path: a warm read-through run
+         reproduces the storeless answer with zero enumerations. *)
+      let t = Consensus.binary ~n:2 in
+      let sigma = Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 1) ] in
+      Closure.reset_memo ();
+      let warm = Closure.delta ~memo:false ~op t sigma in
+      Alcotest.(check int) "warm read-through: zero enumerations" 0
+        (Closure.memo_stats ()).Closure.enumerations;
+      Cert_store.unset_dir ();
+      Closure.reset_memo ();
+      let honest = Closure.delta ~memo:false ~op t sigma in
+      Cert_store.set_dir (Some dir);
+      Alcotest.(check bool) "warm answer matches storeless recompute" true
+        (Complex.equal honest warm);
+      (* And the whole store re-validates through the CLI. *)
+      let bin = Filename.concat here "../bin/main.exe" in
+      let code, lines =
+        run_process
+          (String.concat " "
+             [
+               Filename.quote bin; "cert"; "verify-store"; "--dir";
+               Filename.quote dir;
+             ])
+      in
+      Alcotest.(check int) "verify-store exits 0" 0 code;
+      Alcotest.(check bool) "verify-store reports 0 failed" true
+        (List.exists (contains_substring "0 failed") lines))
+
 let suite =
   ( "cert",
     [
@@ -470,4 +557,6 @@ let suite =
         test_tampered_store_entry_recovers;
       Alcotest.test_case "store: session-local ops not persisted" `Quick
         test_unpersistent_ops_stay_out;
+      Alcotest.test_case "store: concurrent process writers" `Quick
+        test_concurrent_process_writers;
     ] )

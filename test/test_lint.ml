@@ -118,7 +118,20 @@ let test_r5 () =
   check_run "good: caller-seeded Random.State" ~expected_code:0 []
     (lint ~dir:"lib/solver/" "r5_good.ml");
   check_run "exempt: same code in bench/" ~expected_code:0 []
-    (lint ~dir:"bench/" "r5_bad.ml")
+    (lint ~dir:"bench/" "r5_bad.ml");
+  (* lib/server: the config-level allowlist (lint_config.r5_allowlist,
+     documented in docs/LINT.md) admits exactly the wall-clock read the
+     deadline logic needs; every other banned ident still fires. *)
+  check_run "server scope: allowlisted clock passes, Random fires"
+    ~expected_code:1
+    [ ("R5", 1) ]
+    (lint ~dir:"lib/server/" "r5_bad.ml");
+  check_run "server scope: Sys.time is not allowlisted" ~expected_code:1
+    [ ("R5", 2) ]
+    (lint ~dir:"lib/server/" "r5_server.ml");
+  check_run "solver scope: the allowlist does not leak" ~expected_code:1
+    [ ("R5", 1); ("R5", 2) ]
+    (lint ~dir:"lib/solver/" "r5_server.ml")
 
 let test_suppressions () =
   check_run "binding and expression [@lint.allow]" ~expected_code:0 []

@@ -8,10 +8,47 @@ let with_jobs n f =
 
 let test_jobs_resolution () =
   with_jobs 3 (fun () -> Alcotest.(check int) "override wins" 3 (Pool.jobs ()));
-  Pool.set_jobs (Some 0);
-  Alcotest.(check int) "clamped to 1" 1 (Pool.jobs ());
+  Alcotest.check_raises "set_jobs 0 rejected"
+    (Invalid_argument "Pool.set_jobs: job count must be positive, got 0")
+    (fun () -> Pool.set_jobs (Some 0));
+  Alcotest.check_raises "set_jobs negative rejected"
+    (Invalid_argument "Pool.set_jobs: job count must be positive, got -2")
+    (fun () -> Pool.set_jobs (Some (-2)));
   Pool.set_jobs None;
   Alcotest.(check bool) "default is positive" true (Pool.jobs () >= 1)
+
+(* SPEEDUP_JOBS must reject 0, negatives, and garbage loudly.  Since
+   [Unix.putenv] cannot unset a variable, "" (treated as unset) is
+   used to restore the environment afterwards. *)
+let test_env_jobs_validation () =
+  let with_env value f =
+    let saved = Option.value (Sys.getenv_opt "SPEEDUP_JOBS") ~default:"" in
+    Unix.putenv "SPEEDUP_JOBS" value;
+    Fun.protect ~finally:(fun () -> Unix.putenv "SPEEDUP_JOBS" saved) f
+  in
+  Pool.set_jobs None;
+  with_env "3" (fun () ->
+      Alcotest.(check int) "env positive accepted" 3 (Pool.jobs ()));
+  with_env " 2 " (fun () ->
+      Alcotest.(check int) "env trimmed" 2 (Pool.jobs ()));
+  with_env "" (fun () ->
+      Alcotest.(check bool) "empty env means default" true (Pool.jobs () >= 1));
+  with_env "0" (fun () ->
+      Alcotest.check_raises "env zero rejected"
+        (Invalid_argument "SPEEDUP_JOBS must be a positive integer, got 0")
+        (fun () -> ignore (Pool.jobs ())));
+  with_env "-4" (fun () ->
+      Alcotest.check_raises "env negative rejected"
+        (Invalid_argument "SPEEDUP_JOBS must be a positive integer, got -4")
+        (fun () -> ignore (Pool.jobs ())));
+  with_env "lots" (fun () ->
+      Alcotest.check_raises "env garbage rejected"
+        (Invalid_argument "SPEEDUP_JOBS must be a positive integer, got \"lots\"")
+        (fun () -> ignore (Pool.jobs ())));
+  (* An override shields resolution from a broken environment. *)
+  with_env "bogus" (fun () ->
+      with_jobs 2 (fun () ->
+          Alcotest.(check int) "override bypasses env" 2 (Pool.jobs ())))
 
 let test_order_preserved () =
   let l = List.init 257 (fun i -> i) in
@@ -138,6 +175,8 @@ let suite =
   ( "parallel",
     [
       Alcotest.test_case "jobs resolution" `Quick test_jobs_resolution;
+      Alcotest.test_case "SPEEDUP_JOBS validation" `Quick
+        test_env_jobs_validation;
       Alcotest.test_case "order preserved" `Quick test_order_preserved;
       Alcotest.test_case "empty / singleton" `Quick test_empty_and_singleton;
       Alcotest.test_case "for_all" `Quick test_for_all;

@@ -1,0 +1,352 @@
+(* End-to-end tests for the query daemon (lib/server): every scenario
+   drives a real Unix-domain-socket server running in a spawned
+   domain, through the blocking [Client].  Covered: the loop-level and
+   compute methods, byte-deterministic replies across SPEEDUP_JOBS=1
+   and =4 under concurrent clients, backpressure past the queue
+   high-water mark, per-request deadlines with cooperative
+   cancellation, SIGINT drain, and cert-store memoization across
+   connections. *)
+
+let mk_temp_dir () =
+  let path = Filename.temp_file "speedup-server-test" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rec rm_rf path =
+  match (Unix.lstat path).Unix.st_kind with
+  | Unix.S_DIR ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+(* A scratch store plus a cold memo: the compute-path tests must not
+   inherit cache entries from earlier suites (CI runs the whole binary
+   with CERT_CACHE_DIR set). *)
+let with_fresh_store f =
+  let dir = mk_temp_dir () in
+  Cert_store.set_dir (Some dir);
+  Cert_store.reset_stats ();
+  Closure.reset_memo ();
+  Fun.protect
+    ~finally:(fun () ->
+      Cert_store.unset_dir ();
+      rm_rf dir)
+    (fun () -> f dir)
+
+(* Runs [f addr] against a live server, then drains it (via [shutdown]
+   unless [f] already stopped it) and returns [f]'s result with the
+   server summary. *)
+let with_server ?(workers = 2) ?(queue_limit = 64) ?default_deadline_ms f =
+  let sock = Filename.temp_file "speedup-server" ".sock" in
+  Sys.remove sock;
+  let addr = Server.Unix_path sock in
+  let cfg =
+    {
+      Server.addr;
+      workers;
+      queue_limit;
+      default_deadline_ms;
+      access_log = None;
+    }
+  in
+  let srv = Domain.spawn (fun () -> Server.run cfg) in
+  let drain () =
+    match Client.connect_retry ~attempts:3 ~delay:0.05 addr with
+    | Ok c ->
+        ignore (Client.rpc c ~id:Jsonl.Null ~meth:"shutdown" ~params:[]);
+        Client.close c
+    | Error _ -> ()
+  in
+  match f addr with
+  | v ->
+      drain ();
+      (v, Domain.join srv)
+  | exception e ->
+      drain ();
+      (try ignore (Domain.join srv) with _ -> ());
+      raise e
+
+let rpc_ok c ~id ~meth ~params =
+  match Client.rpc c ~id ~meth ~params with
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Printf.sprintf "%s: %s" meth e)
+
+let member_int name v =
+  match Option.bind (Jsonl.member name v) Jsonl.to_int with
+  | Some n -> n
+  | None -> Alcotest.fail (Printf.sprintf "reply lacks integer %S" name)
+
+let test_basic_methods () =
+  with_fresh_store @@ fun _dir ->
+  let (), summary =
+    with_server (fun addr ->
+        match Client.connect_retry addr with
+        | Error e -> Alcotest.fail e
+        | Ok c ->
+            Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+            (match rpc_ok c ~id:(Jsonl.Int 1) ~meth:"ping" ~params:[] with
+            | Jsonl.String s -> Alcotest.(check string) "ping" "pong" s
+            | _ -> Alcotest.fail "ping: non-string result");
+            let v =
+              rpc_ok c ~id:(Jsonl.Int 2) ~meth:"solvable"
+                ~params:
+                  [
+                    ("task", Jsonl.String "consensus");
+                    ("n", Jsonl.Int 2);
+                    ("rounds", Jsonl.Int 1);
+                  ]
+            in
+            Alcotest.(check (option string))
+              "consensus n=2 after one round" (Some "unsolvable")
+              (Option.bind (Jsonl.member "verdict" v) Jsonl.to_str);
+            let v =
+              rpc_ok c ~id:(Jsonl.String "c") ~meth:"closure"
+                ~params:[ ("task", Jsonl.String "consensus"); ("n", Jsonl.Int 2) ]
+            in
+            Alcotest.(check (option bool))
+              "consensus closure is a fixed point" (Some true)
+              (Option.bind (Jsonl.member "fixed_point" v) Jsonl.to_bool);
+            let stats = rpc_ok c ~id:(Jsonl.Int 3) ~meth:"stats" ~params:[] in
+            Alcotest.(check bool) "stats counts requests" true
+              (member_int "requests" stats >= 3);
+            (match
+               Client.rpc c ~id:(Jsonl.Int 4) ~meth:"no-such-method" ~params:[]
+             with
+            | Error e ->
+                Alcotest.(check bool) "unknown method is bad_request" true
+                  (String.length e >= 11 && String.sub e 0 11 = "bad_request")
+            | Ok _ -> Alcotest.fail "unknown method accepted"))
+  in
+  Alcotest.(check bool) "drained" true summary.Server.drained;
+  Alcotest.(check bool) "requests counted" true (summary.Server.requests >= 5)
+
+(* The determinism acceptance check: the same scripted queries, issued
+   by concurrent clients, produce byte-identical reply lines at
+   SPEEDUP_JOBS=1 and =4.  Each pass starts from a cold memo and an
+   empty store so both do the full computation. *)
+
+let script client_id =
+  let base =
+    [
+      ("ping", []);
+      ("closure", [ ("task", Jsonl.String "consensus"); ("n", Jsonl.Int 2) ]);
+      ( "closure",
+        [
+          ("task", Jsonl.String "aa");
+          ("n", Jsonl.Int 2);
+          ("m", Jsonl.Int 3);
+          ("eps", Jsonl.String "1/3");
+        ] );
+      ( "solvable",
+        [
+          ("task", Jsonl.String "consensus");
+          ("n", Jsonl.Int 2);
+          ("rounds", Jsonl.Int 1);
+        ] );
+      ( "complex-stats",
+        [ ("task", Jsonl.String "aa"); ("n", Jsonl.Int 2); ("m", Jsonl.Int 4) ]
+      );
+    ]
+  in
+  (* Stagger the start so clients hit different methods at once. *)
+  let rec rotate n l =
+    if n = 0 then l
+    else match l with [] -> [] | x :: tl -> rotate (n - 1) (tl @ [ x ])
+  in
+  rotate (client_id mod List.length base) base
+
+let run_client_script addr ~client_id =
+  match Client.connect_retry addr with
+  | Error e -> failwith e
+  | Ok c ->
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      List.mapi
+        (fun i (meth, params) ->
+          match Client.request c ~id:(Jsonl.Int i) ~meth ~params with
+          | Ok line -> line
+          | Error e -> failwith (meth ^ ": " ^ e))
+        (script client_id)
+
+let determinism_pass jobs =
+  Pool.set_jobs (Some jobs);
+  Fun.protect ~finally:(fun () -> Pool.set_jobs None) @@ fun () ->
+  with_fresh_store @@ fun _dir ->
+  let replies, summary =
+    with_server (fun addr ->
+        List.init 3 (fun cid ->
+            Domain.spawn (fun () -> run_client_script addr ~client_id:cid))
+        |> List.map Domain.join)
+  in
+  Alcotest.(check bool) "no rejects" true (summary.Server.rejected = 0);
+  replies
+
+let test_deterministic_across_jobs () =
+  let seq = determinism_pass 1 in
+  let par = determinism_pass 4 in
+  Alcotest.(check (list (list string)))
+    "reply bytes identical at jobs=1 and jobs=4" seq par
+
+(* Backpressure: workers=1, queue_limit=1, and a burst of slow queries
+   pipelined on one connection — the worker holds the first, the queue
+   holds one more, and the rest must come back [overloaded] while the
+   early ones still complete. *)
+let test_overload_burst () =
+  with_fresh_store @@ fun _dir ->
+  let outcomes, summary =
+    with_server ~workers:1 ~queue_limit:1 (fun addr ->
+        match Client.connect_retry addr with
+        | Error e -> Alcotest.fail e
+        | Ok c ->
+            Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+            let burst = 8 in
+            let params =
+              [
+                ("task", Jsonl.String "liberal-aa");
+                ("n", Jsonl.Int 3);
+                ("m", Jsonl.Int 4);
+              ]
+            in
+            let line i =
+              Jsonl.to_string
+                (Jsonl.Obj
+                   [
+                     ("id", Jsonl.Int i);
+                     ("method", Jsonl.String "closure");
+                     ("params", Jsonl.Obj params);
+                   ])
+            in
+            for i = 0 to burst - 1 do
+              match Client.send_line c (line i) with
+              | Ok () -> ()
+              | Error e -> Alcotest.fail e
+            done;
+            List.init burst (fun _ ->
+                match Client.recv_line c with
+                | Error e -> Alcotest.fail e
+                | Ok reply -> (
+                    match Jsonl.of_string reply with
+                    | Error e -> Alcotest.fail e
+                    | Ok v -> (
+                        ( member_int "id" v,
+                          match Jsonl.member "ok" v with
+                          | Some (Jsonl.Bool true) -> "ok"
+                          | _ -> (
+                              match
+                                Option.bind (Jsonl.member "error" v)
+                                  (fun e ->
+                                    Option.bind (Jsonl.member "code" e)
+                                      Jsonl.to_str)
+                              with
+                              | Some code -> code
+                              | None -> "unparseable") )))))
+  in
+  let count want = List.length (List.filter (fun (_, o) -> o = want) outcomes) in
+  Alcotest.(check int) "every request answered" 8 (List.length outcomes);
+  Alcotest.(check bool) "first request completes" true
+    (List.assoc 0 outcomes = "ok");
+  Alcotest.(check bool) "burst rejected past the high-water mark" true
+    (count "overloaded" >= 1);
+  Alcotest.(check int) "only ok/overloaded outcomes" 8
+    (count "ok" + count "overloaded");
+  Alcotest.(check int) "summary agrees on rejects" (count "overloaded")
+    summary.Server.rejected;
+  Alcotest.(check bool) "drained" true summary.Server.drained
+
+(* Deadlines: a tiny budget on a heavy query times out via the
+   cooperative cancellation hook, and the server keeps serving. *)
+let test_deadline_timeout () =
+  with_fresh_store @@ fun _dir ->
+  let (), summary =
+    with_server (fun addr ->
+        match Client.connect_retry addr with
+        | Error e -> Alcotest.fail e
+        | Ok c ->
+            Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+            (match
+               Client.rpc c ~deadline_ms:1 ~id:(Jsonl.Int 0) ~meth:"closure"
+                 ~params:
+                   [
+                     ("task", Jsonl.String "liberal-aa");
+                     ("n", Jsonl.Int 3);
+                     ("m", Jsonl.Int 4);
+                   ]
+             with
+            | Error e ->
+                Alcotest.(check bool) "timeout error code" true
+                  (String.length e >= 7 && String.sub e 0 7 = "timeout")
+            | Ok _ -> Alcotest.fail "1ms deadline did not time out");
+            match rpc_ok c ~id:(Jsonl.Int 1) ~meth:"ping" ~params:[] with
+            | Jsonl.String s ->
+                Alcotest.(check string) "server alive after timeout" "pong" s
+            | _ -> Alcotest.fail "ping: non-string result")
+  in
+  Alcotest.(check bool) "drained" true summary.Server.drained
+
+(* SIGINT: the in-process handler must stop accepting, finish
+   in-flight work, and return a drained summary. *)
+let test_sigint_drain () =
+  with_fresh_store @@ fun _dir ->
+  let (), summary =
+    with_server (fun addr ->
+        (match Client.connect_retry addr with
+        | Error e -> Alcotest.fail e
+        | Ok c ->
+            Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+            ignore (rpc_ok c ~id:(Jsonl.Int 0) ~meth:"ping" ~params:[]));
+        Unix.kill (Unix.getpid ()) Sys.sigint)
+  in
+  Alcotest.(check bool) "SIGINT drains cleanly" true summary.Server.drained;
+  Alcotest.(check bool) "requests served before the signal" true
+    (summary.Server.requests >= 1)
+
+(* Memoization across connections: the second client's identical query
+   is served from the shared memo/store without a new enumeration. *)
+let test_cross_connection_memoization () =
+  with_fresh_store @@ fun _dir ->
+  let (), _summary =
+    with_server (fun addr ->
+        let params =
+          [ ("task", Jsonl.String "consensus"); ("n", Jsonl.Int 2) ]
+        in
+        let query_and_stats id =
+          match Client.connect_retry addr with
+          | Error e -> Alcotest.fail e
+          | Ok c ->
+              Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+              let reply = rpc_ok c ~id:(Jsonl.Int id) ~meth:"closure" ~params in
+              let stats =
+                rpc_ok c ~id:(Jsonl.Int (id + 1)) ~meth:"stats" ~params:[]
+              in
+              let memo =
+                match Jsonl.member "memo" stats with
+                | Some m -> m
+                | None -> Alcotest.fail "stats lacks memo section"
+              in
+              (Jsonl.to_string reply, member_int "enumerations" memo)
+        in
+        let first, enums_cold = query_and_stats 0 in
+        let second, enums_warm = query_and_stats 10 in
+        Alcotest.(check bool) "cold query enumerates" true (enums_cold > 0);
+        Alcotest.(check int) "warm query adds no enumerations" enums_cold
+          enums_warm;
+        Alcotest.(check string) "replies identical across connections" first
+          second)
+  in
+  ()
+
+let suite =
+  ( "server",
+    [
+      Alcotest.test_case "basic methods end-to-end" `Quick test_basic_methods;
+      Alcotest.test_case "byte-deterministic at jobs=1 and jobs=4" `Quick
+        test_deterministic_across_jobs;
+      Alcotest.test_case "overload burst gets backpressure" `Quick
+        test_overload_burst;
+      Alcotest.test_case "tiny deadline times out, server survives" `Quick
+        test_deadline_timeout;
+      Alcotest.test_case "SIGINT drains cleanly" `Quick test_sigint_drain;
+      Alcotest.test_case "memoization across connections" `Quick
+        test_cross_connection_memoization;
+    ] )

@@ -7,11 +7,9 @@ type entry = { rule : string; file : string; line : int }
 
 let entry_of_json j =
   match
-    ( Lint_json.member "rule" j,
-      Lint_json.member "file" j,
-      Lint_json.member "line" j )
+    (Jsonl.member "rule" j, Jsonl.member "file" j, Jsonl.member "line" j)
   with
-  | Some (Lint_json.String rule), Some (Lint_json.String file), Some (Lint_json.Int line)
+  | Some (Jsonl.String rule), Some (Jsonl.String file), Some (Jsonl.Int line)
     ->
       Some { rule; file; line }
   | _ -> None
@@ -25,14 +23,14 @@ let load path =
   in
   if String.trim source = "" then Ok []
   else
-    match Lint_json.of_string source with
-    | Lint_json.List items -> (
+    match Jsonl.of_string source with
+    | Ok (Jsonl.List items) ->
         let entries = List.map entry_of_json items in
         if List.exists Option.is_none entries then
           Error (path ^ ": baseline entries need \"rule\", \"file\", \"line\"")
-        else Ok (List.filter_map Fun.id entries))
-    | _ -> Error (path ^ ": baseline must be a JSON array")
-    | exception Lint_json.Parse_error msg -> Error (path ^ ": " ^ msg)
+        else Ok (List.filter_map Fun.id entries)
+    | Ok _ -> Error (path ^ ": baseline must be a JSON array")
+    | Error msg -> Error (path ^ ": " ^ msg)
 
 (* Files match when equal or when one is a '/'-boundary suffix of the
    other, so per-directory dune invocations (seeing "schedule.ml")
@@ -61,10 +59,13 @@ let apply entries diags =
   (live, baselined, stale)
 
 let entry_to_json e =
-  Printf.sprintf {|{"rule": "%s", "file": "%s", "line": %d}|}
-    (Lint_diag.json_escape e.rule)
-    (Lint_diag.json_escape e.file)
-    e.line
+  Jsonl.to_string
+    (Jsonl.Obj
+       [
+         ("rule", Jsonl.String e.rule);
+         ("file", Jsonl.String e.file);
+         ("line", Jsonl.Int e.line);
+       ])
 
 let emit diags =
   let entries =

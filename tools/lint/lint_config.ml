@@ -8,19 +8,31 @@
 
 (* Libraries whose code runs inside lib/parallel Pool callbacks
    (closure enumeration, solver fan-out, adversary checks, certificate
-   store): top-level mutable state there must be Atomic, mutex-guarded,
-   or explicitly allowlisted (R1). *)
-let parallel_reachable = [ "closure"; "models"; "runtime"; "solver"; "cert" ]
+   store, the query daemon's worker domains): top-level mutable state
+   there must be Atomic, mutex-guarded, or explicitly allowlisted
+   (R1). *)
+let parallel_reachable =
+  [ "closure"; "models"; "runtime"; "solver"; "cert"; "server" ]
 
 (* Libraries defining the dedicated comparator types: inside them the
    stricter R4 comparator-hygiene checks apply. *)
 let dedicated_layer = [ "topology"; "frac" ]
+
+(* Config-level R5 exemptions: identifiers from [banned_idents] that a
+   specific library may use without per-site [@lint.allow]
+   attributes.  lib/server needs wall-clock reads for per-request
+   deadlines, queue/wall latency accounting, and client retry
+   back-off; everything the clock feeds stays outside reproduced
+   results (replies carry no timestamps), so determinism of the
+   engine's answers is unaffected.  Documented in docs/LINT.md. *)
+let r5_allowlist = [ ("server", [ [ "Unix"; "gettimeofday" ] ]) ]
 
 type scope = {
   label : string;
   r1 : bool;  (* shared-mutable-state applies *)
   r4_dedicated : bool;  (* dedicated-comparator layer: strict R4 *)
   r5 : bool;  (* banned-nondeterminism applies (lib/ only) *)
+  r5_allowed : string list list;  (* banned idents exempted here *)
 }
 
 let classify path =
@@ -31,11 +43,23 @@ let classify path =
         r1 = List.mem name parallel_reachable;
         r4_dedicated = List.mem name dedicated_layer;
         r5 = true;
+        r5_allowed =
+          (match List.assoc_opt name r5_allowlist with
+          | Some idents -> idents
+          | None -> []);
       }
-  | "bench" :: _ -> { label = "bench"; r1 = false; r4_dedicated = false; r5 = false }
-  | "bin" :: _ -> { label = "bin"; r1 = false; r4_dedicated = false; r5 = false }
-  | "tools" :: _ -> { label = "tools"; r1 = false; r4_dedicated = false; r5 = false }
-  | _ -> { label = "other"; r1 = false; r4_dedicated = false; r5 = false }
+  | "bench" :: _ ->
+      { label = "bench"; r1 = false; r4_dedicated = false; r5 = false;
+        r5_allowed = [] }
+  | "bin" :: _ ->
+      { label = "bin"; r1 = false; r4_dedicated = false; r5 = false;
+        r5_allowed = [] }
+  | "tools" :: _ ->
+      { label = "tools"; r1 = false; r4_dedicated = false; r5 = false;
+        r5_allowed = [] }
+  | _ ->
+      { label = "other"; r1 = false; r4_dedicated = false; r5 = false;
+        r5_allowed = [] }
 
 (* Modules whose main type has a dedicated comparator (R4). *)
 let dedicated_modules = [ "Simplex"; "Vertex"; "Complex"; "Frac" ]

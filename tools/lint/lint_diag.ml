@@ -31,27 +31,20 @@ let compare a b =
 let to_human d =
   Printf.sprintf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let json_escape = Jsonl.escape
 
+(* Jsonl's compact printer renders exactly the historical
+   {"rule": "…", "file": "…", …} format (": " / ", " separators). *)
 let to_json d =
-  Printf.sprintf
-    {|{"rule": "%s", "file": "%s", "line": %d, "col": %d, "message": "%s"}|}
-    (json_escape d.rule) (json_escape d.file) d.line d.col
-    (json_escape d.message)
+  Jsonl.to_string
+    (Jsonl.Obj
+       [
+         ("rule", Jsonl.String d.rule);
+         ("file", Jsonl.String d.file);
+         ("line", Jsonl.Int d.line);
+         ("col", Jsonl.Int d.col);
+         ("message", Jsonl.String d.message);
+       ])
 
 let list_to_json ds =
   match ds with

@@ -350,7 +350,10 @@ let visit_expr ctx e =
   match e.pexp_desc with
   | Pexp_ident { txt; _ } ->
       let p = flatten txt in
-      if ctx.scope.Lint_config.r5 && (is_banned_ident p || is_ambient_random p)
+      if
+        ctx.scope.Lint_config.r5
+        && (is_banned_ident p || is_ambient_random p)
+        && not (List.mem p ctx.scope.Lint_config.r5_allowed)
       then
         report ctx ~rule:"R5" ~loc:e.pexp_loc
           (Printf.sprintf
