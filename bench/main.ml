@@ -11,6 +11,9 @@
       plus the table wall-clocks) so the perf trajectory is tracked
       across PRs. *)
 
+(* [open Bechamel] shadows the raw clock library; alias it first. *)
+module Clock = Monotonic_clock
+
 open Bechamel
 open Toolkit
 
@@ -63,6 +66,22 @@ let rec remove_tree path =
 
 let closure_sigma =
   Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 1); (3, Value.Int 0) ]
+
+(* A depth-18 doubling view tower: ~2^18 structural nodes but only 19
+   interned ones.  The seed-era engine walked the whole virtual tree on
+   every compare (bench/structural_baseline.json records that cost);
+   the hash-consed compare short-circuits on physical equality. *)
+let view_tower =
+  let rec go k v =
+    if k = 0 then v else go (k - 1) (Value.view [ (1, v); (2, v) ])
+  in
+  go 18 (Value.view [ (1, Value.Int 0) ])
+
+let view_tower' =
+  let rec go k v =
+    if k = 0 then v else go (k - 1) (Value.view [ (1, v); (2, v) ])
+  in
+  go 18 (Value.view [ (1, Value.Int 0) ])
 
 let with_bench_store f =
   Cert_store.set_dir (Some bench_store_root);
@@ -224,6 +243,17 @@ let kernels =
                  (Simplex.of_list
                     [ (1, Value.frac 0 1); (2, Value.frac 1 2);
                       (3, Value.frac 1 1) ]))) );
+    (* Hash-consing kernels, gated against the pre-interning numbers in
+       structural_baseline.json (see check_structural_baseline). *)
+    ( "intern/deep-view-compare",
+      fun () -> ignore (Value.compare view_tower view_tower') );
+    ( "closure-aa-n3-interned",
+      fun () ->
+        ignore
+          (Closure.delta ~memo:false ~op:(Round_op.plain Model.Immediate)
+             laa_3_4
+             (Simplex.of_list
+                [ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ])) );
     (* The same closure enumeration through the certificate store: cold
        (empty store: full search plus certificate writes) and warm
        (populated store: witness verification replaces the search). *)
@@ -370,6 +400,109 @@ let find_ns rows name =
     (fun (n, est, _) -> if String.equal n name then est else None)
     rows
 
+(* ---- structural baseline gate ----
+
+   bench/structural_baseline.json records what the two hash-consing
+   kernels cost on the seed-era (structural, pre-interning) engine,
+   captured on the commit before lib/topology/intern.ml landed.  The
+   interned engine must beat both strictly or the bench run fails. *)
+
+let baseline_path =
+  let exe_dir = Filename.dirname Sys.executable_name in
+  let candidates =
+    [
+      "bench/structural_baseline.json";
+      Filename.concat exe_dir "structural_baseline.json";
+      Filename.concat exe_dir "../../../bench/structural_baseline.json";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> List.hd candidates
+
+let find_substring hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i =
+    if i + nl > hl then None
+    else if String.sub hay i nl = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Pulls '"field": <digits>' out of the baseline JSON — the file is
+   ours and flat, so a scan beats pulling in a JSON dependency. *)
+let baseline_field json field =
+  match find_substring json (Printf.sprintf "\"%s\"" field) with
+  | None -> None
+  | Some i ->
+      let n = String.length json in
+      let j = ref (i + String.length field + 2) in
+      while !j < n && (json.[!j] = ':' || json.[!j] = ' ') do
+        incr j
+      done;
+      let k = ref !j in
+      while !k < n && json.[!k] >= '0' && json.[!k] <= '9' do
+        incr k
+      done;
+      if !k > !j then float_of_string_opt (String.sub json !j (!k - !j))
+      else None
+
+(* The gate replicates how the baseline was captured: one warmup call,
+   then the mean wall clock of [reps] back-to-back runs — not the OLS
+   estimate, whose quota-based sampling is noisier for ~100 ms
+   kernels. *)
+let time_ns reps f =
+  ignore (f ());
+  let t0 = Clock.now () in
+  for _ = 1 to reps do
+    ignore (f ())
+  done;
+  let t1 = Clock.now () in
+  Int64.to_float (Int64.sub t1 t0) /. float_of_int reps
+
+let check_structural_baseline () =
+  match In_channel.with_open_text baseline_path In_channel.input_all with
+  | exception Sys_error msg ->
+      Printf.eprintf "BENCH ERROR: cannot read structural baseline: %s\n" msg;
+      false
+  | json ->
+      let gate kernel field ns =
+        match baseline_field json field with
+        | Some base ->
+            let ok = ns < base in
+            Printf.printf
+              "%s: %.0f ns/run vs structural baseline %.0f ns (%.1fx) — %s\n"
+              kernel ns base (base /. ns)
+              (if ok then "ok" else "SLOWER");
+            if not ok then
+              Printf.eprintf
+                "BENCH ERROR: %s is not strictly faster than the structural \
+                 baseline (%s)\n"
+                kernel field;
+            ok
+        | None ->
+            Printf.eprintf "BENCH ERROR: field %s missing from %s\n" field
+              baseline_path;
+            false
+      in
+      let closure_ns =
+        time_ns 20 (fun () ->
+            Closure.delta ~memo:false ~op:(Round_op.plain Model.Immediate)
+              laa_3_4
+              (Simplex.of_list
+                 [ (1, Value.frac 0 1); (2, Value.frac 1 2);
+                   (3, Value.frac 1 1) ]))
+      in
+      let compare_ns =
+        time_ns 1000 (fun () -> Value.compare view_tower view_tower')
+      in
+      (* && would short-circuit past the second report. *)
+      let closure_ok = gate "closure-aa-n3-interned" "closure_aa_n3_ns" closure_ns in
+      let compare_ok =
+        gate "intern/deep-view-compare" "deep_view_compare_ns" compare_ns
+      in
+      closure_ok && compare_ok
+
 let print_cache_stats () =
   let m = Closure.memo_stats () in
   let s = Cert_store.stats () in
@@ -438,10 +571,11 @@ let () =
       Printf.printf "parallel closure kernel: jobs=%d speedup %.2fx over jobs=1\n"
         jobs_n (seq /. par)
   | _ -> ());
+  let baseline_ok = check_structural_baseline () in
   print_cache_stats ();
   remove_tree bench_store_root;
   (* Part 3: machine-readable summary for trend tracking. *)
   write_json ~rows ~jobs1_wall ~jobsn_wall ~identical ~all_ok
     "BENCH_kernels.json";
   Printf.printf "wrote BENCH_kernels.json\n";
-  if not (all_ok && identical) then exit 1
+  if not (all_ok && identical && baseline_ok) then exit 1

@@ -7,7 +7,7 @@ let id_bit ~k ~r id = (id - 1) lsr (k - r) land 1
 
 let state_candidate state =
   match state with
-  | Value.Pair (Value.Int id, input) -> (id, input)
+  | Value.Pair { fst = Value.Int id; snd = input; _ } -> (id, input)
   | Value.Pair _ | Value.Unit | Value.Bool _ | Value.Int _ | Value.Frac _
   | Value.Str _ | Value.View _ ->
       invalid_arg "Bc_consensus: malformed state"
@@ -17,7 +17,7 @@ let spec ~n =
   {
     State_protocol.name = Printf.sprintf "bc-consensus(n=%d)" n;
     rounds = k;
-    init = (fun i input -> Value.Pair (Value.Int i, input));
+    init = (fun i input -> Value.pair (Value.Int i) input);
     step =
       (fun ~round _i ~box states ->
         let decided =

@@ -1,6 +1,7 @@
 let decide i view =
   match view with
-  | Value.Pair (Value.Bool won, Value.View entries) -> (
+  | Value.Pair
+      { fst = Value.Bool won; snd = Value.View { assoc = entries; _ }; _ } -> (
       if won then
         match List.assoc_opt i entries with
         | Some x -> x

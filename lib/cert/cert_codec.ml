@@ -43,8 +43,8 @@ let rec value = function
   | Value.Int n -> List [ Atom "i"; Atom (string_of_int n) ]
   | Value.Frac q -> List [ Atom "q"; frac q ]
   | Value.Str s -> List [ Atom "s"; Atom s ]
-  | Value.Pair (a, b) -> List [ Atom "p"; value a; value b ]
-  | Value.View assoc ->
+  | Value.Pair { fst = a; snd = b; _ } -> List [ Atom "p"; value a; value b ]
+  | Value.View { assoc; _ } ->
       List
         (Atom "w"
         :: List.map
@@ -57,7 +57,7 @@ let rec value_of = function
   | List [ Atom "i"; n ] -> Value.Int (int_of n)
   | List [ Atom "q"; q ] -> Value.Frac (frac_of q)
   | List [ Atom "s"; s ] -> Value.Str (string_of s)
-  | List [ Atom "p"; a; b ] -> Value.Pair (value_of a, value_of b)
+  | List [ Atom "p"; a; b ] -> Value.pair (value_of a) (value_of b)
   | List (Atom "w" :: entries) ->
       Value.view
         (List.map

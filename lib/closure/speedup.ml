@@ -28,7 +28,7 @@ let of_box box alpha name =
         let i = Vertex.color v in
         let view = Vertex.value v in
         let b = Black_box.solo_output box i (alpha ~round i view) in
-        Vertex.make i (Value.Pair (b, Model.solo_view i view)));
+        Vertex.make i (Value.pair b (Model.solo_view i view)));
     closure_op_fn =
       (fun ~rounds -> Round_op.augmented ~box ~alpha ~round:rounds);
   }

@@ -25,7 +25,7 @@ let degenerates_on beta sigma =
         List.for_all
           (fun v ->
             match Vertex.value v with
-            | Value.Pair (b, _) -> Value.equal b expected
+            | Value.Pair { fst = b; _ } -> Value.equal b expected
             | _ -> false)
           (Simplex.vertices facet))
       facets

@@ -8,9 +8,9 @@ let rho sigma (i, j, k) =
   let view ids = Value.view (List.map (fun q -> (q, value q)) ids) in
   Simplex.of_vertices
     [
-      Vertex.make i (Value.Pair (Value.Bool true, view [ i ]));
-      Vertex.make j (Value.Pair (Value.Bool false, view [ i; j ]));
-      Vertex.make k (Value.Pair (Value.Bool false, view [ i; j; k ]));
+      Vertex.make i (Value.pair (Value.Bool true) (view [ i ]));
+      Vertex.make j (Value.pair (Value.Bool false) (view [ i; j ]));
+      Vertex.make k (Value.pair (Value.Bool false) (view [ i; j; k ]));
     ]
 
 let run () =

@@ -27,7 +27,7 @@ let one_round_facets ~box ~alpha ~round sigma =
                        | Some b -> b
                        | None -> invalid_arg "Augmented: outcome misses a process"
                      in
-                     Vertex.make i (Value.Pair (b, view)))
+                     Vertex.make i (Value.pair b view))
                    views)
             in
             Simplex.Set.add facet acc)
@@ -52,11 +52,11 @@ let protocol_complex ~box ~alpha sigma t =
 let solo_vertex ~box ~alpha ~round sigma i =
   let x = Simplex.value i sigma in
   let b = Black_box.solo_output box i (alpha ~round i x) in
-  Vertex.make i (Value.Pair (b, Model.solo_view i x))
+  Vertex.make i (Value.pair b (Model.solo_view i x))
 
 let strip_box v =
   match Vertex.value v with
-  | Value.Pair (_, view) -> Vertex.make (Vertex.color v) view
+  | Value.Pair { snd = view; _ } -> Vertex.make (Vertex.color v) view
   | Value.Unit | Value.Bool _ | Value.Int _ | Value.Frac _ | Value.Str _
   | Value.View _ ->
       invalid_arg "Augmented.strip_box: not an augmented vertex"

@@ -54,15 +54,40 @@ let facet_of_views sigma views =
          Vertex.make i view)
        views)
 
+(* One-round facet lists, keyed by (model, σ).  The local-task solver
+   asks for the same handful of faces for every candidate τ of an
+   enumeration, and interned simplices make σ an O(1) key, so the
+   rebuild (each facet re-interns every view and vertex) is paid once
+   per σ. *)
+let one_round_cache : (string, Simplex.t list Simplex.Map.t ref) Hashtbl.t =
+  Hashtbl.create 8
+[@@lint.allow "R1: accesses guarded by cache_lock; lock-free slot reads recompute pure values"]
+
 let one_round_facets m sigma =
-  let ids = Simplex.ids sigma in
-  let facets =
-    List.fold_left
-      (fun acc mat ->
-        Simplex.Set.add (facet_of_views sigma (Collect_matrix.views mat)) acc)
-      Simplex.Set.empty (matrices m ids)
+  let slot =
+    Mutex.protect cache_lock (fun () ->
+        match Hashtbl.find_opt one_round_cache (name m) with
+        | Some r -> r
+        | None ->
+            let r = ref Simplex.Map.empty in
+            Hashtbl.add one_round_cache (name m) r;
+            r)
   in
-  Simplex.Set.elements facets
+  (* Lock-free slot read: a stale miss recomputes a pure value. *)
+  match Simplex.Map.find_opt sigma !slot with
+  | Some fs -> fs
+  | None ->
+      let ids = Simplex.ids sigma in
+      let facets =
+        List.fold_left
+          (fun acc mat ->
+            Simplex.Set.add (facet_of_views sigma (Collect_matrix.views mat)) acc)
+          Simplex.Set.empty (matrices m ids)
+      in
+      let fs = Simplex.Set.elements facets in
+      Mutex.protect cache_lock (fun () ->
+          slot := Simplex.Map.add sigma fs !slot);
+      fs
 
 let one_round m complex =
   Complex.of_facets (List.concat_map (one_round_facets m) (Complex.facets complex))
@@ -104,9 +129,9 @@ let chi ~from_ ~to_ v =
   assert (Simplex.ids from_ = Simplex.ids to_);
   let rec relabel value =
     match value with
-    | Value.View assoc ->
+    | Value.View { assoc; _ } ->
         Value.view (List.map (fun (j, _) -> (j, Simplex.value j to_)) assoc)
-    | Value.Pair (a, b) -> Value.Pair (a, relabel b)
+    | Value.Pair { fst = a; snd = b; _ } -> Value.pair a (relabel b)
     | Value.Unit | Value.Bool _ | Value.Int _ | Value.Frac _ | Value.Str _ ->
         value
   in

@@ -90,7 +90,7 @@ let run ?box (protocol : Protocol.t) ~inputs ~schedule =
             let v =
               match box_obj with
               | None -> c
-              | Some _ -> Value.Pair (Hashtbl.find box_out i, c)
+              | Some _ -> Value.pair (Hashtbl.find box_out i) c
             in
             Hashtbl.replace views i v)
           survivors;

@@ -18,8 +18,9 @@ let rec state_of_view spec ~round i view =
       spec.step ~round i ~box states
     in
     match view with
-    | Value.Pair (b, Value.View entries) -> unfold (Some b) entries
-    | Value.View entries -> unfold None entries
+    | Value.Pair { fst = b; snd = Value.View { assoc = entries; _ }; _ } ->
+        unfold (Some b) entries
+    | Value.View { assoc = entries; _ } -> unfold None entries
     | Value.Pair _ | Value.Unit | Value.Bool _ | Value.Int _ | Value.Frac _
     | Value.Str _ ->
         invalid_arg "State_protocol: malformed view"

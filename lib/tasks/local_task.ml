@@ -1,8 +1,8 @@
 let is_valid_tau task ~sigma ~tau =
   Simplex.ids tau = Simplex.ids sigma
-  && List.for_all
-       (fun v -> Complex.mem_vertex v (Task.delta task sigma))
-       (Simplex.vertices tau)
+  &&
+  let d = Task.delta task sigma in
+  List.for_all (fun v -> Complex.mem_vertex v d) (Simplex.vertices tau)
 
 let make task ~sigma ~tau =
   if not (is_valid_tau task ~sigma ~tau) then

@@ -6,7 +6,29 @@ type t = {
   delta : Simplex.t -> Complex.t;
 }
 
+(* Δ is a pure function of σ, and interned simplices make σ an O(1)
+   hash key, so every task memoizes its Δ images: closure enumeration,
+   local-task validation and the solver request the same handful of
+   Δ(σ) complexes thousands of times per run.  The table is guarded by
+   a per-task mutex with the compute outside the lock — Δ is pure, so
+   a racing double-compute is benign and either insert wins.  The lock
+   nesting is strictly task → sub-task (algebra compositions call the
+   component tasks' deltas), never cyclic. *)
 let make ~name ~arity ~inputs ~outputs ~delta =
+  let lock = Mutex.create () in
+  let cache = Simplex.Tbl.create 16 in
+  let delta sigma =
+    match Mutex.protect lock (fun () -> Simplex.Tbl.find_opt cache sigma) with
+    | Some c -> c
+    | None ->
+        let c = delta sigma in
+        Mutex.protect lock (fun () ->
+            match Simplex.Tbl.find_opt cache sigma with
+            | Some c -> c
+            | None ->
+                Simplex.Tbl.add cache sigma c;
+                c)
+  in
   { name; arity; inputs; outputs; delta }
 
 let inputs t = Lazy.force t.inputs

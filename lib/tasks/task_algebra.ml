@@ -2,8 +2,8 @@ let project k sigma =
   Simplex.map_values
     (fun _ v ->
       match (k, v) with
-      | 1, Value.Pair (a, _) -> a
-      | 2, Value.Pair (_, b) -> b
+      | 1, Value.Pair { fst = a; _ } -> a
+      | 2, Value.Pair { snd = b; _ } -> b
       | _, Value.Pair _ -> invalid_arg "Task_algebra.project: component must be 1 or 2"
       | _ ->
           invalid_arg "Task_algebra.project: non-pair value")
@@ -12,7 +12,7 @@ let project k sigma =
 let pair_simplices a b =
   if Simplex.ids a <> Simplex.ids b then
     invalid_arg "Task_algebra.pair_simplices: color sets differ";
-  Simplex.map_values (fun i va -> Value.Pair (va, Simplex.value i b)) a
+  Simplex.map_values (fun i va -> Value.pair va (Simplex.value i b)) a
 
 let pair_complexes ca cb =
   (* All zips of an a-facet with a b-facet over the same color set. *)

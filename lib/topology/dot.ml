@@ -1,5 +1,6 @@
 let palette =
   [| "black"; "white"; "red"; "deepskyblue"; "gold"; "palegreen"; "orchid"; "gray" |]
+[@@lint.allow "R1: constant color table, read-only after initialization"]
 
 let vertex_id v = Printf.sprintf "\"%s\"" (String.escaped (Vertex.to_string v))
 

@@ -28,16 +28,16 @@ let corner colors i =
 let rec vertex_position ~corners v =
   let i = Vertex.color v in
   match Vertex.value v with
-  | Value.Pair (_, (Value.View _ as view)) ->
+  | Value.Pair { snd = Value.View _ as view; _ } ->
       vertex_position ~corners (Vertex.make i view)
-  | Value.View entries ->
+  | Value.View { assoc = entries; _ } ->
       let positions =
         List.map
           (fun (j, inner) ->
             let weight = if j = i then 1.0 +. own_bias else 1.0 in
             let p =
               match inner with
-              | Value.View _ | Value.Pair (_, Value.View _) ->
+              | Value.View _ | Value.Pair { snd = Value.View _; _ } ->
                   vertex_position ~corners (Vertex.make j inner)
               | _ -> corners j
             in
@@ -57,7 +57,10 @@ let layout sigma complex =
   List.map (fun v -> (v, vertex_position ~corners v)) (Complex.vertices complex)
 
 let fill_colors = [| "#202020"; "#f5f5f5"; "#d04040" |]
+[@@lint.allow "R1: constant color table, read-only after initialization"]
+
 let stroke_colors = [| "#000000"; "#707070"; "#a02020" |]
+[@@lint.allow "R1: constant color table, read-only after initialization"]
 
 let svg ?(size = 640) sigma complex =
   let positions = layout sigma complex in

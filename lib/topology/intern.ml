@@ -1,0 +1,47 @@
+(* Sharded weak hash-consing arenas.  See intern.mli for the design
+   contract (domain safety, id hygiene, bounded retention). *)
+
+let id_counter = Atomic.make 0
+let fresh_id () = Atomic.fetch_and_add id_counter 1
+
+let shard_count = 64
+(* Power of two so the shard pick is a mask, and comfortably more
+   shards than worker domains so concurrent interns rarely collide on
+   a lock. *)
+
+module type Hashed = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module Make (H : Hashed) = struct
+  module W = Weak.Make (struct
+    include H
+
+    (* Client hashes mix child ids and may overflow negative; weak sets
+       (like Hashtbl) expect a nonnegative hash. *)
+    let hash x = H.hash x land max_int
+  end)
+
+  type shard = { lock : Mutex.t; tbl : W.t }
+
+  (* One mutex per shard; the table itself is only touched under the
+     shard lock, so the weak set needs no internal synchronisation. *)
+  let shards =
+    Array.init shard_count (fun _ ->
+        { lock = Mutex.create (); tbl = W.create 256 })
+  [@@lint.allow "R1: interning arena; every access is under the shard mutex"]
+
+  let intern node =
+    let s = shards.(H.hash node land (shard_count - 1)) in
+    Mutex.protect s.lock (fun () -> W.merge s.tbl node)
+
+  let count () =
+    let n = ref 0 in
+    Array.iter
+      (fun s -> Mutex.protect s.lock (fun () -> n := !n + W.count s.tbl))
+      shards;
+    !n
+end

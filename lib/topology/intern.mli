@@ -1,0 +1,60 @@
+(** Hash-consing arenas for the topology core.
+
+    An arena gives every structurally-distinct node of a type exactly
+    one live physical representative, so structural equality of
+    interned nodes collapses to physical equality and a per-node
+    integer id supports O(1) hashing.  [Value], [Vertex] and [Simplex]
+    each keep their nodes in an arena; everything downstream (closure
+    memo keys, solver variable tables, facet sets, the server's
+    cross-connection memo) inherits constant-time [equal]/[hash] from
+    them.
+
+    Design constraints (see docs/INTERNING.md):
+
+    - {b Domain safety.}  Arenas are sharded hash sets, each shard
+      guarded by its own mutex; [Pool] workers and [speedup serve]
+      worker domains intern concurrently.  Critical sections are a
+      single find-or-insert, so contention stays negligible.
+    - {b Ids never leak.}  Interning order — and therefore id
+      assignment — depends on scheduling, so ids must never reach any
+      ordering, rendering, or serialization.  Canonical orders stay
+      structural ([Value.compare] etc. short-circuit on physical
+      equality but fall back to the structural walk), and the
+      certificate codec never sees ids.  The lint's R6 rule enforces
+      the complementary contract outside [lib/topology].
+    - {b Bounded retention.}  Shards are weak sets ([Weak.Make]): an
+      interned node is retained only while something else keeps it
+      alive, so a long-running server does not leak the arena.  A
+      collected node's id is simply retired; ids are never reused
+      ([fresh_id] is a global atomic counter), so two live nodes never
+      share an id. *)
+
+val fresh_id : unit -> int
+(** A process-unique nonnegative id.  Thread-safe.  Ids handed to
+    nodes that lose the interning race are discarded; gaps are
+    harmless because ids only ever serve as equality witnesses and
+    hash keys. *)
+
+module type Hashed = sig
+  type t
+
+  val equal : t -> t -> bool
+  (** Shallow structural equality: children (already interned) are
+      compared by physical identity or id, never recursively. *)
+
+  val hash : t -> int
+  (** Shallow hash consistent with [equal]; children contribute their
+      ids.  Must not depend on the node's own id. *)
+end
+
+module Make (H : Hashed) : sig
+  val intern : H.t -> H.t
+  (** [intern n] is the canonical representative of [n]: the live node
+      equal to [n] if one exists, otherwise [n] itself after
+      registration.  Callers allocate a candidate (with a fresh id),
+      intern it, and must use only the returned node. *)
+
+  val count : unit -> int
+  (** Number of live interned nodes (weak count; nodes the GC has
+      collected are excluded).  Diagnostic only. *)
+end

@@ -1,8 +1,19 @@
-type t = Vertex.t list
-(* Invariant: non-empty, strictly increasing colors. *)
+type t = { sid : int; verts : Vertex.t list }
+(* Invariant on [verts]: non-empty, strictly increasing colors. *)
+
+module Arena = Intern.Make (struct
+  type nonrec t = t
+
+  (* Shallow: vertices are interned, so this is O(card) id work. *)
+  let equal a b = List.equal Vertex.equal a.verts b.verts
+  let hash s = List.fold_left (fun acc v -> (31 * acc) + Vertex.hash v) 13 s.verts
+end)
+
+let intern verts = Arena.intern { sid = Intern.fresh_id (); verts }
+let interned_nodes = Arena.count
 
 let of_vertices vs =
-  if vs = [] then invalid_arg "Simplex.of_vertices: empty";
+  (match vs with [] -> invalid_arg "Simplex.of_vertices: empty" | _ -> ());
   let sorted = List.sort Vertex.compare vs in
   let rec check = function
     | a :: (b :: _ as rest) ->
@@ -12,26 +23,53 @@ let of_vertices vs =
     | [ _ ] | [] -> ()
   in
   check sorted;
-  sorted
+  intern sorted
 
 let of_list pairs = of_vertices (List.map (fun (i, x) -> Vertex.make i x) pairs)
-let singleton v = [ v ]
-let vertices s = s
-let ids s = List.map Vertex.color s
-let card = List.length
+let singleton v = intern [ v ]
+let vertices s = s.verts
+let ids s = List.map Vertex.color s.verts
+let card s = List.length s.verts
 let dim s = card s - 1
-let mem v s = List.exists (Vertex.equal v) s
-let mem_color i s = List.exists (fun v -> Vertex.color v = i) s
-let find i s = List.find (fun v -> Vertex.color v = i) s
+let mem v s = List.exists (Vertex.equal v) s.verts
+let mem_color i s = List.exists (fun v -> Vertex.color v = i) s.verts
+let find i s = List.find (fun v -> Vertex.color v = i) s.verts
 let value i s = Vertex.value (find i s)
-let values s = List.map Vertex.value s
+let values s = List.map Vertex.value s.verts
 
 let proj sel s =
-  let kept = List.filter (fun v -> List.mem (Vertex.color v) sel) s in
-  if kept = [] then invalid_arg "Simplex.proj: empty projection";
-  kept
+  (* Merge walk over the color-sorted vertex list against the sorted,
+     deduplicated selection: O(card + |sel| log |sel|) instead of the
+     old List.mem scan's O(card * |sel|). *)
+  let sel = List.sort_uniq Int.compare sel in
+  let rec keep sel vs =
+    match (sel, vs) with
+    | [], _ | _, [] -> []
+    | c :: sel', v :: vs' ->
+        let cv = Vertex.color v in
+        if cv < c then keep sel vs'
+        else if cv > c then keep sel' vs
+        else v :: keep sel' vs'
+  in
+  match keep sel s.verts with
+  | [] -> invalid_arg "Simplex.proj: empty projection"
+  | kept -> intern kept
 
-let subset tau sigma = List.for_all (fun v -> mem v sigma) tau
+let subset tau sigma =
+  (* Both vertex lists are color-sorted, so the face test is a single
+     merge walk with O(1) vertex equality — O(card sigma) total,
+     replacing the old O(card tau * card sigma) membership scan. *)
+  let rec sub xs ys =
+    match (xs, ys) with
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | x :: xs', y :: ys' ->
+        let cx = Vertex.color x and cy = Vertex.color y in
+        if cy < cx then sub xs ys'
+        else if cy > cx then false
+        else Vertex.equal x y && sub xs' ys'
+  in
+  tau == sigma || sub tau.verts sigma.verts
 
 let faces s =
   let rec go = function
@@ -40,17 +78,21 @@ let faces s =
         let subs = go rest in
         List.map (fun f -> v :: f) subs @ subs
   in
-  List.filter (fun f -> f <> []) (go s)
+  List.filter_map (function [] -> None | f -> Some (intern f)) (go s.verts)
 
-let proper_faces s = List.filter (fun f -> f <> s) (faces s)
+let equal (a : t) b = a == b
+let proper_faces s = List.filter (fun f -> not (equal f s)) (faces s)
 
 let boundary s =
   if dim s = 0 then []
-  else List.map (fun v -> List.filter (fun w -> not (Vertex.equal v w)) s) s
+  else
+    List.map
+      (fun v -> intern (List.filter (fun w -> not (Vertex.equal v w)) s.verts))
+      s.verts
 
 let union a b =
   let merged =
-    List.sort_uniq Vertex.compare (List.rev_append a b)
+    List.sort_uniq Vertex.compare (List.rev_append a.verts b.verts)
   in
   let rec check = function
     | x :: (y :: _ as rest) ->
@@ -60,23 +102,32 @@ let union a b =
     | [ _ ] | [] -> ()
   in
   check merged;
-  merged
+  intern merged
 
 let map_values f s =
-  List.map (fun v -> Vertex.make (Vertex.color v) (f (Vertex.color v) (Vertex.value v))) s
+  intern
+    (List.map
+       (fun v -> Vertex.make (Vertex.color v) (f (Vertex.color v) (Vertex.value v)))
+       s.verts)
 
-let as_view s = Value.view (List.map (fun v -> (Vertex.color v, Vertex.value v)) s)
+let as_view s =
+  Value.view (List.map (fun v -> (Vertex.color v, Vertex.value v)) s.verts)
 
-let rec compare a b =
-  match (a, b) with
-  | [], [] -> 0
-  | [], _ :: _ -> -1
-  | _ :: _, [] -> 1
-  | x :: a', y :: b' ->
-      let c = Vertex.compare x y in
-      if c <> 0 then c else compare a' b'
+let compare a b =
+  if a == b then 0
+  else
+    let rec go xs ys =
+      match (xs, ys) with
+      | [], [] -> 0
+      | [], _ :: _ -> -1
+      | _ :: _, [] -> 1
+      | x :: xs', y :: ys' ->
+          let c = Vertex.compare x y in
+          if c <> 0 then c else go xs' ys'
+    in
+    go a.verts b.verts
 
-let equal a b = compare a b = 0
+let hash s = s.sid
 
 let is_chromatic_set vs =
   let colors = List.sort Int.compare (List.map Vertex.color vs) in
@@ -91,7 +142,7 @@ let pp ppf s =
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
        Vertex.pp)
-    s
+    s.verts
 
 let to_string s = Format.asprintf "%a" pp s
 
@@ -103,3 +154,10 @@ end
 
 module Set = Set.Make (Ordered)
 module Map = Map.Make (Ordered)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

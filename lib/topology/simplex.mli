@@ -5,7 +5,11 @@
     simplex with [k] vertices is [k - 1]. *)
 
 type t
-(** Immutable; ordered by color. *)
+(** Immutable; ordered by color.  Hash-consed: every constructor
+    returns an interned node, so structurally-equal simplices are one
+    physical node, [equal] is O(1) physical identity and [hash] the
+    O(1) interned id.  [compare] stays the structural color-then-value
+    order (ids never leak into ordering or rendering). *)
 
 val of_vertices : Vertex.t list -> t
 (** @raise Invalid_argument on an empty list or a repeated color. *)
@@ -38,7 +42,8 @@ val proj : int list -> t -> t
     @raise Invalid_argument if the intersection is empty. *)
 
 val subset : t -> t -> bool
-(** [subset τ σ] holds when [τ] is a face of [σ]. *)
+(** [subset τ σ] holds when [τ] is a face of [σ].  Single merge walk
+    over the color-sorted vertex lists: O(card σ). *)
 
 val faces : t -> t list
 (** All non-empty faces, including [t] itself. *)
@@ -62,6 +67,14 @@ val as_view : t -> Value.t
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
+(** O(1) physical identity — sound because construction interns. *)
+
+val hash : t -> int
+(** O(1) interned id; process-local, never render or store it. *)
+
+val interned_nodes : unit -> int
+(** Live interned simplices (weak count).  Diagnostic only. *)
+
 val is_chromatic_set : Vertex.t list -> bool
 (** Whether a list of vertices has pairwise distinct colors — the
     "chromatic set" condition of Definition 1 (such a set need not be a
@@ -72,3 +85,7 @@ val to_string : t -> string
 
 module Set : Set.S with type elt = t
 module Map : Map.S with type key = t
+
+(** Hash table keyed by interned identity: O(1) [equal]/[hash], so a
+    [Tbl] lookup never walks the simplex. *)
+module Tbl : Hashtbl.S with type key = t

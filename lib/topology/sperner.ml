@@ -2,9 +2,9 @@ let union_sorted ls = List.sort_uniq Int.compare (List.concat ls)
 
 let rec carrier_of_value key value =
   match value with
-  | Value.View entries ->
+  | Value.View { assoc = entries; _ } ->
       union_sorted (List.map (fun (j, inner) -> carrier_of_value j inner) entries)
-  | Value.Pair (_, (Value.View _ as view)) -> carrier_of_value key view
+  | Value.Pair { snd = Value.View _ as view; _ } -> carrier_of_value key view
   | Value.Unit | Value.Bool _ | Value.Int _ | Value.Frac _ | Value.Str _
   | Value.Pair _ ->
       [ key ]

@@ -4,11 +4,76 @@ type t =
   | Int of int
   | Frac of Frac.t
   | Str of string
-  | Pair of t * t
-  | View of (int * t) list
+  | Pair of pair_node
+  | View of view_node
+
+and pair_node = { pair_id : int; fst : t; snd : t }
+and view_node = { view_id : int; assoc : (int * t) list }
+
+(* O(1): leaves by immediate contents, interned nodes by physical
+   identity (the arena guarantees one live node per structure). *)
+let equal a b =
+  a == b
+  ||
+  match (a, b) with
+  | Unit, Unit -> true
+  | Bool x, Bool y -> Bool.equal x y
+  | Int x, Int y -> Int.equal x y
+  | Frac x, Frac y -> Frac.equal x y
+  | Str x, Str y -> String.equal x y
+  | Pair x, Pair y -> x == y
+  | View x, View y -> x == y
+  | (Unit | Bool _ | Int _ | Frac _ | Str _ | Pair _ | View _), _ -> false
+
+let hash = function
+  | Unit -> 17
+  | Bool b -> if b then 3 else 5
+  | Int n -> Hashtbl.hash n
+  | Frac q -> Hashtbl.hash (Frac.num q, Frac.den q)
+  | Str s -> Hashtbl.hash s
+  | Pair p -> p.pair_id
+  | View v -> v.view_id
+
+(* The arenas intern the whole [Pair]/[View] variant block (not just
+   the payload record), so the smart constructors return one canonical
+   physical value per structure and [==] holds at the [t] level.
+   Arena operations are shallow: children are already interned, so
+   [equal]/[hash] above make find-or-insert O(1) per node. *)
+module Pair_arena = Intern.Make (struct
+  type nonrec t = t
+
+  let equal a b =
+    match (a, b) with
+    | Pair x, Pair y -> equal x.fst y.fst && equal x.snd y.snd
+    | _, _ -> a == b (* arena holds only [Pair]s *)
+
+  let hash = function Pair x -> (31 * hash x.fst) + hash x.snd + 7 | v -> hash v
+end)
+
+module View_arena = Intern.Make (struct
+  type nonrec t = t
+
+  let equal a b =
+    match (a, b) with
+    | View x, View y ->
+        List.equal
+          (fun (i, v) (j, w) -> Int.equal i j && equal v w)
+          x.assoc y.assoc
+    | _, _ -> a == b (* arena holds only [View]s *)
+
+  let hash = function
+    | View x ->
+        List.fold_left
+          (fun acc (i, v) -> (31 * acc) + (17 * i) + hash v)
+          11 x.assoc
+    | v -> hash v
+end)
+
+let pair a b =
+  Pair_arena.intern (Pair { pair_id = Intern.fresh_id (); fst = a; snd = b })
 
 let view assoc =
-  let sorted = List.sort (fun (i, _) (j, _) -> Stdlib.compare i j) assoc in
+  let sorted = List.sort (fun (i, _) (j, _) -> Int.compare i j) assoc in
   let rec check = function
     | (i, _) :: ((j, _) :: _ as rest) ->
         if i = j then invalid_arg "Value.view: repeated color";
@@ -16,15 +81,17 @@ let view assoc =
     | [ _ ] | [] -> ()
   in
   check sorted;
-  View sorted
+  View_arena.intern (View { view_id = Intern.fresh_id (); assoc = sorted })
+
+let interned_nodes () = Pair_arena.count () + View_arena.count ()
 
 let view_ids = function
-  | View assoc -> List.map fst assoc
+  | View v -> List.map Stdlib.fst v.assoc
   | Unit | Bool _ | Int _ | Frac _ | Str _ | Pair _ ->
       invalid_arg "Value.view_ids: not a view"
 
 let view_find i = function
-  | View assoc -> List.assoc_opt i assoc
+  | View v -> List.assoc_opt i v.assoc
   | Unit | Bool _ | Int _ | Frac _ | Str _ | Pair _ ->
       invalid_arg "Value.view_find: not a view"
 
@@ -38,19 +105,25 @@ let rank = function
   | Pair _ -> 5
   | View _ -> 6
 
+(* The canonical order.  Identical to [structural_compare] below — ids
+   never participate — but physically-equal shared subtrees return 0
+   without being walked, which is what makes deep-view comparisons
+   effectively constant once rounds share structure. *)
 let rec compare a b =
-  match (a, b) with
-  | Unit, Unit -> 0
-  | Bool x, Bool y -> Stdlib.compare x y
-  | Int x, Int y -> Stdlib.compare x y
-  | Frac x, Frac y -> Frac.compare x y
-  | Str x, Str y -> Stdlib.compare x y
-  | Pair (x1, x2), Pair (y1, y2) ->
-      let c = compare x1 y1 in
-      if c <> 0 then c else compare x2 y2
-  | View x, View y -> compare_assoc x y
-  | (Unit | Bool _ | Int _ | Frac _ | Str _ | Pair _ | View _), _ ->
-      Stdlib.compare (rank a) (rank b)
+  if a == b then 0
+  else
+    match (a, b) with
+    | Unit, Unit -> 0
+    | Bool x, Bool y -> Bool.compare x y
+    | Int x, Int y -> Int.compare x y
+    | Frac x, Frac y -> Frac.compare x y
+    | Str x, Str y -> String.compare x y
+    | Pair x, Pair y ->
+        let c = compare x.fst y.fst in
+        if c <> 0 then c else compare x.snd y.snd
+    | View x, View y -> compare_assoc x.assoc y.assoc
+    | (Unit | Bool _ | Int _ | Frac _ | Str _ | Pair _ | View _), _ ->
+        Int.compare (rank a) (rank b)
 
 and compare_assoc x y =
   match (x, y) with
@@ -58,23 +131,39 @@ and compare_assoc x y =
   | [], _ :: _ -> -1
   | _ :: _, [] -> 1
   | (i, v) :: x', (j, w) :: y' ->
-      let c = Stdlib.compare i j in
+      let c = Int.compare i j in
       if c <> 0 then c
       else
         let c = compare v w in
         if c <> 0 then c else compare_assoc x' y'
 
-let equal a b = compare a b = 0
+(* Full structural walk, no sharing short-circuits: the oracle that
+   [compare] must agree with, and the bench's structural baseline. *)
+let rec structural_compare a b =
+  match (a, b) with
+  | Unit, Unit -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Frac x, Frac y -> Frac.compare x y
+  | Str x, Str y -> String.compare x y
+  | Pair x, Pair y ->
+      let c = structural_compare x.fst y.fst in
+      if c <> 0 then c else structural_compare x.snd y.snd
+  | View x, View y -> structural_compare_assoc x.assoc y.assoc
+  | (Unit | Bool _ | Int _ | Frac _ | Str _ | Pair _ | View _), _ ->
+      Int.compare (rank a) (rank b)
 
-let rec hash = function
-  | Unit -> 17
-  | Bool b -> if b then 3 else 5
-  | Int n -> Hashtbl.hash n
-  | Frac q -> Hashtbl.hash (Frac.num q, Frac.den q)
-  | Str s -> Hashtbl.hash s
-  | Pair (a, b) -> (31 * hash a) + hash b + 7
-  | View assoc ->
-      List.fold_left (fun acc (i, v) -> (31 * acc) + (17 * i) + hash v) 11 assoc
+and structural_compare_assoc x y =
+  match (x, y) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | (i, v) :: x', (j, w) :: y' ->
+      let c = Int.compare i j in
+      if c <> 0 then c
+      else
+        let c = structural_compare v w in
+        if c <> 0 then c else structural_compare_assoc x' y'
 
 let frac n d = Frac (Frac.make n d)
 
@@ -94,13 +183,13 @@ let rec pp ppf = function
   | Int n -> Format.pp_print_int ppf n
   | Frac q -> Frac.pp ppf q
   | Str s -> Format.pp_print_string ppf s
-  | Pair (a, b) -> Format.fprintf ppf "(%a,%a)" pp a pp b
-  | View assoc ->
-      let pp_entry ppf (i, v) = Format.fprintf ppf "%d:%a" i pp v in
+  | Pair p -> Format.fprintf ppf "(%a,%a)" pp p.fst pp p.snd
+  | View v ->
+      let pp_entry ppf (i, x) = Format.fprintf ppf "%d:%a" i pp x in
       Format.fprintf ppf "{%a}"
         (Format.pp_print_list
            ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
            pp_entry)
-        assoc
+        v.assoc
 
 let to_string v = Format.asprintf "%a" pp v

@@ -5,7 +5,18 @@
     full-information views accumulated by Algorithm 1 (a [View] is the
     set of pairs [(j, v_j)] collected from the other processes), and the
     pair [(b_i, C_i)] formed in Algorithm 2 when a black-box object is
-    invoked ([Pair]). *)
+    invoked ([Pair]).
+
+    Views and pairs — the constructors that deepen geometrically with
+    the round count — are hash-consed: [pair] and [view] return interned
+    nodes ([Intern]), so structurally-equal trees share one physical
+    node and [equal]/[hash] are O(1).  Leaves keep their plain
+    constructors.  [Pair]/[View] payloads are private records, so
+    pattern matching still works everywhere but construction must go
+    through the smart constructors.  Interned ids are process-local and
+    scheduling-dependent: they back [equal]/[hash] only and never reach
+    [compare], [pp], or any serialization (the lint's R6 rule guards
+    call sites outside [lib/topology]). *)
 
 type t =
   | Unit
@@ -13,14 +24,27 @@ type t =
   | Int of int
   | Frac of Frac.t
   | Str of string
-  | Pair of t * t
-  | View of (int * t) list
-      (** Association list sorted by strictly increasing color; use
-          [view] to build one safely. *)
+  | Pair of pair_node
+  | View of view_node
+
+and pair_node = private { pair_id : int; fst : t; snd : t }
+
+and view_node = private { view_id : int; assoc : (int * t) list }
+(** [assoc] is sorted by strictly increasing color; [view] enforces
+    this. *)
+
+val pair : t -> t -> t
+(** [pair a b] is the interned pair [(a, b)]: structurally-equal calls
+    return the same physical node. *)
 
 val view : (int * t) list -> t
-(** [view assoc] sorts [assoc] by color and checks colors are distinct.
+(** [view assoc] sorts [assoc] by color, checks colors are distinct,
+    and interns the result.
     @raise Invalid_argument on a repeated color. *)
+
+val interned_nodes : unit -> int
+(** Live interned [Pair]/[View] nodes across both arenas (weak count).
+    Diagnostic, for tests and stats only. *)
 
 val view_ids : t -> int list
 (** Colors present in a [View].
@@ -31,10 +55,23 @@ val view_find : int -> t -> t option
 
 val compare : t -> t -> int
 (** Total structural order ([Frac] compared numerically, which
-    coincides with structural equality since fractions are normalized). *)
+    coincides with structural equality since fractions are normalized).
+    The order is identical to the pre-interning structural order — ids
+    never influence it — but physically-equal shared subtrees
+    short-circuit to 0 without being walked. *)
+
+val structural_compare : t -> t -> int
+(** The same order as [compare], computed by the full structural walk
+    with no sharing short-circuits.  Oracle for tests and the bench's
+    structural baseline; use [compare] everywhere else. *)
 
 val equal : t -> t -> bool
+(** O(1): leaves compare by immediate contents, interned [Pair]/[View]
+    nodes by physical identity. *)
+
 val hash : t -> int
+(** O(1); interned nodes hash by id, so values are process-local hash
+    keys only — never fold a [hash] into anything rendered or stored. *)
 
 val frac : int -> int -> t
 (** [frac n d] is [Frac (Frac.make n d)]. *)

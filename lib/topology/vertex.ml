@@ -1,18 +1,30 @@
-type t = { color : int; value : Value.t }
+type t = { vid : int; color : int; value : Value.t }
+
+module Arena = Intern.Make (struct
+  type nonrec t = t
+
+  (* Shallow: the value is interned (or a leaf), so Value.equal/hash
+     are O(1) here. *)
+  let equal a b = Int.equal a.color b.color && Value.equal a.value b.value
+  let hash v = (31 * v.color) + Value.hash v.value
+end)
 
 let make color value =
   if color <= 0 then invalid_arg "Vertex.make: color must be positive";
-  { color; value }
+  Arena.intern { vid = Intern.fresh_id (); color; value }
 
 let color v = v.color
 let value v = v.value
 
 let compare a b =
-  let c = Stdlib.compare a.color b.color in
-  if c <> 0 then c else Value.compare a.value b.value
+  if a == b then 0
+  else
+    let c = Int.compare a.color b.color in
+    if c <> 0 then c else Value.compare a.value b.value
 
-let equal a b = compare a b = 0
-let hash v = (31 * v.color) + Value.hash v.value
+let equal (a : t) b = a == b
+let hash v = v.vid
+let interned_nodes = Arena.count
 let pp ppf v = Format.fprintf ppf "(%d,%a)" v.color Value.pp v.value
 let to_string v = Format.asprintf "%a" pp v
 

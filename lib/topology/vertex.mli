@@ -1,21 +1,36 @@
 (** Colored vertices of chromatic complexes.
 
     A vertex is a pair [(color, value)] where the color is a process
-    identity in [1..n] (Appendix A.1). *)
+    identity in [1..n] (Appendix A.1).
 
-type t = { color : int; value : Value.t }
+    Vertices are hash-consed: [make] interns, so structurally-equal
+    vertices are one physical node and [equal]/[hash] are O(1) id
+    operations.  The type is abstract — use [make]/[color]/[value].
+    The interned id never reaches [compare], [pp], or serialization. *)
+
+type t
 
 val make : int -> Value.t -> t
-(** @raise Invalid_argument if the color is not positive. *)
+(** Interned: structurally-equal calls return the same physical node.
+    @raise Invalid_argument if the color is not positive. *)
 
 val color : t -> int
 val value : t -> Value.t
+
 val compare : t -> t -> int
 (** Colors compare first, then values; a chromatic simplex sorted with
-    this order is sorted by color. *)
+    this order is sorted by color.  Structural (id-free) order, with a
+    physical-equality short-circuit. *)
 
 val equal : t -> t -> bool
+(** O(1) physical identity — sound because [make] interns. *)
+
 val hash : t -> int
+(** O(1) interned id; process-local, never render or store it. *)
+
+val interned_nodes : unit -> int
+(** Live interned vertices (weak count).  Diagnostic only. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

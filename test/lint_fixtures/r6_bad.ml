@@ -1,0 +1,3 @@
+let is_solo v = v = Value.view [ (1, Value.Int 0) ]
+let bucket v = Hashtbl.hash (Value.pair v (Value.Int 0))
+let order a b = Stdlib.compare (Value.view a) b

@@ -1,0 +1,5 @@
+let is_solo v = Value.equal v (Value.view [ (1, Value.Int 0) ])
+let bucket v = Value.hash (Value.pair v (Value.Int 0))
+let distinct vs = List.sort_uniq Value.compare vs
+let arity v = List.length (Value.view_ids v) = 1
+let named v = Value.to_string v = "()"

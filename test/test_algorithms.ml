@@ -83,12 +83,12 @@ let test_tas_consensus_all_schedules () =
 
 let test_tas_decide_map () =
   (* The explicit decision map of Figure 4. *)
-  let won = Value.Pair (Value.Bool true, Value.view [ (1, Value.Int 4) ]) in
+  let won = Value.pair (Value.Bool true) (Value.view [ (1, Value.Int 4) ]) in
   Alcotest.(check bool) "winner keeps input" true
     (Value.equal (Tas_consensus2.decide 1 won) (Value.Int 4));
   let lost =
-    Value.Pair
-      (Value.Bool false, Value.view [ (1, Value.Int 4); (2, Value.Int 6) ])
+    Value.pair (Value.Bool false)
+      (Value.view [ (1, Value.Int 4); (2, Value.Int 6) ])
   in
   Alcotest.(check bool) "loser adopts" true
     (Value.equal (Tas_consensus2.decide 2 lost) (Value.Int 4))

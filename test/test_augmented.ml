@@ -67,7 +67,7 @@ let test_figure5_shape () =
     [ 1; 2; 3 ];
   (* The solo vertex with outcome 0 does not exist. *)
   let bad_solo =
-    Vertex.make 1 (Value.Pair (Value.Bool false, Model.solo_view 1 (Value.Int 0)))
+    Vertex.make 1 (Value.pair (Value.Bool false) (Model.solo_view 1 (Value.Int 0)))
   in
   Alcotest.(check bool) "no losing solo vertex" false (Complex.mem_vertex bad_solo c);
   Alcotest.(check bool) "winning solo vertex present" true
@@ -83,7 +83,7 @@ let test_exactly_one_winner_per_facet () =
         List.filter
           (fun v ->
             match Vertex.value v with
-            | Value.Pair (Value.Bool b, _) -> b
+            | Value.Pair { fst = Value.Bool b; _ } -> b
             | _ -> false)
           (Simplex.vertices facet)
       in
@@ -103,7 +103,7 @@ let test_figure7_shape () =
   (* Process 1 running solo must decide its own proposal 0: the
      "solo-decides-1" vertex is removed. *)
   let removed =
-    Vertex.make 1 (Value.Pair (Value.Bool true, Model.solo_view 1 (Value.Int 0)))
+    Vertex.make 1 (Value.pair (Value.Bool true) (Model.solo_view 1 (Value.Int 0)))
   in
   Alcotest.(check bool) "removed solo vertex" false (Complex.mem_vertex removed c);
   (* Executions among processes 2 and 3 only always decide 1. *)
@@ -117,7 +117,7 @@ let test_figure7_shape () =
          List.for_all
            (fun v ->
              match Vertex.value v with
-             | Value.Pair (b, _) -> Value.equal b (Value.Bool true)
+             | Value.Pair { fst = b; _ } -> Value.equal b (Value.Bool true)
              | _ -> false)
            (Simplex.vertices f))
        facets23)

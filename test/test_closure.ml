@@ -179,7 +179,7 @@ let test_round_op_accessors () =
   let tas_solo = Round_op.solo_vertex Round_op.test_and_set sigma 1 in
   Alcotest.(check bool) "tas solo wins" true
     (match Vertex.value tas_solo with
-    | Value.Pair (Value.Bool true, _) -> true
+    | Value.Pair { fst = Value.Bool true; _ } -> true
     | _ -> false)
 
 let suite =

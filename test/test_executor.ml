@@ -101,7 +101,7 @@ let test_boxed_round () =
   (* First-scheduled process 2 wins the object. *)
   let won i =
     match List.assoc i result.Executor.outputs with
-    | Value.Pair (Value.Bool b, _) -> b
+    | Value.Pair { fst = Value.Bool b; _ } -> b
     | _ -> Alcotest.fail "expected boxed view"
   in
   Alcotest.(check bool) "2 wins" true (won 2);

@@ -1,0 +1,232 @@
+(* Tests for the hash-consed topology core (lib/topology/intern.ml):
+   physical-equality round-trips through every constructor,
+   compare-vs-structural-compare oracle agreement, merge-walk
+   subset/proj against their naive definitions, id-independence of
+   rendered output across job counts, a multi-domain arena hammer, and
+   compatibility with a seed-era (pre-interning) certificate store. *)
+
+(* ---- deep value generator (pairs and views, unlike Gen.value) ---- *)
+
+let rec deep_value n : Value.t QCheck2.Gen.t =
+  if n = 0 then Gen.value
+  else
+    QCheck2.Gen.oneof
+      [
+        Gen.value;
+        QCheck2.Gen.map2 Value.pair (deep_value (n - 1)) (deep_value (n - 1));
+        QCheck2.Gen.(
+          int_range 1 3 >>= fun k ->
+          let colors = List.filteri (fun i _ -> i < k) [ 1; 2; 3 ] in
+          flatten_l
+            (List.map (fun c -> map (fun v -> (c, v)) (deep_value (n - 1))) colors)
+          >|= Value.view);
+      ]
+
+(* Rebuild a value bottom-up through the smart constructors: interning
+   must hand back the very same physical nodes. *)
+let rec rebuild = function
+  | Value.Pair { fst; snd; _ } -> Value.pair (rebuild fst) (rebuild snd)
+  | Value.View { assoc; _ } ->
+      Value.view (List.map (fun (i, v) -> (i, rebuild v)) assoc)
+  | (Value.Unit | Value.Bool _ | Value.Int _ | Value.Frac _ | Value.Str _) as
+    leaf ->
+      leaf
+
+let prop_value_roundtrip_physical =
+  QCheck2.Test.make ~name:"rebuilt values are physically equal" ~count:300
+    (deep_value 4) (fun v ->
+      match rebuild v with
+      | Value.Pair _ | Value.View _ -> rebuild v == v
+      | _ -> Value.equal (rebuild v) v)
+
+let prop_compare_agrees_with_structural =
+  QCheck2.Test.make ~name:"compare = structural_compare (oracle)" ~count:500
+    QCheck2.Gen.(pair (deep_value 4) (deep_value 4))
+    (fun (a, b) ->
+      Value.compare a b = Value.structural_compare a b
+      && Value.equal a b = (Value.structural_compare a b = 0))
+
+let prop_view_insertion_order_shares =
+  QCheck2.Test.make ~name:"views share nodes regardless of insertion order"
+    ~count:200
+    QCheck2.Gen.(pair (deep_value 2) (deep_value 2))
+    (fun (x, y) ->
+      let a = Value.view [ (1, x); (2, y) ] in
+      let b = Value.view [ (2, y); (1, x) ] in
+      a == b && Value.hash a = Value.hash b)
+
+(* ---- simplex round-trips ---- *)
+
+let rebuild_vertex v = Vertex.make (Vertex.color v) (rebuild (Vertex.value v))
+
+let prop_of_vertices_physical =
+  QCheck2.Test.make ~name:"of_vertices re-interns to the same node" ~count:300
+    (Gen.simplex ()) (fun s ->
+      let s' = Simplex.of_vertices (List.rev_map rebuild_vertex (Simplex.vertices s)) in
+      Simplex.equal s' s && s' == s)
+
+let prop_faces_physical =
+  QCheck2.Test.make ~name:"faces are shared across computations" ~count:200
+    (Gen.simplex ()) (fun s ->
+      List.for_all2 (fun a b -> a == b) (Simplex.faces s) (Simplex.faces s))
+
+let prop_union_physical =
+  QCheck2.Test.make ~name:"union of faces returns the interned whole" ~count:200
+    (Gen.simplex ()) (fun s ->
+      List.for_all
+        (fun tau -> Simplex.union tau s == s && Simplex.union s tau == s)
+        (Simplex.faces s))
+
+(* ---- merge-walk subset/proj against their naive definitions ---- *)
+
+let naive_subset tau sigma =
+  List.for_all (fun v -> Simplex.mem v sigma) (Simplex.vertices tau)
+
+let prop_subset_oracle =
+  QCheck2.Test.make ~name:"subset = naive membership scan" ~count:300
+    QCheck2.Gen.(pair (Gen.simplex ()) (Gen.simplex ()))
+    (fun (a, b) ->
+      Simplex.subset a b = naive_subset a b
+      && List.for_all (fun f -> Simplex.subset f a) (Simplex.faces a))
+
+let prop_proj_oracle =
+  QCheck2.Test.make ~name:"proj = naive color filter" ~count:300
+    QCheck2.Gen.(pair (Gen.simplex ()) (list_size (int_range 1 6) (int_range 1 6)))
+    (fun (s, sel) ->
+      let naive =
+        List.filter (fun v -> List.mem (Vertex.color v) sel) (Simplex.vertices s)
+      in
+      match naive with
+      | [] -> (
+          match Simplex.proj sel s with
+          | exception Invalid_argument _ -> true
+          | _ -> false)
+      | kept -> Simplex.proj sel s == Simplex.of_vertices kept)
+
+(* ---- id-independence of rendered output across job counts ---- *)
+
+let render_closure () =
+  let task = Consensus.binary ~n:2 in
+  let op = Round_op.plain Model.Immediate in
+  String.concat "\n"
+    (List.map
+       (fun sigma ->
+         Format.asprintf "%a" Complex.pp (Closure.delta ~op task sigma))
+       (Task.input_simplices task))
+
+let test_jobs_independence () =
+  (* A fresh computation at each job count: different interleavings
+     assign different intern ids, yet the rendering must not move a
+     byte.  The memo and store are disabled so the second run really
+     recomputes. *)
+  Cert.Store.set_dir None;
+  Fun.protect
+    ~finally:(fun () ->
+      Cert.Store.unset_dir ();
+      Pool.set_jobs None)
+    (fun () ->
+      Pool.set_jobs (Some 1);
+      Closure.reset_memo ();
+      let seq = render_closure () in
+      Pool.set_jobs (Some 4);
+      Closure.reset_memo ();
+      let par = render_closure () in
+      Alcotest.(check string) "byte-identical rendering at jobs=1 and jobs=4"
+        seq par)
+
+(* ---- multi-domain intern-table hammer ---- *)
+
+let hammer_build () =
+  List.init 400 (fun i ->
+      let leaf = Value.Int (i mod 23) in
+      let v =
+        Value.view
+          [ (1, leaf); (2, Value.pair (Value.Bool (i mod 2 = 0)) leaf) ]
+      in
+      let w = Value.pair v (Value.view [ (3, v) ]) in
+      Simplex.of_list [ (1, v); (2, w); (3, Value.Int (i mod 7)) ])
+
+let test_multi_domain_hammer () =
+  (* Four domains race to intern the same 400 simplices (and all their
+     vertices and values).  Every domain must end up holding the same
+     physical nodes — one survivor per structure, no torn shards. *)
+  let domains = List.init 4 (fun _ -> Domain.spawn hammer_build) in
+  let results = List.map Domain.join domains in
+  let first = List.hd results in
+  List.iteri
+    (fun d r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "domain %d interned the same nodes" d)
+        true
+        (List.for_all2 (fun a b -> a == b) first r))
+    results;
+  Alcotest.(check bool) "arenas report live nodes" true
+    (Value.interned_nodes () > 0
+    && Vertex.interned_nodes () > 0
+    && Simplex.interned_nodes () > 0)
+
+(* ---- seed-era certificate store compatibility ---- *)
+
+(* Same resolution idiom as test_lint: under `dune runtest` the store
+   is materialized next to the binary; under `dune exec` fall back to
+   the source tree. *)
+let fixture_store =
+  let test_dir = Filename.dirname Sys.executable_name in
+  let candidates =
+    [
+      Filename.concat test_dir "cert_fixture_store";
+      Filename.concat test_dir "../../../test/cert_fixture_store";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some d -> d
+  | None -> List.hd candidates
+
+let test_seed_store_compatible () =
+  (* The fixture store was written by the pre-interning engine
+     (`closure --task consensus -n 3`).  Content addresses are digests
+     of the canonical structural sexp, which interning must not have
+     moved by a byte: the warm run must verify all 26 certificates and
+     never enumerate, miss, or write. *)
+  Cert.Store.set_dir (Some fixture_store);
+  Fun.protect
+    ~finally:(fun () -> Cert.Store.unset_dir ())
+    (fun () ->
+      Closure.reset_memo ();
+      Cert.Store.reset_stats ();
+      let task = Consensus.binary ~n:3 in
+      let op = Round_op.plain Model.Immediate in
+      let inputs = Task.input_simplices task in
+      List.iter
+        (fun sigma ->
+          Alcotest.(check bool) "still a fixed point" true
+            (Complex.equal (Closure.delta ~op task sigma) (Task.delta task sigma)))
+        inputs;
+      let ms = Closure.memo_stats () in
+      Alcotest.(check int) "zero enumerations: every answer cert-served" 0
+        ms.Closure.enumerations;
+      let st = Cert.Store.stats () in
+      Alcotest.(check int) "all 26 seed-era certificates hit" 26
+        st.Cert.Store.hits;
+      Alcotest.(check int) "no misses" 0 st.Cert.Store.misses;
+      Alcotest.(check int) "no writes" 0 st.Cert.Store.writes;
+      Alcotest.(check int) "no corrupt entries" 0 st.Cert.Store.corrupt)
+
+let suite =
+  ( "intern",
+    [
+      QCheck_alcotest.to_alcotest prop_value_roundtrip_physical;
+      QCheck_alcotest.to_alcotest prop_compare_agrees_with_structural;
+      QCheck_alcotest.to_alcotest prop_view_insertion_order_shares;
+      QCheck_alcotest.to_alcotest prop_of_vertices_physical;
+      QCheck_alcotest.to_alcotest prop_faces_physical;
+      QCheck_alcotest.to_alcotest prop_union_physical;
+      QCheck_alcotest.to_alcotest prop_subset_oracle;
+      QCheck_alcotest.to_alcotest prop_proj_oracle;
+      Alcotest.test_case "rendering is id-independent (jobs=1 vs 4)" `Quick
+        test_jobs_independence;
+      Alcotest.test_case "multi-domain intern hammer" `Quick
+        test_multi_domain_hammer;
+      Alcotest.test_case "seed-era cert store still verifies" `Quick
+        test_seed_store_compatible;
+    ] )

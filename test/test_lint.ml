@@ -1,5 +1,5 @@
 (* Tests for speedup-lint (tools/lint), driven through the built
-   executable: each rule R1–R5 on a good and a bad fixture with exact
+   executable: each rule R1–R6 on a good and a bad fixture with exact
    (rule, line) diagnostics, scope boundaries, the three suppression
    forms, the baseline mechanism, and the CLI exit codes.  Fixtures
    live under test/lint_fixtures/ and only need to parse — the
@@ -82,8 +82,8 @@ let test_r1 () =
     (lint ~dir:"lib/models/" "r1_bad.ml");
   check_run "good: Atomic + function-local ref" ~expected_code:0 []
     (lint ~dir:"lib/models/" "r1_good.ml");
-  check_run "out of scope: same code in lib/topology" ~expected_code:0 []
-    (lint ~dir:"lib/topology/" "r1_bad.ml")
+  check_run "out of scope: same code in lib/tasks" ~expected_code:0 []
+    (lint ~dir:"lib/tasks/" "r1_bad.ml")
 
 let test_r2 () =
   check_run "bad: unsorted Hashtbl.fold into a list" ~expected_code:1
@@ -132,6 +132,21 @@ let test_r5 () =
   check_run "solver scope: the allowlist does not leak" ~expected_code:1
     [ ("R5", 1); ("R5", 2) ]
     (lint ~dir:"lib/solver/" "r5_server.ml")
+
+let test_r6 () =
+  check_run "bad: structural ops on interned Value" ~expected_code:1
+    [ ("R6", 1); ("R6", 2); ("R6", 3) ]
+    (lint ~dir:"lib/models/" "r6_bad.ml");
+  check_run "good: Value.equal/hash/compare + scalar projections"
+    ~expected_code:0 []
+    (lint ~dir:"lib/models/" "r6_good.ml");
+  (* Inside lib/topology the structural walk is the implementation. *)
+  check_run "out of scope: same code in lib/topology" ~expected_code:0 []
+    (lint ~dir:"lib/topology/" "r6_bad.ml");
+  (* bench/bin/tools build interned values too; R6 follows them. *)
+  check_run "bench is in scope for R6" ~expected_code:1
+    [ ("R6", 1); ("R6", 2); ("R6", 3) ]
+    (lint ~dir:"bench/" "r6_bad.ml")
 
 let test_suppressions () =
   check_run "binding and expression [@lint.allow]" ~expected_code:0 []
@@ -213,6 +228,7 @@ let suite =
       Alcotest.test_case "R3 lock discipline" `Quick test_r3;
       Alcotest.test_case "R4 polymorphic compare" `Quick test_r4;
       Alcotest.test_case "R5 banned nondeterminism" `Quick test_r5;
+      Alcotest.test_case "R6 structural ops on interned types" `Quick test_r6;
       Alcotest.test_case "inline suppressions" `Quick test_suppressions;
       Alcotest.test_case "baseline load/apply" `Quick test_baseline;
       Alcotest.test_case "emit-baseline and json output" `Quick test_emit_and_json;

@@ -22,7 +22,7 @@ let test_compare_constructors () =
   (* The order is total and discriminates constructors. *)
   let samples =
     [ Value.Unit; Value.Bool false; Value.Int 0; Value.frac 1 2; Value.Str "x";
-      Value.Pair (Value.Unit, Value.Unit); Value.view [ (1, Value.Unit) ] ]
+      Value.pair Value.Unit Value.Unit; Value.view [ (1, Value.Unit) ] ]
   in
   List.iter
     (fun a ->
@@ -53,7 +53,7 @@ let test_nested_views () =
     (Value.to_string outer)
 
 let test_pair_values () =
-  let p = Value.Pair (Value.Bool true, Value.view [ (1, Value.Int 0) ]) in
+  let p = Value.pair (Value.Bool true) (Value.view [ (1, Value.Int 0) ]) in
   Alcotest.(check string) "pp pair" "(true,{1:0})" (Value.to_string p)
 
 let prop_compare_reflexive =

@@ -12,7 +12,7 @@
    there must be Atomic, mutex-guarded, or explicitly allowlisted
    (R1). *)
 let parallel_reachable =
-  [ "closure"; "models"; "runtime"; "solver"; "cert"; "server" ]
+  [ "topology"; "closure"; "models"; "runtime"; "solver"; "cert"; "server" ]
 
 (* Libraries defining the dedicated comparator types: inside them the
    stricter R4 comparator-hygiene checks apply. *)
@@ -33,6 +33,7 @@ type scope = {
   r4_dedicated : bool;  (* dedicated-comparator layer: strict R4 *)
   r5 : bool;  (* banned-nondeterminism applies (lib/ only) *)
   r5_allowed : string list list;  (* banned idents exempted here *)
+  r6 : bool;  (* structural ops on interned types forbidden *)
 }
 
 let classify path =
@@ -47,19 +48,23 @@ let classify path =
           (match List.assoc_opt name r5_allowlist with
           | Some idents -> idents
           | None -> []);
+        (* Inside lib/topology the interned representation is the
+           point: Value defines its own structural walk.  Everywhere
+           else, structural ops on interned values are R6 errors. *)
+        r6 = name <> "topology";
       }
   | "bench" :: _ ->
       { label = "bench"; r1 = false; r4_dedicated = false; r5 = false;
-        r5_allowed = [] }
+        r5_allowed = []; r6 = true }
   | "bin" :: _ ->
       { label = "bin"; r1 = false; r4_dedicated = false; r5 = false;
-        r5_allowed = [] }
+        r5_allowed = []; r6 = true }
   | "tools" :: _ ->
       { label = "tools"; r1 = false; r4_dedicated = false; r5 = false;
-        r5_allowed = [] }
+        r5_allowed = []; r6 = true }
   | _ ->
       { label = "other"; r1 = false; r4_dedicated = false; r5 = false;
-        r5_allowed = [] }
+        r5_allowed = []; r6 = false }
 
 (* Modules whose main type has a dedicated comparator (R4). *)
 let dedicated_modules = [ "Simplex"; "Vertex"; "Complex"; "Frac" ]
@@ -84,6 +89,26 @@ let scalar_projections =
     ( "Frac",
       [ "num"; "den"; "sign"; "to_string"; "to_float"; "compare"; "equal"; "pp" ]
     );
+  ]
+
+(* Modules whose main type is hash-consed (R6): interned nodes carry
+   process-local ids, so [Stdlib.compare] orders them
+   nondeterministically and [Hashtbl.hash] folds the ids.  Vertex and
+   Simplex are interned too, but they are already [dedicated_modules],
+   so R4 flags the same operations there; R6 covers the types R4 does
+   not.  Applies outside lib/topology (scope field [r6]). *)
+let interned_modules = [ "Value" ]
+
+(* Functions of an interned module returning plain scalars: applying a
+   structural operation to their result is fine (mirrors
+   [scalar_projections] for R4). *)
+let interned_scalar_projections =
+  [
+    ( "Value",
+      [
+        "view_ids"; "compare"; "structural_compare"; "equal"; "hash";
+        "to_string"; "as_frac"; "as_bool"; "pp"; "interned_nodes";
+      ] );
   ]
 
 (* Scalar-returning operations of the Set/Map/Tbl submodules. *)

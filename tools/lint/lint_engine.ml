@@ -248,6 +248,30 @@ let rec abstract_rooted e =
   | Pexp_field (e, _) -> abstract_rooted e
   | _ -> false
 
+(* ---- R6 helpers ---- *)
+
+let is_interned m = List.mem m Lint_config.interned_modules
+
+let interned_scalar m fn =
+  match List.assoc_opt m Lint_config.interned_scalar_projections with
+  | Some fns -> List.mem fn fns
+  | None -> false
+
+(* Is the value of [e] (possibly) of an interned type?  Same
+   conservative shape as [abstract_rooted]: heads rooted in an interned
+   module that are not scalar projections. *)
+let rec interned_rooted e =
+  match (peel e).pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match flatten txt with
+      | [ m; fn ] when is_interned m -> not (interned_scalar m fn)
+      | _ -> false)
+  | Pexp_apply (f, _) -> interned_rooted f
+  | Pexp_tuple es -> List.exists interned_rooted es
+  | Pexp_construct (_, Some e) | Pexp_variant (_, Some e) -> interned_rooted e
+  | Pexp_field (e, _) -> interned_rooted e
+  | _ -> false
+
 (* "Simple scalar" expressions tolerated under polymorphic compare in
    the dedicated layer: the destructured-scalar idiom used inside the
    dedicated comparator definitions themselves. *)
@@ -398,7 +422,10 @@ let visit_expr ctx e =
                ~finally:(… Mutex.unlock …) in the same function; an \
                exception in the critical section would leave the mutex \
                held (or use Mutex.protect)";
-          (* R4: polymorphic compare applied at a dedicated type. *)
+          (* R4: polymorphic compare applied at a dedicated type.
+             R6: the same operations applied at an interned type —
+             interned ids make structural compare/hash order- and
+             schedule-dependent. *)
           if is_poly_op ctx p then
             List.iter
               (fun (_, a) ->
@@ -409,6 +436,14 @@ let visit_expr ctx e =
                         comparator type; use Simplex.compare / Vertex.compare \
                         / Complex.compare / Frac.compare (or key with \
                         Int.compare)"
+                       (String.concat "." p))
+                else if ctx.scope.Lint_config.r6 && interned_rooted a then
+                  report ctx ~rule:"R6" ~loc:e.pexp_loc
+                    (Printf.sprintf
+                       "structural '%s' applied to an interned value outside \
+                        lib/topology; interned nodes carry process-local ids, \
+                        so use Value.equal / Value.compare / Value.hash \
+                        instead"
                        (String.concat "." p)))
               args)
       | None -> ());
