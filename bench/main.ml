@@ -243,6 +243,18 @@ let kernels =
                  (Simplex.of_list
                     [ (1, Value.frac 0 1); (2, Value.frac 1 2);
                       (3, Value.frac 1 1) ]))) );
+    (* Model-algebra kernels: the full equivalence battery at n = 3,
+       and the e3 closure instance driven through a compiled algebra
+       term instead of the hard-coded model (check_algebra_parity
+       gates the latter against its twin). *)
+    ( "algebra/equiv-iis-vs-snapshot-n3",
+      fun () ->
+        ignore (Equiv.decide ~memo:false ~n:3 Algebra.iis Algebra.snapshot) );
+    ( "algebra/compiled-vs-builtin-closure",
+      fun () ->
+        ignore
+          (Closure.delta ~memo:false ~op:(Round_op.algebra Algebra.iis)
+             consensus3 closure_sigma) );
     (* Hash-consing kernels, gated against the pre-interning numbers in
        structural_baseline.json (see check_structural_baseline). *)
     ( "intern/deep-view-compare",
@@ -503,6 +515,31 @@ let check_structural_baseline () =
       in
       closure_ok && compare_ok
 
+(* ---- algebra parity gate ----
+
+   The compiled "iis" algebra term must stay within 10% of the
+   hard-coded model on the e3 closure instance.  Both paths serve
+   facets from a per-(model, σ) cache, so any larger gap means the
+   algebra compilation layer added per-call overhead to the closure
+   inner loop. *)
+let check_algebra_parity () =
+  let run op () =
+    ignore (Closure.delta ~memo:false ~op consensus3 closure_sigma)
+  in
+  let builtin_ns = time_ns 20 (run (Round_op.plain Model.Immediate)) in
+  let compiled_ns = time_ns 20 (run (Round_op.algebra Algebra.iis)) in
+  let ratio = compiled_ns /. builtin_ns in
+  let ok = ratio <= 1.10 in
+  Printf.printf
+    "algebra parity: compiled %.0f ns/run vs builtin %.0f ns (%.2fx) — %s\n"
+    compiled_ns builtin_ns ratio
+    (if ok then "ok" else "TOO SLOW");
+  if not ok then
+    prerr_endline
+      "BENCH ERROR: the compiled algebra term is more than 10% slower than \
+       its hard-coded twin on the closure kernel";
+  ok
+
 let print_cache_stats () =
   let m = Closure.memo_stats () in
   let s = Cert_store.stats () in
@@ -572,10 +609,11 @@ let () =
         jobs_n (seq /. par)
   | _ -> ());
   let baseline_ok = check_structural_baseline () in
+  let algebra_ok = check_algebra_parity () in
   print_cache_stats ();
   remove_tree bench_store_root;
   (* Part 3: machine-readable summary for trend tracking. *)
   write_json ~rows ~jobs1_wall ~jobsn_wall ~identical ~all_ok
     "BENCH_kernels.json";
   Printf.printf "wrote BENCH_kernels.json\n";
-  if not (all_ok && identical && baseline_ok) then exit 1
+  if not (all_ok && identical && baseline_ok && algebra_ok) then exit 1

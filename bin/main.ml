@@ -1,6 +1,7 @@
 (* speedup — command-line front end to the reproduction.
 
-   Subcommands: experiment, complex, solve, closure, run-algo, list. *)
+   Subcommands: experiment, complex, solve, closure, model, run-algo,
+   list, cert, serve, query. *)
 
 open Cmdliner
 
@@ -120,6 +121,15 @@ let eps_arg =
   Arg.(value & opt frac_conv (Frac.make 1 4)
        & info [ "eps" ] ~docv:"EPS" ~doc:"Precision for AA tasks, e.g. 1/4.")
 
+(* Algebra terms arrive as strings and are parsed in the command body,
+   so a malformed term exits 2 with the parser's message (matching the
+   other usage errors) rather than cmdliner's generic CLI error. *)
+let algebra_arg =
+  Arg.(value & opt (some string) None
+       & info [ "algebra" ] ~docv:"TERM"
+           ~doc:"Model-algebra term (docs/MODELS.md), e.g. '(inter iis \
+                 snapshot)'; overrides --model.")
+
 let solve_cmd =
   let model =
     Arg.(value & opt model_conv Model.Immediate & info [ "model" ] ~doc:"Iterated model.")
@@ -130,7 +140,7 @@ let solve_cmd =
     Arg.(value & flag
          & info [ "binary-inputs" ] ~doc:"Restrict AA inputs to {0,1} (lower-bound family).")
   in
-  let run task n m eps model rounds tas binary_inputs =
+  let run task n m eps model algebra rounds tas binary_inputs =
     let task = task_of ~name:task ~n ~m ~eps in
     let inputs =
       if binary_inputs then
@@ -138,10 +148,26 @@ let solve_cmd =
       else None
     in
     let verdict =
-      if tas then
-        Solvability.task_in_augmented ?inputs ~box:Black_box.test_and_set
-          ~alpha:(Augmented.alpha_const Value.Unit) task ~rounds
-      else Solvability.task_in_model ?inputs model task ~rounds
+      match algebra with
+      | Some term -> (
+          match Algebra.parse term with
+          | Error msg ->
+              Printf.eprintf "speedup solve: %s\n" msg;
+              exit 2
+          | Ok t ->
+              let inputs =
+                match inputs with
+                | Some i -> i
+                | None -> Task.input_simplices task
+              in
+              Solvability.decide ~inputs
+                ~protocol:(fun sigma -> Algebra.protocol_complex t sigma rounds)
+                ~delta:(Task.delta task) ())
+      | None ->
+          if tas then
+            Solvability.task_in_augmented ?inputs ~box:Black_box.test_and_set
+              ~alpha:(Augmented.alpha_const Value.Unit) task ~rounds
+          else Solvability.task_in_model ?inputs model task ~rounds
     in
     (match verdict with
     | Solvability.Solvable _ ->
@@ -153,8 +179,8 @@ let solve_cmd =
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Decide t-round solvability of a task.")
-    Term.(const run $ task_arg $ n_arg $ m_arg $ eps_arg $ model $ rounds $ tas
-          $ binary_inputs)
+    Term.(const run $ task_arg $ n_arg $ m_arg $ eps_arg $ model $ algebra_arg
+          $ rounds $ tas $ binary_inputs)
 
 (* ---- closure ---- *)
 
@@ -163,9 +189,18 @@ let closure_cmd =
     Arg.(value & opt model_conv Model.Immediate & info [ "model" ] ~doc:"Iterated model.")
   in
   let tas = Arg.(value & flag & info [ "tas" ] ~doc:"Augment IIS with test\\&set.") in
-  let run task n m eps model tas =
+  let run task n m eps model algebra tas =
     let task = task_of ~name:task ~n ~m ~eps in
-    let op = if tas then Round_op.test_and_set else Round_op.plain model in
+    let op =
+      match algebra with
+      | Some term -> (
+          match Algebra.parse term with
+          | Error msg ->
+              Printf.eprintf "speedup closure: %s\n" msg;
+              exit 2
+          | Ok t -> Round_op.algebra t)
+      | None -> if tas then Round_op.test_and_set else Round_op.plain model
+    in
     let inputs = Task.input_simplices task in
     let fixed = ref true in
     List.iter
@@ -186,7 +221,95 @@ let closure_cmd =
   in
   Cmd.v
     (Cmd.info "closure" ~doc:"Compute the closure of a task and test the fixed-point property.")
-    Term.(const run $ task_arg $ n_arg $ m_arg $ eps_arg $ model $ tas)
+    Term.(const run $ task_arg $ n_arg $ m_arg $ eps_arg $ model $ algebra_arg
+          $ tas)
+
+(* ---- model (algebra) ---- *)
+
+let model_eval_cmd =
+  let term_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"TERM"
+             ~doc:"Model-algebra term, e.g. '(inter iis snapshot)'.")
+  in
+  let run term n =
+    match Algebra.parse term with
+    | Error msg ->
+        Printf.eprintf "speedup model eval: %s\n" msg;
+        2
+    | Ok t ->
+        let sigma =
+          Simplex.of_list (List.init n (fun i -> (i + 1, Value.Int (i + 1))))
+        in
+        let facets = Algebra.facets t sigma in
+        Format.printf "canonical: %s@." (Algebra.to_string t);
+        Format.printf "one round on σ (n=%d): %d facet(s), %a@." n
+          (List.length facets)
+          Complex.pp_stats
+          (Complex.of_facets facets);
+        Format.printf "allows solo executions: %b@." (Algebra.allows_solo t sigma);
+        0
+  in
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:"Parse a model-algebra term; print its canonical form, one-round \
+             statistics, and the solo-execution hypothesis.  Exits 2 on a \
+             malformed term.")
+    Term.(const run $ term_arg $ n_arg)
+
+let model_equiv_cmd =
+  let lhs_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"LHS" ~doc:"Left model-algebra term.")
+  in
+  let rhs_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"RHS" ~doc:"Right model-algebra term.")
+  in
+  let n =
+    Arg.(value & opt int 2
+         & info [ "n" ] ~docv:"N"
+             ~doc:"Probe the task battery at every instance size up to N.")
+  in
+  let run lhs rhs n =
+    match (Algebra.parse lhs, Algebra.parse rhs) with
+    | Error msg, _ | _, Error msg ->
+        Printf.eprintf "speedup model equiv: %s\n" msg;
+        2
+    | Ok lhs, Ok rhs ->
+        let outcome = Equiv.decide ~n lhs rhs in
+        List.iter
+          (fun (p : Equiv.probe) ->
+            Printf.printf "%-44s %s\n" p.Equiv.label
+              (if String.equal p.Equiv.lhs p.Equiv.rhs then "agree"
+               else
+                 Printf.sprintf "DIFFER (lhs %s, rhs %s)" p.Equiv.lhs
+                   p.Equiv.rhs))
+          outcome.Equiv.probes;
+        if outcome.Equiv.equivalent then begin
+          Printf.printf "%s == %s (task-solvability equivalent at bound n=%d)\n"
+            (Algebra.to_string lhs) (Algebra.to_string rhs) n;
+          0
+        end
+        else begin
+          Printf.printf "%s =/= %s (distinguished at bound n=%d)\n"
+            (Algebra.to_string lhs) (Algebra.to_string rhs) n;
+          1
+        end
+  in
+  Cmd.v
+    (Cmd.info "equiv"
+       ~doc:"Decide task-solvability equivalence of two model-algebra terms \
+             on small instances via the certified closure/solver pipeline.  \
+             Exits 0 when equivalent, 1 when distinguished, 2 on a malformed \
+             term.")
+    Term.(const run $ lhs_arg $ rhs_arg $ n)
+
+let model_cmd =
+  Cmd.group
+    (Cmd.info "model"
+       ~doc:"Evaluate and compare model-algebra terms (see docs/MODELS.md).")
+    [ model_eval_cmd; model_equiv_cmd ]
 
 (* ---- run-algo ---- *)
 
@@ -632,8 +755,8 @@ let query_cmd =
   let meth =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"METHOD"
-             ~doc:"ping, stats, solvable, closure, experiment, complex-stats, \
-                   or shutdown.")
+             ~doc:"ping, stats, solvable, closure, equiv, experiment, \
+                   complex-stats, or shutdown.")
   in
   let experiment_id =
     Arg.(value & pos 1 (some string) None
@@ -652,7 +775,17 @@ let query_cmd =
   in
   let model =
     Arg.(value & opt string "immediate"
-         & info [ "model" ] ~docv:"MODEL" ~doc:"collect, snapshot, immediate.")
+         & info [ "model" ] ~docv:"MODEL"
+             ~doc:"collect, snapshot, immediate, or a model-algebra term \
+                   (docs/MODELS.md).")
+  in
+  let lhs =
+    Arg.(value & opt (some string) None
+         & info [ "lhs" ] ~docv:"TERM" ~doc:"Left algebra term (equiv).")
+  in
+  let rhs =
+    Arg.(value & opt (some string) None
+         & info [ "rhs" ] ~docv:"TERM" ~doc:"Right algebra term (equiv).")
   in
   let deadline_ms =
     Arg.(value & opt (some int) None
@@ -668,7 +801,7 @@ let query_cmd =
                    that is still starting.")
   in
   let run addr meth experiment_id task n m eps rounds tas binary_inputs model
-      deadline_ms id retries =
+      lhs rhs deadline_ms id retries =
     let params =
       match meth with
       | "ping" | "stats" | "shutdown" -> []
@@ -677,6 +810,17 @@ let query_cmd =
           | Some eid -> [ ("id", Jsonl.String eid) ]
           | None ->
               Printf.eprintf "query experiment needs an id argument\n";
+              exit 2)
+      | "equiv" -> (
+          match (lhs, rhs) with
+          | Some l, Some r ->
+              [
+                ("lhs", Jsonl.String l);
+                ("rhs", Jsonl.String r);
+                ("n", Jsonl.Int n);
+              ]
+          | _ ->
+              Printf.eprintf "query equiv needs --lhs and --rhs terms\n";
               exit 2)
       | _ ->
           [
@@ -720,14 +864,14 @@ let query_cmd =
              reply line.  Exits 0 on an ok reply, 1 on an error reply, 2 on \
              a transport failure.")
     Term.(const run $ addr_args $ meth $ experiment_id $ task_arg $ n_arg
-          $ m_arg $ eps_arg $ rounds $ tas $ binary_inputs $ model
+          $ m_arg $ eps_arg $ rounds $ tas $ binary_inputs $ model $ lhs $ rhs
           $ deadline_ms $ id_arg $ retries)
 
 let main_cmd =
   let doc = "Reproduction of the PODC'22 asynchronous speedup theorem paper." in
   Cmd.group
     (Cmd.info "speedup" ~version:"1.0.0" ~doc)
-    [ experiment_cmd; list_cmd; complex_cmd; solve_cmd; closure_cmd;
+    [ experiment_cmd; list_cmd; complex_cmd; solve_cmd; closure_cmd; model_cmd;
       run_algo_cmd; figure_cmd; svg_cmd; cert_cmd; serve_cmd; query_cmd ]
 
 let () =

@@ -42,12 +42,21 @@ type obstruction =
 
 type unsolvable = { task_name : string; rounds : int; reason : obstruction }
 
+type equivalence = {
+  lhs : string;
+  rhs : string;
+  n : int;
+  equivalent : bool;
+  probes : (string * string * string) list;
+}
+
 type t =
   | Membership of membership
   | Enumeration of enumeration
   | Solution of solution
   | Fixed_point of fixed_point
   | Unsolvable of unsolvable
+  | Equivalence of equivalence
 
 let kind_name = function
   | Membership _ -> "membership"
@@ -55,6 +64,7 @@ let kind_name = function
   | Solution _ -> "solution"
   | Fixed_point _ -> "fixed-point"
   | Unsolvable _ -> "unsolvable"
+  | Equivalence _ -> "equivalence"
 
 let subject = function
   | Membership m ->
@@ -76,6 +86,10 @@ let subject = function
         (match u.reason with
         | Disconnected _ -> "disconnection"
         | Sperner _ -> "Sperner")
+  | Equivalence e ->
+      Printf.sprintf "%s %s %s at n ≤ %d (%d probes)" e.lhs
+        (if e.equivalent then "≡" else "≢")
+        e.rhs e.n (List.length e.probes)
 
 (* ---- encoding ---- *)
 
@@ -154,6 +168,19 @@ let encode_body = function
           field "task" (Atom u.task_name);
           field "rounds" (Atom (string_of_int u.rounds));
           field "obstruction" (encode_obstruction u.reason);
+        ]
+  | Equivalence e ->
+      List
+        [
+          Atom "equivalence";
+          field "lhs" (Atom e.lhs);
+          field "rhs" (Atom e.rhs);
+          field "n" (Atom (string_of_int e.n));
+          field "equivalent" (Atom (string_of_bool e.equivalent));
+          field_list "probes"
+            (List.map
+               (fun (label, l, r) -> List [ Atom label; Atom l; Atom r ])
+               e.probes);
         ]
 
 let encode cert =
@@ -249,6 +276,23 @@ let decode_body = function
           rounds = Codec.int_of (field1 "rounds" fields);
           reason = decode_obstruction (field1 "obstruction" fields);
         }
+  | List (Atom "equivalence" :: fields) ->
+      Equivalence
+        {
+          lhs = Codec.string_of (field1 "lhs" fields);
+          rhs = Codec.string_of (field1 "rhs" fields);
+          n = Codec.int_of (field1 "n" fields);
+          equivalent = Codec.bool_of (field1 "equivalent" fields);
+          probes =
+            List.map
+              (function
+                | List [ label; l; r ] ->
+                    ( Codec.string_of label,
+                      Codec.string_of l,
+                      Codec.string_of r )
+                | _ -> Codec.fail "bad equivalence probe")
+              (find_field "probes" fields);
+        }
   | s -> Codec.fail "unknown certificate kind %s" (Cert_sexp.to_string s)
 
 let decode sexp =
@@ -287,6 +331,7 @@ type query =
       sigmas : Simplex.t list;
     }
   | Q_unsolvable of { task_name : string; rounds : int }
+  | Q_equiv of { lhs : string; rhs : string; n : int }
 
 let query_of = function
   | Membership m ->
@@ -315,6 +360,7 @@ let query_of = function
           sigmas = List.map fst f.per_sigma;
         }
   | Unsolvable u -> Q_unsolvable { task_name = u.task_name; rounds = u.rounds }
+  | Equivalence e -> Q_equiv { lhs = e.lhs; rhs = e.rhs; n = e.n }
 
 let query_sexp = function
   | Q_delta { op_name; task_name; sigma } ->
@@ -340,6 +386,8 @@ let query_sexp = function
         ]
   | Q_unsolvable { task_name; rounds } ->
       List [ Atom "unsolvable"; Atom task_name; Atom (string_of_int rounds) ]
+  | Q_equiv { lhs; rhs; n } ->
+      List [ Atom "equiv"; Atom lhs; Atom rhs; Atom (string_of_int n) ]
 
 let query_key q =
   Codec.digest (List [ Atom "key"; Atom version; query_sexp q ])
@@ -467,3 +515,29 @@ let verify env cert =
           check
             (Sperner.sampled_check ~seed ~samples complex)
             "Sperner obstruction refuted on resampling")
+  | Equivalence e ->
+      (* The probe verdicts are fingerprints of exhausted pipeline runs
+         and, like negative facts, carry no compact witness; what is
+         checked is internal consistency: both names are canonical
+         algebra terms, the pair is stored in canonical order, and the
+         verdict is exactly the conjunction of the probe agreements. *)
+      let canonical side name =
+        match Algebra.parse name with
+        | Ok t ->
+            check
+              (String.equal (Algebra.to_string t) name)
+              "%s term %S is not in canonical form" side name
+        | Error msg -> Error (Invalid (Printf.sprintf "%s term: %s" side msg))
+      in
+      let* () = canonical "lhs" e.lhs in
+      let* () = canonical "rhs" e.rhs in
+      let* () =
+        check (String.compare e.lhs e.rhs < 0)
+          "equivalence pair is not in canonical order"
+      in
+      let* () = check (e.n >= 1) "bound n must be at least 1" in
+      let* () = check (e.probes <> []) "no probes recorded" in
+      check
+        (e.equivalent
+        = List.for_all (fun (_, l, r) -> String.equal l r) e.probes)
+        "verdict does not match the recorded probes"

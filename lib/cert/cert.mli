@@ -24,11 +24,16 @@
     - {b Unsolvable}: the combinatorial obstruction is re-checked
       (disconnection re-searched, Sperner labelings re-sampled).
 
+    - {b Equivalence}: both term names parse as canonical model-algebra
+      terms, the pair is in canonical order, and the verdict equals the
+      conjunction of the recorded probe agreements.
+
     Negative facts (a membership with [member = false], a solution with
-    [verdict = false], and the completeness of an enumeration) are
-    consequences of an exhausted search; they carry no compact witness
-    and are only structurally validated — the store's versioned keys
-    scope how far they are trusted.  See docs/CERTIFICATES.md. *)
+    [verdict = false], the completeness of an enumeration, and the
+    probe fingerprints of an equivalence verdict) are consequences of
+    an exhausted search; they carry no compact witness and are only
+    structurally validated — the store's versioned keys scope how far
+    they are trusted.  See docs/CERTIFICATES.md. *)
 
 module Sexp = Cert_sexp
 module Codec = Cert_codec
@@ -91,12 +96,23 @@ type unsolvable = {
   reason : obstruction;
 }
 
+type equivalence = {
+  lhs : string;  (** canonical algebra rendering, [lhs < rhs] *)
+  rhs : string;
+  n : int;  (** instance bound of the battery (Equiv.decide) *)
+  equivalent : bool;
+  probes : (string * string * string) list;
+      (** (probe label, lhs fingerprint, rhs fingerprint); equivalent
+          iff every probe's fingerprints agree *)
+}
+
 type t =
   | Membership of membership
   | Enumeration of enumeration
   | Solution of solution
   | Fixed_point of fixed_point
   | Unsolvable of unsolvable
+  | Equivalence of equivalence
 
 val kind_name : t -> string
 val subject : t -> string
@@ -135,6 +151,7 @@ type query =
       sigmas : Simplex.t list;
     }
   | Q_unsolvable of { task_name : string; rounds : int }
+  | Q_equiv of { lhs : string; rhs : string; n : int }
 
 val query_of : t -> query
 val query_key : query -> string

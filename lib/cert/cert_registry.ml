@@ -36,6 +36,16 @@ let task_of_name name =
 
 let known_task name = task_of_name name <> None
 
+(* A name resolves as an algebra term only when it is the canonical
+   rendering: "iis" parses but canonically belongs to Model.of_string,
+   and a non-canonical spelling (say "(inter snapshot iis)" for
+   "(inter iis snapshot)") never appears as an operator name, so
+   accepting it would let one store key denote two spellings. *)
+let algebra_of_name name =
+  match Algebra.parse name with
+  | Ok term when String.equal (Algebra.to_string term) name -> Some term
+  | Ok _ | Error _ -> None
+
 let facets_of_op name =
   match Model.of_string name with
   | Some model -> Some (Model.one_round_facets model)
@@ -51,11 +61,16 @@ let facets_of_op name =
           (fun () ->
             try_scan name "%d-concurrency" (fun k -> Affine.k_concurrency k));
           (fun () -> try_scan name "%d-solo" (fun d -> Affine.d_solo d));
+          (fun () ->
+            Option.map (fun term -> Algebra.facets term) (algebra_of_name name));
         ]
 
 let protocol_of_model name =
   match Model.of_string name with
   | Some model -> Some (fun sigma rounds -> Model.protocol_complex model sigma rounds)
-  | None -> None
+  | None ->
+      Option.map
+        (fun term sigma rounds -> Algebra.protocol_complex term sigma rounds)
+        (algebra_of_name name)
 
 let env = { Cert.task_of_name; facets_of_op; protocol_of_model }

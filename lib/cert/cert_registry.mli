@@ -25,10 +25,13 @@ val known_task : string -> bool
 
 val facets_of_op : string -> (Simplex.t -> Simplex.t list) option
 (** Resolves the plain models ([collect], [snapshot], [immediate]),
-    [immediate+test&set], [<k>-concurrency], and [<d>-solo]. *)
+    [immediate+test&set], [<k>-concurrency], [<d>-solo], and any
+    canonical model-algebra rendering (docs/MODELS.md) — the names
+    [Round_op.algebra] operators carry. *)
 
 val protocol_of_model : string -> (Simplex.t -> int -> Complex.t) option
-(** Resolves the plain iterated models to their [P^(t)]. *)
+(** Resolves the plain iterated models and canonical algebra terms to
+    their [P^(t)]. *)
 
 val env : Cert.env
 (** The three resolvers bundled for [Cert.verify]. *)

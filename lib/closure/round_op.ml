@@ -57,6 +57,11 @@ let k_concurrency k =
 
 let d_solo d = custom ~name:(Printf.sprintf "%d-solo" d) (Affine.d_solo d)
 
+(* Canonical algebra renderings contain no '#', so these operators are
+   persistent: the name re-parses to the same semantics in any
+   session (Cert_registry resolves it through Algebra.parse). *)
+let algebra term = custom ~name:(Algebra.to_string term) (Algebra.facets term)
+
 let complex op sigma = Complex.of_facets (op.facets sigma)
 
 let solo_vertex op sigma i =

@@ -38,6 +38,11 @@ val d_solo : int -> t
 (** The [d]-solo model (Section 1.2; adds executions where up to [d]
     processes run solo concurrently). *)
 
+val algebra : Algebra.t -> t
+(** A compiled model-algebra term (docs/MODELS.md), named by its
+    canonical rendering: normalizer-equal terms share one operator
+    name and therefore one set of memo and cert-store entries. *)
+
 val persistent : t -> bool
 (** Whether the operator's name identifies its semantics {e across}
     sessions, so closure results for it may be persisted in the

@@ -1,0 +1,372 @@
+(* Hash-consed combinator terms over one-round run sets.  The
+   canonical rendering produced by the smart constructors is the
+   interning key: normalization (flattening, operand sorting,
+   idempotence, absorption) happens at construction, so equality is
+   physical and every downstream cache (facet memo, closure memo,
+   cert store) keys on the canonical name. *)
+
+type repr =
+  | Iis
+  | Snapshot
+  | Collect
+  | Conc of int
+  | Solo of int
+  | Inter of t list
+  | Union of t list
+  | Adv of t * int list list
+  | Resil of t * int
+  | Obf of t * int
+
+and t = { id : int; name : string; repr : repr }
+
+(* The intern table is hit from domain-pool workers (closure
+   enumeration resolves algebra ops, the cert store re-parses term
+   names during verification), so accesses are mutex-guarded.  Nodes
+   are pure functions of their canonical name: when two domains race
+   on a miss, either insert wins. *)
+let intern_lock = Mutex.create ()
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 64
+[@@lint.allow "R1: accesses guarded by intern_lock (see comment above)"]
+
+let next_id = Atomic.make 0
+
+let intern name repr =
+  Mutex.protect intern_lock (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some t -> t
+      | None ->
+          let t = { id = Atomic.fetch_and_add next_id 1; name; repr } in
+          Hashtbl.add table name t;
+          t)
+
+let to_string t = t.name
+let equal a b = a.id = b.id
+let compare a b = String.compare a.name b.name
+let pp fmt t = Format.pp_print_string fmt t.name
+let interned_nodes () = Mutex.protect intern_lock (fun () -> Hashtbl.length table)
+
+(* {1 Smart constructors} *)
+
+let iis = intern "iis" Iis
+let snapshot = intern "snapshot" Snapshot
+let collect = intern "collect" Collect
+
+let conc k =
+  if k < 1 then invalid_arg "Algebra.conc: k < 1";
+  intern (Printf.sprintf "(conc %d)" k) (Conc k)
+
+let solo d =
+  if d < 1 then invalid_arg "Algebra.solo: d < 1";
+  intern (Printf.sprintf "(solo %d)" d) (Solo d)
+
+(* Syntactic lattice entailment, Whitman-style: [le a b] soundly
+   approximates "the run set of [a] is contained in the run set of [b]
+   on every instance", using only the inter/union lattice structure —
+   never the semantics of base terms (it does not know that the IIS
+   runs are snapshot runs, for example).  Structurally recursive: each
+   branch descends into an operand of one side. *)
+let rec le a b =
+  equal a b
+  || (match a.repr with
+     | Inter xs -> List.exists (fun x -> le x b) xs
+     | Union xs -> List.for_all (fun x -> le x b) xs
+     | _ -> false)
+  || (match b.repr with
+     | Union ys -> List.exists (fun y -> le a y) ys
+     | Inter ys -> List.for_all (fun y -> le a y) ys
+     | _ -> false)
+
+(* [conj_le xs b]: the conjunction of [xs] entails [b] (∧xs ≤ b). *)
+let rec conj_le xs b =
+  List.exists (fun x -> le x b) xs
+  || (match b.repr with
+     | Union ys -> List.exists (fun y -> conj_le xs y) ys
+     | Inter ys -> List.for_all (fun y -> conj_le xs y) ys
+     | _ -> false)
+
+(* [disj_ge xs a]: the disjunction of [xs] covers [a] (a ≤ ∨xs). *)
+let rec disj_ge xs a =
+  List.exists (fun x -> le a x) xs
+  || (match a.repr with
+     | Inter ys -> List.exists (fun y -> disj_ge xs y) ys
+     | Union ys -> List.for_all (fun y -> disj_ge xs y) ys
+     | _ -> false)
+
+(* Normalization of a variadic lattice operation: flatten nested
+   occurrences, sort operands by canonical name and drop duplicates
+   (commutativity + associativity + idempotence), then drop operands
+   entailed by the remaining ones (generalized absorption: for inter
+   an operand implied by the conjunction of the others, for union one
+   covered by the disjunction of the others — x ⊓ (x ⊔ y) = x and
+   dually fall out for arbitrary x, including x the flattening has
+   dissolved).  Pruning is sequential against the surviving set, so
+   lattice-equal operands cannot absorb each other mutually and the
+   list stays non-empty; a pruned rendering re-normalizes to itself,
+   which keeps [parse ∘ to_string] the identity. *)
+let normalize_operands ~tag ~flatten ~redundant ~build ts =
+  if ts = [] then invalid_arg (Printf.sprintf "Algebra.%s: empty operand list" tag);
+  let ts = List.concat_map flatten ts in
+  let ts = List.sort_uniq (fun a b -> String.compare a.name b.name) ts in
+  let rec prune kept = function
+    | [] -> List.rev kept
+    | u :: rest ->
+        if redundant (List.rev_append kept rest) u then prune kept rest
+        else prune (u :: kept) rest
+  in
+  match prune [] ts with
+  | [ t ] -> t
+  | ts ->
+      intern
+        (Printf.sprintf "(%s %s)" tag (String.concat " " (List.map to_string ts)))
+        (build ts)
+
+let inter ts =
+  normalize_operands ~tag:"inter"
+    ~flatten:(fun t -> match t.repr with Inter us -> us | _ -> [ t ])
+    ~redundant:(fun others u -> conj_le others u)
+    ~build:(fun ts -> Inter ts)
+    ts
+
+let union ts =
+  normalize_operands ~tag:"union"
+    ~flatten:(fun t -> match t.repr with Union us -> us | _ -> [ t ])
+    ~redundant:(fun others u -> disj_ge others u)
+    ~build:(fun ts -> Union ts)
+    ts
+
+let adv t fronts =
+  if fronts = [] then invalid_arg "Algebra.adv: empty front list";
+  let fronts = List.map (List.sort_uniq Int.compare) fronts in
+  if List.exists (fun s -> s = []) fronts then
+    invalid_arg "Algebra.adv: empty front";
+  let fronts = List.sort_uniq Stdlib.compare fronts in
+  let render s = "(" ^ String.concat " " (List.map string_of_int s) ^ ")" in
+  intern
+    (Printf.sprintf "(adv %s (%s))" t.name
+       (String.concat " " (List.map render fronts)))
+    (Adv (t, fronts))
+
+let resil t k =
+  if k < 0 then invalid_arg "Algebra.resil: k < 0";
+  intern (Printf.sprintf "(resil %s %d)" t.name k) (Resil (t, k))
+
+let obf t k =
+  if k < 1 then invalid_arg "Algebra.obf: k < 1";
+  intern (Printf.sprintf "(obf %s %d)" t.name k) (Obf (t, k))
+
+(* {1 Parser}
+
+   A minimal s-expression reader for the surface grammar; kept local
+   so the library depends on nothing above lib/models (lib/cert parses
+   term names during certificate verification and must be able to link
+   against this). *)
+
+type sexp = A of string | L of sexp list
+
+let tokenize s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '(' -> go (i + 1) (`Lp :: acc)
+      | ')' -> go (i + 1) (`Rp :: acc)
+      | _ ->
+          let j = ref i in
+          while
+            !j < n
+            && not
+                 (match s.[!j] with
+                 | ' ' | '\t' | '\n' | '\r' | '(' | ')' -> true
+                 | _ -> false)
+          do
+            incr j
+          done;
+          go !j (`Atom (String.sub s i (!j - i)) :: acc)
+  in
+  go 0 []
+
+let read_sexp tokens =
+  let rec one = function
+    | [] -> Error "unexpected end of input"
+    | `Atom a :: rest -> Ok (A a, rest)
+    | `Rp :: _ -> Error "unexpected ')'"
+    | `Lp :: rest ->
+        let rec items acc rest =
+          match rest with
+          | [] -> Error "unclosed '('"
+          | `Rp :: rest -> Ok (L (List.rev acc), rest)
+          | _ -> (
+              match one rest with
+              | Ok (s, rest) -> items (s :: acc) rest
+              | Error _ as e -> e)
+        in
+        items [] rest
+  in
+  match one tokens with
+  | Ok (s, []) -> Ok s
+  | Ok (_, _ :: _) -> Error "trailing input after term"
+  | Error _ as e -> e
+
+let int_arg ctx = function
+  | A a -> (
+      match int_of_string_opt a with
+      | Some k -> Ok k
+      | None -> Error (Printf.sprintf "%s: expected an integer, got %S" ctx a))
+  | L _ -> Error (Printf.sprintf "%s: expected an integer" ctx)
+
+let rec term_of_sexp = function
+  | A ("iis" | "immediate" | "is") -> Ok iis
+  | A "snapshot" -> Ok snapshot
+  | A "collect" -> Ok collect
+  | A a ->
+      Error
+        (Printf.sprintf
+           "unknown base model %S (expected iis, snapshot or collect)" a)
+  | L [ A "conc"; k ] -> Result.map conc (int_arg "conc" k)
+  | L [ A "solo"; d ] -> Result.map solo (int_arg "solo" d)
+  | L (A "inter" :: args) -> Result.map inter (terms_of_sexps "inter" args)
+  | L (A "union" :: args) -> Result.map union (terms_of_sexps "union" args)
+  | L [ A "adv"; t; L fronts ] ->
+      Result.bind (term_of_sexp t) (fun t ->
+          Result.map (adv t) (fronts_of_sexps fronts))
+  | L [ A "resil"; t; k ] ->
+      Result.bind (term_of_sexp t) (fun t ->
+          Result.map (resil t) (int_arg "resil" k))
+  | L [ A "obf"; t; k ] ->
+      Result.bind (term_of_sexp t) (fun t ->
+          Result.map (obf t) (int_arg "obf" k))
+  | L (A op :: _) ->
+      Error
+        (Printf.sprintf
+           "malformed %S (expected (conc K), (solo D), (inter T ...), (union \
+            T ...), (adv T ((I ...) ...)), (resil T K) or (obf T K))"
+           op)
+  | L _ -> Error "expected an operator symbol after '('"
+
+and terms_of_sexps tag args =
+  if args = [] then Error (Printf.sprintf "%s: needs at least one operand" tag)
+  else
+    List.fold_right
+      (fun s acc ->
+        Result.bind (term_of_sexp s) (fun t ->
+            Result.map (fun ts -> t :: ts) acc))
+      args (Ok [])
+
+and fronts_of_sexps fronts =
+  if fronts = [] then Error "adv: needs at least one front"
+  else
+    List.fold_right
+      (fun s acc ->
+        match s with
+        | L ids ->
+            Result.bind
+              (List.fold_right
+                 (fun s acc ->
+                   Result.bind (int_arg "adv front" s) (fun i ->
+                       Result.map (fun is -> i :: is) acc))
+                 ids (Ok []))
+              (fun ids ->
+                if ids = [] then Error "adv: empty front"
+                else Result.map (fun fs -> ids :: fs) acc)
+        | A _ -> Error "adv: a front is a parenthesized list of process ids")
+      fronts (Ok [])
+
+let parse s =
+  match read_sexp (tokenize s) with
+  | Error e -> Error (Printf.sprintf "parse error in model term: %s" e)
+  | Ok sexp -> (
+      try term_of_sexp sexp
+      with Invalid_argument msg -> Error msg)
+
+(* {1 Semantics} *)
+
+(* The front of a one-round facet: the processes whose view id-set is
+   ⊆-minimal (no other view is a strict subset of theirs).  On IS runs
+   this is exactly the first concurrency class. *)
+let front f =
+  let views =
+    List.map
+      (fun v -> (Vertex.color v, Value.view_ids (Vertex.value v)))
+      (Simplex.vertices f)
+  in
+  let subset a b = List.for_all (fun x -> List.mem x b) a in
+  List.filter_map
+    (fun (i, seen) ->
+      if
+        List.exists
+          (fun (_, seen') ->
+            List.length seen' < List.length seen && subset seen' seen)
+          views
+      then None
+      else Some i)
+    views
+  |> List.sort_uniq Int.compare
+
+(* Facet lists keyed by (term, σ), mirroring Model.one_round_cache:
+   the closure pipeline asks for the same σ across an enumeration, and
+   interned terms and simplices make the key O(1). *)
+let facet_cache : (string, Simplex.t list Simplex.Map.t ref) Hashtbl.t =
+  Hashtbl.create 16
+[@@lint.allow "R1: accesses guarded by intern_lock; lock-free slot reads recompute pure values"]
+
+let rec facets t sigma =
+  let slot =
+    Mutex.protect intern_lock (fun () ->
+        match Hashtbl.find_opt facet_cache t.name with
+        | Some r -> r
+        | None ->
+            let r = ref Simplex.Map.empty in
+            Hashtbl.add facet_cache t.name r;
+            r)
+  in
+  (* Lock-free slot read: a stale miss recomputes a pure value. *)
+  match Simplex.Map.find_opt sigma !slot with
+  | Some fs -> fs
+  | None ->
+      (* Recurses through sub-terms, so the lock must not be held. *)
+      let fs = List.sort_uniq Simplex.compare (compute t sigma) in
+      Mutex.protect intern_lock (fun () -> slot := Simplex.Map.add sigma fs !slot);
+      fs
+
+and compute t sigma =
+  match t.repr with
+  | Iis -> Model.one_round_facets Model.Immediate sigma
+  | Snapshot -> Model.one_round_facets Model.Snapshot sigma
+  | Collect -> Model.one_round_facets Model.Collect sigma
+  | Conc k -> Affine.k_concurrency k sigma
+  | Solo d -> Affine.d_solo d sigma
+  | Inter ts -> (
+      match List.map (fun u -> Simplex.Set.of_list (facets u sigma)) ts with
+      | [] -> assert false
+      | s :: rest ->
+          Simplex.Set.elements (List.fold_left Simplex.Set.inter s rest))
+  | Union ts ->
+      List.fold_left
+        (fun acc u -> Simplex.Set.union acc (Simplex.Set.of_list (facets u sigma)))
+        Simplex.Set.empty ts
+      |> Simplex.Set.elements
+  | Adv (u, fronts) ->
+      List.filter (fun f -> List.mem (front f) fronts) (facets u sigma)
+  | Resil (u, k) ->
+      let n = Simplex.card sigma in
+      List.filter
+        (fun f ->
+          List.for_all
+            (fun v -> List.length (Value.view_ids (Vertex.value v)) >= n - k)
+            (Simplex.vertices f))
+        (facets u sigma)
+  | Obf (u, k) ->
+      List.filter (fun f -> List.length (front f) <= k) (facets u sigma)
+
+let one_round t c =
+  Complex.of_facets (List.concat_map (facets t) (Complex.facets c))
+
+let rec protocol_complex t sigma r =
+  if r < 0 then invalid_arg "Algebra.protocol_complex: negative round count";
+  if r = 0 then Complex.of_simplex sigma
+  else one_round t (protocol_complex t sigma (r - 1))
+
+let allows_solo t sigma = Affine.allows_solo (facets t) sigma

@@ -1,0 +1,120 @@
+(** A combinator algebra over one-round run sets (docs/MODELS.md).
+
+    Following the model-as-run-subset view of the generalized
+    asynchronous computability literature, a term of the algebra
+    denotes, for each input simplex σ, a set of one-round facets — a
+    subset of the write-collect runs over σ.  Base terms are the
+    hard-coded models (write-collect, snapshot, IIS, affine
+    k-concurrency, d-solo); combinators intersect, unite, and restrict
+    run sets.  [facets] compiles any term down to the same
+    [Model.one_round_facets] shape, so Closure, Solvability, Adversary
+    and the speedup checks run over algebra terms unchanged.
+
+    Terms are hash-consed on their canonical rendering: the smart
+    constructors normalize (flattening, operand sorting, idempotence,
+    absorption), so syntactically different but normalizer-equal terms
+    are physically equal, print identically, and share memo-table and
+    cert-store entries.  Canonical names never contain ['#'], so
+    [Round_op.algebra] ops are persistent in the certificate store. *)
+
+type t
+(** A hash-consed algebra term in canonical form. *)
+
+(** {1 Base models} *)
+
+val iis : t
+(** Immediate snapshot (the IIS one-round run set). *)
+
+val snapshot : t
+(** Atomic snapshot (regular collects). *)
+
+val collect : t
+(** Unconstrained write-collect. *)
+
+val conc : int -> t
+(** [conc k]: affine k-concurrency — IS runs whose blocks have size
+    ≤ k ([Affine.k_concurrency]).
+    @raise Invalid_argument if [k < 1]. *)
+
+val solo : int -> t
+(** [solo d]: the d-solo model — IIS runs plus executions where up to
+    [d] processes run concurrently solo ([Affine.d_solo]); [solo 1] is
+    IIS itself.
+    @raise Invalid_argument if [d < 1]. *)
+
+(** {1 Combinators} *)
+
+val inter : t list -> t
+(** Run-set intersection (facet-wise, per input simplex).
+    @raise Invalid_argument on the empty list. *)
+
+val union : t list -> t
+(** Run-set union.
+    @raise Invalid_argument on the empty list. *)
+
+val adv : t -> int list list -> t
+(** [adv t fronts] keeps the runs whose {e front} — the set of
+    processes with ⊆-minimal views, i.e. the processes no one else is
+    seen strictly less than — is one of [fronts].  This is adversary
+    restriction by allowed first concurrency classes.
+    @raise Invalid_argument on an empty front list or an empty front. *)
+
+val resil : t -> int -> t
+(** [resil t k]: t-resilience with [t = k] — keeps the runs of [t] in
+    which every process sees at least [n − k] processes (at most [k]
+    appear faulty to anyone), where [n] is the number of participating
+    processes.  [resil t (n−1)] keeps every run (wait-freedom).
+    Monotone in [k].
+    @raise Invalid_argument if [k < 0]. *)
+
+val obf : t -> int -> t
+(** [obf t k]: k-obstruction-freedom — keeps the runs whose front has
+    size ≤ [k] (at most [k] processes run concurrently ahead of
+    everyone).
+    @raise Invalid_argument if [k < 1]. *)
+
+(** {1 Canonical form, parsing} *)
+
+val to_string : t -> string
+(** Canonical s-expression rendering; the hash-consing key.  Two terms
+    are normalizer-equal iff their renderings are equal. *)
+
+val parse : string -> (t, string) result
+(** Parses the surface syntax of docs/MODELS.md:
+    {v
+      term  ::= iis | immediate | is | snapshot | collect
+              | (conc K) | (solo D)
+              | (inter term term ...) | (union term term ...)
+              | (adv term ((I ...) ...))
+              | (resil term K) | (obf term K)
+    v}
+    The result is normalized, so [parse] accepts non-canonical input
+    and [to_string] of the result is canonical. *)
+
+val equal : t -> t -> bool
+(** O(1): terms are hash-consed on canonical form. *)
+
+val compare : t -> t -> int
+(** Total order by canonical rendering (deterministic across runs). *)
+
+val pp : Format.formatter -> t -> unit
+
+val interned_nodes : unit -> int
+(** Number of distinct terms interned so far (diagnostic). *)
+
+(** {1 Semantics} *)
+
+val facets : t -> Simplex.t -> Simplex.t list
+(** The run set of the term over σ, as one-round facets in the shape
+    of [Model.one_round_facets] (sorted, duplicate-free; memoized per
+    (term, σ)).  Every facet is chromatic on σ's color set. *)
+
+val one_round : t -> Complex.t -> Complex.t
+(** The one-round operator Ξ₁ of the term on a complex. *)
+
+val protocol_complex : t -> Simplex.t -> int -> Complex.t
+(** [protocol_complex t σ r] iterates [one_round] r times from σ. *)
+
+val allows_solo : t -> Simplex.t -> bool
+(** Whether every participating process has a solo run over σ — the
+    hypothesis of the speedup theorem ([Affine.allows_solo]). *)

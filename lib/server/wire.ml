@@ -123,14 +123,36 @@ let frac_param ~default name p =
       | _ -> Error bad)
   | Some _ -> Error bad
 
+(* The model field accepts a built-in name or a model-algebra term
+   (docs/MODELS.md).  A malformed term is a [Bad_request] with the
+   parser's message — the connection stays open. *)
+type model_spec = Builtin of Model.t | Term of Algebra.t
+
 let model_param p =
   let* name = str_param ~default:"immediate" "model" p in
   match Model.of_string name with
-  | Some m -> Ok m
-  | None ->
-      Error
-        (Printf.sprintf "unknown model %S (try collect, snapshot, immediate)"
-           name)
+  | Some m -> Ok (Builtin m)
+  | None -> (
+      match Algebra.parse name with
+      | Ok t -> Ok (Term t)
+      | Error msg ->
+          Error
+            (Printf.sprintf
+               "bad model %S: %s (built-ins: collect, snapshot, immediate; \
+                algebra terms per docs/MODELS.md)"
+               name msg))
+
+let model_spec_name ~tas = function
+  | _ when tas -> "iis+test&set"
+  | Builtin m -> Model.name m
+  | Term t -> Algebra.to_string t
+
+(* Algebra terms in the model field of [equiv]'s lhs/rhs params. *)
+let term_param name p =
+  let* s = str_param name p in
+  match Algebra.parse s with
+  | Ok t -> Ok t
+  | Error msg -> Error (Printf.sprintf "parameter %S: %s" name msg)
 
 (* The CLI's task vocabulary (bin/main.ml task_of), with server-side
    sanity bounds: queries outside them are rejected as bad_request
@@ -179,14 +201,24 @@ let solvable ~should_stop p =
         ~box:Black_box.test_and_set
         ~alpha:(Augmented.alpha_const Value.Unit)
         task ~rounds
-    else Solvability.task_in_model ~should_stop ?inputs model task ~rounds
+    else
+      match model with
+      | Builtin m -> Solvability.task_in_model ~should_stop ?inputs m task ~rounds
+      | Term t ->
+          let inputs =
+            match inputs with
+            | Some i -> i
+            | None -> Task.input_simplices task
+          in
+          Solvability.decide ~should_stop ~inputs
+            ~protocol:(fun sigma -> Algebra.protocol_complex t sigma rounds)
+            ~delta:(Task.delta task) ()
   in
   Ok
     (Jsonl.Obj
        [
          ("task", Jsonl.String task.Task.name);
-         ( "model",
-           Jsonl.String (if tas then "iis+test&set" else Model.name model) );
+         ("model", Jsonl.String (model_spec_name ~tas model));
          ("rounds", Jsonl.Int rounds);
          ( "verdict",
            Jsonl.String
@@ -200,7 +232,13 @@ let closure ~should_stop p =
   let* task, _n = task_of_params p in
   let* tas = bool_param ~default:false "tas" p in
   let* model = model_param p in
-  let op = if tas then Round_op.test_and_set else Round_op.plain model in
+  let op =
+    if tas then Round_op.test_and_set
+    else
+      match model with
+      | Builtin m -> Round_op.plain m
+      | Term t -> Round_op.algebra t
+  in
   let inputs = Task.input_simplices task in
   let rows =
     List.map
@@ -261,13 +299,15 @@ let complex_stats p =
       Augmented.protocol_complex ~box:Black_box.test_and_set
         ~alpha:(Augmented.alpha_const Value.Unit)
         sigma rounds
-    else Model.protocol_complex model sigma rounds
+    else
+      match model with
+      | Builtin m -> Model.protocol_complex m sigma rounds
+      | Term t -> Algebra.protocol_complex t sigma rounds
   in
   Ok
     (Jsonl.Obj
        [
-         ( "model",
-           Jsonl.String (if tas then "iis+test&set" else Model.name model) );
+         ("model", Jsonl.String (model_spec_name ~tas model));
          ("n", Jsonl.Int n);
          ("rounds", Jsonl.Int rounds);
          ("dim", Jsonl.Int (Complex.dim c));
@@ -276,17 +316,45 @@ let complex_stats p =
          ("simplices", Jsonl.Int (Complex.simplex_count c));
        ])
 
+let equiv ~should_stop p =
+  let* lhs = term_param "lhs" p in
+  let* rhs = term_param "rhs" p in
+  let* n = int_param ~min:1 ~max:3 ~default:2 "n" p in
+  let outcome = Equiv.decide ~should_stop ~n lhs rhs in
+  Ok
+    (Jsonl.Obj
+       [
+         ("lhs", Jsonl.String (Algebra.to_string lhs));
+         ("rhs", Jsonl.String (Algebra.to_string rhs));
+         ("n", Jsonl.Int n);
+         ("equivalent", Jsonl.Bool outcome.Equiv.equivalent);
+         ( "probes",
+           Jsonl.List
+             (List.map
+                (fun (pr : Equiv.probe) ->
+                  Jsonl.Obj
+                    [
+                      ("probe", Jsonl.String pr.Equiv.label);
+                      ("lhs", Jsonl.String pr.Equiv.lhs);
+                      ("rhs", Jsonl.String pr.Equiv.rhs);
+                      ( "agree",
+                        Jsonl.Bool (String.equal pr.Equiv.lhs pr.Equiv.rhs) );
+                    ])
+                outcome.Equiv.probes) );
+       ])
+
 let compute ~should_stop req =
   let dispatch () =
     match req.meth with
     | "solvable" -> solvable ~should_stop req.params
     | "closure" -> closure ~should_stop req.params
+    | "equiv" -> equiv ~should_stop req.params
     | "experiment" -> experiment req.params
     | "complex-stats" -> complex_stats req.params
     | other ->
         Error
           (Printf.sprintf
-             "unknown method %S (try ping, stats, solvable, closure, \
+             "unknown method %S (try ping, stats, solvable, closure, equiv, \
               experiment, complex-stats, shutdown)"
              other)
   in

@@ -13,7 +13,10 @@
 
     This module is transport-free: it decodes/validates requests,
     renders replies, and evaluates the compute methods ([solvable],
-    [closure], [experiment], [complex-stats]) against the engine.  The
+    [closure], [equiv], [experiment], [complex-stats]) against the
+    engine.  Model fields accept built-in names or model-algebra terms
+    (docs/MODELS.md); a malformed term yields a [bad_request] reply,
+    never a dropped connection.  The
     loop-level methods ([ping], [stats], [shutdown]) and everything
     involving sockets, queues, and deadlines-as-clocks live in
     {!Server}. *)

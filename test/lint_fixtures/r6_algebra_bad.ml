@@ -1,0 +1,3 @@
+let same a = a = Algebra.iis
+let bucket ts = Hashtbl.hash (Algebra.inter ts)
+let order a b = Stdlib.compare (Algebra.parse a) (Algebra.parse b)

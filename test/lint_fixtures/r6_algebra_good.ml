@@ -1,0 +1,4 @@
+let same a = Algebra.equal a Algebra.iis
+let distinct ts = List.sort_uniq Algebra.compare ts
+let named t = Algebra.to_string t = "iis"
+let solo t sigma = Algebra.allows_solo t sigma && Algebra.interned_nodes () > 0

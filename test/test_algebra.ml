@@ -1,0 +1,266 @@
+(* Laws of the model algebra: parser/printer round-trip, normalizer
+   equations (via physical equality of hash-consed terms), resilience
+   monotonicity, semantic agreement of each hard-coded model with its
+   algebra reconstruction, and the Equivalence certificate round-trip. *)
+
+open QCheck2
+
+(* ---- generators ---- *)
+
+(* A sized term generator: base terms at size 0, combinators recurse
+   with a shrinking budget.  Fronts are over colors 1..3 to match the
+   small simplices the semantic tests use. *)
+let term : Algebra.t Gen.t =
+  let open Gen in
+  let base =
+    oneof
+      [
+        return Algebra.iis;
+        return Algebra.snapshot;
+        return Algebra.collect;
+        map Algebra.conc (int_range 1 3);
+        map Algebra.solo (int_range 1 3);
+      ]
+  in
+  let front = list_size (int_range 1 2) (int_range 1 3) in
+  sized
+  @@ fix (fun self size ->
+         if size = 0 then base
+         else
+           let sub = self (size / 2) in
+           oneof
+             [
+               base;
+               map Algebra.inter (list_size (int_range 1 3) sub);
+               map Algebra.union (list_size (int_range 1 3) sub);
+               map2
+                 (fun t fronts -> Algebra.adv t fronts)
+                 sub
+                 (list_size (int_range 1 2) front);
+               map2 Algebra.resil sub (int_range 0 2);
+               map2 Algebra.obf sub (int_range 1 3);
+             ])
+
+let term_print = Algebra.to_string
+
+let sigma_n n = Simplex.of_list (List.init n (fun i -> (i + 1, Value.Int i)))
+
+(* ---- parser/printer ---- *)
+
+let prop_roundtrip =
+  Test.make ~name:"parse (to_string t) is physically t" ~count:300
+    ~print:term_print term (fun t ->
+      match Algebra.parse (Algebra.to_string t) with
+      | Ok t' -> Algebra.equal t t'
+      | Error msg -> Test.fail_reportf "parse failed: %s" msg)
+
+let test_parse_errors () =
+  let bad s =
+    match Algebra.parse s with
+    | Error _ -> ()
+    | Ok t ->
+        Alcotest.failf "%S parsed to %s but should be rejected" s
+          (Algebra.to_string t)
+  in
+  bad "";
+  bad "(inter";
+  bad "(inter)";
+  bad "(conc 0)";
+  bad "(solo x)";
+  bad "(adv iis ())";
+  bad "(resil iis -1)";
+  bad "nonsense";
+  bad "iis extra"
+
+let test_parse_aliases () =
+  let same a b =
+    match (Algebra.parse a, Algebra.parse b) with
+    | Ok x, Ok y ->
+        Alcotest.(check bool)
+          (a ^ " = " ^ b) true (Algebra.equal x y)
+    | _ -> Alcotest.failf "alias %S / %S did not parse" a b
+  in
+  same "immediate" "iis";
+  same "is" "iis";
+  same "(solo 1)" "(solo 1)";
+  (* Normalization is applied by [parse] too. *)
+  same "(inter snapshot iis snapshot)" "(inter iis snapshot)"
+
+(* ---- normalizer laws (physical equality = normalizer equality) ---- *)
+
+let prop_comm =
+  Test.make ~name:"inter/union commutative" ~count:300
+    ~print:(Print.pair term_print term_print)
+    (Gen.pair term term)
+    (fun (a, b) ->
+      Algebra.equal (Algebra.inter [ a; b ]) (Algebra.inter [ b; a ])
+      && Algebra.equal (Algebra.union [ a; b ]) (Algebra.union [ b; a ]))
+
+let prop_assoc =
+  Test.make ~name:"inter/union associative (flattening)" ~count:300
+    ~print:(Print.triple term_print term_print term_print)
+    (Gen.triple term term term)
+    (fun (a, b, c) ->
+      Algebra.equal
+        (Algebra.inter [ Algebra.inter [ a; b ]; c ])
+        (Algebra.inter [ a; Algebra.inter [ b; c ] ])
+      && Algebra.equal
+           (Algebra.union [ Algebra.union [ a; b ]; c ])
+           (Algebra.union [ a; Algebra.union [ b; c ] ]))
+
+let prop_idem =
+  Test.make ~name:"inter/union idempotent" ~count:300 ~print:term_print term
+    (fun a ->
+      Algebra.equal (Algebra.inter [ a; a ]) a
+      && Algebra.equal (Algebra.union [ a; a ]) a)
+
+let prop_absorb =
+  Test.make ~name:"absorption x∩(x∪y) = x = x∪(x∩y)" ~count:300
+    ~print:(Print.pair term_print term_print)
+    (Gen.pair term term)
+    (fun (a, b) ->
+      Algebra.equal (Algebra.inter [ a; Algebra.union [ a; b ] ]) a
+      && Algebra.equal (Algebra.union [ a; Algebra.inter [ a; b ] ]) a)
+
+(* ---- semantics ---- *)
+
+let simplex_list_subset xs ys =
+  List.for_all (fun x -> List.exists (Simplex.equal x) ys) xs
+
+let prop_resil_monotone =
+  Test.make ~name:"resil monotone in k (facet subset)" ~count:60
+    ~print:(Print.pair term_print Print.int)
+    (Gen.pair term (Gen.int_range 0 2))
+    (fun (t, k) ->
+      let sigma = sigma_n 3 in
+      simplex_list_subset
+        (Algebra.facets (Algebra.resil t k) sigma)
+        (Algebra.facets (Algebra.resil t (k + 1)) sigma))
+
+let prop_inter_subset =
+  Test.make ~name:"inter ⊆ operands ⊆ union (facet sets)" ~count:60
+    ~print:(Print.pair term_print term_print)
+    (Gen.pair term term)
+    (fun (a, b) ->
+      let sigma = sigma_n 3 in
+      let fa = Algebra.facets a sigma in
+      let fi = Algebra.facets (Algebra.inter [ a; b ]) sigma in
+      let fu = Algebra.facets (Algebra.union [ a; b ]) sigma in
+      simplex_list_subset fi fa && simplex_list_subset fa fu)
+
+let check_same_facets label lhs rhs =
+  List.iter
+    (fun n ->
+      let sigma = sigma_n n in
+      let show fs = String.concat " " (List.map Simplex.to_string fs) in
+      Alcotest.(check string)
+        (Printf.sprintf "%s (n=%d)" label n)
+        (show (Model.one_round_facets lhs sigma))
+        (show (Algebra.facets rhs sigma)))
+    [ 1; 2; 3 ]
+
+(* The built-in models and their algebra reconstructions produce the
+   same one-round facet lists (a stronger fact than task-solvability
+   equivalence; the CI job checks the latter through the full
+   [Equiv.decide] pipeline). *)
+let test_builtin_reconstructions () =
+  check_same_facets "iis = (solo 1)" Model.Immediate (Algebra.solo 1);
+  check_same_facets "iis = (inter iis snapshot)" Model.Immediate
+    (Algebra.inter [ Algebra.iis; Algebra.snapshot ]);
+  check_same_facets "snapshot = (inter snapshot collect)" Model.Snapshot
+    (Algebra.inter [ Algebra.snapshot; Algebra.collect ]);
+  check_same_facets "collect = (union collect snapshot)" Model.Collect
+    (Algebra.union [ Algebra.collect; Algebra.snapshot ]);
+  (* conc n on ≤ n processes places no constraint. *)
+  check_same_facets "iis = (conc 3) for n ≤ 3" Model.Immediate (Algebra.conc 3)
+
+let test_equiv_decide () =
+  let t s =
+    match Algebra.parse s with
+    | Ok t -> t
+    | Error msg -> Alcotest.failf "parse %S: %s" s msg
+  in
+  let outcome = Equiv.decide ~memo:false ~n:2 (t "iis") (t "(solo 1)") in
+  Alcotest.(check bool) "iis ≡ (solo 1)" true outcome.Equiv.equivalent;
+  Alcotest.(check (option string)) "no disagreement" None
+    (Option.map
+       (fun (p : Equiv.probe) -> p.Equiv.label)
+       (Equiv.disagreement outcome));
+  (* Self-equivalence short-circuits on canonical form. *)
+  let self = Equiv.decide ~memo:false ~n:2 (t "iis") (t "immediate") in
+  Alcotest.(check bool) "iis ≡ immediate syntactically" true
+    (self.Equiv.equivalent
+    && List.exists
+         (fun (p : Equiv.probe) -> String.equal p.Equiv.label "canonical-form")
+         self.Equiv.probes);
+  (* The d-solo extension is strictly weaker: 1/2-AA separates it from
+     IIS already at n = 2 (a concurrent solo pair keeps spread 1). *)
+  let strict = Equiv.decide ~memo:false ~n:2 (t "iis") (t "(solo 2)") in
+  Alcotest.(check bool) "iis ≢ (solo 2)" false strict.Equiv.equivalent;
+  (match Equiv.disagreement strict with
+  | Some _ -> ()
+  | None -> Alcotest.fail "inequivalent outcome has no disagreeing probe");
+  (* Orientation: the same verdict regardless of argument order. *)
+  let flipped = Equiv.decide ~memo:false ~n:2 (t "(solo 2)") (t "iis") in
+  Alcotest.(check bool) "orientation-independent" false
+    flipped.Equiv.equivalent
+
+let test_equivalence_cert_roundtrip () =
+  let cert =
+    Cert.Equivalence
+      {
+        lhs = "(solo 2)";
+        rhs = "iis";
+        n = 2;
+        equivalent = false;
+        probes = [ ("solvable-1round[1/2-AA(n=2,m=2)]", "unsolvable", "solvable") ];
+      }
+  in
+  (match Cert.decode (Cert.encode cert) with
+  | Ok (Cert.Equivalence e) ->
+      Alcotest.(check string) "lhs" "(solo 2)" e.Cert.lhs;
+      Alcotest.(check bool) "verdict" false e.Cert.equivalent;
+      Alcotest.(check int) "probes" 1 (List.length e.Cert.probes)
+  | Ok _ -> Alcotest.fail "decoded to a different certificate kind"
+  | Error msg -> Alcotest.failf "decode failed: %s" msg);
+  (match Cert.verify Cert_registry.env cert with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "verify failed: %s" (Cert.error_message e));
+  (* Verification rejects a non-canonical or mis-ordered pair. *)
+  let misordered =
+    Cert.Equivalence
+      { lhs = "snapshot"; rhs = "iis"; n = 2; equivalent = true;
+        probes = [ ("p", "x", "x") ] }
+  in
+  (match Cert.verify Cert_registry.env misordered with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "mis-ordered pair should fail verification");
+  let verdict_mismatch =
+    Cert.Equivalence
+      { lhs = "iis"; rhs = "snapshot"; n = 2; equivalent = true;
+        probes = [ ("p", "x", "y") ] }
+  in
+  match Cert.verify Cert_registry.env verdict_mismatch with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "verdict/probe mismatch should fail verification"
+
+let suite =
+  ( "algebra",
+    [
+      QCheck_alcotest.to_alcotest prop_roundtrip;
+      Alcotest.test_case "parse rejects malformed terms" `Quick
+        test_parse_errors;
+      Alcotest.test_case "parse aliases and normalization" `Quick
+        test_parse_aliases;
+      QCheck_alcotest.to_alcotest prop_comm;
+      QCheck_alcotest.to_alcotest prop_assoc;
+      QCheck_alcotest.to_alcotest prop_idem;
+      QCheck_alcotest.to_alcotest prop_absorb;
+      QCheck_alcotest.to_alcotest prop_resil_monotone;
+      QCheck_alcotest.to_alcotest prop_inter_subset;
+      Alcotest.test_case "built-ins equal their reconstructions" `Quick
+        test_builtin_reconstructions;
+      Alcotest.test_case "Equiv.decide on known facts" `Quick test_equiv_decide;
+      Alcotest.test_case "Equivalence certificate round-trip" `Quick
+        test_equivalence_cert_roundtrip;
+    ] )

@@ -148,6 +148,26 @@ let test_r6 () =
     [ ("R6", 1); ("R6", 2); ("R6", 3) ]
     (lint ~dir:"bench/" "r6_bad.ml")
 
+(* The algebra sub-library: its own entry in [parallel_reachable]
+   (nested-directory classification) and [interned_modules]. *)
+let test_algebra_scope () =
+  check_run "R1 applies inside lib/models/algebra" ~expected_code:1
+    [ ("R1", 1) ]
+    (lint ~dir:"lib/models/algebra/" "r1_bad.ml");
+  (* An unlisted nested directory inherits the parent tree's scope. *)
+  check_run "unlisted nested dir inherits lib/models scope" ~expected_code:1
+    [ ("R1", 1) ]
+    (lint ~dir:"lib/models/viz/" "r1_bad.ml");
+  check_run "bad: structural ops on interned Algebra terms" ~expected_code:1
+    [ ("R6", 1); ("R6", 2); ("R6", 3) ]
+    (lint ~dir:"lib/closure/" "r6_algebra_bad.ml");
+  check_run "good: Algebra.equal/compare + scalar projections"
+    ~expected_code:0 []
+    (lint ~dir:"lib/closure/" "r6_algebra_good.ml");
+  check_run "out of scope: structural Algebra ops in lib/topology"
+    ~expected_code:0 []
+    (lint ~dir:"lib/topology/" "r6_algebra_bad.ml")
+
 let test_suppressions () =
   check_run "binding and expression [@lint.allow]" ~expected_code:0 []
     (lint ~dir:"lib/models/" "suppress_inline.ml");
@@ -229,6 +249,8 @@ let suite =
       Alcotest.test_case "R4 polymorphic compare" `Quick test_r4;
       Alcotest.test_case "R5 banned nondeterminism" `Quick test_r5;
       Alcotest.test_case "R6 structural ops on interned types" `Quick test_r6;
+      Alcotest.test_case "algebra sub-library scoping" `Quick
+        test_algebra_scope;
       Alcotest.test_case "inline suppressions" `Quick test_suppressions;
       Alcotest.test_case "baseline load/apply" `Quick test_baseline;
       Alcotest.test_case "emit-baseline and json output" `Quick test_emit_and_json;

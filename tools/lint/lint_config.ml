@@ -12,7 +12,10 @@
    there must be Atomic, mutex-guarded, or explicitly allowlisted
    (R1). *)
 let parallel_reachable =
-  [ "topology"; "closure"; "models"; "runtime"; "solver"; "cert"; "server" ]
+  [
+    "topology"; "closure"; "models"; "models/algebra"; "runtime"; "solver";
+    "cert"; "server";
+  ]
 
 (* Libraries defining the dedicated comparator types: inside them the
    stricter R4 comparator-hygiene checks apply. *)
@@ -38,7 +41,16 @@ type scope = {
 
 let classify path =
   match String.split_on_char '/' path with
-  | "lib" :: name :: _ ->
+  | "lib" :: name :: rest ->
+      (* Nested sub-libraries (lib/models/algebra/…) are scoped under
+         their full directory name so [parallel_reachable] can list
+         them independently of the parent tree. *)
+      let name =
+        match rest with
+        | sub :: _ :: _ when List.mem (name ^ "/" ^ sub) parallel_reachable ->
+            name ^ "/" ^ sub
+        | _ -> name
+      in
       {
         label = "lib/" ^ name;
         r1 = List.mem name parallel_reachable;
@@ -97,7 +109,7 @@ let scalar_projections =
    Simplex are interned too, but they are already [dedicated_modules],
    so R4 flags the same operations there; R6 covers the types R4 does
    not.  Applies outside lib/topology (scope field [r6]). *)
-let interned_modules = [ "Value" ]
+let interned_modules = [ "Value"; "Algebra" ]
 
 (* Functions of an interned module returning plain scalars: applying a
    structural operation to their result is fine (mirrors
@@ -108,6 +120,11 @@ let interned_scalar_projections =
       [
         "view_ids"; "compare"; "structural_compare"; "equal"; "hash";
         "to_string"; "as_frac"; "as_bool"; "pp"; "interned_nodes";
+      ] );
+    ( "Algebra",
+      [
+        "to_string"; "compare"; "equal"; "pp"; "interned_nodes";
+        "allows_solo";
       ] );
   ]
 

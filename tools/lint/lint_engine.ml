@@ -259,18 +259,20 @@ let interned_scalar m fn =
 
 (* Is the value of [e] (possibly) of an interned type?  Same
    conservative shape as [abstract_rooted]: heads rooted in an interned
-   module that are not scalar projections. *)
-let rec interned_rooted e =
+   module that are not scalar projections.  Returns the interned
+   module's name so the finding can point at its dedicated
+   comparators. *)
+let rec interned_root e =
   match (peel e).pexp_desc with
   | Pexp_ident { txt; _ } -> (
       match flatten txt with
-      | [ m; fn ] when is_interned m -> not (interned_scalar m fn)
-      | _ -> false)
-  | Pexp_apply (f, _) -> interned_rooted f
-  | Pexp_tuple es -> List.exists interned_rooted es
-  | Pexp_construct (_, Some e) | Pexp_variant (_, Some e) -> interned_rooted e
-  | Pexp_field (e, _) -> interned_rooted e
-  | _ -> false
+      | [ m; fn ] when is_interned m && not (interned_scalar m fn) -> Some m
+      | _ -> None)
+  | Pexp_apply (f, _) -> interned_root f
+  | Pexp_tuple es -> List.find_map interned_root es
+  | Pexp_construct (_, Some e) | Pexp_variant (_, Some e) -> interned_root e
+  | Pexp_field (e, _) -> interned_root e
+  | _ -> None
 
 (* "Simple scalar" expressions tolerated under polymorphic compare in
    the dedicated layer: the destructured-scalar idiom used inside the
@@ -437,14 +439,19 @@ let visit_expr ctx e =
                         / Complex.compare / Frac.compare (or key with \
                         Int.compare)"
                        (String.concat "." p))
-                else if ctx.scope.Lint_config.r6 && interned_rooted a then
-                  report ctx ~rule:"R6" ~loc:e.pexp_loc
-                    (Printf.sprintf
-                       "structural '%s' applied to an interned value outside \
-                        lib/topology; interned nodes carry process-local ids, \
-                        so use Value.equal / Value.compare / Value.hash \
-                        instead"
-                       (String.concat "." p)))
+                else
+                  match
+                    if ctx.scope.Lint_config.r6 then interned_root a else None
+                  with
+                  | Some m ->
+                      report ctx ~rule:"R6" ~loc:e.pexp_loc
+                        (Printf.sprintf
+                           "structural '%s' applied to an interned value \
+                            outside lib/topology; interned nodes carry \
+                            process-local ids, so use %s.equal / %s.compare \
+                            instead"
+                           (String.concat "." p) m m)
+                  | None -> ())
               args)
       | None -> ());
       (* R4 (dedicated layer): bare polymorphic comparators and
