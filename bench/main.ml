@@ -67,6 +67,38 @@ let rec remove_tree path =
 let closure_sigma =
   Simplex.of_list [ (1, Value.Int 0); (2, Value.Int 1); (3, Value.Int 0) ]
 
+let laa_facet =
+  Simplex.of_list
+    [ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ]
+
+(* The ≥50ms closure/adversary workloads, shared between the Bechamel
+   kernel list and the parallel-scaling gate so both measure the same
+   computation. *)
+let run_closure_aa () =
+  ignore
+    (Closure.delta ~memo:false ~op:(Round_op.plain Model.Immediate) laa_3_4
+       laa_facet)
+
+let run_e9 () =
+  let eps = Frac.make 1 8 in
+  let protocol = Aa_halving.protocol ~m:8 ~eps in
+  let task = Approx_agreement.task ~n:3 ~m:8 ~eps in
+  ignore
+    (Adversary.check_task protocol task
+       ~inputs:[ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ]
+       ~schedules:
+         (Adversary.exhaustive_is ~boxed:false ~participants:[ 1; 2; 3 ]
+            ~rounds:3))
+
+let run_e10 () =
+  ignore (Closure.delta ~memo:false ~op:Round_op.test_and_set laa_3_4 laa_facet)
+
+let run_e11 () =
+  ignore
+    (Closure.delta ~memo:false
+       ~op:(Round_op.bin_consensus_beta (fun i -> i mod 2 = 0))
+       laa_3_4 laa_facet)
+
 (* A depth-18 doubling view tower: ~2^18 structural nodes but only 19
    interned ones.  The seed-era engine walked the whole virtual tree on
    every compare (bench/structural_baseline.json records that cost);
@@ -130,43 +162,15 @@ let kernels =
         ignore
           (Closure.delta ~memo:false ~op:(Round_op.plain Model.Immediate)
              aa_2_9 edge01) );
-    ( "e7/closure-liberal-aa-facet-n3",
-      fun () ->
-        ignore
-          (Closure.delta ~memo:false ~op:(Round_op.plain Model.Immediate)
-             laa_3_4
-             (Simplex.of_list
-                [ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ])) );
+    ("e7/closure-liberal-aa-facet-n3", run_closure_aa);
     ( "e8/min-rounds-aa-n2",
       fun () ->
         ignore
           (Solvability.min_rounds ~inputs:(binary_inputs 2) ~max_rounds:3
              Model.Immediate aa_2_9) );
-    ( "e9/halving-2197-schedules",
-      fun () ->
-        let eps = Frac.make 1 8 in
-        let protocol = Aa_halving.protocol ~m:8 ~eps in
-        let task = Approx_agreement.task ~n:3 ~m:8 ~eps in
-        ignore
-          (Adversary.check_task protocol task
-             ~inputs:[ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ]
-             ~schedules:
-               (Adversary.exhaustive_is ~boxed:false ~participants:[ 1; 2; 3 ]
-                  ~rounds:3)) );
-    ( "e10/closure-tas-liberal-aa",
-      fun () ->
-        ignore
-          (Closure.delta ~memo:false ~op:Round_op.test_and_set laa_3_4
-             (Simplex.of_list
-                [ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ])) );
-    ( "e11/closure-beta-bincons",
-      fun () ->
-        ignore
-          (Closure.delta ~memo:false
-             ~op:(Round_op.bin_consensus_beta (fun i -> i mod 2 = 0))
-             laa_3_4
-             (Simplex.of_list
-                [ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ])) );
+    ("e9/halving-2197-schedules", run_e9);
+    ("e10/closure-tas-liberal-aa", run_e10);
+    ("e11/closure-beta-bincons", run_e11);
     ( "e12/bc-consensus-n5-100-runs",
       fun () ->
         let n = 5 in
@@ -226,23 +230,9 @@ let kernels =
     (* The facet-level liberal-AA closure (the e7 instance) at one job
        and at the pool's job count: the headline speedup kernel. *)
     ( "parallel/closure-aa-n3-jobs1",
-      fun () ->
-        with_pool_jobs 1 (fun () ->
-            ignore
-              (Closure.delta ~memo:false ~op:(Round_op.plain Model.Immediate)
-                 laa_3_4
-                 (Simplex.of_list
-                    [ (1, Value.frac 0 1); (2, Value.frac 1 2);
-                      (3, Value.frac 1 1) ]))) );
+      fun () -> with_pool_jobs 1 run_closure_aa );
     ( "parallel/closure-aa-n3-jobsN",
-      fun () ->
-        with_pool_jobs jobs_n (fun () ->
-            ignore
-              (Closure.delta ~memo:false ~op:(Round_op.plain Model.Immediate)
-                 laa_3_4
-                 (Simplex.of_list
-                    [ (1, Value.frac 0 1); (2, Value.frac 1 2);
-                      (3, Value.frac 1 1) ]))) );
+      fun () -> with_pool_jobs jobs_n run_closure_aa );
     (* Model-algebra kernels: the full equivalence battery at n = 3,
        and the e3 closure instance driven through a compiled algebra
        term instead of the hard-coded model (check_algebra_parity
@@ -259,13 +249,7 @@ let kernels =
        structural_baseline.json (see check_structural_baseline). *)
     ( "intern/deep-view-compare",
       fun () -> ignore (Value.compare view_tower view_tower') );
-    ( "closure-aa-n3-interned",
-      fun () ->
-        ignore
-          (Closure.delta ~memo:false ~op:(Round_op.plain Model.Immediate)
-             laa_3_4
-             (Simplex.of_list
-                [ (1, Value.frac 0 1); (2, Value.frac 1 2); (3, Value.frac 1 1) ])) );
+    ("closure-aa-n3-interned", run_closure_aa);
     (* The same closure enumeration through the certificate store: cold
        (empty store: full search plus certificate writes) and warm
        (populated store: witness verification replaces the search). *)
@@ -357,27 +341,69 @@ let json_float = function
 
 (* The commit the numbers belong to, so BENCH_kernels.json files are
    comparable across PRs.  Best-effort: outside a git checkout (or
-   without git on PATH) the field reads "unknown". *)
-let git_describe () =
-  match Unix.open_process_in "git describe --always --dirty 2>/dev/null" with
+   without git on PATH) the field reads "unknown".  The dirty flag is
+   computed by hand instead of `--dirty`: the bench's own output
+   (BENCH_kernels.json, rewritten every run) and untracked scratch
+   files must not stamp a clean checkout as dirty — that made every
+   CI-produced file read "<sha>-dirty" and ruined cross-PR
+   comparability. *)
+let git_lines cmd =
+  match Unix.open_process_in cmd with
   | ic -> (
-      let line = try input_line ic with End_of_file -> "" in
-      match (Unix.close_process_in ic, String.trim line) with
-      | Unix.WEXITED 0, s when s <> "" -> s
-      | _ -> "unknown")
-  | exception _ -> "unknown"
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 -> Some (List.rev !lines)
+      | _ -> None)
+  | exception _ -> None
 
-let write_json ~rows ~jobs1_wall ~jobsn_wall ~identical ~all_ok path =
+let git_stamp =
+  match git_lines "git describe --always 2>/dev/null" with
+  | Some (line :: _) when String.trim line <> "" ->
+      let base = String.trim line in
+      let dirties line =
+        (* Porcelain v1: "XY path" ("?? path" = untracked). *)
+        String.length line > 3
+        && (not (String.sub line 0 2 = "??"))
+        && String.trim (String.sub line 3 (String.length line - 3))
+           <> "BENCH_kernels.json"
+      in
+      let dirty =
+        match git_lines "git status --porcelain 2>/dev/null" with
+        | Some lines -> List.exists dirties lines
+        | None -> false
+      in
+      if dirty then base ^ "-dirty" else base
+  | Some _ | None -> "unknown"
+
+type scaling_row = { sc_name : string; jobs1_ns : float; jobsn_ns : float }
+
+let write_json ~rows ~jobs1_wall ~jobsn_wall ~identical ~all_ok ~scaling
+    ~scaling_gate ~scaling_pass path =
   let oc = open_out path in
   let kernel (name, est, r2) =
     Printf.sprintf "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_squared\": %s}"
       (json_escape name) (json_float est) (json_float r2)
   in
+  let scaling_kernel r =
+    Printf.sprintf
+      "      {\"name\": \"%s\", \"jobs1_ns\": %s, \"jobsN_ns\": %s, \
+       \"speedup_jobsN\": %s}"
+      (json_escape r.sc_name)
+      (json_float (Some r.jobs1_ns))
+      (json_float (Some r.jobsn_ns))
+      (json_float (Some (r.jobs1_ns /. r.jobsn_ns)))
+  in
   Printf.fprintf oc
     {|{
   "schema": "speedup-bench/v1",
   "meta": {
-    "git": "%s"
+    "git": "%s",
+    "cores": %d
   },
   "jobs": {
     "parallel": %d,
@@ -390,12 +416,20 @@ let write_json ~rows ~jobs1_wall ~jobsn_wall ~identical ~all_ok path =
     "identical": %b,
     "all_ok": %b
   },
+  "parallel_scaling": {
+    "gate": "%s",
+    "pass": %b,
+    "kernels": [
+%s
+    ]
+  },
   "kernels": [
 %s
   ]
 }
 |}
-    (json_escape (git_describe ()))
+    (json_escape git_stamp)
+    (Domain.recommended_domain_count ())
     jobs_n
     (Domain.recommended_domain_count ())
     (match Sys.getenv_opt "SPEEDUP_JOBS" with
@@ -403,7 +437,8 @@ let write_json ~rows ~jobs1_wall ~jobsn_wall ~identical ~all_ok path =
     | None -> "null")
     (json_float (Some jobs1_wall))
     (json_float (Some jobsn_wall))
-    identical all_ok
+    identical all_ok scaling_gate scaling_pass
+    (String.concat ",\n" (List.map scaling_kernel scaling))
     (String.concat ",\n" (List.map kernel rows));
   close_out oc
 
@@ -540,6 +575,59 @@ let check_algebra_parity () =
        its hard-coded twin on the closure kernel";
   ok
 
+(* ---- parallel-scaling gate ----
+
+   The ≥50ms kernels must be *strictly faster* at jobs=N than at
+   jobs=1 — "the pool doesn't slow us down" is not enough.  Same
+   mean-wall methodology as the structural gate (OLS quota sampling is
+   too noisy for 100ms kernels).  The assertion only holds where
+   parallel speedup is physically possible, so on a single-core host
+   the ratios are recorded but the gate reports "skipped-single-core";
+   CI runs on multi-core hardware and enforces it. *)
+
+let scaling_kernels =
+  [
+    ("closure-aa-n3", run_closure_aa, 5);
+    ("e7/closure-liberal-aa-facet-n3", run_closure_aa, 5);
+    ("e9/halving-2197-schedules", run_e9, 5);
+    ("e10/closure-tas-liberal-aa", run_e10, 5);
+    ("e11/closure-beta-bincons", run_e11, 5);
+  ]
+
+let check_parallel_scaling () =
+  let rows =
+    List.map
+      (fun (name, f, reps) ->
+        let jobs1_ns = with_pool_jobs 1 (fun () -> time_ns reps f) in
+        let jobsn_ns = with_pool_jobs jobs_n (fun () -> time_ns reps f) in
+        Printf.printf
+          "parallel scaling %-34s jobs=1 %7.1f ms  jobs=%d %7.1f ms  %.2fx\n"
+          name (jobs1_ns /. 1e6) jobs_n (jobsn_ns /. 1e6)
+          (jobs1_ns /. jobsn_ns);
+        { sc_name = name; jobs1_ns; jobsn_ns })
+      scaling_kernels
+  in
+  let cores = Domain.recommended_domain_count () in
+  let enforced = cores >= 2 in
+  let gate = if enforced then "enforced" else "skipped-single-core" in
+  let pass =
+    (not enforced)
+    || List.for_all
+         (fun r ->
+           let ok = r.jobs1_ns /. r.jobsn_ns > 1.0 in
+           if not ok then
+             Printf.eprintf
+               "BENCH ERROR: %s is not strictly faster at jobs=%d than at \
+                jobs=1\n"
+               r.sc_name jobs_n;
+           ok)
+         rows
+  in
+  if not enforced then
+    Printf.printf
+      "parallel scaling gate skipped: single-core host (cores=%d)\n" cores;
+  (rows, gate, pass)
+
 let print_cache_stats () =
   let m = Closure.memo_stats () in
   let s = Cert_store.stats () in
@@ -610,10 +698,24 @@ let () =
   | _ -> ());
   let baseline_ok = check_structural_baseline () in
   let algebra_ok = check_algebra_parity () in
+  let scaling, scaling_gate, scaling_kernels_pass = check_parallel_scaling () in
+  (* The full-table leg joins the gate: at jobs=N the reproduction
+     suite must beat its sequential run, not just match it. *)
+  let scaling_pass =
+    scaling_kernels_pass
+    && (String.equal scaling_gate "skipped-single-core"
+       || jobsn_wall < jobs1_wall)
+  in
+  if scaling_kernels_pass && not scaling_pass then
+    Printf.eprintf
+      "BENCH ERROR: table regeneration at jobs=%d (%.1fs) is not faster than \
+       jobs=1 (%.1fs)\n"
+      jobs_n jobsn_wall jobs1_wall;
   print_cache_stats ();
   remove_tree bench_store_root;
   (* Part 3: machine-readable summary for trend tracking. *)
-  write_json ~rows ~jobs1_wall ~jobsn_wall ~identical ~all_ok
-    "BENCH_kernels.json";
+  write_json ~rows ~jobs1_wall ~jobsn_wall ~identical ~all_ok ~scaling
+    ~scaling_gate ~scaling_pass "BENCH_kernels.json";
   Printf.printf "wrote BENCH_kernels.json\n";
-  if not (all_ok && identical && baseline_ok && algebra_ok) then exit 1
+  if not (all_ok && identical && baseline_ok && algebra_ok && scaling_pass)
+  then exit 1

@@ -902,6 +902,20 @@ let () =
          store_corrupt=%d\n"
         m.Closure.hits m.Closure.misses m.Closure.enumerations m.Closure.entries
         s.Cert_store.hits s.Cert_store.misses s.Cert_store.writes
-        s.Cert_store.corrupt
+        s.Cert_store.corrupt;
+      (* Scheduler counters on their own greppable line: contention
+         regressions (no steals, lopsided domains, runaway flushes)
+         should be observable, not inferred from wall clocks. *)
+      let p = Pool.stats () in
+      Printf.eprintf
+        "pool-stats: batches=%d chunks=%d items=%d steals=%d \
+         stolen_chunks=%d flushes=%d domain_chunks=%s\n"
+        p.Pool.batches p.Pool.chunks p.Pool.items p.Pool.steals
+        p.Pool.stolen_chunks p.Pool.flushes
+        (match p.Pool.domain_chunks with
+        | [] -> "-"
+        | dc ->
+            String.concat ","
+              (List.map (fun (slot, n) -> Printf.sprintf "%d:%d" slot n) dc))
   | Some _ | None -> ());
   exit code

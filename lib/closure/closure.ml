@@ -2,33 +2,167 @@ let src = Logs.Src.create "speedup.closure" ~doc:"Closure computation"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-(* Domain-safety: closure enumeration fans out across a domain pool
-   (see lib/parallel), and a closure task's Δ' may itself be evaluated
-   from pool workers (e.g. the solver's per-input pass), so the memo
-   table and its slots are guarded by [memo_lock].  Slot *reads* are
-   deliberately lock-free: a ref read is a single atomic load in the
-   OCaml memory model, and a stale miss merely recomputes a
-   deterministic value. *)
-let memo_lock = Mutex.create ()
+(* Domain-safety & scaling: closure enumeration fans out across a
+   domain pool (see lib/parallel), and a closure task's Δ' may itself
+   be evaluated from pool workers (e.g. the solver's per-input pass),
+   so the memo is built for concurrent access with a lock-free hot
+   path.  The shared table is an immutable map published through an
+   [Atomic.t] snapshot pointer: readers pay one atomic load and pure
+   lookups, never a lock.  Writers stage entries in a per-domain
+   (Domain.DLS) write-behind cache and publish in batches — once per
+   pool chunk (via [Pool.register_flush]) inside a batch, immediately
+   outside one — under [memo_lock], which therefore leaves the hot
+   path entirely.  [reset_memo] bumps an epoch so per-domain caches
+   from before the reset can neither serve nor resurrect entries. *)
 
-let memo : (string * string, Complex.t Simplex.Map.t ref) Hashtbl.t =
-  Hashtbl.create 32
-[@@lint.allow "R1: mutations guarded by memo_lock; lock-free slot reads are deliberate (see comment above)"]
+module Key_map = Map.Make (struct
+  type t = string * string
+
+  let compare (a1, b1) (a2, b2) =
+    let c = String.compare a1 a2 in
+    if c <> 0 then c else String.compare b1 b2
+end)
+
+let memo : Complex.t Simplex.Map.t Key_map.t Atomic.t =
+  Atomic.make Key_map.empty
+
+(* Serializes publishers ([flush_local], [reset_memo]); readers never
+   take it. *)
+let memo_lock = Mutex.create ()
+let memo_epoch = Atomic.make 0
 
 (* ---- observability ---- *)
 
 type memo_stats = { hits : int; misses : int; entries : int; enumerations : int }
 
 (* Atomic so counts stay exact — not merely non-crashing — when bumped
-   from concurrent domains. *)
+   from concurrent domains.  Inside pool batches the hit/miss bumps
+   are batched per domain and folded in at chunk boundaries, so the
+   shared cache lines are touched once per chunk, not once per σ;
+   [enumerations] stays a direct bump (it already sits on the slow
+   path, and CI greps depend on it being exact mid-run). *)
 let memo_hits = Atomic.make 0
 let memo_misses = Atomic.make 0
 let enumeration_count = Atomic.make 0
 
+(* ---- the per-domain fast path ---- *)
+
+type local = {
+  mutable epoch : int;
+  cache : (string * string, Complex.t Simplex.Tbl.t) Hashtbl.t;
+      (* read-through copy of shared entries + own unpublished writes *)
+  mutable pending : ((string * string) * Simplex.t * Complex.t) list;
+  mutable pending_hits : int;
+  mutable pending_misses : int;
+}
+
+let local_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        epoch = min_int;
+        cache = Hashtbl.create 8;
+        pending = [];
+        pending_hits = 0;
+        pending_misses = 0;
+      })
+[@@lint.allow
+  "R1: deliberate per-domain read-through cache over the shared memo \
+   snapshot; never shared across domains, and pending writes are \
+   published at every chunk boundary (Pool.register_flush) or \
+   immediately outside batches, so no entry outlives its batch \
+   unpublished"]
+
+let local () =
+  let l = Domain.DLS.get local_key in
+  let e = Atomic.get memo_epoch in
+  if l.epoch <> e then begin
+    Hashtbl.reset l.cache;
+    l.pending <- [];
+    l.pending_hits <- 0;
+    l.pending_misses <- 0;
+    l.epoch <- e
+  end;
+  l
+
+(* Publish this domain's pending entries and counter deltas.  Cheap
+   when there is nothing pending (one DLS read and two int checks) —
+   it runs after every pool chunk.  The epoch is re-checked under
+   [memo_lock] so entries staged before a concurrent [reset_memo] are
+   dropped instead of resurrected. *)
+let flush_local () =
+  let l = Domain.DLS.get local_key in
+  (match l.pending with
+  | [] -> ()
+  | pending ->
+      Mutex.protect memo_lock (fun () ->
+          if Atomic.get memo_epoch = l.epoch then
+            Atomic.set memo
+              (List.fold_left
+                 (fun m (key, sigma, c) ->
+                   let slot =
+                     match Key_map.find_opt key m with
+                     | Some s -> s
+                     | None -> Simplex.Map.empty
+                   in
+                   Key_map.add key (Simplex.Map.add sigma c slot) m)
+                 (Atomic.get memo) pending));
+      l.pending <- []);
+  if l.pending_hits <> 0 then begin
+    ignore (Atomic.fetch_and_add memo_hits l.pending_hits);
+    l.pending_hits <- 0
+  end;
+  if l.pending_misses <> 0 then begin
+    ignore (Atomic.fetch_and_add memo_misses l.pending_misses);
+    l.pending_misses <- 0
+  end
+
+let () = Pool.register_flush flush_local
+
+let note_hit l =
+  if Pool.in_parallel_region () then l.pending_hits <- l.pending_hits + 1
+  else Atomic.incr memo_hits
+
+let note_miss l =
+  if Pool.in_parallel_region () then l.pending_misses <- l.pending_misses + 1
+  else Atomic.incr memo_misses
+
+let local_slot l key =
+  match Hashtbl.find_opt l.cache key with
+  | Some t -> t
+  | None ->
+      let t = Simplex.Tbl.create 16 in
+      Hashtbl.add l.cache key t;
+      t
+
+(* Lock-free lookup: the per-domain cache first, then the shared
+   snapshot (warming the per-domain cache on a hit there). *)
+let memo_find l key sigma =
+  let cached = Hashtbl.find_opt l.cache key in
+  match cached with
+  | Some t when Simplex.Tbl.mem t sigma -> Simplex.Tbl.find_opt t sigma
+  | _ -> (
+      match Key_map.find_opt key (Atomic.get memo) with
+      | None -> None
+      | Some slot -> (
+          match Simplex.Map.find_opt sigma slot with
+          | None -> None
+          | Some c ->
+              Simplex.Tbl.replace (local_slot l key) sigma c;
+              Some c))
+
+(* Stage an entry: visible to this domain immediately, published to
+   the shared snapshot at the next chunk boundary (or right away when
+   not inside a pool batch). *)
+let memo_add l key sigma c =
+  Simplex.Tbl.replace (local_slot l key) sigma c;
+  l.pending <- (key, sigma, c) :: l.pending;
+  if not (Pool.in_parallel_region ()) then flush_local ()
+
 let memo_stats () =
   let entries =
-    Mutex.protect memo_lock (fun () ->
-        Hashtbl.fold (fun _ slot acc -> acc + Simplex.Map.cardinal !slot) memo 0)
+    Key_map.fold
+      (fun _ slot acc -> acc + Simplex.Map.cardinal slot)
+      (Atomic.get memo) 0
   in
   {
     hits = Atomic.get memo_hits;
@@ -38,7 +172,9 @@ let memo_stats () =
   }
 
 let reset_memo () =
-  Mutex.protect memo_lock (fun () -> Hashtbl.reset memo);
+  Mutex.protect memo_lock (fun () ->
+      Atomic.incr memo_epoch;
+      Atomic.set memo Key_map.empty);
   Atomic.set memo_hits 0;
   Atomic.set memo_misses 0;
   Atomic.set enumeration_count 0
@@ -205,36 +341,40 @@ let witness ?node_limit ~op task ~sigma ~tau =
 
 (* ---- Δ' enumeration ---- *)
 
-let memo_slot key =
-  Mutex.protect memo_lock (fun () ->
-      match Hashtbl.find_opt memo key with
-      | Some r -> r
-      | None ->
-          let r = ref Simplex.Map.empty in
-          Hashtbl.add memo key r;
-          r)
-
-(* Race-free slot insertion: concurrent domains memoizing different σ
-   under the same (op, task) key must not lose each other's updates. *)
-let memo_add slot sigma c =
-  Mutex.protect memo_lock (fun () -> slot := Simplex.Map.add sigma c !slot)
-
 (* Enumerate the candidate chromatic sets and keep the members, with
    witnesses (free: the membership search already produces the map).
-   Each candidate τ is an independent CSP search, so the enumeration
-   fans out across the domain pool; order-preserving collection keeps
-   the member list — and hence Δ' — identical at every job count. *)
+   The zero-round shortcut (τ ∈ Δ(σ), a memoized set lookup) is
+   sub-millisecond, so it is decided inline on the calling domain;
+   only the real CSP searches — each an independent solver run — fan
+   out across the domain pool.  The order-preserving merge keeps the
+   member list — and hence Δ' — identical at every job count. *)
 let enumerate ?node_limit ?should_stop ~op task sigma =
   Atomic.incr enumeration_count;
   let taus = Task.chromatic_output_sets task sigma in
-  let members =
-    Pool.filter_map
-      (fun tau ->
-        match compute_member ?node_limit ?should_stop ~op task ~sigma ~tau with
-        | true, w -> Some (tau, w)
-        | false, _ -> None)
-      taus
+  let zero = Task.delta task sigma in
+  let tagged = List.map (fun tau -> (tau, Complex.mem tau zero)) taus in
+  let hard =
+    List.filter_map (fun (tau, z) -> if z then None else Some tau) tagged
   in
+  let searched =
+    Pool.map
+      (fun tau -> compute_member ?node_limit ?should_stop ~op task ~sigma ~tau)
+      hard
+  in
+  (* Reassemble in candidate order: zero-round members carry no
+     witness (exactly what [compute_member] returns for them), CSP
+     verdicts are consumed in order. *)
+  let rec merge tagged searched =
+    match tagged with
+    | [] -> []
+    | (tau, true) :: rest -> (tau, None) :: merge rest searched
+    | (tau, false) :: rest -> (
+        match searched with
+        | (true, w) :: s -> (tau, w) :: merge rest s
+        | (false, _) :: s -> merge rest s
+        | [] -> assert false)
+  in
+  let members = merge tagged searched in
   Log.debug (fun m ->
       m "Δ'[%s](%a): %d of %d candidate sets admitted" (Round_op.name op)
         Simplex.pp sigma (List.length members) (List.length taus));
@@ -243,21 +383,19 @@ let enumerate ?node_limit ?should_stop ~op task sigma =
 let delta ?node_limit ?should_stop ?(memo = true) ~op task sigma =
   let op_name = Round_op.name op in
   let key = (op_name, task.Task.name) in
-  let slot = if memo then Some (memo_slot key) else None in
+  let l = if memo then Some (local ()) else None in
   let cached =
-    match slot with
-    | None -> None
-    | Some slot -> Simplex.Map.find_opt sigma !slot
+    match l with None -> None | Some l -> memo_find l key sigma
   in
   match cached with
   | Some c ->
-      Atomic.incr memo_hits;
+      (match l with Some l -> note_hit l | None -> ());
       c
   | None ->
-      if memo then Atomic.incr memo_misses;
+      (match l with Some l -> note_miss l | None -> ());
       let memoize c =
-        (match slot with
-        | Some slot -> memo_add slot sigma c
+        (match l with
+        | Some l -> memo_add l key sigma c
         | None -> ());
         c
       in
@@ -294,33 +432,50 @@ let delta_any ?node_limit ?(memo = true) ~ops ~name task sigma =
      functions are session-local, so no single stored witness would be
      re-checkable against the recorded operator name. *)
   let key = (name, task.Task.name) in
-  let slot = if memo then Some (memo_slot key) else None in
+  let l = if memo then Some (local ()) else None in
   let cached =
-    match slot with
-    | None -> None
-    | Some slot -> Simplex.Map.find_opt sigma !slot
+    match l with None -> None | Some l -> memo_find l key sigma
   in
   match cached with
   | Some c ->
-      Atomic.incr memo_hits;
+      (match l with Some l -> note_hit l | None -> ());
       c
   | None ->
-      if memo then Atomic.incr memo_misses;
+      (match l with Some l -> note_miss l | None -> ());
       Atomic.incr enumeration_count;
       (* Membership under *some* operator is one independent search per
          candidate τ — the widest fan-out in the repo (|ops| solver
-         calls per τ), so it runs on the pool. *)
-      let members =
-        Pool.filter
+         calls per τ), so it runs on the pool.  As in [enumerate], the
+         zero-round members (τ ∈ Δ(σ), member under every operator via
+         the shortcut in [tau_member]) are decided inline and only the
+         real searches cross a domain boundary. *)
+      let taus = Task.chromatic_output_sets task sigma in
+      let zero = Task.delta task sigma in
+      let tagged = List.map (fun tau -> (tau, Complex.mem tau zero)) taus in
+      let hard =
+        List.filter_map (fun (tau, z) -> if z then None else Some tau) tagged
+      in
+      let verdicts =
+        Pool.map
           (fun tau ->
             List.exists
               (fun op -> tau_member ?node_limit ~op task ~sigma ~tau)
               ops)
-          (Task.chromatic_output_sets task sigma)
+          hard
       in
-      let c = Complex.of_facets members in
-      (match slot with
-      | Some slot -> memo_add slot sigma c
+      let rec merge tagged verdicts =
+        match tagged with
+        | [] -> []
+        | (tau, true) :: rest -> tau :: merge rest verdicts
+        | (tau, false) :: rest -> (
+            match verdicts with
+            | true :: v -> tau :: merge rest v
+            | false :: v -> merge rest v
+            | [] -> assert false)
+      in
+      let c = Complex.of_facets (merge tagged verdicts) in
+      (match l with
+      | Some l -> memo_add l key sigma c
       | None -> ());
       c
 

@@ -101,12 +101,19 @@ type memo_stats = {
 }
 
 val memo_stats : unit -> memo_stats
-(** Counters are {!Atomic.t}-backed and the memo tables mutex-guarded,
-    so the numbers are exact even when the candidate enumeration runs
-    on the {!Pool} domain pool.  [enumerations] is incremented on the
-    caller before the parallel fan-out, so a warm-store run still
-    reports [enumerations=0] at any job count. *)
+(** The shared memo is an immutable snapshot read through an
+    [Atomic.t] pointer (no lock on the hot path); writes are staged in
+    per-domain caches and published in batches at pool chunk
+    boundaries, so [entries] and the {!Atomic.t}-backed counters are
+    exact whenever no pool batch is in flight — in particular after
+    every [Pool.*] combinator has returned.  [enumerations] is
+    incremented directly on the caller before the parallel fan-out, so
+    a warm-store run still reports [enumerations=0] at any job
+    count. *)
 
 val reset_memo : unit -> unit
 (** Clear the memo tables and zero the counters (store stats are
-    tracked separately by {!Cert_store.stats}). *)
+    tracked separately by {!Cert_store.stats}).  Resetting bumps an
+    internal epoch: per-domain caches staged before the reset can
+    neither serve stale entries nor resurrect them into the fresh
+    table. *)

@@ -101,20 +101,32 @@ let rec disj_ge xs a =
    covered by the disjunction of the others — x ⊓ (x ⊔ y) = x and
    dually fall out for arbitrary x, including x the flattening has
    dissolved).  Pruning is sequential against the surviving set, so
-   lattice-equal operands cannot absorb each other mutually and the
-   list stays non-empty; a pruned rendering re-normalizes to itself,
-   which keeps [parse ∘ to_string] the identity. *)
+   the list stays non-empty, and it processes the longest rendering
+   first: two operands can be mutually redundant given the rest
+   (flattening x into x ⊓ (x ⊔ y) makes x's own parts entail x ⊔ y
+   and vice versa), and dropping in any other order can keep the
+   larger operand, yielding a non-minimal normal form that breaks the
+   absorption laws.  [redundant] is monotone in its hypothesis set, so
+   an operand kept against the full list is kept against the final
+   survivors too: the survivor set is a prune fixpoint and a pruned
+   rendering re-normalizes to itself, which keeps [parse ∘ to_string]
+   the identity. *)
 let normalize_operands ~tag ~flatten ~redundant ~build ts =
   if ts = [] then invalid_arg (Printf.sprintf "Algebra.%s: empty operand list" tag);
   let ts = List.concat_map flatten ts in
   let ts = List.sort_uniq (fun a b -> String.compare a.name b.name) ts in
+  let longest_first a b =
+    match Int.compare (String.length b.name) (String.length a.name) with
+    | 0 -> String.compare b.name a.name
+    | c -> c
+  in
   let rec prune kept = function
-    | [] -> List.rev kept
+    | [] -> List.sort (fun a b -> String.compare a.name b.name) kept
     | u :: rest ->
         if redundant (List.rev_append kept rest) u then prune kept rest
         else prune (u :: kept) rest
   in
-  match prune [] ts with
+  match prune [] (List.sort longest_first ts) with
   | [ t ] -> t
   | ts ->
       intern

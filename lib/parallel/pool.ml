@@ -1,4 +1,4 @@
-(* Fixed-size domain pool.
+(* Fixed-size domain pool with work-stealing chunk scheduling.
 
    Design: one batch at a time (serialized by [submit_lock]).  The
    submitter publishes a batch under [mutex], broadcasts, runs the
@@ -8,12 +8,17 @@
 
    The batch body is self-limiting: an atomic [joined] gate admits at
    most [jobs] participants (the submitter plus workers, first come
-   first served); workers beyond the gate acknowledge immediately.
-   Within the body, an atomic cursor hands out contiguous chunks of
-   the input array, each participant writing results to disjoint
-   indices.  The mutex handshake at the end of the batch establishes
-   the happens-before edge that makes those plain array writes visible
-   to the submitter. *)
+   first served) and assigns each a dense slot; workers beyond the
+   gate acknowledge immediately.  Within the body, the input array is
+   pre-split into chunks and the chunk ids are dealt into one deque
+   per slot.  A participant drains its own deque from the back (LIFO,
+   cache-warm); a participant whose deque is empty steals the front
+   half of a victim's deque (FIFO, the coldest work) and runs it.
+   Each chunk writes results to disjoint indices, so the schedule —
+   who ran which chunk, in what order — never changes the output.
+   The mutex handshake at the end of the batch establishes the
+   happens-before edge that makes those plain array writes visible to
+   the submitter. *)
 
 (* ---- job count resolution ---- *)
 
@@ -25,8 +30,8 @@ let override : int option Atomic.t = Atomic.make None
    can restore the unset state.)  Anything else must parse as a
    positive integer: rejecting 0, negatives, and garbage loudly beats
    silently falling back to a job count the user did not ask for. *)
-let env_jobs () =
-  match Sys.getenv_opt "SPEEDUP_JOBS" with
+let env_positive name =
+  match Sys.getenv_opt name with
   | None -> None
   | Some s -> (
       let s = String.trim s in
@@ -36,12 +41,12 @@ let env_jobs () =
         | Some n when n >= 1 -> Some n
         | Some n ->
             invalid_arg
-              (Printf.sprintf
-                 "SPEEDUP_JOBS must be a positive integer, got %d" n)
+              (Printf.sprintf "%s must be a positive integer, got %d" name n)
         | None ->
             invalid_arg
-              (Printf.sprintf
-                 "SPEEDUP_JOBS must be a positive integer, got %S" s))
+              (Printf.sprintf "%s must be a positive integer, got %S" name s))
+
+let env_jobs () = env_positive "SPEEDUP_JOBS"
 
 let jobs () =
   match Atomic.get override with
@@ -59,6 +64,20 @@ let set_jobs n =
   | Some _ | None -> ());
   Atomic.set override n
 
+(* ---- granularity resolution ---- *)
+
+(* The grain is the minimum number of items a chunk may hold.  A
+   fan-out of [len <= grain] items never crosses a domain boundary:
+   sub-millisecond work items (Δ-membership set lookups, tiny
+   schedule sweeps) are cheaper to run inline than to hand to another
+   domain.  Call sites pass [?grain] where they know the per-item
+   cost; SPEEDUP_GRAIN raises the floor globally for tuning. *)
+let env_grain () = env_positive "SPEEDUP_GRAIN"
+
+let effective_grain site =
+  let env = match env_grain () with Some g -> g | None -> 1 in
+  max env (match site with Some g when g >= 1 -> g | Some _ | None -> 1)
+
 (* ---- pool state ---- *)
 
 let submit_lock = Mutex.create ()
@@ -69,13 +88,122 @@ let submit_lock = Mutex.create ()
 let mutex = Mutex.create ()
 let cond_work = Condition.create ()
 let cond_done = Condition.create ()
+
 let generation = ref 0
+[@@lint.allow "R1: batch handshake state; every access is under [mutex]"]
+
 let acks = ref 0
+[@@lint.allow "R1: batch handshake state; every access is under [mutex]"]
+
 let workers = ref 0
+[@@lint.allow
+  "R1: batch handshake state; written under [submit_lock] + [mutex] (see \
+   ensure_workers), read under [mutex]"]
+
 let batch : (unit -> unit) option ref = ref None
+[@@lint.allow "R1: batch handshake state; every access is under [mutex]"]
 
 let region_key = Domain.DLS.new_key (fun () -> false)
+[@@lint.allow
+  "R1: deliberate per-domain flag marking 'inside a pool batch'; never \
+   shared across domains, reset on the submitter after each batch"]
+
 let in_parallel_region () = Domain.DLS.get region_key
+
+(* ---- observability ---- *)
+
+type stats = {
+  batches : int;
+  chunks : int;
+  items : int;
+  steals : int;
+  stolen_chunks : int;
+  flushes : int;
+  domain_chunks : (int * int) list;
+}
+
+let stats_lock = Mutex.create ()
+
+let st_batches = ref 0
+[@@lint.allow "R1: stats accumulator; every access is under [stats_lock]"]
+
+let st_chunks = ref 0
+[@@lint.allow "R1: stats accumulator; every access is under [stats_lock]"]
+
+let st_items = ref 0
+[@@lint.allow "R1: stats accumulator; every access is under [stats_lock]"]
+
+let st_steals = ref 0
+[@@lint.allow "R1: stats accumulator; every access is under [stats_lock]"]
+
+let st_stolen = ref 0
+[@@lint.allow "R1: stats accumulator; every access is under [stats_lock]"]
+
+let st_flushes = ref 0
+[@@lint.allow "R1: stats accumulator; every access is under [stats_lock]"]
+
+let st_domain : (int, int) Hashtbl.t = Hashtbl.create 8
+[@@lint.allow "R1: stats accumulator; every access is under [stats_lock]"]
+
+let stats () =
+  Mutex.protect stats_lock (fun () ->
+      {
+        batches = !st_batches;
+        chunks = !st_chunks;
+        items = !st_items;
+        steals = !st_steals;
+        stolen_chunks = !st_stolen;
+        flushes = !st_flushes;
+        domain_chunks =
+          List.sort
+            (fun (a, _) (b, _) -> Int.compare a b)
+            (Hashtbl.fold (fun slot n acc -> (slot, n) :: acc) st_domain []);
+      })
+
+let reset_stats () =
+  Mutex.protect stats_lock (fun () ->
+      st_batches := 0;
+      st_chunks := 0;
+      st_items := 0;
+      st_steals := 0;
+      st_stolen := 0;
+      st_flushes := 0;
+      Hashtbl.reset st_domain)
+
+let merge_stats ~slot ~chunks ~items ~steals ~stolen ~flushes =
+  if chunks > 0 || steals > 0 || flushes > 0 then
+    Mutex.protect stats_lock (fun () ->
+        st_chunks := !st_chunks + chunks;
+        st_items := !st_items + items;
+        st_steals := !st_steals + steals;
+        st_stolen := !st_stolen + stolen;
+        st_flushes := !st_flushes + flushes;
+        Hashtbl.replace st_domain slot
+          (chunks
+          + match Hashtbl.find_opt st_domain slot with Some n -> n | None -> 0))
+
+(* ---- chunk-boundary flush hooks ---- *)
+
+(* Clients with per-domain write-behind caches (the Closure memo)
+   register a hook; every participant runs the hooks after each chunk
+   it executes, so batched publication happens once per chunk rather
+   than once per work item, and everything a participant produced is
+   published before the batch's closing handshake. *)
+let flush_hooks : (unit -> unit) list Atomic.t = Atomic.make []
+
+let register_flush f =
+  let rec add () =
+    let hooks = Atomic.get flush_hooks in
+    if not (Atomic.compare_and_set flush_hooks hooks (f :: hooks)) then add ()
+  in
+  add ()
+
+let run_flush_hooks () =
+  match Atomic.get flush_hooks with
+  | [] -> false
+  | hooks ->
+      List.iter (fun f -> f ()) hooks;
+      true
 
 let rec worker_loop my_gen =
   Mutex.lock mutex;
@@ -116,6 +244,7 @@ let run_batch ~participants run =
     ~finally:(fun () -> Mutex.unlock submit_lock)
     (fun () ->
       ensure_workers (participants - 1);
+      Mutex.protect stats_lock (fun () -> incr st_batches);
       let nworkers =
         Mutex.protect mutex (fun () ->
             batch := Some run;
@@ -137,54 +266,139 @@ let run_batch ~participants run =
           done;
           batch := None))
 
+(* ---- work-stealing deques over a pre-split chunk range ---- *)
+
+(* Each slot owns the contiguous chunk-id range [lo, hi), packed into
+   one immediate int (31 bits each half, far beyond any real chunk
+   count).  The owner pops from the back (LIFO); thieves take the
+   front half (FIFO).  [lo] only ever grows and [hi] only ever
+   shrinks, so a single CAS per transition is race-free: competing
+   transitions on the same state differ in the packed value and all
+   but one retry against the updated range. *)
+let pack lo hi = (lo lsl 31) lor hi
+let unpack s = (s lsr 31, s land 0x7FFFFFFF)
+
+let rec pop_back d =
+  let s = Atomic.get d in
+  let lo, hi = unpack s in
+  if lo >= hi then None
+  else if Atomic.compare_and_set d s (pack lo (hi - 1)) then Some (hi - 1)
+  else pop_back d
+
+(* Steal the front half, rounded up so a one-chunk deque is stealable. *)
+let rec steal_front d =
+  let s = Atomic.get d in
+  let lo, hi = unpack s in
+  let avail = hi - lo in
+  if avail <= 0 then None
+  else
+    let k = (avail + 1) / 2 in
+    if Atomic.compare_and_set d s (pack (lo + k) hi) then Some (lo, lo + k)
+    else steal_front d
+
 (* ---- chunked execution over an array ---- *)
 
 (* [process ~lo ~hi] handles indices [lo, hi); it is never called
    concurrently on overlapping ranges.  The first exception cancels
-   the remaining chunks and is re-raised on the submitter. *)
-let parallel_chunks ~jobs:n ~len process =
-  let chunk = max 1 ((len + (n * 4) - 1) / (n * 4)) in
+   the remaining chunks and is re-raised on the submitter.  [grain]
+   is the pre-resolved minimum chunk size; a fan-out that does not
+   fill at least two chunks runs inline on the caller. *)
+let parallel_chunks ~grain ~jobs:n ~len process =
+  (* Target ~8 chunks per participant so the steal half-lives leave
+     slack for imbalance, bounded below by the grain floor. *)
+  let chunk = max grain (max 1 ((len + (n * 8) - 1) / (n * 8))) in
   let nchunks = (len + chunk - 1) / chunk in
-  let cursor = Atomic.make 0 in
-  let joined = Atomic.make 0 in
-  let stop = Atomic.make false in
-  let error : (exn * Printexc.raw_backtrace) option Atomic.t =
-    Atomic.make None
-  in
-  run_batch ~participants:n (fun () ->
-      if Atomic.fetch_and_add joined 1 < n then begin
-        let continue = ref true in
-        while !continue && not (Atomic.get stop) do
-          let c = Atomic.fetch_and_add cursor 1 in
-          if c >= nchunks then continue := false
-          else begin
+  if nchunks <= 1 || n <= 1 then begin
+    (* Below the parallelism cutoff: run inline, no domain boundary
+       crossed, no batch handshake paid. *)
+    let stop = Atomic.make false in
+    process ~lo:0 ~hi:len ~stop
+  end
+  else begin
+    let per = (nchunks + n - 1) / n in
+    let deques =
+      Array.init n (fun p ->
+          let lo = min nchunks (p * per) in
+          let hi = min nchunks ((p + 1) * per) in
+          Atomic.make (pack lo hi))
+    in
+    let joined = Atomic.make 0 in
+    let stop = Atomic.make false in
+    let error : (exn * Printexc.raw_backtrace) option Atomic.t =
+      Atomic.make None
+    in
+    run_batch ~participants:n (fun () ->
+        let slot = Atomic.fetch_and_add joined 1 in
+        if slot < n then begin
+          let my_chunks = ref 0
+          and my_items = ref 0
+          and my_steals = ref 0
+          and my_stolen = ref 0
+          and my_flushes = ref 0 in
+          let run_chunk c =
+            incr my_chunks;
             let lo = c * chunk in
             let hi = min len (lo + chunk) in
-            try process ~lo ~hi ~stop
-            with exn ->
-              let bt = Printexc.get_raw_backtrace () in
-              if Atomic.compare_and_set error None (Some (exn, bt)) then
-                Atomic.set stop true
-          end
-        done
-      end);
-  match Atomic.get error with
-  | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
-  | None -> ()
+            my_items := !my_items + (hi - lo);
+            (try process ~lo ~hi ~stop
+             with exn ->
+               let bt = Printexc.get_raw_backtrace () in
+               if Atomic.compare_and_set error None (Some (exn, bt)) then
+                 Atomic.set stop true);
+            if run_flush_hooks () then incr my_flushes
+          in
+          (* Phase 1: drain the own deque back-to-front. *)
+          let continue = ref true in
+          while !continue && not (Atomic.get stop) do
+            match pop_back deques.(slot) with
+            | Some c -> run_chunk c
+            | None -> continue := false
+          done;
+          (* Phase 2: steal front halves from the other deques until
+             a full scan finds everything drained. *)
+          let rec steal_loop () =
+            if not (Atomic.get stop) then begin
+              let found = ref false in
+              for k = 1 to n - 1 do
+                if (not !found) && not (Atomic.get stop) then
+                  match steal_front deques.((slot + k) mod n) with
+                  | Some (a, b) ->
+                      found := true;
+                      incr my_steals;
+                      my_stolen := !my_stolen + (b - a);
+                      let c = ref a in
+                      while !c < b && not (Atomic.get stop) do
+                        run_chunk !c;
+                        incr c
+                      done
+                  | None -> ()
+              done;
+              if !found then steal_loop ()
+            end
+          in
+          steal_loop ();
+          merge_stats ~slot ~chunks:!my_chunks ~items:!my_items
+            ~steals:!my_steals ~stolen:!my_stolen ~flushes:!my_flushes
+        end);
+    match Atomic.get error with
+    | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None -> ()
+  end
 
 let sequential () = jobs () <= 1 || in_parallel_region ()
 
 (* ---- combinators ---- *)
 
-let map f l =
+let map ?grain f l =
+  let grain = effective_grain grain in
   if sequential () then List.map f l
   else
     let arr = Array.of_list l in
     let len = Array.length arr in
-    if len <= 1 then List.map f l
+    if len <= grain || len <= 1 then List.map f l
     else begin
       let out = Array.make len None in
-      parallel_chunks ~jobs:(min (jobs ()) len) ~len
+      parallel_chunks ~grain ~jobs:(min (jobs ()) len) ~len
         (fun ~lo ~hi ~stop ->
           for i = lo to hi - 1 do
             if not (Atomic.get stop) then out.(i) <- Some (f arr.(i))
@@ -193,15 +407,16 @@ let map f l =
           match out.(i) with Some v -> v | None -> assert false)
     end
 
-let filter_map f l =
+let filter_map ?grain f l =
+  let grain = effective_grain grain in
   if sequential () then List.filter_map f l
   else
     let arr = Array.of_list l in
     let len = Array.length arr in
-    if len <= 1 then List.filter_map f l
+    if len <= grain || len <= 1 then List.filter_map f l
     else begin
       let out = Array.make len None in
-      parallel_chunks ~jobs:(min (jobs ()) len) ~len
+      parallel_chunks ~grain ~jobs:(min (jobs ()) len) ~len
         (fun ~lo ~hi ~stop ->
           for i = lo to hi - 1 do
             if not (Atomic.get stop) then out.(i) <- Some (f arr.(i))
@@ -217,19 +432,20 @@ let filter_map f l =
       collect (len - 1) []
     end
 
-let filter p l =
+let filter ?grain p l =
   if sequential () then List.filter p l
-  else filter_map (fun x -> if p x then Some x else None) l
+  else filter_map ?grain (fun x -> if p x then Some x else None) l
 
-let for_all p l =
+let for_all ?grain p l =
+  let grain = effective_grain grain in
   if sequential () then List.for_all p l
   else
     let arr = Array.of_list l in
     let len = Array.length arr in
-    if len <= 1 then List.for_all p l
+    if len <= grain || len <= 1 then List.for_all p l
     else begin
       let ok = Atomic.make true in
-      parallel_chunks ~jobs:(min (jobs ()) len) ~len
+      parallel_chunks ~grain ~jobs:(min (jobs ()) len) ~len
         (fun ~lo ~hi ~stop ->
           for i = lo to hi - 1 do
             if (not (Atomic.get stop)) && not (p arr.(i)) then begin

@@ -1,4 +1,5 @@
-(** A fixed-size domain pool for data-parallel fan-outs.
+(** A fixed-size domain pool with work-stealing scheduling for
+    data-parallel fan-outs.
 
     The pool is dependency-free (OCaml 5 [Domain] + [Mutex] /
     [Condition] + [Atomic] only) and built for the repo's three hot
@@ -13,6 +14,10 @@
     [List.map f l] regardless of the job count.  Parallelism must
     never change a reproduced table: callers rely on this to keep
     experiment output byte-identical across [SPEEDUP_JOBS] settings.
+    Work distribution is by pre-split index chunks dealt into
+    per-participant deques (owners pop LIFO, thieves steal FIFO
+    halves); every chunk writes its results to disjoint indices, so
+    the steal schedule can never reorder or change an output.
 
     {2 Job count}
 
@@ -30,6 +35,18 @@
     as unset because [Unix.putenv] cannot remove a variable).  The
     [speedup] CLI validates the variable once at startup so users get
     the error before any work starts.
+
+    {2 Granularity}
+
+    Every combinator takes an optional [?grain]: the minimum number of
+    items per chunk.  A fan-out of [len <= grain] items runs on the
+    calling domain (the sequential path) — sub-millisecond work items
+    are cheaper to run inline than to hand to another domain, so call
+    sites that know their per-item cost pass a grain and tiny sweeps
+    never cross a domain boundary.  [SPEEDUP_GRAIN] (validated like
+    [SPEEDUP_JOBS]) raises the floor globally; the effective grain is
+    the max of the two.  Above the cutoff, chunk sizes adapt to the
+    input: ~8 chunks per participant, never below the grain.
 
     {2 Nesting and re-entrancy}
 
@@ -72,22 +89,63 @@ val in_parallel_region : unit -> bool
     worker domain, or the submitter inside one of its own batches).
     Combinators consult this to flatten nested parallelism. *)
 
-val map : ('a -> 'b) -> 'a list -> 'b list
-(** Order-preserving parallel map: [map f l = List.map f l] for pure
-    [f].  Work is distributed in contiguous chunks (≈ 4 per job) via
-    an atomic cursor, so unevenly-priced items load-balance.  If one
-    or more applications of [f] raise, the first exception observed
-    cancels the remaining chunks and is re-raised on the caller (with
-    its backtrace). *)
+val register_flush : (unit -> unit) -> unit
+(** Register a chunk-boundary hook.  Every batch participant runs all
+    registered hooks after each chunk it executes, so a client with a
+    per-domain write-behind cache (the {!Closure} memo) publishes its
+    pending entries once per chunk — and, because the last chunk a
+    participant runs is followed by a hook round before the batch's
+    closing handshake, everything produced inside a batch is published
+    before the submitting combinator returns.  Hooks must not raise
+    and must be cheap when there is nothing to flush; they run on the
+    participant's own domain.  Registration is append-only and
+    process-wide. *)
 
-val filter_map : ('a -> 'b option) -> 'a list -> 'b list
+(** {2 Observability}
+
+    Cumulative counters over all batches since process start (or the
+    last {!reset_stats}).  The sequential path — [jobs () = 1], nested
+    calls, fan-outs at or below the grain — executes no chunks and is
+    deliberately invisible here: the counters measure domain-crossing
+    work only, which is what contention regressions show up in. *)
+
+type stats = {
+  batches : int;  (** parallel batches submitted *)
+  chunks : int;  (** chunks executed across all participants *)
+  items : int;  (** work items covered by those chunks *)
+  steals : int;  (** successful steal operations *)
+  stolen_chunks : int;  (** chunks moved by those steals *)
+  flushes : int;  (** chunk-boundary flush-hook rounds that ran *)
+  domain_chunks : (int * int) list;
+      (** chunks executed per participant slot, sorted by slot; slot 0
+          is the first participant through the batch gate (usually the
+          submitter), not a fixed physical domain *)
+}
+
+val stats : unit -> stats
+(** A consistent snapshot of the counters.  Exact once no batch is in
+    flight (participants merge their tallies at batch exit). *)
+
+val reset_stats : unit -> unit
+(** Zero all counters.  Test/bench plumbing. *)
+
+val map : ?grain:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map: [map f l = List.map f l] for pure
+    [f].  Work is pre-split into index chunks (≈ 8 per job, ≥ [grain]
+    items each) dealt into per-participant deques; idle participants
+    steal, so unevenly-priced items load-balance without a shared
+    cursor.  If one or more applications of [f] raise, the first
+    exception observed cancels the remaining chunks and is re-raised
+    on the caller (with its backtrace). *)
+
+val filter_map : ?grain:int -> ('a -> 'b option) -> 'a list -> 'b list
 (** Order-preserving parallel filter_map, with the same distribution,
     cancellation, and exception contract as {!map}. *)
 
-val filter : ('a -> bool) -> 'a list -> 'a list
+val filter : ?grain:int -> ('a -> bool) -> 'a list -> 'a list
 (** Order-preserving parallel filter. *)
 
-val for_all : ('a -> bool) -> 'a list -> bool
+val for_all : ?grain:int -> ('a -> bool) -> 'a list -> bool
 (** Parallel universal quantifier.  A [false] result cancels the
     remaining chunks (early exit), so [p] may be applied to fewer
     elements than the sequential [List.for_all] — or to more, since

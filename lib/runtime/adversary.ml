@@ -46,11 +46,14 @@ type failure = {
    out across the domain pool (e9 alone checks 2197 schedules).  The
    executor allocates all its state per run and boxes are created
    fresh each round, so runs share nothing mutable; order-preserving
-   collection keeps the failure list identical at every job count. *)
+   collection keeps the failure list identical at every job count.
+   One run costs tens of microseconds, so the grain keeps at least 16
+   schedules per chunk: a sweep smaller than that never crosses a
+   domain boundary, and larger sweeps amortize the chunk handoff. *)
 let check_task ?box protocol task ~inputs ~schedules =
   let sigma = Simplex.of_list inputs in
   let legal = Task.delta task sigma in
-  Pool.filter_map
+  Pool.filter_map ~grain:16
     (fun schedule ->
       match Executor.run ?box protocol ~inputs ~schedule with
       | exception Invalid_argument msg ->

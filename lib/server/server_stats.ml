@@ -122,4 +122,22 @@ let snapshot t =
             ("writes", Jsonl.Int s.Cert_store.writes);
             ("corrupt", Jsonl.Int s.Cert_store.corrupt);
           ] );
+      ( "pool",
+        let p = Pool.stats () in
+        Jsonl.Obj
+          [
+            ("batches", Jsonl.Int p.Pool.batches);
+            ("chunks", Jsonl.Int p.Pool.chunks);
+            ("items", Jsonl.Int p.Pool.items);
+            ("steals", Jsonl.Int p.Pool.steals);
+            ("stolen_chunks", Jsonl.Int p.Pool.stolen_chunks);
+            ("flushes", Jsonl.Int p.Pool.flushes);
+            ( "domain_chunks",
+              Jsonl.List
+                (List.map
+                   (fun (slot, n) ->
+                     Jsonl.Obj
+                       [ ("slot", Jsonl.Int slot); ("chunks", Jsonl.Int n) ])
+                   p.Pool.domain_chunks) );
+          ] );
     ]

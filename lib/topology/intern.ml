@@ -1,13 +1,45 @@
-(* Sharded weak hash-consing arenas.  See intern.mli for the design
-   contract (domain safety, id hygiene, bounded retention). *)
+(* Sharded weak hash-consing arenas with per-domain front caches.
+   See intern.mli for the design contract (domain safety, id hygiene,
+   bounded retention). *)
 
+(* Global id source.  Domains draw ids in blocks so the shared atomic
+   cache line is touched once per [id_block] allocations instead of
+   once per node — under a fan-out every domain hammering a single
+   fetch-and-add is pure false-sharing-style contention.  Blocks make
+   id assignment even more scheduling-dependent, which is fine: ids
+   never reach orderings or serializations, and gaps (from discarded
+   race losers and part-used blocks) are explicitly harmless. *)
 let id_counter = Atomic.make 0
-let fresh_id () = Atomic.fetch_and_add id_counter 1
+let id_block = 256
+
+type id_alloc = { mutable next : int; mutable limit : int }
+
+let id_key = Domain.DLS.new_key (fun () -> { next = 0; limit = 0 })
+[@@lint.allow
+  "R1: deliberate per-domain id-block allocator over the global atomic \
+   counter; blocks are disjoint by construction so ids stay process-unique"]
+
+let fresh_id () =
+  let a = Domain.DLS.get id_key in
+  if a.next >= a.limit then begin
+    let base = Atomic.fetch_and_add id_counter id_block in
+    a.next <- base;
+    a.limit <- base + id_block
+  end;
+  let id = a.next in
+  a.next <- id + 1;
+  id
 
 let shard_count = 64
 (* Power of two so the shard pick is a mask, and comfortably more
    shards than worker domains so concurrent interns rarely collide on
    a lock. *)
+
+let front_size = 512
+(* Power of two, direct-mapped.  Small enough that the per-domain
+   strong retention (≤ front_size nodes per arena per domain) is
+   negligible, large enough that the tight intern loops of a closure
+   enumeration mostly hit it. *)
 
 module type Hashed = sig
   type t
@@ -34,9 +66,33 @@ module Make (H : Hashed) = struct
         { lock = Mutex.create (); tbl = W.create 256 })
   [@@lint.allow "R1: interning arena; every access is under the shard mutex"]
 
+  (* Per-domain front cache: a direct-mapped open-addressing-style
+     table over the candidate's shallow hash (children contribute
+     their intern ids, so the probe is O(1)).  A hit returns the
+     canonical node without touching any shard lock.  Safety: a front
+     slot holds a *strong* reference, so as long as a cached node is
+     served from any domain's front it is alive, its weak-arena entry
+     is intact, and every other domain's find-or-insert converges on
+     the same physical node — eviction (slot overwrite) merely drops
+     one strong reference. *)
+  let front_key =
+    Domain.DLS.new_key (fun () -> Array.make front_size (None : H.t option))
+  [@@lint.allow
+    "R1: deliberate per-domain front cache in front of the mutex-guarded \
+     shards; holds only canonical nodes, so a hit is the same physical \
+     node every shard lookup would return"]
+
   let intern node =
-    let s = shards.(H.hash node land (shard_count - 1)) in
-    Mutex.protect s.lock (fun () -> W.merge s.tbl node)
+    let h = H.hash node land max_int in
+    let front = Domain.DLS.get front_key in
+    let slot = h land (front_size - 1) in
+    match front.(slot) with
+    | Some canon when H.equal canon node -> canon
+    | _ ->
+        let s = shards.(h land (shard_count - 1)) in
+        let canon = Mutex.protect s.lock (fun () -> W.merge s.tbl node) in
+        front.(slot) <- Some canon;
+        canon
 
   let count () =
     let n = ref 0 in

@@ -14,7 +14,13 @@
     - {b Domain safety.}  Arenas are sharded hash sets, each shard
       guarded by its own mutex; [Pool] workers and [speedup serve]
       worker domains intern concurrently.  Critical sections are a
-      single find-or-insert, so contention stays negligible.
+      single find-or-insert, and each domain keeps a small
+      direct-mapped {e front cache} of canonical nodes in front of the
+      shards, so the hot intern loops of a fan-out mostly never touch
+      a lock at all.  A front hit is sound because the cached strong
+      reference keeps the node alive, which keeps its weak-arena entry
+      intact, so every other domain's find-or-insert converges on the
+      same physical node.
     - {b Ids never leak.}  Interning order — and therefore id
       assignment — depends on scheduling, so ids must never reach any
       ordering, rendering, or serialization.  Canonical orders stay
@@ -24,16 +30,20 @@
       the complementary contract outside [lib/topology].
     - {b Bounded retention.}  Shards are weak sets ([Weak.Make]): an
       interned node is retained only while something else keeps it
-      alive, so a long-running server does not leak the arena.  A
-      collected node's id is simply retired; ids are never reused
-      ([fresh_id] is a global atomic counter), so two live nodes never
-      share an id. *)
+      alive, so a long-running server does not leak the arena.  The
+      per-domain front caches add at most a small fixed number of
+      strong references per arena per domain (evicted by overwrite),
+      so retention stays bounded.  A collected node's id is simply
+      retired; ids are never reused (ids are drawn from a global
+      atomic counter), so two live nodes never share an id. *)
 
 val fresh_id : unit -> int
-(** A process-unique nonnegative id.  Thread-safe.  Ids handed to
-    nodes that lose the interning race are discarded; gaps are
-    harmless because ids only ever serve as equality witnesses and
-    hash keys. *)
+(** A process-unique nonnegative id.  Thread-safe: each domain draws
+    ids in blocks from the global counter, so the shared cache line is
+    touched once per block rather than once per node.  Ids handed to
+    nodes that lose the interning race — and the unused tail of a
+    domain's final block — are discarded; gaps are harmless because
+    ids only ever serve as equality witnesses and hash keys. *)
 
 module type Hashed = sig
   type t

@@ -182,6 +182,55 @@ let test_round_op_accessors () =
     | Value.Pair { fst = Value.Bool true; _ } -> true
     | _ -> false)
 
+(* ---- batched memo publication ---- *)
+
+let test_batched_publication_parity () =
+  (* Under the work-stealing pool every domain buffers memo writes and
+     publishes them at chunk boundaries; nothing may be lost on the
+     way: after the same workload the shared table must hold exactly
+     the entries of the sequential run, and a warm pass must be served
+     entirely from it.  Random tasks are unregistered, so the cert
+     store never engages. *)
+  let t = Test_random_tasks.random_task 1234 in
+  let sigmas = Task.input_simplices t in
+  let with_jobs n f =
+    Pool.set_jobs (Some n);
+    Fun.protect ~finally:(fun () -> Pool.set_jobs None) f
+  in
+  let workload () =
+    List.iter (fun sigma -> ignore (Closure.delta ~op t sigma)) sigmas
+  in
+  let run jobs =
+    with_jobs jobs (fun () ->
+        Closure.reset_memo ();
+        workload ();
+        Closure.memo_stats ())
+  in
+  let seq = run 1 in
+  let par = run 4 in
+  Alcotest.(check int) "published entries match sequential"
+    seq.Closure.entries par.Closure.entries;
+  Alcotest.(check int) "enumerations match sequential"
+    seq.Closure.enumerations par.Closure.enumerations;
+  (* Warm pass at jobs=4: every σ served from the published table. *)
+  with_jobs 4 (fun () -> workload ());
+  let warm = Closure.memo_stats () in
+  Alcotest.(check int) "warm pass adds no entries" par.Closure.entries
+    warm.Closure.entries;
+  Alcotest.(check int) "warm pass re-enumerates nothing"
+    par.Closure.enumerations warm.Closure.enumerations;
+  (* Two submitter domains race the same workload: their batches
+     serialize on the pool, their flushes interleave, and the table
+     still converges to the sequential entry set (a σ may be
+     enumerated by both, but publication is keyed, not appended). *)
+  with_jobs 4 (fun () ->
+      Closure.reset_memo ();
+      let d1 = Domain.spawn workload and d2 = Domain.spawn workload in
+      Domain.join d1;
+      Domain.join d2;
+      Alcotest.(check int) "racing submitters converge on the same entries"
+        seq.Closure.entries (Closure.memo_stats ()).Closure.entries)
+
 let suite =
   ( "closure",
     [
@@ -198,4 +247,6 @@ let suite =
       Alcotest.test_case "closure witness (Figure 2)" `Quick test_witness;
       Alcotest.test_case "β closures not conflated" `Quick test_beta_closures_not_conflated;
       Alcotest.test_case "round-op accessors" `Quick test_round_op_accessors;
+      Alcotest.test_case "batched memo publication parity" `Quick
+        test_batched_publication_parity;
     ] )

@@ -165,6 +165,39 @@ let test_multi_domain_hammer () =
     && Vertex.interned_nodes () > 0
     && Simplex.interned_nodes () > 0)
 
+(* ---- per-domain front caches ---- *)
+
+let test_front_cache_hammer () =
+  (* Each domain re-interns the same small node set 200 times: after
+     the first pass every lookup is a front-cache hit served without
+     touching a shard lock.  A hit must return the same physical node
+     the shards hold — across iterations within a domain and across
+     all four domains — or the "one live representative per structure"
+     contract is broken exactly on the hot path the cache accelerates. *)
+  let build () =
+    List.init 40 (fun i ->
+        let leaf = Value.Int (i mod 5) in
+        Value.view [ (1, leaf); (2, Value.pair leaf (Value.Bool (i mod 3 = 0))) ])
+  in
+  let rounds () =
+    let first = build () in
+    for _ = 1 to 200 do
+      if not (List.for_all2 ( == ) first (build ())) then
+        failwith "front cache returned a non-canonical node"
+    done;
+    first
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn rounds) in
+  let results = List.map Domain.join domains in
+  let first = List.hd results in
+  List.iteri
+    (fun d r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "domain %d converged on the canonical nodes" d)
+        true
+        (List.for_all2 ( == ) first r))
+    results
+
 (* ---- seed-era certificate store compatibility ---- *)
 
 (* Same resolution idiom as test_lint: under `dune runtest` the store
@@ -227,6 +260,8 @@ let suite =
         test_jobs_independence;
       Alcotest.test_case "multi-domain intern hammer" `Quick
         test_multi_domain_hammer;
+      Alcotest.test_case "front-cache hammer (4 domains, hot hits)" `Quick
+        test_front_cache_hammer;
       Alcotest.test_case "seed-era cert store still verifies" `Quick
         test_seed_store_compatible;
     ] )

@@ -83,7 +83,17 @@ let test_r1 () =
   check_run "good: Atomic + function-local ref" ~expected_code:0 []
     (lint ~dir:"lib/models/" "r1_good.ml");
   check_run "out of scope: same code in lib/tasks" ~expected_code:0 []
-    (lint ~dir:"lib/tasks/" "r1_bad.ml")
+    (lint ~dir:"lib/tasks/" "r1_bad.ml");
+  (* Domain.DLS keys are per-domain caches by construction: no data
+     race, but a coherence hazard unless deliberately designed — each
+     one needs a reasoned [@lint.allow], like the pool's memo and
+     intern front caches carry. *)
+  check_run "bad: bare DLS key in pool-reachable lib" ~expected_code:1
+    [ ("R1", 1) ]
+    (lint ~dir:"lib/closure/" "r1_dls.ml");
+  check_run "pool itself is pool-reachable" ~expected_code:1
+    [ ("R1", 1) ]
+    (lint ~dir:"lib/parallel/" "r1_dls.ml")
 
 let test_r2 () =
   check_run "bad: unsorted Hashtbl.fold into a list" ~expected_code:1

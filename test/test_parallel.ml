@@ -118,6 +118,99 @@ let test_jobs1_equals_sequential () =
         (Pool.filter_map (fun x -> if x mod 2 = 0 then Some x else None) l);
       Alcotest.(check bool) "for_all" true (Pool.for_all (fun x -> x < 100) l))
 
+(* ---- work-stealing: determinism under uneven load ---- *)
+
+(* Deterministic busy work — a pure spin, no clocks (the repo bans
+   ambient time sources; a timed sleep would also make the test
+   flaky).  Items at wildly uneven prices push the per-slot deques out
+   of lock-step so thieves actually steal mid-batch. *)
+let spin n x =
+  let acc = ref x in
+  for i = 1 to n do
+    acc := ((!acc * 1103515245) + i) land 0xFFFFFF
+  done;
+  !acc
+
+let prop_steal_schedule_invariant =
+  QCheck2.Test.make
+    ~name:"work stealing: results index-stable across jobs {1,2,4,8}"
+    ~count:20
+    QCheck2.Gen.(pair (int_range 0 400) (int_range 0 1000))
+    (fun (len, salt) ->
+      let l = List.init len (fun i -> i + salt) in
+      (* Every 17th item costs ~400x the others: an injected stall that
+         forces its owner's deque to back up and its neighbours to
+         steal. *)
+      let f x = spin (if x mod 17 = 0 then 20_000 else 50) x in
+      let g x = if spin 10 x mod 3 = 0 then Some (x * 2) else None in
+      let expect_map = List.map f l and expect_fm = List.filter_map g l in
+      List.for_all
+        (fun n ->
+          with_jobs n (fun () ->
+              Pool.map ~grain:1 f l = expect_map
+              && Pool.filter_map ~grain:1 g l = expect_fm))
+        [ 1; 2; 4; 8 ])
+
+let test_grain_cutoff_inline () =
+  (* A fan-out that does not fill two chunks runs inline on the
+     caller: left-to-right effect order (the List path), and none of
+     the domain-crossing counters move. *)
+  let l = List.init 64 (fun i -> i) in
+  Pool.reset_stats ();
+  let trace = ref [] in
+  with_jobs 4 (fun () ->
+      ignore (Pool.map ~grain:64 (fun x -> trace := x :: !trace; x) l));
+  Alcotest.(check (list int)) "inline effect order" (List.rev l) !trace;
+  let s = Pool.stats () in
+  Alcotest.(check int) "no batch for sub-grain fan-out" 0 s.Pool.batches;
+  Alcotest.(check int) "no chunks for sub-grain fan-out" 0 s.Pool.chunks
+
+let test_stats_accounting () =
+  let l = List.init 300 (fun i -> i) in
+  Pool.reset_stats ();
+  with_jobs 4 (fun () -> ignore (Pool.map ~grain:1 (spin 100) l));
+  let s = Pool.stats () in
+  Alcotest.(check int) "one batch" 1 s.Pool.batches;
+  Alcotest.(check int) "every item covered exactly once" (List.length l)
+    s.Pool.items;
+  Alcotest.(check bool) "chunks executed" true (s.Pool.chunks > 0);
+  Alcotest.(check int) "per-slot tallies sum to the chunk total"
+    s.Pool.chunks
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 s.Pool.domain_chunks);
+  (* Flush rounds follow chunks 1:1 once any hook is registered (the
+     closure memo registers one at module init). *)
+  Alcotest.(check bool) "steal accounting consistent" true
+    (s.Pool.stolen_chunks >= s.Pool.steals);
+  Pool.reset_stats ();
+  Alcotest.(check int) "reset zeroes" 0 (Pool.stats ()).Pool.batches
+
+(* SPEEDUP_GRAIN is validated exactly like SPEEDUP_JOBS. *)
+let test_env_grain_validation () =
+  let with_env value f =
+    let saved = Option.value (Sys.getenv_opt "SPEEDUP_GRAIN") ~default:"" in
+    Unix.putenv "SPEEDUP_GRAIN" value;
+    Fun.protect ~finally:(fun () -> Unix.putenv "SPEEDUP_GRAIN" saved) f
+  in
+  let l = List.init 32 (fun i -> i) in
+  with_env "1000000" (fun () ->
+      Pool.reset_stats ();
+      with_jobs 4 (fun () ->
+          Alcotest.(check (list int)) "huge grain floor forces inline"
+            (List.map succ l) (Pool.map succ l));
+      Alcotest.(check int) "no batch under env grain" 0
+        (Pool.stats ()).Pool.batches);
+  with_env "0" (fun () ->
+      Alcotest.check_raises "env zero rejected"
+        (Invalid_argument "SPEEDUP_GRAIN must be a positive integer, got 0")
+        (fun () ->
+          with_jobs 4 (fun () -> ignore (Pool.map succ l))));
+  with_env "coarse" (fun () ->
+      Alcotest.check_raises "env garbage rejected"
+        (Invalid_argument
+           "SPEEDUP_GRAIN must be a positive integer, got \"coarse\"")
+        (fun () ->
+          with_jobs 4 (fun () -> ignore (Pool.map succ l))))
+
 (* ---- the determinism guarantee on the real hot path ---- *)
 
 let op = Round_op.plain Model.Immediate
@@ -183,6 +276,12 @@ let suite =
       Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
       Alcotest.test_case "nested map does not deadlock" `Quick test_nested_no_deadlock;
       Alcotest.test_case "jobs=1 = sequential path" `Quick test_jobs1_equals_sequential;
+      QCheck_alcotest.to_alcotest prop_steal_schedule_invariant;
+      Alcotest.test_case "grain cutoff runs inline" `Quick
+        test_grain_cutoff_inline;
+      Alcotest.test_case "pool stats accounting" `Quick test_stats_accounting;
+      Alcotest.test_case "SPEEDUP_GRAIN validation" `Quick
+        test_env_grain_validation;
       QCheck_alcotest.to_alcotest prop_closure_jobs_invariant;
       Alcotest.test_case "closure/solver jobs-invariant" `Quick
         test_closure_known_instance_jobs_invariant;
