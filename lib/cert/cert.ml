@@ -508,7 +508,7 @@ let verify env cert =
               "obstruction endpoints are not vertices of the complex"
           in
           check
-            (Connectivity.path complex a b = None)
+            (Option.is_none (Connectivity.path complex a b))
             "claimed disconnection refuted: a path exists"
       | Sperner { complex; seed; samples } ->
           let* () = check (samples > 0) "no Sperner samples recorded" in

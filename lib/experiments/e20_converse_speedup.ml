@@ -7,7 +7,9 @@ let random_task ~n ~outputs seed =
     (fun sigma ->
       let candidates = Combinatorics.assignments (Simplex.ids sigma) outputs in
       let chosen = List.filter (fun _ -> Random.State.bool rng) candidates in
-      let chosen = if chosen = [] then [ List.hd candidates ] else chosen in
+      let chosen =
+        match chosen with [] -> [ List.hd candidates ] | _ -> chosen
+      in
       Hashtbl.replace table (Simplex.to_string sigma) (Complex.of_facets chosen))
     (Complex.all_simplices inputs);
   Task.make

@@ -99,6 +99,12 @@ let workers = ref 0
 [@@lint.allow
   "R1: batch handshake state; written under [submit_lock] + [mutex] (see \
    ensure_workers), read under [mutex]"]
+[@@lint.allow
+  "R7: intentionally split locksets, confirmed by the analysis — grown \
+   only under [submit_lock] (ensure_workers, one submitter at a time) and \
+   compared under [mutex] by the ack handshake; the counter is monotone, \
+   so a stale read can only under-count and the handshake re-checks under \
+   [mutex]"]
 
 let batch : (unit -> unit) option ref = ref None
 [@@lint.allow "R1: batch handshake state; every access is under [mutex]"]

@@ -58,9 +58,15 @@ let layout sigma complex =
 
 let fill_colors = [| "#202020"; "#f5f5f5"; "#d04040" |]
 [@@lint.allow "R1: constant color table, read-only after initialization"]
+[@@lint.allow
+  "R7: never written after the literal, so unlocked reads race with \
+   nothing; a lockset cannot express read-only"]
 
 let stroke_colors = [| "#000000"; "#707070"; "#a02020" |]
 [@@lint.allow "R1: constant color table, read-only after initialization"]
+[@@lint.allow
+  "R7: never written after the literal, so unlocked reads race with \
+   nothing; a lockset cannot express read-only"]
 
 let svg ?(size = 640) sigma complex =
   let positions = layout sigma complex in

@@ -65,6 +65,10 @@ module Make (H : Hashed) = struct
     Array.init shard_count (fun _ ->
         { lock = Mutex.create (); tbl = W.create 256 })
   [@@lint.allow "R1: interning arena; every access is under the shard mutex"]
+  [@@lint.allow
+    "R7: the array itself is immutable after [Array.init] — indexing it to \
+     pick a shard needs no lock; only each shard's table mutates, and that \
+     happens under that shard's own [lock] (Mutex.protect in intern/count)"]
 
   (* Per-domain front cache: a direct-mapped open-addressing-style
      table over the candidate's shallow hash (children contribute

@@ -1,0 +1,14 @@
+(* R7 fixture: two seeded violations — a cell accessed with no lock at
+   all, and a cell guarded by a different mutex on each path. *)
+module Pool = struct
+  let map f l = List.map f l
+end
+
+let lock_a = Mutex.create ()
+let lock_b = Mutex.create ()
+let unguarded = ref 0
+let split = ref 0
+let bump () = incr unguarded
+let under_a () = Mutex.protect lock_a (fun () -> incr split)
+let under_b () = Mutex.protect lock_b (fun () -> split := !split + 1)
+let run xs = Pool.map (fun x -> bump (); under_a (); under_b (); x) xs

@@ -1,0 +1,8 @@
+(* Reachability fixture, file 1: [dispatch] hands its function
+   argument to a Pool receiver, so it becomes pool-reachable itself
+   (rule 3) and so does anything passed to it from another module. *)
+module Pool = struct
+  let map f l = List.map f l
+end
+
+let dispatch f xs = Pool.map f xs

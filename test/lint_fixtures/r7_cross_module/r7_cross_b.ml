@@ -1,0 +1,5 @@
+(* Reachability fixture, file 2: [work] never touches the pool
+   directly; it is reachable only through the cross-module flow
+   work → R7_cross_a.dispatch → Pool.map. *)
+let work x = x + 1
+let run xs = R7_cross_a.dispatch work xs

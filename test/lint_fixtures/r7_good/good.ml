@@ -1,0 +1,22 @@
+(* R7 fixture: every access of the shared cell holds the same mutex,
+   through three idioms — Mutex.protect, a top-level alias of the lock,
+   and Mutex.lock + Fun.protect.  The local Pool stub is recognized by
+   the same dot-boundary suffix match as the real lib/parallel pool. *)
+module Pool = struct
+  let map f l = List.map f l
+end
+
+let lock = Mutex.create ()
+let lock_alias = lock
+let counter = ref 0
+let protected_incr () = Mutex.protect lock (fun () -> incr counter)
+let aliased_read () = Mutex.protect lock_alias (fun () -> !counter)
+
+let locked_add n =
+  Mutex.lock lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock lock)
+    (fun () -> counter := !counter + n)
+
+let run xs = Pool.map (fun x -> protected_incr (); x + aliased_read ()) xs
+let total () = locked_add 1

@@ -2,8 +2,9 @@
    executable: each rule R1–R6 on a good and a bad fixture with exact
    (rule, line) diagnostics, scope boundaries, the three suppression
    forms, the baseline mechanism, and the CLI exit codes.  Fixtures
-   live under test/lint_fixtures/ and only need to parse — the
-   analyzer is purely syntactic.
+   for the syntactic backend live under test/lint_fixtures/ and only
+   need to parse; the typed backend's fixtures (r7_*/ subdirectories)
+   are compiled to .cmt at test time with ocamlc -bin-annot.
 
    The linter links compiler-libs, whose cmi directory shadows module
    names like [Closure]; driving the executable keeps the test binary
@@ -82,8 +83,12 @@ let test_r1 () =
     (lint ~dir:"lib/models/" "r1_bad.ml");
   check_run "good: Atomic + function-local ref" ~expected_code:0 []
     (lint ~dir:"lib/models/" "r1_good.ml");
-  check_run "out of scope: same code in lib/tasks" ~expected_code:0 []
-    (lint ~dir:"lib/tasks/" "r1_bad.ml");
+  (* Reachability inference put every lib/ directory in the
+     pool-reachable set (the whole library tree feeds Pool callbacks
+     through Solvability.decide / Adversary.check_task), so the R1
+     scope boundary is now lib/ vs bench/bin/tools. *)
+  check_run "out of scope: same code in bench" ~expected_code:0 []
+    (lint ~dir:"bench/" "r1_bad.ml");
   (* Domain.DLS keys are per-domain caches by construction: no data
      race, but a coherence hazard unless deliberately designed — each
      one needs a reasoned [@lint.allow], like the pool's memo and
@@ -250,6 +255,114 @@ let test_parse_error () =
   Alcotest.(check int) "syntax error fails the run" 1 code;
   check_mentions "syntax error is reported" "[parse] syntax error" lines
 
+(* ---- typed backend (--cmt): R7 locksets and reachability ---- *)
+
+(* The typed backend reads .cmt trees, so fixtures are compiled first:
+   copy them into a scratch directory and run ocamlc -bin-annot there
+   (Mutex and Domain are stdlib modules, plain ocamlc suffices), then
+   point --cmt at the directory.  Compilation order follows the list,
+   so dependent files go last. *)
+let compile_fixtures sub names =
+  let dir = Filename.temp_file "lint_cmt" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  List.iter
+    (fun name ->
+      let ic = open_in_bin (fixture (Filename.concat sub name)) in
+      let src = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let oc = open_out_bin (Filename.concat dir name) in
+      output_string oc src;
+      close_out oc)
+    names;
+  let cmd =
+    Printf.sprintf "cd %s && ocamlc -bin-annot -c %s 2>&1"
+      (Filename.quote dir)
+      (String.concat " " (List.map Filename.quote names))
+  in
+  let ic = Unix.open_process_in cmd in
+  let out = ref [] in
+  (try
+     while true do
+       out := input_line ic :: !out
+     done
+   with End_of_file -> ());
+  (match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> ()
+  | _ ->
+      Alcotest.failf "fixture compilation failed:\n%s"
+        (String.concat "\n" (List.rev !out)));
+  dir
+
+let test_r7_typed () =
+  (* Consistent locksets — Mutex.protect, a lock alias, and
+     Mutex.lock + Fun.protect all resolve to the same mutex. *)
+  let dir = compile_fixtures "r7_good" [ "good.ml" ] in
+  check_run "good: consistent locksets (incl. alias)" ~expected_code:0 []
+    (run_lint [ "--cmt"; "--as"; "lib/closure/"; "--rules"; "R7"; dir ]);
+  (* Seeded violations: empty lockset on [unguarded] (line 11) and a
+     lock_a/lock_b split on [split], reported at the access that
+     breaks the running intersection (line 13). *)
+  let dir = compile_fixtures "r7_bad" [ "bad.ml" ] in
+  let code, lines =
+    run_lint [ "--cmt"; "--as"; "lib/closure/"; "--rules"; "R7"; dir ]
+  in
+  check_run "bad: empty and inconsistent locksets" ~expected_code:1
+    [ ("R7", 11); ("R7", 13) ]
+    (code, lines);
+  check_mentions "empty lockset names the cell" "'Bad.unguarded'" lines;
+  check_mentions "inconsistency names both locks" "{Bad.lock_b}" lines;
+  check_mentions "inconsistency names the other site" "{Bad.lock_a}" lines
+
+let test_reachability_cross_module () =
+  (* work → R7_cross_a.dispatch → Pool.map: the function and its
+     directory are inferred pool-reachable across the module
+     boundary. *)
+  let dir =
+    compile_fixtures "r7_cross_module" [ "r7_cross_a.ml"; "r7_cross_b.ml" ]
+  in
+  let code, lines =
+    run_lint [ "--cmt"; "--as"; "lib/closure/"; "--reachability"; dir ]
+  in
+  Alcotest.(check int) "--reachability exits 0" 0 code;
+  check_mentions "receiver-forwarding function is reachable"
+    "R7_cross_a.dispatch" lines;
+  check_mentions "cross-module callback is reachable" "R7_cross_b.work" lines;
+  check_mentions "directory projection includes the fixture dir"
+    {|"closure"|} lines
+
+(* Nested directories inherit their parent's scope from every scoping
+   table, not just parallel_reachable (lint_config.classify consults
+   them all). *)
+let test_nested_scope () =
+  check_run "nested dir under the dedicated layer keeps strict R4"
+    ~expected_code:1
+    [ ("R4", 2); ("R4", 4) ]
+    (lint ~dir:"lib/topology/render/" "r4_bad.ml");
+  check_run "nested dir under lib/server inherits the R5 allowlist"
+    ~expected_code:1
+    [ ("R5", 1) ]
+    (lint ~dir:"lib/server/inner/" "r5_bad.ml")
+
+let test_emit_prune () =
+  (* --emit-baseline --baseline prunes: entries that still fire are
+     kept, entries that no longer fire disappear, and new findings are
+     never absorbed. *)
+  let code, lines =
+    lint
+      ~args:[ "--emit-baseline"; "--baseline"; fixture "baseline_r2.json" ]
+      ~dir:"lib/runtime/" "r2_bad.ml"
+  in
+  Alcotest.(check int) "prune keeps a live entry: exit 0" 0 code;
+  check_mentions "live entry survives the prune" {|"rule": "R2"|} lines;
+  let code, lines =
+    lint
+      ~args:[ "--emit-baseline"; "--baseline"; fixture "baseline_r2.json" ]
+      ~dir:"lib/runtime/" "r2_good.ml"
+  in
+  Alcotest.(check int) "prune drops a stale entry: exit 0" 0 code;
+  Alcotest.(check (list string)) "pruned baseline is empty" [ "[]" ] lines
+
 let suite =
   ( "lint",
     [
@@ -266,4 +379,9 @@ let suite =
       Alcotest.test_case "emit-baseline and json output" `Quick test_emit_and_json;
       Alcotest.test_case "rules filter" `Quick test_rules_filter;
       Alcotest.test_case "parse failure is reported" `Quick test_parse_error;
+      Alcotest.test_case "R7 locksets (typed backend)" `Quick test_r7_typed;
+      Alcotest.test_case "cross-module reachability inference" `Quick
+        test_reachability_cross_module;
+      Alcotest.test_case "nested directory scoping" `Quick test_nested_scope;
+      Alcotest.test_case "emit-baseline pruning" `Quick test_emit_prune;
     ] )

@@ -67,13 +67,19 @@ let entry_to_json e =
          ("line", Jsonl.Int e.line);
        ])
 
-let emit diags =
-  let entries =
-    List.map
-      (fun (d : Lint_diag.t) ->
-        entry_to_json { rule = d.rule; file = d.file; line = d.line })
-      diags
-  in
-  match entries with
+let emit_entries entries =
+  match List.map entry_to_json entries with
   | [] -> "[]\n"
   | entries -> "[\n  " ^ String.concat ",\n  " entries ^ "\n]\n"
+
+let emit diags =
+  emit_entries
+    (List.map
+       (fun (d : Lint_diag.t) -> { rule = d.rule; file = d.file; line = d.line })
+       diags)
+
+(* --emit-baseline with an existing --baseline: prune — keep exactly
+   the entries that still match a finding, so the file shrinks
+   monotonically and never absorbs new findings. *)
+let prune entries diags =
+  List.filter (fun e -> List.exists (matches e) diags) entries

@@ -1,0 +1,426 @@
+(* Typed whole-program backend for speedup-lint.
+
+   The syntactic pass (lint_engine) sees one parsetree at a time and
+   matches identifiers by surface spelling, so aliases and opens can
+   hide a banned identifier from it.  This module loads the `.cmt`
+   binary annotations dune already emits for every compiled module and
+   re-runs the per-module rules on the *typed* tree, where every
+   identifier carries its resolved [Path.t] and every expression its
+   inferred type:
+
+     R1  top-level mutable state, detected by resolved creator path
+         (an aliased [module H = Hashtbl] no longer hides a table) and
+         by the typed mutability of record labels;
+     R3  lock discipline, with [Mutex.lock] resolved by path;
+     R4  polymorphic operations whose argument *type* mentions a
+         dedicated comparator type — no syntactic rooting required;
+     R5  banned nondeterminism by resolved path;
+     R6  structural operations whose argument type mentions an
+         interned type.
+
+   The whole-program analyses built on top of the loaded modules live
+   in lint_callgraph (pool-reachability inference, config drift) and
+   lint_lockset (R7).  See docs/LINT.md. *)
+
+open Typedtree
+
+(* ---- loaded modules ---- *)
+
+type modl = {
+  modname : string;  (* compilation unit name, e.g. "Pool" *)
+  src : string;  (* logical source path, e.g. "lib/parallel/pool.ml" *)
+  scope : Lint_config.scope;
+  str : structure;
+}
+
+let rec collect_cmts acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if name = ".git" then acc
+           else collect_cmts acc (Filename.concat path name))
+         acc
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+(* Loads every .cmt under [roots].  [as_dir], when given, replaces the
+   directory of each recorded source path (fixture trees compiled
+   outside dune get a logical home so scoping applies).  Unreadable
+   files become "lint" diagnostics rather than hard failures; modules
+   compiled more than once (byte and native) are deduplicated by
+   source path. *)
+let load ?as_dir roots =
+  let diags = ref [] in
+  let seen = Hashtbl.create 64 in
+  let mods =
+    List.concat_map (fun r -> List.rev (collect_cmts [] r)) roots
+    |> List.filter_map (fun path ->
+           match Cmt_format.read_cmt path with
+           | exception e ->
+               diags :=
+                 Lint_diag.make ~rule:"lint" ~file:path ~line:0 ~col:0
+                   ("cannot read cmt: " ^ Printexc.to_string e)
+                 :: !diags;
+               None
+           | cmt -> (
+               match cmt.cmt_annots with
+               | Cmt_format.Implementation str ->
+                   let src =
+                     match cmt.cmt_sourcefile with
+                     | Some s -> s
+                     | None -> cmt.cmt_modname ^ ".ml"
+                   in
+                   let src =
+                     match as_dir with
+                     | Some d -> d ^ Filename.basename src
+                     | None -> src
+                   in
+                   if Hashtbl.mem seen src then None
+                   else (
+                     Hashtbl.add seen src ();
+                     Some
+                       {
+                         modname = cmt.cmt_modname;
+                         src;
+                         scope = Lint_config.classify src;
+                         str;
+                       })
+               | _ -> None))
+  in
+  (List.sort (fun a b -> String.compare a.src b.src) mods, !diags)
+
+(* ---- path normalization ---- *)
+
+(* Typed trees spell stdlib paths as "Stdlib.Mutex.lock" or (through a
+   direct unit reference) "Stdlib__Mutex.lock"; normalize both to
+   "Mutex.lock" so vocabulary tables stay readable. *)
+let strip_unit c =
+  if String.length c > 8 && String.sub c 0 8 = "Stdlib__" then
+    String.capitalize_ascii (String.sub c 8 (String.length c - 8))
+  else c
+
+let norm_components p =
+  match String.split_on_char '.' (Path.name p) with
+  | "Stdlib" :: (_ :: _ as rest) -> List.map strip_unit rest
+  | comps -> List.map strip_unit comps
+
+let norm_name p = String.concat "." (norm_components p)
+
+(* Does [id] end with [suffix] at a dot boundary? *)
+let dot_suffix id suffix =
+  id = suffix
+  ||
+  let li = String.length id and ls = String.length suffix in
+  li > ls && String.sub id (li - ls) ls = suffix && id.[li - ls - 1] = '.'
+
+let is_pool_receiver id =
+  List.exists (dot_suffix id) Lint_config.pool_callback_receivers
+
+let is_receiver id =
+  is_pool_receiver id || List.mem id Lint_config.spawn_receivers
+
+(* Resolve a mention made inside nested modules [stack] (outermost
+   first) against a whole-program definition table: try each enclosing
+   module prefix from innermost to outermost, then the bare normalized
+   name — which, for externals like "Mutex.lock", is already the
+   canonical spelling. *)
+let resolve_in ~mem ~stack comps =
+  let rec go stack =
+    match stack with
+    | [] -> String.concat "." comps
+    | _ ->
+        let cand = String.concat "." (stack @ comps) in
+        if mem cand then cand
+        else go (List.filteri (fun i _ -> i < List.length stack - 1) stack)
+  in
+  go stack
+
+(* ---- shared typed vocabulary ---- *)
+
+type cell_kind = Ref | Table | Array | Record | Dls | Other
+
+(* The typed view of R1's creator detection: does [e] construct
+   mutable state?  Creator identifiers match by resolved path (so
+   aliased modules are seen through); records consult the typed
+   mutability of their labels (so aliased record types are too).
+   Returns the kind and a display name. *)
+let creator_kind_of_path p =
+  let comps = norm_components p in
+  (* A bare [ref] could be a local shadow; require Stdlib's. *)
+  if comps = [ "ref" ] && Path.name p <> "Stdlib.ref" then None
+  else if List.mem comps Lint_config.mutable_creators then
+    let kind =
+      match comps with
+      | [ "ref" ] -> Ref
+      | [ "Hashtbl"; "create" ] -> Table
+      | [ "Domain"; "DLS"; "new_key" ] -> Dls
+      | ("Array" | "Bytes") :: _ -> Array
+      | _ -> Other
+    in
+    Some (kind, String.concat "." comps)
+  else
+    match List.rev comps with
+    | "create" :: "Tbl" :: _ -> Some (Table, String.concat "." comps)
+    | _ -> None
+
+let rec creator_kind (e : expression) =
+  match e.exp_desc with
+  | Texp_apply (f, _) -> (
+      match f.exp_desc with
+      | Texp_ident (p, _, _) -> creator_kind_of_path p
+      | _ -> None)
+  | Texp_record { fields; _ } ->
+      if
+        Array.exists
+          (fun ((ld : Types.label_description), _) ->
+            ld.lbl_mut = Asttypes.Mutable)
+          fields
+      then Some (Record, "record with mutable fields")
+      else None
+  | Texp_array (_ :: _) -> Some (Array, "array literal")
+  | Texp_lazy e -> creator_kind e
+  | _ -> None
+
+(* Polymorphic compare/hash by resolved path.  Single-component
+   operators must resolve to Stdlib's (a dedicated [compare] defined
+   in the current module is exactly what the rule recommends). *)
+let is_poly_op_path p =
+  match String.split_on_char '.' (Path.name p) with
+  | [ "Stdlib"; op ] -> List.mem [ op ] Lint_config.poly_compare_ops
+  | _ -> (
+      match norm_components p with
+      | [ "Hashtbl"; ("hash" | "seeded_hash") ] -> true
+      | _ -> false)
+
+(* Does the (syntactic structure of) type [ty] mention one of [names]
+   as a constructor?  Abstract types stay opaque, so there are no deep
+   false positives: a [Task.t] containing simplices does not match
+   "Simplex.t". *)
+let rec type_mentions names ty =
+  match Types.get_desc ty with
+  | Tconstr (p, args, _) ->
+      List.mem (norm_name p) names || List.exists (type_mentions names) args
+  | Ttuple ts -> List.exists (type_mentions names) ts
+  | Tarrow (_, a, b, _) -> type_mentions names a || type_mentions names b
+  | Tpoly (t, _) -> type_mentions names t
+  | _ -> false
+
+(* Does any identifier in [e] resolve to [name] (normalized)? *)
+let mentions_path name e =
+  let found = ref false in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.exp_desc with
+          | Texp_ident (p, _, _) when norm_name p = name -> found := true
+          | _ -> ());
+          if not !found then Tast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  !found
+
+let is_apply_of name (e : expression) =
+  match e.exp_desc with
+  | Texp_apply (f, _) -> (
+      match f.exp_desc with
+      | Texp_ident (p, _, _) -> norm_name p = name
+      | _ -> false)
+  | _ -> false
+
+let is_protect_with_unlock (e : expression) =
+  match e.exp_desc with
+  | Texp_apply (f, args) -> (
+      match f.exp_desc with
+      | Texp_ident (p, _, _) ->
+          norm_name p = "Fun.protect"
+          && List.exists
+               (fun (lbl, a) ->
+                 lbl = Asttypes.Labelled "finally"
+                 &&
+                 match a with
+                 | Some a -> mentions_path "Mutex.unlock" a
+                 | None -> false)
+               args
+      | _ -> false)
+  | _ -> false
+
+(* First meaningful expression of a continuation, as in the syntactic
+   engine: peels sequencing and let-bindings. *)
+let rec protect_follows (e : expression) =
+  if is_protect_with_unlock e then true
+  else
+    match e.exp_desc with
+    | Texp_sequence (e1, _) -> protect_follows e1
+    | Texp_let (_, vbs, _) ->
+        List.exists (fun vb -> is_protect_with_unlock vb.vb_expr) vbs
+    | _ -> false
+
+(* ---- per-module typed checks ---- *)
+
+type ctx = {
+  m : modl;
+  mutable suppressed : string list list;
+  mutable file_suppressed : string list;
+  mutable cleared : expression list;
+  mutable findings : Lint_diag.t list;
+}
+
+let active ctx = ctx.file_suppressed @ List.concat ctx.suppressed
+
+let report ctx ~rule ~loc msg =
+  let sup = active ctx in
+  if not (List.mem rule sup || List.mem "all" sup) then
+    ctx.findings <-
+      Lint_diag.of_location ~rule ~file:ctx.m.src loc msg :: ctx.findings
+
+(* Suppression parsing is shared with the syntactic engine: typedtree
+   attributes are parsetree attributes. *)
+let suppressions ctx attrs =
+  Lint_engine.suppressions_of_attrs
+    ~report:(fun loc rule msg ->
+      ctx.findings <-
+        Lint_diag.of_location ~rule ~file:ctx.m.src loc msg :: ctx.findings)
+    attrs
+
+(* Floating [@@@lint.allow] of a structure, for file scope. *)
+let floating_suppressions ctx (str : structure) =
+  List.iter
+    (fun item ->
+      match item.str_desc with
+      | Tstr_attribute a when a.Parsetree.attr_name.txt = Lint_engine.allow_attr
+        ->
+          ctx.file_suppressed <- suppressions ctx [ a ] @ ctx.file_suppressed
+      | _ -> ())
+    str.str_items
+
+let clear ctx e = ctx.cleared <- e :: ctx.cleared
+let is_cleared ctx e = List.memq e ctx.cleared
+
+let check_poly_apply ctx (e : expression) f args =
+  match f.exp_desc with
+  | Texp_ident (p, _, _) when is_poly_op_path p ->
+      let op = norm_name p in
+      List.iter
+        (fun (_, a) ->
+          match a with
+          | None -> ()
+          | Some a ->
+              if type_mentions Lint_config.dedicated_type_names a.exp_type then
+                report ctx ~rule:"R4" ~loc:e.exp_loc
+                  (Printf.sprintf
+                     "polymorphic '%s' applied to a value whose type involves \
+                      a dedicated comparator type; use Simplex.compare / \
+                      Vertex.compare / Complex.compare / Frac.compare (or key \
+                      with Int.compare)"
+                     op)
+              else if
+                ctx.m.scope.Lint_config.r6
+                && type_mentions Lint_config.interned_type_names a.exp_type
+              then
+                report ctx ~rule:"R6" ~loc:e.exp_loc
+                  (Printf.sprintf
+                     "structural '%s' applied to a value whose type involves \
+                      an interned type outside lib/topology; interned nodes \
+                      carry process-local ids, so use the module's equal / \
+                      compare / hash instead"
+                     op))
+        args
+  | _ -> ()
+
+let check_module m =
+  let ctx =
+    { m; suppressed = []; file_suppressed = []; cleared = []; findings = [] }
+  in
+  floating_suppressions ctx m.str;
+  let push attrs = ctx.suppressed <- suppressions ctx attrs :: ctx.suppressed in
+  let pop () = ctx.suppressed <- List.tl ctx.suppressed in
+  let toplevel = ref true in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          push e.exp_attributes;
+          (* Pre-marking: Mutex.lock m; <protected continuation>. *)
+          (match e.exp_desc with
+          | Texp_sequence (e1, e2)
+            when is_apply_of "Mutex.lock" e1 && protect_follows e2 ->
+              clear ctx e1
+          | _ -> ());
+          (match e.exp_desc with
+          | Texp_ident (p, _, _) ->
+              let comps = norm_components p in
+              if
+                ctx.m.scope.Lint_config.r5
+                && (List.mem comps Lint_config.banned_idents
+                   || Lint_engine.is_ambient_random comps)
+                && not (List.mem comps ctx.m.scope.Lint_config.r5_allowed)
+              then
+                report ctx ~rule:"R5" ~loc:e.exp_loc
+                  (Printf.sprintf
+                     "'%s' is nondeterministic and forbidden in lib/; thread \
+                      an explicit Random.State (seeded by the caller) or move \
+                      the timing/IO to bin/ or bench/"
+                     (String.concat "." comps))
+          | Texp_apply (f, args) ->
+              if is_apply_of "Mutex.lock" e && not (is_cleared ctx e) then
+                report ctx ~rule:"R3" ~loc:e.exp_loc
+                  "Mutex.lock without a following Fun.protect ~finally:(… \
+                   Mutex.unlock …) in the same function; an exception in the \
+                   critical section would leave the mutex held (or use \
+                   Mutex.protect)";
+              check_poly_apply ctx e f args
+          | _ -> ());
+          let saved = !toplevel in
+          toplevel := false;
+          Tast_iterator.default_iterator.expr it e;
+          toplevel := saved;
+          pop ());
+      value_binding =
+        (fun it vb ->
+          push vb.vb_attributes;
+          (if !toplevel && ctx.m.scope.Lint_config.r1 then
+             match creator_kind vb.vb_expr with
+             | Some (Record, _) ->
+                 report ctx ~rule:"R1" ~loc:vb.vb_loc
+                   "top-level record with mutable fields is shared mutable \
+                    state in a library reachable from Pool callbacks; use \
+                    Atomic fields or allowlist it"
+             | Some (Array, "array literal") ->
+                 report ctx ~rule:"R1" ~loc:vb.vb_loc
+                   "top-level array literal is shared mutable state in a \
+                    library reachable from Pool callbacks; use an immutable \
+                    list/tuple or allowlist it"
+             | Some (_, name) ->
+                 report ctx ~rule:"R1" ~loc:vb.vb_loc
+                   (Printf.sprintf
+                      "top-level '%s' creates shared mutable state in a \
+                       library reachable from Pool callbacks; use Atomic, \
+                       guard every access with a mutex and suppress with \
+                       [@lint.allow \"R1: reason\"], or move it into the \
+                       function that uses it"
+                      name)
+             | None -> ());
+          Tast_iterator.default_iterator.value_binding it vb;
+          pop ());
+      structure_item =
+        (fun it item ->
+          let attrs =
+            match item.str_desc with Tstr_eval (_, attrs) -> attrs | _ -> []
+          in
+          push attrs;
+          (match item.str_desc with
+          | Tstr_value _ | Tstr_module _ | Tstr_recmodule _ ->
+              (* modules re-enter "top level" for their own items *)
+              toplevel := true
+          | _ -> toplevel := false);
+          Tast_iterator.default_iterator.structure_item it item;
+          pop ());
+    }
+  in
+  it.structure it m.str;
+  List.sort_uniq Lint_diag.compare ctx.findings

@@ -10,11 +10,24 @@
    (closure enumeration, solver fan-out, adversary checks, certificate
    store, the query daemon's worker domains): top-level mutable state
    there must be Atomic, mutex-guarded, or explicitly allowlisted
-   (R1). *)
+   (R1), and every such cell's locksets must be consistent (R7).
+
+   This list is no longer trusted: the typed backend *infers* the
+   pool-reachable set from the whole-program call graph
+   (lint_callgraph) and `dune build @lint` fails on drift in either
+   direction, so the list here is exactly the inferred directory
+   projection.  `frac`, `tasks`, `algorithms`, `core` and
+   `experiments` entered when inference traced protocol/Δ closures
+   flowing through Solvability.decide / Adversary.check_task /
+   Round_op into Pool callbacks — paths the hand-maintained list had
+   missed.  Regenerate the set with:
+   main.exe --cmt --reachability lib bin bench tools  (from
+   _build/default). *)
 let parallel_reachable =
   [
-    "topology"; "closure"; "models"; "models/algebra"; "runtime"; "solver";
-    "cert"; "server"; "parallel";
+    "algorithms"; "cert"; "closure"; "core"; "experiments"; "frac"; "models";
+    "models/algebra"; "parallel"; "runtime"; "server"; "solver"; "tasks";
+    "topology";
   ]
 
 (* Libraries defining the dedicated comparator types: inside them the
@@ -39,15 +52,22 @@ type scope = {
   r6 : bool;  (* structural ops on interned types forbidden *)
 }
 
+(* Every scoping table keyed by library name.  The nested-sub-library
+   adjustment in [classify] consults all of them, so a nested directory
+   listed in *any* table (not just [parallel_reachable]) gets its own
+   scope label; an unlisted nested directory inherits its parent's. *)
+let scoped_names () =
+  parallel_reachable @ dedicated_layer @ List.map fst r5_allowlist
+
 let classify path =
   match String.split_on_char '/' path with
   | "lib" :: name :: rest ->
       (* Nested sub-libraries (lib/models/algebra/…) are scoped under
-         their full directory name so [parallel_reachable] can list
+         their full directory name so any scoping table can list
          them independently of the parent tree. *)
       let name =
         match rest with
-        | sub :: _ :: _ when List.mem (name ^ "/" ^ sub) parallel_reachable ->
+        | sub :: _ :: _ when List.mem (name ^ "/" ^ sub) (scoped_names ()) ->
             name ^ "/" ^ sub
         | _ -> name
       in
@@ -200,3 +220,30 @@ let sorters =
    insensitive to iteration order. *)
 let commutative_ops =
   [ "+"; "+."; "*"; "*."; "max"; "min"; "land"; "lor"; "lxor"; "&&"; "||" ]
+
+(* ---- typed whole-program backend (lint_cmt / lint_callgraph /
+   lint_lockset) ---- *)
+
+(* Functions whose callback arguments execute on other domains.  The
+   [Pool.*] entries match on a dot-boundary suffix of the resolved
+   path, so the real [lib/parallel] Pool and a fixture-local
+   [module Pool = struct … end] are both recognized; [Domain.spawn]
+   matches the normalized stdlib path exactly.  These seed the
+   pool-reachability inference (lint_callgraph) and mark detachment
+   points for the R7 lockset analysis (code inside their callback
+   arguments runs without the caller's locks). *)
+let pool_callback_receivers =
+  [
+    "Pool.map"; "Pool.filter_map"; "Pool.filter"; "Pool.for_all";
+    "Pool.register_flush";
+  ]
+
+let spawn_receivers = [ "Domain.spawn" ]
+
+(* Type constructors (resolved, normalized paths) that the typed R4/R6
+   checks protect: polymorphic operations whose argument *type*
+   mentions one of these fire regardless of how the value was reached
+   syntactically.  Derived from the module lists above so the
+   syntactic and typed backends cannot drift. *)
+let dedicated_type_names = List.map (fun m -> m ^ ".t") dedicated_modules
+let interned_type_names = List.map (fun m -> m ^ ".t") interned_modules

@@ -5,8 +5,23 @@
      --prefix P        logical path prefix for bare file arguments
                        (per-directory dune rules pass e.g. lib/runtime/)
      --format human|json
-     --emit-baseline   print a baseline covering the current findings
+     --emit-baseline   print a baseline; with --baseline, prune the
+                       given baseline to the entries that still fire
      --rules R1,R3     restrict to a subset of rules
+     --cmt             typed whole-program mode: arguments are
+                       directories scanned recursively for .cmt files
+                       (run it from _build/default, as the @lint rule
+                       does); runs the typed R1/R3/R4/R5/R6 checks,
+                       the R7 lockset analysis, and — with
+                       --check-config — the reachability/config diff
+     --as P            (with --cmt) logical directory for the scanned
+                       modules, e.g. --as lib/closure/ for fixtures
+     --check-config    (with --cmt) fail on drift between the inferred
+                       pool-reachable set and parallel_reachable
+     --reachability    (with --cmt) print the inferred pool-reachable
+                       set as JSON and exit
+     --locks           (with --cmt) print per-cell lockset verdicts as
+                       JSON lines and exit
 
    Exit codes: 0 clean, 1 findings, 2 usage or I/O error. *)
 
@@ -31,6 +46,11 @@ let () =
   let format = ref "human" in
   let emit_baseline = ref false in
   let rules = ref None in
+  let cmt = ref false in
+  let as_dir = ref None in
+  let check_config = ref false in
+  let reachability = ref false in
+  let locks = ref false in
   let paths = ref [] in
   let spec =
     [
@@ -43,10 +63,24 @@ let () =
       ("--format", Arg.Set_string format, "human|json output format");
       ( "--emit-baseline",
         Arg.Set emit_baseline,
-        " print a baseline for the current findings" );
+        " print a baseline for the current findings (prunes with \
+         --baseline)" );
       ( "--rules",
         Arg.String (fun s -> rules := Some (String.split_on_char ',' s)),
         "R1,R2,... restrict to these rules" );
+      ("--cmt", Arg.Set cmt, " typed whole-program mode over .cmt trees");
+      ( "--as",
+        Arg.String (fun s -> as_dir := Some s),
+        "P logical directory for --cmt modules (e.g. lib/closure/)" );
+      ( "--check-config",
+        Arg.Set check_config,
+        " fail on inferred-reachability vs parallel_reachable drift" );
+      ( "--reachability",
+        Arg.Set reachability,
+        " print the inferred pool-reachable set as JSON and exit" );
+      ( "--locks",
+        Arg.Set locks,
+        " print per-cell lockset verdicts as JSON lines and exit" );
     ]
   in
   Arg.parse spec (fun p -> paths := p :: !paths) usage;
@@ -56,31 +90,67 @@ let () =
   if !format <> "human" && !format <> "json" then (
     prerr_endline "speedup-lint: --format must be human or json";
     exit 2);
-  (* Files named on the command line get --prefix for their logical
-     path; files found under a directory argument already carry it. *)
-  let files =
-    List.concat_map
-      (fun p ->
-        if not (Sys.file_exists p) then (
-          Printf.eprintf "speedup-lint: no such file: %s\n" p;
-          exit 2);
-        if Sys.is_directory p then
-          List.map (fun f -> ("", f)) (List.rev (collect_files [] p))
-        else [ (!prefix, p) ])
-      (List.rev !paths)
-  in
-  let diags =
-    List.concat_map (fun (prefix, f) -> Lint_engine.lint_file ~prefix f) files
-    |> List.sort_uniq Lint_diag.compare
+  List.iter
+    (fun p ->
+      if not (Sys.file_exists p) then (
+        Printf.eprintf "speedup-lint: no such file: %s\n" p;
+        exit 2))
+    (List.rev !paths);
+  (* Gather diagnostics from the selected backend; [unit_count] only
+     feeds the "N clean" message. *)
+  let diags, unit_count, unit_word =
+    if !cmt then (
+      let mods, load_diags = Lint_cmt.load ?as_dir:!as_dir (List.rev !paths) in
+      if mods = [] then (
+        Printf.eprintf
+          "speedup-lint: no .cmt files under %s (run from _build/default \
+           after a build)\n"
+          (String.concat " " (List.rev !paths));
+        exit 2);
+      let defs = Lint_callgraph.collect mods in
+      let tbl = Lint_callgraph.table defs in
+      let reach = Lint_callgraph.reachable defs tbl in
+      if !reachability then (
+        print_endline (Lint_callgraph.reachability_json defs reach);
+        exit 0);
+      let r7, verdicts = Lint_lockset.analyze ~mods ~defs ~tbl in
+      if !locks then (
+        (match verdicts with
+        | Jsonl.List items ->
+            List.iter (fun o -> print_endline (Jsonl.to_string o)) items
+        | other -> print_endline (Jsonl.to_string other));
+        exit 0);
+      let typed = List.concat_map Lint_cmt.check_module mods in
+      let drift =
+        if !check_config then Lint_callgraph.config_drift defs reach else []
+      in
+      ( List.sort_uniq Lint_diag.compare (load_diags @ typed @ r7 @ drift),
+        List.length mods,
+        "module" ))
+    else
+      (* Files named on the command line get --prefix for their logical
+         path; files found under a directory argument already carry it. *)
+      let files =
+        List.concat_map
+          (fun p ->
+            if Sys.is_directory p then
+              List.map (fun f -> ("", f)) (List.rev (collect_files [] p))
+            else [ (!prefix, p) ])
+          (List.rev !paths)
+      in
+      let diags =
+        List.concat_map
+          (fun (prefix, f) -> Lint_engine.lint_file ~prefix f)
+          files
+        |> List.sort_uniq Lint_diag.compare
+      in
+      (diags, List.length files, "file")
   in
   let diags =
     match !rules with
     | None -> diags
     | Some rs -> List.filter (fun (d : Lint_diag.t) -> List.mem d.rule rs) diags
   in
-  if !emit_baseline then (
-    print_string (Lint_baseline.emit diags);
-    exit 0);
   let entries =
     match !baseline_path with
     | None -> []
@@ -91,6 +161,14 @@ let () =
             Printf.eprintf "speedup-lint: %s\n" msg;
             exit 2)
   in
+  if !emit_baseline then (
+    (match !baseline_path with
+    | Some _ ->
+        (* prune: keep the given baseline's still-matching entries *)
+        print_string
+          (Lint_baseline.emit_entries (Lint_baseline.prune entries diags))
+    | None -> print_string (Lint_baseline.emit diags));
+    exit 0);
   let live, baselined, stale = Lint_baseline.apply entries diags in
   (match !format with
   | "json" -> print_endline (Lint_diag.list_to_json live)
@@ -103,9 +181,9 @@ let () =
         (fun (e : Lint_baseline.entry) ->
           Printf.printf
             "speedup-lint: stale baseline entry %s %s:%d (no longer fires — \
-             remove it)\n"
+             remove it, or prune with --emit-baseline --baseline)\n"
             e.rule e.file e.line)
         stale;
       if live = [] then
-        Printf.printf "speedup-lint: %d file(s) clean\n" (List.length files));
+        Printf.printf "speedup-lint: %d %s(s) clean\n" unit_count unit_word);
   exit (if live = [] then 0 else 1)
