@@ -1,12 +1,21 @@
 (* Load generator for the query daemon: N concurrent clients firing M
-   queries each (fixed seed, deterministic mix) at an in-process
-   server, run twice against the same certificate store — a cold pass
-   (empty store, full enumerations) and a warm pass (populated store,
-   in-process memo reset in between so the speedup measured is the
-   store's).  Throughput and latency percentiles for both passes are
-   merged into BENCH_kernels.json under a "load" key, and the exit
-   status asserts the warm pass is strictly faster — the acceptance
-   check CI relies on. *)
+   queries each (fixed seed, deterministic mix) at a server.
+
+   Standalone mode boots an in-process server and runs the mix twice
+   against the same certificate store — a cold pass (empty store, full
+   enumerations) and a warm pass (populated store, in-process memo
+   reset in between so the speedup measured is the store's) — and
+   merges both under the "load" key of BENCH_kernels.json, exiting
+   nonzero unless the warm pass is strictly faster.
+
+   With [-attach SPEC] it instead drives an already-running daemon or
+   fleet front (unix:PATH or HOST:PORT) with a single pass merged
+   under the "fleet" key — the fleet-smoke CI job runs it against a
+   router over three daemons and gates the recorded p95.
+
+   Every query class reports its own latency percentiles and error
+   count, and any transport or protocol error fails the run: a
+   percentile pool with silently dropped samples measures nothing. *)
 
 let clients = ref 4
 let queries = ref 25
@@ -14,6 +23,7 @@ let seed = ref 42
 let json_path = ref "BENCH_kernels.json"
 let socket_path = ref ""
 let workers = ref 2
+let attach = ref ""
 
 let spec =
   [
@@ -27,6 +37,10 @@ let spec =
       Arg.Set_string socket_path,
       "PATH Unix socket path (default: under the temp dir)" );
     ("-workers", Arg.Set_int workers, "server worker domains (default 2)");
+    ( "-attach",
+      Arg.Set_string attach,
+      "SPEC drive a running daemon/fleet front (unix:PATH or HOST:PORT) \
+       instead of booting one; one pass, merged under the \"fleet\" key" );
   ]
 
 (* A 48-bit LCG (the drand48 constants) keeps the mix deterministic
@@ -34,13 +48,17 @@ let spec =
    engine code). *)
 let lcg s = ((s * 25214903917) + 11) land 0xFFFFFFFFFFFF
 
-(* The query mix: cheap liveness probes plus closure/solvability calls
-   whose enumerations the certificate store absorbs on the warm pass. *)
+(* The query mix, by named class: cheap liveness probes plus
+   closure/solvability calls whose enumerations the certificate store
+   (or, through a fleet front, a peer's replicated store) absorbs. *)
 let mix =
   [|
-    ("ping", []);
-    ("closure", [ ("task", Jsonl.String "consensus"); ("n", Jsonl.Int 2) ]);
-    ( "closure",
+    ("ping", "ping", []);
+    ( "closure-consensus-n2",
+      "closure",
+      [ ("task", Jsonl.String "consensus"); ("n", Jsonl.Int 2) ] );
+    ( "closure-aa",
+      "closure",
       [
         ("task", Jsonl.String "aa");
         ("n", Jsonl.Int 2);
@@ -48,23 +66,37 @@ let mix =
         ("eps", Jsonl.String "1/3");
       ] );
     ( "solvable",
+      "solvable",
       [
         ("task", Jsonl.String "consensus");
         ("n", Jsonl.Int 2);
         ("rounds", Jsonl.Int 1);
       ] );
-    ("closure", [ ("task", Jsonl.String "consensus"); ("n", Jsonl.Int 3) ]);
+    ( "closure-consensus-n3",
+      "closure",
+      [ ("task", Jsonl.String "consensus"); ("n", Jsonl.Int 3) ] );
     ( "complex-stats",
+      "complex-stats",
       [ ("task", Jsonl.String "aa"); ("n", Jsonl.Int 2); ("m", Jsonl.Int 4) ] );
   |]
+
+type class_stats = {
+  cls : string;
+  count : int;
+  errors : int;
+  p50_ms : float;
+  p95_ms : float;
+}
 
 type pass = {
   label : string;
   wall_s : float;
   total : int;
+  error_total : int;
   qps : float;
   p50_ms : float;
   p95_ms : float;
+  classes : class_stats list;
 }
 
 let percentile sorted q =
@@ -75,43 +107,95 @@ let percentile sorted q =
       sorted.(Int.max 0 (Int.min (n - 1) idx))
 
 (* One client: its own connection, [queries] requests drawn from the
-   mix by a per-client deterministic stream.  Returns the latencies;
-   any error is fatal — a load run with failed queries is meaningless. *)
+   mix by a per-client deterministic stream.  Errors are recorded and
+   the client keeps going — the run accounts for every error instead
+   of dying on the first or, worse, dropping the sample. *)
 let run_client addr ~client_id =
   match Client.connect_retry addr with
-  | Error e -> failwith (Printf.sprintf "client %d: connect: %s" client_id e)
+  | Error e ->
+      ( [],
+        [ ("connect", Printf.sprintf "client %d: connect: %s" client_id e) ] )
   | Ok c ->
       Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
       let state = ref (lcg (!seed + (client_id * 7919))) in
-      List.init !queries (fun i ->
-          state := lcg !state;
-          let meth, params =
-            mix.(abs (!state mod Array.length mix) mod Array.length mix)
-          in
-          let t0 = Unix.gettimeofday () in
-          match Client.rpc c ~id:(Jsonl.Int i) ~meth ~params with
-          | Ok _ -> (Unix.gettimeofday () -. t0) *. 1000.
-          | Error e ->
-              failwith
-                (Printf.sprintf "client %d query %d (%s): %s" client_id i meth e))
+      let samples = ref [] in
+      let errors = ref [] in
+      for i = 0 to !queries - 1 do
+        state := lcg !state;
+        let cls, meth, params =
+          mix.(abs (!state mod Array.length mix) mod Array.length mix)
+        in
+        let t0 = Unix.gettimeofday () in
+        match Client.rpc c ~id:(Jsonl.Int i) ~meth ~params with
+        | Ok _ ->
+            samples := (cls, (Unix.gettimeofday () -. t0) *. 1000.) :: !samples
+        | Error e ->
+            errors :=
+              ( cls,
+                Printf.sprintf "client %d query %d (%s): %s" client_id i meth e
+              )
+              :: !errors
+      done;
+      (List.rev !samples, List.rev !errors)
+
+let class_names = Array.to_list mix |> List.map (fun (cls, _, _) -> cls)
 
 let run_pass addr ~label =
   let t0 = Unix.gettimeofday () in
-  let latencies =
+  let per_client =
     List.init !clients (fun cid ->
         Domain.spawn (fun () -> run_client addr ~client_id:cid))
-    |> List.map Domain.join |> List.concat |> Array.of_list
+    |> List.map Domain.join
   in
   let wall_s = Unix.gettimeofday () -. t0 in
-  Array.sort Float.compare latencies;
-  let total = Array.length latencies in
+  let samples = List.concat_map fst per_client in
+  let errors = List.concat_map snd per_client in
+  List.iter
+    (fun (cls, msg) -> Printf.eprintf "load %s: ERROR [%s] %s\n%!" label cls msg)
+    errors;
+  let sorted_of cls =
+    let a =
+      samples
+      |> List.filter_map (fun (c, ms) ->
+             if String.equal c cls then Some ms else None)
+      |> Array.of_list
+    in
+    Array.sort Float.compare a;
+    a
+  in
+  let classes =
+    (* "connect" failures belong to no mix class; surface them under a
+       pseudo-class so the totals still add up. *)
+    class_names @ [ "connect" ]
+    |> List.filter_map (fun cls ->
+           let lat = sorted_of cls in
+           let errs =
+             List.length
+               (List.filter (fun (c, _) -> String.equal c cls) errors)
+           in
+           if Array.length lat = 0 && errs = 0 then None
+           else
+             Some
+               {
+                 cls;
+                 count = Array.length lat;
+                 errors = errs;
+                 p50_ms = percentile lat 0.5;
+                 p95_ms = percentile lat 0.95;
+               })
+  in
+  let all = Array.of_list (List.map snd samples) in
+  Array.sort Float.compare all;
+  let total = Array.length all in
   {
     label;
     wall_s;
     total;
+    error_total = List.length errors;
     qps = (if wall_s > 0. then Float.of_int total /. wall_s else 0.);
-    p50_ms = percentile latencies 0.5;
-    p95_ms = percentile latencies 0.95;
+    p50_ms = percentile all 0.5;
+    p95_ms = percentile all 0.95;
+    classes;
   }
 
 let pass_json p =
@@ -119,28 +203,29 @@ let pass_json p =
     [
       ("wall_s", Jsonl.Float p.wall_s);
       ("queries", Jsonl.Int p.total);
+      ("errors", Jsonl.Int p.error_total);
       ("throughput_qps", Jsonl.Float p.qps);
       ("latency_p50_ms", Jsonl.Float p.p50_ms);
       ("latency_p95_ms", Jsonl.Float p.p95_ms);
+      ( "classes",
+        Jsonl.List
+          (List.map
+             (fun c ->
+               Jsonl.Obj
+                 [
+                   ("class", Jsonl.String c.cls);
+                   ("queries", Jsonl.Int c.count);
+                   ("errors", Jsonl.Int c.errors);
+                   ("latency_p50_ms", Jsonl.Float c.p50_ms);
+                   ("latency_p95_ms", Jsonl.Float c.p95_ms);
+                 ])
+             p.classes) );
     ]
 
-(* Merge the load section into BENCH_kernels.json, preserving whatever
+(* Merge a section into BENCH_kernels.json, preserving whatever
    bench/main.ml wrote.  Top-level keys are re-rendered one per line so
    the file stays diffable. *)
-let merge_json cold warm =
-  let load =
-    Jsonl.Obj
-      [
-        ("clients", Jsonl.Int !clients);
-        ("queries_per_client", Jsonl.Int !queries);
-        ("seed", Jsonl.Int !seed);
-        ("cold", pass_json cold);
-        ("warm", pass_json warm);
-        ( "warm_speedup",
-          if cold.qps > 0. then Jsonl.Float (warm.qps /. cold.qps)
-          else Jsonl.Null );
-      ]
-  in
+let merge_json key section =
   let existing =
     match In_channel.with_open_text !json_path In_channel.input_all with
     | s -> (
@@ -150,8 +235,8 @@ let merge_json cold warm =
   let fields =
     (if List.mem_assoc "schema" existing then []
      else [ ("schema", Jsonl.String "speedup-bench/v1") ])
-    @ List.remove_assoc "load" existing
-    @ [ ("load", load) ]
+    @ List.remove_assoc key existing
+    @ [ (key, section) ]
   in
   let oc = open_out !json_path in
   output_string oc "{\n";
@@ -164,6 +249,26 @@ let merge_json cold warm =
   output_string oc "\n}\n";
   close_out oc
 
+let print_pass p =
+  Printf.printf
+    "load %-5s: %d queries (%d errors) in %6.2fs  %8.1f q/s  p50 %6.2fms  \
+     p95 %6.2fms\n"
+    p.label p.total p.error_total p.wall_s p.qps p.p50_ms p.p95_ms;
+  List.iter
+    (fun c ->
+      Printf.printf
+        "  %-22s %4d queries  %2d errors  p50 %6.2fms  p95 %6.2fms\n" c.cls
+        c.count c.errors c.p50_ms c.p95_ms)
+    p.classes
+
+let fail_on_errors passes =
+  let errors = List.fold_left (fun acc p -> acc + p.error_total) 0 passes in
+  if errors > 0 then begin
+    Printf.eprintf "load: FAIL — %d failed quer%s (see above)\n" errors
+      (if errors = 1 then "y" else "ies");
+    exit 1
+  end
+
 let rec remove_tree path =
   match (Unix.lstat path).Unix.st_kind with
   | Unix.S_DIR ->
@@ -174,10 +279,28 @@ let rec remove_tree path =
   | _ -> Sys.remove path
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
 
-let () =
-  Arg.parse spec
-    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
-    "load [-clients N] [-queries M] [-seed S] [-json FILE]";
+(* Fleet mode: one pass against an already-running front. *)
+let run_attached spec =
+  match Peer.parse spec with
+  | Error msg ->
+      Printf.eprintf "load: %s\n" msg;
+      exit 2
+  | Ok peer ->
+      let fleet = run_pass peer.Peer.addr ~label:"fleet" in
+      print_pass fleet;
+      merge_json "fleet"
+        (Jsonl.Obj
+           [
+             ("target", Jsonl.String spec);
+             ("clients", Jsonl.Int !clients);
+             ("queries_per_client", Jsonl.Int !queries);
+             ("seed", Jsonl.Int !seed);
+             ("pass", pass_json fleet);
+           ]);
+      Printf.printf "load: fleet pass merged into %s\n" !json_path;
+      fail_on_errors [ fleet ]
+
+let run_standalone () =
   let tmp = Filename.get_temp_dir_name () in
   let store_dir =
     Filename.concat tmp (Printf.sprintf "speedup-load-certs-%d" (Unix.getpid ()))
@@ -198,7 +321,8 @@ let () =
   let finish () =
     (match Client.connect_retry addr with
     | Ok c ->
-        ignore (Client.rpc c ~id:(Jsonl.String "drain") ~meth:"shutdown" ~params:[]);
+        ignore
+          (Client.rpc c ~id:(Jsonl.String "drain") ~meth:"shutdown" ~params:[]);
         Client.close c
     | Error _ -> ());
     ignore (Domain.join server)
@@ -219,17 +343,31 @@ let () =
   | cold, warm ->
       finish ();
       remove_tree store_dir;
-      List.iter
-        (fun p ->
-          Printf.printf
-            "load %-4s: %d queries in %6.2fs  %8.1f q/s  p50 %6.2fms  p95 %6.2fms\n"
-            p.label p.total p.wall_s p.qps p.p50_ms p.p95_ms)
-        [ cold; warm ];
-      merge_json cold warm;
+      print_pass cold;
+      print_pass warm;
+      merge_json "load"
+        (Jsonl.Obj
+           [
+             ("clients", Jsonl.Int !clients);
+             ("queries_per_client", Jsonl.Int !queries);
+             ("seed", Jsonl.Int !seed);
+             ("cold", pass_json cold);
+             ("warm", pass_json warm);
+             ( "warm_speedup",
+               if cold.qps > 0. then Jsonl.Float (warm.qps /. cold.qps)
+               else Jsonl.Null );
+           ]);
       Printf.printf "load: warm/cold throughput %.2fx; merged into %s\n"
         (if cold.qps > 0. then warm.qps /. cold.qps else 0.)
         !json_path;
+      fail_on_errors [ cold; warm ];
       if warm.qps <= cold.qps then (
         prerr_endline
           "load: FAIL — warm-store throughput not above cold-store throughput";
         exit 1)
+
+let () =
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" a)))
+    "load [-clients N] [-queries M] [-seed S] [-json FILE] [-attach SPEC]";
+  if !attach <> "" then run_attached !attach else run_standalone ()

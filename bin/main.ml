@@ -708,48 +708,76 @@ let serve_cmd =
          & info [ "access-log" ] ~docv:"FILE"
              ~doc:"Append one JSON line per request ('-' for stderr).")
   in
-  let run addr workers queue_limit deadline_ms access_log =
-    let log_oc =
-      match access_log with
-      | None -> None
-      | Some "-" -> Some stderr
-      | Some path ->
-          Some (open_out_gen [ Open_append; Open_creat ] 0o644 path)
+  let peers =
+    Arg.(value & opt (some string) None
+         & info [ "peers" ] ~docv:"SPECS"
+             ~doc:"Comma-separated fleet peers (unix:PATH or HOST:PORT) to \
+                   replicate the certificate store with: push-on-write, \
+                   pull-on-miss (docs/FLEET.md).")
+  in
+  let run addr workers queue_limit deadline_ms access_log peers =
+    let peer_list =
+      match peers with
+      | None | Some "" -> Ok []
+      | Some specs -> Peer.parse_list (String.split_on_char ',' specs)
     in
-    let config =
-      {
-        Server.addr;
-        workers;
-        queue_limit;
-        default_deadline_ms = deadline_ms;
-        access_log = log_oc;
-      }
-    in
-    let pp_addr = function
-      | Server.Unix_path p -> Printf.sprintf "unix:%s" p
-      | Server.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
-    in
-    let summary =
-      Server.run
-        ~on_ready:(fun addr ->
-          Printf.eprintf "speedup serve: listening on %s (workers=%d)\n%!"
-            (pp_addr addr) (max 1 workers))
-        config
-    in
-    (match log_oc with
-    | Some oc when oc != stderr -> close_out_noerr oc
-    | _ -> ());
-    Printf.eprintf
-      "speedup serve: drained (requests=%d completed=%d rejected=%d)\n%!"
-      summary.Server.requests summary.Server.completed summary.Server.rejected;
-    if summary.Server.drained then 0 else 1
+    match peer_list with
+    | Error msg ->
+        Printf.eprintf "speedup serve: %s\n" msg;
+        2
+    | Ok peer_list ->
+        let log_oc =
+          match access_log with
+          | None -> None
+          | Some "-" -> Some stderr
+          | Some path ->
+              Some (open_out_gen [ Open_append; Open_creat ] 0o644 path)
+        in
+        let config =
+          {
+            Server.addr;
+            workers;
+            queue_limit;
+            default_deadline_ms = deadline_ms;
+            access_log = log_oc;
+            handler = None;
+          }
+        in
+        let pp_addr = function
+          | Server.Unix_path p -> Printf.sprintf "unix:%s" p
+          | Server.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+        in
+        let replica =
+          match peer_list with [] -> None | ps -> Some (Replica.attach ps)
+        in
+        let summary =
+          Fun.protect
+            ~finally:(fun () -> Option.iter Replica.detach replica)
+            (fun () ->
+              Server.run
+                ~on_ready:(fun addr ->
+                  Printf.eprintf
+                    "speedup serve: listening on %s (workers=%d peers=%d)\n%!"
+                    (pp_addr addr) (max 1 workers) (List.length peer_list))
+                config)
+        in
+        (match log_oc with
+        | Some oc when oc != stderr -> close_out_noerr oc
+        | _ -> ());
+        Printf.eprintf
+          "speedup serve: drained (requests=%d completed=%d rejected=%d)\n%!"
+          summary.Server.requests summary.Server.completed
+          summary.Server.rejected;
+        if summary.Server.drained then 0 else 1
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the query daemon (line-delimited JSON; see docs/SERVER.md). \
-             Drains gracefully on SIGINT or a shutdown request.")
+             With --peers, replicates the certificate store across the fleet \
+             (docs/FLEET.md).  Drains gracefully on SIGINT or a shutdown \
+             request.")
     Term.(const run $ addr_args $ workers $ queue_limit $ deadline_ms
-          $ access_log)
+          $ access_log $ peers)
 
 let query_cmd =
   let meth =
@@ -867,12 +895,156 @@ let query_cmd =
           $ m_arg $ eps_arg $ rounds $ tas $ binary_inputs $ model $ lhs $ rhs
           $ deadline_ms $ id_arg $ retries)
 
+(* ---- fleet ---- *)
+
+let peers_arg =
+  Arg.(required & opt (some string) None
+       & info [ "peers" ] ~docv:"SPECS"
+           ~doc:"Comma-separated backend daemons (unix:PATH or HOST:PORT).")
+
+let fleet_route_cmd =
+  let vnodes =
+    Arg.(value & opt int 64
+         & info [ "vnodes" ] ~docv:"N"
+             ~doc:"Ring positions per peer (consistent hashing).")
+  in
+  let workers =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N" ~doc:"Forwarding worker domains.")
+  in
+  let queue_limit =
+    Arg.(value & opt int 64
+         & info [ "queue-limit" ] ~docv:"N" ~doc:"Backpressure high-water mark.")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some int) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Default per-request deadline for requests without one.")
+  in
+  let run addr peers vnodes workers queue_limit deadline_ms =
+    match Peer.parse_list (String.split_on_char ',' peers) with
+    | Error msg ->
+        Printf.eprintf "speedup fleet route: %s\n" msg;
+        2
+    | Ok [] ->
+        Printf.eprintf "speedup fleet route: --peers is empty\n";
+        2
+    | Ok peer_list ->
+        let proxy = Proxy.create ~vnodes peer_list in
+        let config =
+          {
+            Server.addr;
+            workers;
+            queue_limit;
+            default_deadline_ms = deadline_ms;
+            access_log = None;
+            handler = Some (Proxy.handler proxy);
+          }
+        in
+        let pp_addr = function
+          | Server.Unix_path p -> Printf.sprintf "unix:%s" p
+          | Server.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+        in
+        let summary =
+          Server.run
+            ~on_ready:(fun addr ->
+              Printf.eprintf
+                "speedup fleet route: listening on %s (peers=%d vnodes=%d)\n%!"
+                (pp_addr addr) (List.length peer_list) vnodes)
+            config
+        in
+        Printf.eprintf
+          "speedup fleet route: drained (requests=%d completed=%d rejected=%d)\n%!"
+          summary.Server.requests summary.Server.completed
+          summary.Server.rejected;
+        if summary.Server.drained then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:"Run a consistent-hash routing front over a ring of daemons: \
+             requests hash by canonical digest onto --peers, with rendezvous \
+             failover when a peer is down (docs/FLEET.md).")
+    Term.(const run $ addr_args $ peers_arg $ vnodes $ workers $ queue_limit
+          $ deadline_ms)
+
+let fleet_cmd =
+  Cmd.group
+    (Cmd.info "fleet"
+       ~doc:"Multi-daemon serving: consistent-hash routing over replicated \
+             certificate stores (docs/FLEET.md).")
+    [ fleet_route_cmd ]
+
+(* ---- atlas ---- *)
+
+let atlas_name_arg =
+  Arg.(value & opt string "default"
+       & info [ "name" ] ~docv:"NAME" ~doc:"Atlas (manifest) name.")
+
+let atlas_build_cmd =
+  let max_n =
+    Arg.(value & opt int 3
+         & info [ "max-n" ] ~docv:"N"
+             ~doc:"Largest process count in the cell grid (2..4).")
+  in
+  let run dir name max_n =
+    if max_n < 2 || max_n > 4 then begin
+      Printf.eprintf "speedup atlas build: --max-n must be in 2..4\n";
+      2
+    end
+    else
+      with_store dir @@ fun _root ->
+      let spec = Atlas.default_spec ~max_n ~name () in
+      match Atlas.build spec with
+      | Error msg ->
+          Printf.eprintf "speedup atlas build: %s\n" msg;
+          1
+      | Ok r ->
+          Printf.printf
+            "atlas %s: %d cell(s) (%d built, %d already present), manifest %s\n"
+            name r.Atlas.cells r.Atlas.built r.Atlas.skipped r.Atlas.manifest_key;
+          0
+  in
+  Cmd.v
+    (Cmd.info "build"
+       ~doc:"Batch-enumerate and certify every (model, task) cell of the \
+             atlas grid into the certificate store, in parallel over the \
+             domain pool; resumable, and finished by a coverage manifest \
+             certificate (docs/FLEET.md).")
+    Term.(const run $ cert_dir_arg $ atlas_name_arg $ max_n)
+
+let atlas_verify_cmd =
+  let run dir name =
+    with_store dir @@ fun _root ->
+    match Atlas.verify name with
+    | Error msg ->
+        Printf.eprintf "speedup atlas verify: %s\n" msg;
+        1
+    | Ok a ->
+        Printf.printf "atlas %s: %d cell(s) verified, %d entr%s audited\n" name
+          a.Atlas.audited_cells a.Atlas.audited_keys
+          (if a.Atlas.audited_keys = 1 then "y" else "ies");
+        0
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Audit an atlas: re-verify the coverage manifest and every store \
+             entry it lists, without enumerating anything.")
+    Term.(const run $ cert_dir_arg $ atlas_name_arg)
+
+let atlas_cmd =
+  Cmd.group
+    (Cmd.info "atlas"
+       ~doc:"Precomputed closure atlases: offline batch certification with \
+             auditable coverage (docs/FLEET.md).")
+    [ atlas_build_cmd; atlas_verify_cmd ]
+
 let main_cmd =
   let doc = "Reproduction of the PODC'22 asynchronous speedup theorem paper." in
   Cmd.group
     (Cmd.info "speedup" ~version:"1.0.0" ~doc)
     [ experiment_cmd; list_cmd; complex_cmd; solve_cmd; closure_cmd; model_cmd;
-      run_algo_cmd; figure_cmd; svg_cmd; cert_cmd; serve_cmd; query_cmd ]
+      run_algo_cmd; figure_cmd; svg_cmd; cert_cmd; serve_cmd; query_cmd;
+      fleet_cmd; atlas_cmd ]
 
 let () =
   (* Debug logging is opt-in via the environment so that every
@@ -916,6 +1088,14 @@ let () =
         | [] -> "-"
         | dc ->
             String.concat ","
-              (List.map (fun (slot, n) -> Printf.sprintf "%d:%d" slot n) dc))
+              (List.map (fun (slot, n) -> Printf.sprintf "%d:%d" slot n) dc));
+      (* Replication counters (docs/FLEET.md): the fleet-smoke CI job
+         greps pulls>0 to pin pull-on-miss. *)
+      let r = Cert_store.repl_stats () in
+      Printf.eprintf
+        "repl-stats: pushes=%d push_failures=%d pulls=%d pull_misses=%d \
+         installs=%d rejects=%d\n"
+        r.Cert_store.pushes r.Cert_store.push_failures r.Cert_store.pulls
+        r.Cert_store.pull_misses r.Cert_store.installs r.Cert_store.rejects
   | Some _ | None -> ());
   exit code

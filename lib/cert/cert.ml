@@ -50,6 +50,14 @@ type equivalence = {
   probes : (string * string * string) list;
 }
 
+type atlas_cell = {
+  cell_op : string;
+  cell_task : string;
+  cell_keys : string list;
+}
+
+type atlas = { atlas_name : string; atlas_cells : atlas_cell list }
+
 type t =
   | Membership of membership
   | Enumeration of enumeration
@@ -57,6 +65,7 @@ type t =
   | Fixed_point of fixed_point
   | Unsolvable of unsolvable
   | Equivalence of equivalence
+  | Atlas of atlas
 
 let kind_name = function
   | Membership _ -> "membership"
@@ -65,6 +74,7 @@ let kind_name = function
   | Fixed_point _ -> "fixed-point"
   | Unsolvable _ -> "unsolvable"
   | Equivalence _ -> "equivalence"
+  | Atlas _ -> "atlas"
 
 let subject = function
   | Membership m ->
@@ -90,6 +100,12 @@ let subject = function
       Printf.sprintf "%s %s %s at n ≤ %d (%d probes)" e.lhs
         (if e.equivalent then "≡" else "≢")
         e.rhs e.n (List.length e.probes)
+  | Atlas a ->
+      Printf.sprintf "atlas %s: %d cell(s), %d closure key(s)" a.atlas_name
+        (List.length a.atlas_cells)
+        (List.fold_left
+           (fun acc c -> acc + List.length c.cell_keys)
+           0 a.atlas_cells)
 
 (* ---- encoding ---- *)
 
@@ -181,6 +197,21 @@ let encode_body = function
             (List.map
                (fun (label, l, r) -> List [ Atom label; Atom l; Atom r ])
                e.probes);
+        ]
+  | Atlas a ->
+      List
+        [
+          Atom "atlas";
+          field "name" (Atom a.atlas_name);
+          field_list "cells"
+            (List.map
+               (fun c ->
+                 List
+                   [
+                     Atom c.cell_op; Atom c.cell_task;
+                     List (List.map (fun k -> Atom k) c.cell_keys);
+                   ])
+               a.atlas_cells);
         ]
 
 let encode cert =
@@ -293,6 +324,22 @@ let decode_body = function
                 | _ -> Codec.fail "bad equivalence probe")
               (find_field "probes" fields);
         }
+  | List (Atom "atlas" :: fields) ->
+      Atlas
+        {
+          atlas_name = Codec.string_of (field1 "name" fields);
+          atlas_cells =
+            List.map
+              (function
+                | List [ Atom op; Atom task; List keys ] ->
+                    {
+                      cell_op = op;
+                      cell_task = task;
+                      cell_keys = List.map Codec.string_of keys;
+                    }
+                | _ -> Codec.fail "bad atlas cell")
+              (find_field "cells" fields);
+        }
   | s -> Codec.fail "unknown certificate kind %s" (Cert_sexp.to_string s)
 
 let decode sexp =
@@ -332,6 +379,7 @@ type query =
     }
   | Q_unsolvable of { task_name : string; rounds : int }
   | Q_equiv of { lhs : string; rhs : string; n : int }
+  | Q_atlas of { atlas_name : string }
 
 let query_of = function
   | Membership m ->
@@ -361,6 +409,7 @@ let query_of = function
         }
   | Unsolvable u -> Q_unsolvable { task_name = u.task_name; rounds = u.rounds }
   | Equivalence e -> Q_equiv { lhs = e.lhs; rhs = e.rhs; n = e.n }
+  | Atlas a -> Q_atlas { atlas_name = a.atlas_name }
 
 let query_sexp = function
   | Q_delta { op_name; task_name; sigma } ->
@@ -388,6 +437,7 @@ let query_sexp = function
       List [ Atom "unsolvable"; Atom task_name; Atom (string_of_int rounds) ]
   | Q_equiv { lhs; rhs; n } ->
       List [ Atom "equiv"; Atom lhs; Atom rhs; Atom (string_of_int n) ]
+  | Q_atlas { atlas_name } -> List [ Atom "atlas"; Atom atlas_name ]
 
 let query_key q =
   Codec.digest (List [ Atom "key"; Atom version; query_sexp q ])
@@ -541,3 +591,41 @@ let verify env cert =
         (e.equivalent
         = List.for_all (fun (_, l, r) -> String.equal l r) e.probes)
         "verdict does not match the recorded probes"
+  | Atlas a ->
+      (* The manifest's claim is purely structural: every recorded key
+         is the content address of the Q_delta query its cell names.
+         Recomputing the keys from the named operator and task takes no
+         enumeration, so a tampered manifest (wrong key, renamed cell,
+         missing σ) is caught in milliseconds; whether the keyed
+         entries are present and valid is the store-level audit
+         [speedup atlas verify] runs on top. *)
+      let* () = check (a.atlas_cells <> []) "atlas records no cells" in
+      List.fold_left
+        (fun acc cell ->
+          let* () = acc in
+          let* task = resolve "task" env.task_of_name cell.cell_task in
+          let* _facets = resolve "operator" env.facets_of_op cell.cell_op in
+          let* () =
+            check
+              (String.equal task.Task.name cell.cell_task)
+              "cell task name %S is not the canonical rendering %S"
+              cell.cell_task task.Task.name
+          in
+          let expected =
+            List.map
+              (fun sigma ->
+                query_key
+                  (Q_delta
+                     {
+                       op_name = cell.cell_op;
+                       task_name = cell.cell_task;
+                       sigma;
+                     }))
+              (Task.input_simplices task)
+          in
+          check
+            (List.length expected = List.length cell.cell_keys
+            && List.for_all2 String.equal expected cell.cell_keys)
+            "cell (%s, %s) records keys that do not match its input simplices"
+            cell.cell_op cell.cell_task)
+        (Ok ()) a.atlas_cells

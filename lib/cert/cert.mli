@@ -27,6 +27,12 @@
     - {b Equivalence}: both term names parse as canonical model-algebra
       terms, the pair is in canonical order, and the verdict equals the
       conjunction of the recorded probe agreements.
+    - {b Atlas}: every cell's operator and task resolve in the
+      registry, the task name is canonical, and the recorded keys are
+      exactly the [Q_delta] content addresses of the task's input
+      simplices — recomputed, without enumeration.  Whether the keyed
+      entries are present and valid is the store-level audit
+      ([speedup atlas verify]).
 
     Negative facts (a membership with [member = false], a solution with
     [verdict = false], the completeness of an enumeration, and the
@@ -106,6 +112,21 @@ type equivalence = {
           iff every probe's fingerprints agree *)
 }
 
+type atlas_cell = {
+  cell_op : string;  (** operator name, registry-resolvable *)
+  cell_task : string;  (** canonical task name, registry-resolvable *)
+  cell_keys : string list;
+      (** the [Q_delta] store key of every input simplex of the task,
+          in [Task.input_simplices] order *)
+}
+
+type atlas = {
+  atlas_name : string;
+  atlas_cells : atlas_cell list;
+      (** the coverage manifest of a precomputed closure atlas
+          ([speedup atlas build], docs/FLEET.md) *)
+}
+
 type t =
   | Membership of membership
   | Enumeration of enumeration
@@ -113,6 +134,7 @@ type t =
   | Fixed_point of fixed_point
   | Unsolvable of unsolvable
   | Equivalence of equivalence
+  | Atlas of atlas
 
 val kind_name : t -> string
 val subject : t -> string
@@ -152,6 +174,7 @@ type query =
     }
   | Q_unsolvable of { task_name : string; rounds : int }
   | Q_equiv of { lhs : string; rhs : string; n : int }
+  | Q_atlas of { atlas_name : string }
 
 val query_of : t -> query
 val query_key : query -> string

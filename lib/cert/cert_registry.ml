@@ -32,6 +32,8 @@ let task_of_name name =
       (fun () ->
         try_scan name "%d-set-agreement(n=%d)" (fun k n ->
             Set_agreement.task ~n ~k ~values:(int_values (k + 1))));
+      (fun () ->
+        try_scan name "adaptive-renaming(n=%d)" (fun n -> Renaming.task ~n));
     ]
 
 let known_task name = task_of_name name <> None

@@ -12,8 +12,10 @@
 val task_of_name : string -> Task.t option
 (** Resolves [binary-consensus(n=_)], [consensus(n=_)] (values
     [1..n]), [relaxed-consensus(n=_)] (values [{0,1}]),
-    [<eps>-AA(n=_,m=_)], [liberal-<eps>-AA(n=_,m=_)], and
-    [<k>-set-agreement(n=_)] (values [0..k]). *)
+    [<eps>-AA(n=_,m=_)], [liberal-<eps>-AA(n=_,m=_)],
+    [<k>-set-agreement(n=_)] (values [0..k]), and
+    [adaptive-renaming(n=_)] (p participants pick distinct names in
+    [1..2p-1]). *)
 
 val known_task : string -> bool
 (** Whether {!task_of_name} resolves the name.  Producers use this as a

@@ -25,6 +25,65 @@ let reset_stats () =
   Atomic.set writes 0;
   Atomic.set corrupt 0
 
+(* ---- replication counters and hooks ----
+
+   The store itself never opens a socket; lib/fleet installs the two
+   hooks below.  The counters live here (not in lib/fleet) so the
+   daemon's stats reply and the SPEEDUP_STATS line can report them
+   without a server → fleet dependency. *)
+
+type repl_stats = {
+  pushes : int;  (* entries successfully pushed to a peer *)
+  push_failures : int;  (* failed or dropped push attempts *)
+  pulls : int;  (* entries fetched from a peer on a local miss *)
+  pull_misses : int;  (* misses no peer could serve either *)
+  installs : int;  (* peer entries that re-verified and were installed *)
+  rejects : int;  (* peer entries that failed verification *)
+}
+
+let repl_pushes = Atomic.make 0
+let repl_push_failures = Atomic.make 0
+let repl_pulls = Atomic.make 0
+let repl_pull_misses = Atomic.make 0
+let repl_installs = Atomic.make 0
+let repl_rejects = Atomic.make 0
+
+let repl_stats () =
+  {
+    pushes = Atomic.get repl_pushes;
+    push_failures = Atomic.get repl_push_failures;
+    pulls = Atomic.get repl_pulls;
+    pull_misses = Atomic.get repl_pull_misses;
+    installs = Atomic.get repl_installs;
+    rejects = Atomic.get repl_rejects;
+  }
+
+let reset_repl_stats () =
+  List.iter
+    (fun c -> Atomic.set c 0)
+    [
+      repl_pushes; repl_push_failures; repl_pulls; repl_pull_misses;
+      repl_installs; repl_rejects;
+    ]
+
+let note_push () = Atomic.incr repl_pushes
+let note_push_failure () = Atomic.incr repl_push_failures
+let note_pull () = Atomic.incr repl_pulls
+let note_pull_miss () = Atomic.incr repl_pull_misses
+let note_install () = Atomic.incr repl_installs
+let note_reject () = Atomic.incr repl_rejects
+
+(* Atomic: the hooks are installed/cleared by the fleet layer while
+   pool workers and server worker domains call [load]/[save]. *)
+let on_save_hook : (string -> Cert_sexp.t -> unit) option Atomic.t =
+  Atomic.make None
+
+let on_miss_hook : (string -> Cert_sexp.t option) option Atomic.t =
+  Atomic.make None
+
+let set_on_save f = Atomic.set on_save_hook f
+let set_on_miss f = Atomic.set on_miss_hook f
+
 (* [None] = no override yet (consult the environment); [Some None] =
    explicitly disabled; [Some (Some d)] = explicit root.  Atomic: the
    override may be toggled while pool workers consult [dir]. *)
@@ -79,7 +138,10 @@ let quarantine key =
       let path = path_of_key root key in
       if Sys.file_exists path then quarantine_file path
 
-let load key =
+(* [load_local] never consults the pull-on-miss hook: it is the read
+   the hook's own fetch path (and the peer serving a [cert-pull]) uses,
+   so a miss can never recurse into another pull. *)
+let load_local key =
   match dir () with
   | None -> None
   | Some root -> (
@@ -104,6 +166,19 @@ let load key =
                 Atomic.incr misses;
                 None))
 
+let load key =
+  match load_local key with
+  | Some _ as hit -> hit
+  | None -> (
+      match Atomic.get on_miss_hook with
+      | None -> None
+      | Some pull -> if enabled () then pull key else None)
+
+let mem key =
+  match dir () with
+  | None -> false
+  | Some root -> Sys.file_exists (path_of_key root key)
+
 (* Atomic: concurrent writers in one process must never share a
    temporary file name.  Across processes the pid disambiguates; the
    final [Sys.rename] is atomic either way, so concurrent writers of
@@ -111,7 +186,10 @@ let load key =
    content. *)
 let tmp_counter = Atomic.make 0
 
-let save ~key sexp =
+(* [install] is [save] without the push hook: replication installs go
+   through it so a pulled entry's write can never push right back
+   (push → install → push recursion). *)
+let install ~key sexp =
   match dir () with
   | None -> ()
   | Some root -> (
@@ -133,6 +211,13 @@ let save ~key sexp =
       with Sys_error msg ->
         Log.warn (fun m -> m "failed to store %s: %s" path msg);
         (try Sys.remove tmp with Sys_error _ -> ()))
+
+let save ~key sexp =
+  install ~key sexp;
+  if enabled () then
+    match Atomic.get on_save_hook with
+    | None -> ()
+    | Some push -> push key sexp
 
 let entries () =
   match dir () with

@@ -20,6 +20,44 @@ type stats = { hits : int; misses : int; writes : int; corrupt : int }
 val stats : unit -> stats
 val reset_stats : unit -> unit
 
+(** {1 Replication}
+
+    The store never opens a socket itself.  The fleet layer
+    ([lib/fleet], docs/FLEET.md) installs the two hooks: [on_save]
+    pushes freshly produced entries to peer stores, [on_miss] pulls a
+    missing entry by digest before [load] reports a miss.  The
+    counters live here so the daemon's [stats] reply and the
+    [SPEEDUP_STATS] line report replication traffic without a
+    server → fleet dependency. *)
+
+type repl_stats = {
+  pushes : int;  (** entries successfully pushed to a peer *)
+  push_failures : int;  (** failed or dropped push attempts *)
+  pulls : int;  (** entries fetched from a peer on a local miss *)
+  pull_misses : int;  (** misses no peer could serve either *)
+  installs : int;  (** peer entries that re-verified and were installed *)
+  rejects : int;  (** peer entries that failed verification *)
+}
+
+val repl_stats : unit -> repl_stats
+val reset_repl_stats : unit -> unit
+
+val note_push : unit -> unit
+val note_push_failure : unit -> unit
+val note_pull : unit -> unit
+val note_pull_miss : unit -> unit
+val note_install : unit -> unit
+val note_reject : unit -> unit
+
+val set_on_save : (string -> Cert_sexp.t -> unit) option -> unit
+(** Hook fired after every successful {!save} (never after
+    {!install}), with the key and the stored S-expression. *)
+
+val set_on_miss : (string -> Cert_sexp.t option) option -> unit
+(** Hook consulted when {!load} misses locally.  The hook is expected
+    to fetch by digest, verify, {!install}, and return the installed
+    S-expression ([None] when no peer has the entry). *)
+
 val set_dir : string option -> unit
 (** Overrides (or, with [None], disables) the store root for the rest
     of the session, taking precedence over [CERT_CACHE_DIR]. *)
@@ -35,12 +73,28 @@ val enabled : unit -> bool
 
 val load : string -> Cert_sexp.t option
 (** [load key] reads and parses the entry, counting a hit or a miss.
-    Unparseable entries are quarantined and count as [corrupt]. *)
+    Unparseable entries are quarantined and count as [corrupt].  On a
+    local miss the pull-on-miss hook ({!set_on_miss}), when installed,
+    gets one chance to produce the entry from a peer. *)
+
+val load_local : string -> Cert_sexp.t option
+(** {!load} without the pull-on-miss hook — the read used when
+    serving a peer's pull request (a miss must not cascade into
+    another pull). *)
+
+val mem : string -> bool
+(** Whether an entry file exists, without reading it (no counters).
+    The atlas builder's resumability check. *)
 
 val save : key:string -> Cert_sexp.t -> unit
 (** Atomic write-through; a no-op when the store is disabled.  I/O
     failures are logged and swallowed — caching must never break the
-    computation it caches. *)
+    computation it caches.  Fires the push-on-write hook
+    ({!set_on_save}) after a successful write. *)
+
+val install : key:string -> Cert_sexp.t -> unit
+(** {!save} without the push hook — the write used when installing an
+    entry received {e from} a peer, so replication can never echo. *)
 
 val quarantine : string -> unit
 (** [quarantine key] sets a semantically invalid entry aside (caller

@@ -1,0 +1,43 @@
+(* The trust boundary of replication: everything a peer sends goes
+   through [install], which re-derives the content address and re-runs
+   [Cert.verify] before anything touches the local store.  A peer can
+   therefore at worst refuse to help — it can never plant an entry the
+   local checker would not have produced itself. *)
+
+let export key =
+  match Cert_store.load_local key with
+  | Some sexp -> Ok (Cert_sexp.to_string sexp)
+  | None -> Error (Printf.sprintf "no entry for key %s" key)
+
+let install ~key text =
+  let ( let* ) = Result.bind in
+  let reject msg =
+    Cert_store.note_reject ();
+    Error msg
+  in
+  match
+    let* sexp = Cert_sexp.of_string text in
+    let* cert = Cert.decode sexp in
+    let actual = Cert.key cert in
+    let* () =
+      if String.equal actual key then Ok ()
+      else
+        Error
+          (Printf.sprintf "content address mismatch: entry hashes to %s"
+             actual)
+    in
+    (* Unsupported counts as a rejection here: replication only moves
+       registry-resolvable entries, so a name this node cannot resolve
+       is an entry it cannot vouch for. *)
+    let* () =
+      Result.map_error Cert.error_message (Cert.verify Cert_registry.env cert)
+    in
+    Ok cert
+  with
+  | Ok cert ->
+      (* Canonical re-encode: the bytes installed are this node's
+         rendering, never the peer's. *)
+      Cert_store.install ~key (Cert.encode cert);
+      Cert_store.note_install ();
+      Ok cert
+  | Error msg -> reject msg

@@ -1,0 +1,23 @@
+(** Replication trust boundary: serializing store entries for the wire
+    and re-verifying everything that comes back.
+
+    The fleet protocol (docs/FLEET.md) moves certificates between
+    stores as opaque text keyed by digest.  [export] renders a local
+    entry; [install] is the only path by which a peer's bytes reach the
+    local store, and it re-derives the content address and re-runs
+    [Cert.verify] first — a malicious or corrupt peer can cause a
+    rejection, never a bad entry. *)
+
+val export : string -> (string, string) result
+(** [export key] renders the local entry for the wire.  Reads via
+    [Cert_store.load_local], so serving a pull can never trigger
+    another pull. *)
+
+val install : key:string -> string -> (Cert.t, string) result
+(** [install ~key text] parses, decodes, checks that the certificate's
+    recomputed content address equals [key], verifies it against the
+    registry (an [Unsupported] name is rejected — this node only
+    installs what it can vouch for), and writes the {e canonical
+    re-encoding} through [Cert_store.install] (no push hook, so
+    replication cannot echo).  Counts an install or a reject on the
+    replication counters. *)

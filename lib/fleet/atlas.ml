@@ -1,0 +1,245 @@
+(* The closure atlas (docs/FLEET.md): batch-enumerate Δ'(σ) for every
+   cell of a (operator × task) grid into the certificate store, then
+   record a manifest certificate listing every cell's store keys so
+   coverage is auditable offline.
+
+   Resumable: a cell whose keys are all present is skipped, so a
+   partially built atlas (crash, deadline, added cells) re-runs only
+   the missing work.  Parallel over cells through the domain pool;
+   each cell's enumeration persists its own certificates through the
+   closure's ordinary write-through path, which also means a fleet
+   peer building an atlas pushes the entries as it goes. *)
+
+type spec = {
+  atlas_name : string;
+  ops : string list;  (* operator names, registry-resolvable *)
+  tasks : string list;  (* canonical task names, registry-resolvable *)
+}
+
+type resolved_cell = {
+  rop : Round_op.t;
+  rtask : Task.t;
+  keys : string list;
+}
+
+let cell_keys ~op_name ~task =
+  List.map
+    (fun sigma ->
+      Cert.query_key
+        (Cert.Q_delta { op_name; task_name = task.Task.name; sigma }))
+    (Task.input_simplices task)
+
+let resolve_op name =
+  match Model.of_string name with
+  | Some m -> Ok (Round_op.plain m)
+  | None -> (
+      match Algebra.parse name with
+      | Ok term when String.equal (Algebra.to_string term) name ->
+          Ok (Round_op.algebra term)
+      | Ok _ ->
+          Error
+            (Printf.sprintf
+               "atlas operator %S is not a canonical algebra rendering" name)
+      | Error msg -> Error (Printf.sprintf "atlas operator %S: %s" name msg))
+
+let resolve_cells spec =
+  let ( let* ) = Result.bind in
+  let* ops =
+    List.fold_left
+      (fun acc name ->
+        let* acc = acc in
+        let* op = resolve_op name in
+        if not (Round_op.persistent op) then
+          Error
+            (Printf.sprintf "atlas operator %S is not persistent" name)
+        else Ok (op :: acc))
+      (Ok []) spec.ops
+    |> Result.map List.rev
+  in
+  let* tasks =
+    List.fold_left
+      (fun acc name ->
+        let* acc = acc in
+        match Cert_registry.task_of_name name with
+        | Some task when String.equal task.Task.name name -> Ok (task :: acc)
+        | Some task ->
+            Error
+              (Printf.sprintf
+                 "atlas task %S is not the canonical rendering %S" name
+                 task.Task.name)
+        | None -> Error (Printf.sprintf "unknown atlas task %S" name))
+      (Ok []) spec.tasks
+    |> Result.map List.rev
+  in
+  Ok
+    (List.concat_map
+       (fun rop ->
+         List.map
+           (fun rtask ->
+             { rop; rtask; keys = cell_keys ~op_name:(Round_op.name rop) ~task:rtask })
+           tasks)
+       ops)
+
+let manifest_of_cells spec cells =
+  Cert.Atlas
+    {
+      Cert.atlas_name = spec.atlas_name;
+      atlas_cells =
+        List.map
+          (fun c ->
+            {
+              Cert.cell_op = Round_op.name c.rop;
+              cell_task = c.rtask.Task.name;
+              cell_keys = c.keys;
+            })
+          cells;
+    }
+
+type build_report = {
+  cells : int;
+  built : int;  (* cells enumerated this run *)
+  skipped : int;  (* cells whose keys were already stored *)
+  manifest_key : string;
+}
+
+let build ?should_stop spec =
+  let ( let* ) = Result.bind in
+  let* () =
+    if Cert_store.enabled () then Ok ()
+    else Error "certificate store disabled (set CERT_CACHE_DIR or --dir)"
+  in
+  let* cells = resolve_cells spec in
+  let* () = if cells = [] then Error "empty atlas spec" else Ok () in
+  (* Resumability: a cell is done iff every per-σ entry exists. *)
+  let todo, done_ =
+    List.partition
+      (fun c -> not (List.for_all Cert_store.mem c.keys))
+      cells
+  in
+  let enumerate c =
+    List.iter
+      (fun sigma ->
+        ignore (Closure.delta ?should_stop ~op:c.rop c.rtask sigma))
+      (Task.input_simplices c.rtask)
+  in
+  let* () =
+    (* Parallel over cells; the per-cell work inside the pool takes
+       the sequential path (nested parallelism flattens), so cells are
+       the unit of distribution. *)
+    match Pool.map ~grain:1 enumerate todo with
+    | (_ : unit list) -> Ok ()
+    | exception Csp.Interrupted -> Error "atlas build interrupted"
+  in
+  let manifest = manifest_of_cells spec cells in
+  let manifest_key = Cert.key manifest in
+  Cert_store.save ~key:manifest_key (Cert.encode manifest);
+  Ok
+    {
+      cells = List.length cells;
+      built = List.length todo;
+      skipped = List.length done_;
+      manifest_key;
+    }
+
+type audit = {
+  audited_cells : int;
+  audited_keys : int;
+}
+
+(* Coverage audit: the manifest itself must verify (its keys are the
+   recomputed content addresses of every cell, see Cert.verify), and
+   every listed key must hold a present, decodable, verifying entry. *)
+let verify name =
+  let ( let* ) = Result.bind in
+  let key = Cert.query_key (Cert.Q_atlas { atlas_name = name }) in
+  let* sexp =
+    match Cert_store.load_local key with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "no atlas manifest %S in store" name)
+  in
+  let* cert = Cert.decode sexp in
+  let* () =
+    Result.map_error Cert.error_message (Cert.verify Cert_registry.env cert)
+  in
+  let* cells =
+    match cert with
+    | Cert.Atlas a -> Ok a.Cert.atlas_cells
+    | _ -> Error (Printf.sprintf "entry %s is not an atlas manifest" key)
+  in
+  let audit_key cell k =
+    let* entry =
+      match Cert_store.load_local k with
+      | Some s -> Ok s
+      | None ->
+          Error
+            (Printf.sprintf "atlas cell (%s, %s): missing entry %s"
+               cell.Cert.cell_op cell.Cert.cell_task k)
+    in
+    let* c = Cert.decode entry in
+    Result.map_error
+      (fun e ->
+        Printf.sprintf "atlas cell (%s, %s) entry %s: %s" cell.Cert.cell_op
+          cell.Cert.cell_task k
+          (Cert.error_message e))
+      (Cert.verify Cert_registry.env c)
+  in
+  let* audited_keys =
+    List.fold_left
+      (fun acc cell ->
+        let* n = acc in
+        let* () =
+          List.fold_left
+            (fun acc k ->
+              let* () = acc in
+              audit_key cell k)
+            (Ok ()) cell.Cert.cell_keys
+        in
+        Ok (n + List.length cell.Cert.cell_keys))
+      (Ok 0) cells
+  in
+  Ok { audited_cells = List.length cells; audited_keys }
+
+(* The stock spec: plain models and one canonical algebra term crossed
+   with the registry task families at small n — consensus variants,
+   2-set agreement, adaptive renaming, and an ε-grid of approximate
+   agreement.  Task names come from the constructors themselves, so
+   they are canonical by construction. *)
+let default_spec ?(max_n = 3) ~name () =
+  let ns = List.init (max 0 (max_n - 1)) (fun i -> i + 2) in
+  let tname t = t.Task.name in
+  let consensus =
+    List.concat_map
+      (fun n ->
+        [
+          tname (Consensus.binary ~n);
+          tname (Consensus.relaxed ~n ~values:[ Value.Int 0; Value.Int 1 ]);
+        ])
+      ns
+  in
+  let set_agreement =
+    ns
+    |> List.filter (fun n -> n >= 3)
+    |> List.map (fun n ->
+           tname
+             (Set_agreement.task ~n ~k:2
+                ~values:[ Value.Int 0; Value.Int 1; Value.Int 2 ]))
+  in
+  let renaming =
+    ns
+    |> List.filter (fun n -> n <= 3)
+    |> List.map (fun n -> tname (Renaming.task ~n))
+  in
+  let aa =
+    (* ε-grid at m = 4 (the grid must refine ε: ε ∈ ℕ/m). *)
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun eps -> tname (Approx_agreement.task ~n ~m:4 ~eps))
+          [ Frac.make 1 2; Frac.make 1 4 ])
+      ns
+  in
+  {
+    atlas_name = name;
+    ops = [ "immediate"; "snapshot" ];
+    tasks = consensus @ set_agreement @ renaming @ aa;
+  }

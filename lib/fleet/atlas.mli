@@ -1,0 +1,42 @@
+(** The closure atlas: offline batch-certification of Δ' enumerations
+    into the store, with an auditable coverage manifest
+    (docs/FLEET.md).
+
+    A spec crosses registry-resolvable operator names with canonical
+    task names; [build] enumerates every missing cell in parallel over
+    the domain pool (persisting certificates through the closure's
+    ordinary write-through path) and saves an [Atlas] manifest
+    certificate listing every cell's store keys.  [verify] audits the
+    manifest and every listed entry without enumerating anything — a
+    warm atlas turns the fleet's hot queries into cert-backed O(1)
+    lookups. *)
+
+type spec = {
+  atlas_name : string;
+  ops : string list;  (** operator names, registry-resolvable, persistent *)
+  tasks : string list;  (** canonical task names, registry-resolvable *)
+}
+
+val default_spec : ?max_n:int -> name:string -> unit -> spec
+(** Plain models × consensus variants, 2-set agreement, adaptive
+    renaming, and an ε-grid of approximate agreement, for
+    [2 ≤ n ≤ max_n] (default 3). *)
+
+type build_report = {
+  cells : int;
+  built : int;  (** cells enumerated this run *)
+  skipped : int;  (** cells already fully present (resumability) *)
+  manifest_key : string;
+}
+
+val build : ?should_stop:(unit -> bool) -> spec -> (build_report, string) result
+(** Requires the store to be enabled.  Skips complete cells, so an
+    interrupted build resumes where it stopped; a rerun over a warm
+    store only rewrites the manifest. *)
+
+type audit = { audited_cells : int; audited_keys : int }
+
+val verify : string -> (audit, string) result
+(** [verify name] loads the manifest saved under [Q_atlas name],
+    re-verifies it, and checks that every listed key holds a present,
+    decodable, verifying certificate. *)

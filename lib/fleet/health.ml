@@ -1,0 +1,35 @@
+(* Per-peer availability with capped exponential backoff: after [k]
+   consecutive failures a peer is down for min(cap, base·2^(k-1))
+   seconds, so a dead peer costs one failed connect per window instead
+   of one per operation.  One success resets the window. *)
+
+type t = {
+  lock : Mutex.t;
+  mutable down_until : float;
+  mutable failures : int;
+  base : float;
+  cap : float;
+}
+
+(* Wall clock (config-level R5 exemption, see docs/LINT.md): feeds
+   backoff windows only — never a reply body or a store entry. *)
+let now () = Unix.gettimeofday ()
+
+let create ?(base = 0.25) ?(cap = 5.0) () =
+  { lock = Mutex.create (); down_until = 0.; failures = 0; base; cap }
+
+let available t = Mutex.protect t.lock (fun () -> now () >= t.down_until)
+
+let fail t =
+  Mutex.protect t.lock (fun () ->
+      t.failures <- t.failures + 1;
+      let window =
+        Float.min t.cap (t.base *. Float.of_int (1 lsl min (t.failures - 1) 8))
+      in
+      t.down_until <- now () +. window;
+      window)
+
+let ok t =
+  Mutex.protect t.lock (fun () ->
+      t.failures <- 0;
+      t.down_until <- 0.)

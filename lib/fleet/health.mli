@@ -1,0 +1,18 @@
+(** Per-peer availability with capped exponential backoff.
+
+    Thread-safe; shared by the replicator and the router so both stop
+    hammering a dead peer after the first failed connect of each
+    backoff window. *)
+
+type t
+
+val create : ?base:float -> ?cap:float -> unit -> t
+(** Backoff window after the [k]-th consecutive failure:
+    [min cap (base * 2^(k-1))] seconds (defaults 0.25s, 5s). *)
+
+val available : t -> bool
+val fail : t -> float
+(** Marks a failure and returns the backoff window just applied. *)
+
+val ok : t -> unit
+(** Resets the failure count. *)

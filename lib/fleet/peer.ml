@@ -1,0 +1,37 @@
+type t = { name : string; addr : Server.addr }
+
+let to_string p = p.name
+
+(* "unix:PATH" or "HOST:PORT"; the rendering doubles as the peer's
+   ring name, so two fronts configured with the same peer list agree
+   on every ring position. *)
+let parse spec =
+  let unix_prefix = "unix:" in
+  let plen = String.length unix_prefix in
+  if
+    String.length spec > plen
+    && String.equal (String.sub spec 0 plen) unix_prefix
+  then
+    Ok { name = spec; addr = Server.Unix_path (String.sub spec plen (String.length spec - plen)) }
+  else
+    match String.rindex_opt spec ':' with
+    | None -> Error (Printf.sprintf "peer %S: expected unix:PATH or HOST:PORT" spec)
+    | Some i -> (
+        let host = String.sub spec 0 i in
+        let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match int_of_string_opt port with
+        | Some port when port > 0 && port < 65536 && host <> "" ->
+            Ok { name = spec; addr = Server.Tcp (host, port) }
+        | _ ->
+            Error
+              (Printf.sprintf "peer %S: expected unix:PATH or HOST:PORT" spec))
+
+let parse_list specs =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | spec :: rest -> (
+        match parse spec with
+        | Ok p -> go (p :: acc) rest
+        | Error _ as e -> e)
+  in
+  go [] specs

@@ -1,0 +1,16 @@
+(** Fleet peer addresses.
+
+    A peer is named by its address spec verbatim ([unix:PATH] or
+    [HOST:PORT]), so every front configured with the same [--peers]
+    list derives identical ring positions without any coordination. *)
+
+type t = { name : string; addr : Server.addr }
+
+val to_string : t -> string
+(** The name (= the spec the peer was parsed from). *)
+
+val parse : string -> (t, string) result
+(** [unix:PATH] or [HOST:PORT]. *)
+
+val parse_list : string list -> (t list, string) result
+(** First parse error wins. *)

@@ -1,0 +1,137 @@
+(* The fleet front (docs/FLEET.md): a [Server.handler] that hashes
+   each request's canonical digest onto the ring and forwards it to
+   the owning daemon, falling through the rendezvous order when a peer
+   is down or draining.
+
+   Byte-identity: the backend's [result] is parsed into [Jsonl.t] and
+   re-rendered by the front's own [Wire.ok_reply].  [Jsonl] round-trips
+   objects field-order- and escaping-exactly, so a routed reply is
+   byte-identical to the daemon's own reply for the same request —
+   the property the fleet end-to-end test pins.
+
+   Deadline propagation: the front forwards the {e remaining} budget
+   (its own queue wait already subtracted) as the backend's
+   [deadline_ms], and checks [should_stop] between failover attempts,
+   so client cancellation passes through cooperatively. *)
+
+let log_src = Logs.Src.create "speedup.fleet.proxy" ~doc:"Fleet router"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  ring : Ring.t;
+  by_name : (string, Peer.t * Health.t) Hashtbl.t;
+}
+
+(* Wall clock (config-level R5 exemption, see docs/LINT.md): remaining
+   deadline-budget arithmetic only. *)
+let now () = Unix.gettimeofday ()
+
+let create ?vnodes peers =
+  let by_name = Hashtbl.create 8 in
+  List.iter
+    (fun (p : Peer.t) ->
+      if not (Hashtbl.mem by_name p.Peer.name) then
+        Hashtbl.add by_name p.Peer.name (p, Health.create ()))
+    peers;
+  { ring = Ring.make ?vnodes (List.map Peer.to_string peers); by_name }
+
+let peers t = Ring.members t.ring |> List.map (Hashtbl.find t.by_name)
+
+(* Forward one request to one peer.  [`Next] = try the failover order
+   (transport trouble, or the peer is overloaded/draining); [`Reply r]
+   = definitive, return it (including backend errors like bad_request:
+   the peer answered, failing over would just repeat it). *)
+let forward (p : Peer.t) h ~deadline_ms (req : Wire.request) =
+  match Client.connect p.Peer.addr with
+  | Error msg ->
+      let window = Health.fail h in
+      Log.info (fun m ->
+          m "peer %s down for %.2fs: %s" (Peer.to_string p) window msg);
+      `Next
+  | Ok c -> (
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let params =
+            match req.Wire.params with Jsonl.Obj fields -> fields | _ -> []
+          in
+          match
+            Client.request ?deadline_ms c ~id:req.Wire.id ~meth:req.Wire.meth
+              ~params
+          with
+          | Error msg ->
+              ignore (Health.fail h);
+              Log.info (fun m ->
+                  m "peer %s transport failure: %s" (Peer.to_string p) msg);
+              `Next
+          | Ok line -> (
+              match Jsonl.of_string line with
+              | Error msg ->
+                  ignore (Health.fail h);
+                  Log.warn (fun m ->
+                      m "peer %s sent unparseable reply: %s" (Peer.to_string p)
+                        msg);
+                  `Next
+              | Ok reply -> (
+                  Health.ok h;
+                  match Jsonl.member "ok" reply with
+                  | Some (Jsonl.Bool true) ->
+                      `Reply
+                        (Ok
+                           (Option.value
+                              (Jsonl.member "result" reply)
+                              ~default:Jsonl.Null))
+                  | _ -> (
+                      let get k =
+                        Option.bind (Jsonl.member "error" reply)
+                          (Jsonl.member k)
+                      in
+                      let code =
+                        match get "code" with
+                        | Some (Jsonl.String s) -> Wire.code_of_string s
+                        | _ -> None
+                      in
+                      let message =
+                        match get "message" with
+                        | Some (Jsonl.String s) -> s
+                        | _ -> line
+                      in
+                      match code with
+                      | Some (Wire.Overloaded | Wire.Shutting_down) -> `Next
+                      | Some code -> `Reply (Error (code, message))
+                      | None -> `Reply (Error (Wire.Internal, message)))))))
+
+let handler t ~should_stop ~deadline (req : Wire.request) =
+  let key = Wire.canonical_digest ~meth:req.Wire.meth req.Wire.params in
+  let order =
+    Ring.route_order t.ring key |> List.map (Hashtbl.find t.by_name)
+  in
+  (* Two passes: live peers in ring order, then — only if every peer
+     is inside a backoff window — everyone again, so a fully-down
+     fleet still probes rather than failing from stale health. *)
+  let attempts =
+    let live, down = List.partition (fun (_, h) -> Health.available h) order in
+    live @ down
+  in
+  let rec go = function
+    | [] ->
+        Error
+          ( Wire.Internal,
+            Printf.sprintf "no fleet peer reachable for key %s" key )
+    | (p, h) :: rest ->
+        if should_stop () then Error (Wire.Timeout, "deadline exceeded")
+        else
+          let deadline_ms =
+            match deadline with
+            | None -> None
+            | Some d ->
+                (* Remaining budget; ≥ 1ms so the backend still sees a
+                   deadline rather than none. *)
+                Some (max 1 (int_of_float ((d -. now ()) *. 1000.)))
+          in
+          (match forward p h ~deadline_ms req with
+          | `Reply r -> r
+          | `Next -> go rest)
+  in
+  go attempts

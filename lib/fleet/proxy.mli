@@ -1,0 +1,23 @@
+(** The fleet front: consistent-hash routing of daemon requests over a
+    ring of [speedup serve] peers (docs/FLEET.md).
+
+    [handler] plugs into [Server.config.handler], so the front {e is}
+    a daemon — same wire protocol, same loop-level [ping]/[stats]/
+    [shutdown] — whose workers forward instead of computing.  Each
+    request is hashed by [Wire.canonical_digest] onto the ring; a
+    down, overloaded, or draining owner fails over along the key's
+    rendezvous order.  Replies are byte-identical to the backend's
+    ([Jsonl] round-trips exactly); the remaining deadline budget is
+    propagated as the backend's [deadline_ms] and [should_stop] is
+    checked between failover attempts. *)
+
+type t
+
+val create : ?vnodes:int -> Peer.t list -> t
+(** Builds the ring ([vnodes] per peer, default 64) and per-peer
+    health state. *)
+
+val peers : t -> (Peer.t * Health.t) list
+(** Ring members with their health, in first-given order. *)
+
+val handler : t -> Server.handler

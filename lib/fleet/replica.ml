@@ -1,0 +1,216 @@
+(* Store replication (docs/FLEET.md).
+
+   Push-on-write: [Cert_store.save] fires the on-save hook, which
+   enqueues the rendered entry on a bounded queue; a dedicated pusher
+   domain drains it, delivering [cert-push] to every live peer.  The
+   queue bounds memory under a write burst — overflow drops the entry
+   (counted as a push failure per peer) rather than blocking the
+   enumeration that produced it; pull-on-miss repairs any gap later.
+
+   Pull-on-miss: [Cert_store.load] fires the on-miss hook, which asks
+   peers for the digest in rendezvous order (the likely owner first)
+   and installs the first copy that passes [Cert_sync.install]'s
+   re-verification.  Concurrent misses of one key are single-flighted:
+   one leader fetches, followers wait and re-read locally.
+
+   All state lives in the [t] record (R1: no top-level mutables). *)
+
+let log_src = Logs.Src.create "speedup.fleet.replica" ~doc:"Store replication"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  peers : (Peer.t * Health.t) list;
+  queue_limit : int;
+  qlock : Mutex.t;
+  qcond : Condition.t;
+  queue : (string * string) Queue.t;  (* key, rendered entry *)
+  mutable stopping : bool;  (* guarded by qlock *)
+  flock : Mutex.t;  (* single-flight table *)
+  fcond : Condition.t;
+  inflight : (string, unit) Hashtbl.t;
+  mutable pusher : unit Domain.t option;
+}
+
+(* One short-lived connection per operation: peers are few and
+   entries small, so connection reuse is not worth a pool; connect
+   itself retries with backoff (Client.connect_retry). *)
+let rpc_peer (p : Peer.t) h ~meth ~params =
+  match
+    Client.connect_retry ~attempts:3 ~delay:0.05 ~max_delay:0.2 p.Peer.addr
+  with
+  | Error msg ->
+      let window = Health.fail h in
+      Log.info (fun m ->
+          m "peer %s down for %.2fs: %s" (Peer.to_string p) window msg);
+      Error msg
+  | Ok c ->
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          match
+            Client.rpc ~deadline_ms:5000 c ~id:(Jsonl.Int 0) ~meth ~params
+          with
+          | Ok v ->
+              Health.ok h;
+              Ok v
+          | Error msg ->
+              ignore (Health.fail h);
+              Error msg)
+
+let push_entry t key text =
+  List.iter
+    (fun ((p : Peer.t), h) ->
+      if not (Health.available h) then Cert_store.note_push_failure ()
+      else
+        match
+          rpc_peer p h ~meth:"cert-push"
+            ~params:[ ("key", Jsonl.String key); ("cert", Jsonl.String text) ]
+        with
+        | Ok reply when Jsonl.member "installed" reply = Some (Jsonl.Bool true)
+          ->
+            Cert_store.note_push ()
+        | Ok reply ->
+            let reason =
+              match Jsonl.member "reason" reply with
+              | Some (Jsonl.String r) -> r
+              | _ -> "peer rejected entry"
+            in
+            Log.warn (fun m ->
+                m "push of %s to %s rejected: %s" key (Peer.to_string p) reason);
+            Cert_store.note_push_failure ()
+        | Error msg ->
+            Log.warn (fun m ->
+                m "push of %s to %s failed: %s" key (Peer.to_string p) msg);
+            Cert_store.note_push_failure ())
+    t.peers
+
+let pusher_loop t () =
+  let rec go () =
+    let item =
+      Mutex.lock t.qlock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.qlock)
+        (fun () ->
+          while Queue.is_empty t.queue && not t.stopping do
+            Condition.wait t.qcond t.qlock
+          done;
+          if Queue.is_empty t.queue then None else Some (Queue.pop t.queue))
+    in
+    match item with
+    | None -> ()
+    | Some (key, text) ->
+        (try push_entry t key text
+         with exn ->
+           Log.warn (fun m -> m "pusher survived %s" (Printexc.to_string exn)));
+        go ()
+  in
+  go ()
+
+let on_save t key sexp =
+  let dropped =
+    Mutex.protect t.qlock (fun () ->
+        if t.stopping || Queue.length t.queue >= t.queue_limit then true
+        else begin
+          Queue.push (key, Cert_sexp.to_string sexp) t.queue;
+          Condition.signal t.qcond;
+          false
+        end)
+  in
+  if dropped then
+    (* One failure per peer that will now miss the entry. *)
+    List.iter (fun _ -> Cert_store.note_push_failure ()) t.peers
+
+let pull_from_peers t key =
+  (* Rendezvous order: the peer most likely to own the key first. *)
+  let order =
+    t.peers
+    |> List.map (fun ((p : Peer.t), h) ->
+           (Digest.to_hex (Digest.string (p.Peer.name ^ "|" ^ key)), (p, h)))
+    |> List.sort (fun (a, _) (b, _) -> String.compare b a)
+    |> List.map snd
+  in
+  let fetch ((p : Peer.t), h) =
+    if not (Health.available h) then None
+    else
+      match
+        rpc_peer p h ~meth:"cert-pull" ~params:[ ("key", Jsonl.String key) ]
+      with
+      | Ok reply when Jsonl.member "found" reply = Some (Jsonl.Bool true) -> (
+          match Jsonl.member "cert" reply with
+          | Some (Jsonl.String text) -> (
+              match Cert_sync.install ~key text with
+              | Ok cert -> Some cert
+              | Error msg ->
+                  Log.warn (fun m ->
+                      m "pulled %s from %s but rejected it: %s" key
+                        (Peer.to_string p) msg);
+                  None)
+          | Some _ | None -> None)
+      | Ok _ | Error _ -> None
+  in
+  match List.find_map fetch order with
+  | Some cert ->
+      Cert_store.note_pull ();
+      Some (Cert.encode cert)
+  | None ->
+      Cert_store.note_pull_miss ();
+      None
+
+let on_miss t key =
+  let role =
+    Mutex.lock t.flock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.flock)
+      (fun () ->
+        if Hashtbl.mem t.inflight key then begin
+          while Hashtbl.mem t.inflight key do
+            Condition.wait t.fcond t.flock
+          done;
+          `Follower
+        end
+        else begin
+          Hashtbl.replace t.inflight key ();
+          `Leader
+        end)
+  in
+  match role with
+  | `Follower ->
+      (* The leader's install (if any) is on disk now. *)
+      if Cert_store.mem key then Cert_store.load_local key else None
+  | `Leader ->
+      Fun.protect
+        ~finally:(fun () ->
+          Mutex.protect t.flock (fun () ->
+              Hashtbl.remove t.inflight key;
+              Condition.broadcast t.fcond))
+        (fun () -> pull_from_peers t key)
+
+let attach ?(queue_limit = 256) peers =
+  let t =
+    {
+      peers = List.map (fun p -> (p, Health.create ())) peers;
+      queue_limit;
+      qlock = Mutex.create ();
+      qcond = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      flock = Mutex.create ();
+      fcond = Condition.create ();
+      inflight = Hashtbl.create 16;
+      pusher = None;
+    }
+  in
+  t.pusher <- Some (Domain.spawn (pusher_loop t));
+  Cert_store.set_on_save (Some (on_save t));
+  Cert_store.set_on_miss (Some (on_miss t));
+  t
+
+let detach t =
+  Cert_store.set_on_save None;
+  Cert_store.set_on_miss None;
+  Mutex.protect t.qlock (fun () ->
+      t.stopping <- true;
+      Condition.broadcast t.qcond);
+  (match t.pusher with Some d -> Domain.join d | None -> ());
+  t.pusher <- None

@@ -1,0 +1,28 @@
+(** Store replication: push-on-write and pull-on-miss between
+    [Cert_store] instances over the daemon wire protocol
+    (docs/FLEET.md).
+
+    [attach] installs the two store hooks and spawns one pusher
+    domain; from then on every [Cert_store.save] is pushed
+    asynchronously to each peer ([cert-push]) and every local miss
+    triggers a synchronous pull by digest ([cert-pull]) in rendezvous
+    order, single-flighted per key.  Everything that arrives from a
+    peer goes through [Cert_sync.install] — re-derived content
+    address, full re-verification — before it touches the local
+    store.
+
+    Failed peers back off exponentially (capped) and pushes to an
+    unavailable or overflowing target are dropped and counted
+    ([Cert_store.repl_stats]) rather than blocking the computation
+    that produced the entry; pull-on-miss repairs any resulting gap on
+    first use. *)
+
+type t
+
+val attach : ?queue_limit:int -> Peer.t list -> t
+(** Installs the hooks and starts the pusher (push queue bound:
+    [queue_limit], default 256 entries). *)
+
+val detach : t -> unit
+(** Clears the hooks, stops and joins the pusher.  Entries still
+    queued are dropped (counted as push failures). *)

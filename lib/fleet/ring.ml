@@ -1,0 +1,67 @@
+(* Consistent-hash ring with a rendezvous-hash fallback order.
+
+   Pure and deterministic: positions are MD5 digests of "name#vnode"
+   strings, so every front configured with the same peer list computes
+   the same owner for every key with no coordination.  [route_order]
+   appends the remaining peers in highest-random-weight order, which
+   is what makes peer death cheap: when the owner is down, each key
+   falls through to its own (deterministic, key-dependent) second
+   choice instead of all of the dead peer's keys dog-piling onto one
+   neighbour. *)
+
+type t = {
+  names : string list;  (* as given, duplicates removed *)
+  points : (string * string) array;  (* (position digest, name), sorted *)
+}
+
+let digest s = Digest.to_hex (Digest.string s)
+
+let make ?(vnodes = 64) names =
+  if vnodes < 1 then invalid_arg "Ring.make: vnodes must be positive";
+  let names =
+    List.fold_left
+      (fun acc n -> if List.mem n acc then acc else n :: acc)
+      [] names
+    |> List.rev
+  in
+  if names = [] then invalid_arg "Ring.make: empty peer list";
+  let points =
+    List.concat_map
+      (fun name ->
+        List.init vnodes (fun i ->
+            (digest (Printf.sprintf "%s#%d" name i), name)))
+      names
+    |> Array.of_list
+  in
+  Array.sort (fun (a, _) (b, _) -> String.compare a b) points;
+  { names; points }
+
+let members t = t.names
+
+(* First ring point clockwise of the key's digest (wrapping). *)
+let route t key =
+  let h = digest key in
+  let n = Array.length t.points in
+  (* Binary search: smallest index with position >= h. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      let pos, _ = t.points.(mid) in
+      if String.compare pos h < 0 then search (mid + 1) hi else search lo mid
+  in
+  let i = search 0 n in
+  snd t.points.(if i = n then 0 else i)
+
+(* Owner first, then every other peer by descending rendezvous weight
+   digest("name|key") — the per-key failover order. *)
+let route_order t key =
+  let owner = route t key in
+  let rest =
+    t.names
+    |> List.filter (fun n -> not (String.equal n owner))
+    |> List.map (fun n -> (digest (Printf.sprintf "%s|%s" n key), n))
+    |> List.sort (fun (a, _) (b, _) -> String.compare b a)
+    |> List.map snd
+  in
+  owner :: rest

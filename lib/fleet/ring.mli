@@ -1,0 +1,25 @@
+(** Consistent-hash ring with rendezvous failover (docs/FLEET.md).
+
+    Pure and deterministic: positions are MD5 digests, so every front
+    configured with the same peer list computes the same owner for
+    every key without coordination. *)
+
+type t
+
+val make : ?vnodes:int -> string list -> t
+(** [vnodes] positions per peer (default 64).  Duplicate names are
+    dropped.
+    @raise Invalid_argument on an empty list or [vnodes < 1]. *)
+
+val members : t -> string list
+(** The distinct peer names, in the order first given. *)
+
+val route : t -> string -> string
+(** The owner of a key: the first ring position clockwise of the
+    key's digest. *)
+
+val route_order : t -> string -> string list
+(** The owner followed by every other peer in descending
+    rendezvous-hash order for this key — the failover sequence.  A
+    dead owner's keys spread over the survivors instead of dog-piling
+    onto one neighbour. *)

@@ -18,13 +18,34 @@ let connect addr =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Error (Unix.error_message e)
 
-let connect_retry ?(attempts = 20) ?(delay = 0.1) addr =
-  let rec go n =
+(* drand48's LCG: deterministic jitter without the ambient [Random]
+   generator (lint R5).  Seeded per call from the pid so concurrent
+   clients hammering one binding server desynchronize, while any given
+   process retries on a reproducible schedule. *)
+let lcg s = ((s * 25214903917) + 11) land 0xFFFFFFFFFFFF
+
+let connect_retry ?(attempts = 20) ?(delay = 0.1) ?(max_delay = 2.0) addr =
+  let attempts = max 1 attempts in
+  let rec go i seed =
     match connect addr with
     | Ok _ as ok -> ok
-    | Error _ as e -> if n <= 1 then e else (Unix.sleepf delay; go (n - 1))
+    | Error msg ->
+        if i >= attempts - 1 then
+          Error
+            (Printf.sprintf "cannot connect after %d attempt(s): last error %s"
+               attempts msg)
+        else begin
+          (* Exponential base capped at [max_delay], scaled into
+             [0.5, 1.0] by the jitter so retries never synchronize. *)
+          let base =
+            Float.min max_delay (delay *. Float.of_int (1 lsl min i 16))
+          in
+          let jitter = 0.5 +. (Float.of_int (seed land 0xFFFF) /. 131072.0) in
+          Unix.sleepf (base *. jitter);
+          go (i + 1) (lcg seed)
+        end
   in
-  go (max 1 attempts)
+  go 0 (lcg (Unix.getpid ()))
 
 let send_line t line =
   let data = line ^ "\n" in

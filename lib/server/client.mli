@@ -7,10 +7,16 @@ type t
 val connect : Server.addr -> (t, string) result
 (** One connection attempt. *)
 
-val connect_retry : ?attempts:int -> ?delay:float -> Server.addr -> (t, string) result
-(** Retries [connect] up to [attempts] times (default 20), sleeping
-    [delay] seconds (default 0.1) between tries — for racing a server
-    that is still binding its socket. *)
+val connect_retry :
+  ?attempts:int -> ?delay:float -> ?max_delay:float -> Server.addr ->
+  (t, string) result
+(** Retries [connect] up to [attempts] times (default 20) — for racing
+    a server that is still binding its socket.  Sleeps follow capped
+    exponential backoff: attempt [i] waits [delay * 2^i] (default base
+    0.1s) capped at [max_delay] (default 2s), scaled by deterministic
+    jitter from a pid-seeded LCG so concurrent clients desynchronize
+    reproducibly.  The final [Error] includes the attempt count and the
+    last errno's message. *)
 
 val send_line : t -> string -> (unit, string) result
 (** Writes one raw line (newline appended).  Exposed so tests can

@@ -15,12 +15,19 @@
 
 type addr = Unix_path of string | Tcp of string * int
 
+type handler =
+  should_stop:(unit -> bool) ->
+  deadline:float option ->
+  Wire.request ->
+  (Jsonl.t, Wire.error_code * string) result
+
 type config = {
   addr : addr;
   workers : int;
   queue_limit : int;
   default_deadline_ms : int option;
   access_log : out_channel option;
+  handler : handler option;
 }
 
 let default_config addr =
@@ -30,6 +37,7 @@ let default_config addr =
     queue_limit = 64;
     default_deadline_ms = None;
     access_log = None;
+    handler = None;
   }
 
 type summary = {
@@ -142,7 +150,10 @@ let run ?on_ready config =
     let s0 = Cert_store.stats () in
     let result =
       if should_stop () then Error (Wire.Timeout, "deadline exceeded in queue")
-      else Wire.compute ~should_stop job.jreq
+      else
+        match config.handler with
+        | Some h -> h ~should_stop ~deadline:job.jdeadline job.jreq
+        | None -> Wire.compute ~should_stop job.jreq
     in
     let m1 = Closure.memo_stats () in
     let s1 = Cert_store.stats () in

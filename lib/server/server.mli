@@ -32,6 +32,15 @@ type addr =
   | Tcp of string * int  (** Host and port; port [0] picks a free one
                              (see [on_ready]). *)
 
+type handler =
+  should_stop:(unit -> bool) ->
+  deadline:float option ->
+  Wire.request ->
+  (Jsonl.t, Wire.error_code * string) result
+(** What a worker runs for one compute request.  [deadline] is the
+    request's absolute expiry in seconds (queue wait already counted),
+    so a proxying handler can forward the {e remaining} budget. *)
+
 type config = {
   addr : addr;
   workers : int;  (** worker domains evaluating compute requests *)
@@ -40,10 +49,16 @@ type config = {
   access_log : out_channel option;
       (** one JSON line per request: id, connection, method, params
           digest, outcome, queue/wall latency, memo/cert hit flags *)
+  handler : handler option;
+      (** replaces {!Wire.compute} when set — the fleet router serves
+          its ring through this ([Fleet] lives above [Server], so the
+          proxy logic cannot be baked in here).  [ping], [stats], and
+          [shutdown] stay loop-level either way. *)
 }
 
 val default_config : addr -> config
-(** 2 workers, queue limit 64, no default deadline, no access log. *)
+(** 2 workers, queue limit 64, no default deadline, no access log,
+    default [Wire.compute] handler. *)
 
 type summary = {
   requests : int;  (** request lines handled, including rejects *)

@@ -122,6 +122,17 @@ let snapshot t =
             ("writes", Jsonl.Int s.Cert_store.writes);
             ("corrupt", Jsonl.Int s.Cert_store.corrupt);
           ] );
+      ( "replication",
+        let r = Cert_store.repl_stats () in
+        Jsonl.Obj
+          [
+            ("pushes", Jsonl.Int r.Cert_store.pushes);
+            ("push_failures", Jsonl.Int r.Cert_store.push_failures);
+            ("pulls", Jsonl.Int r.Cert_store.pulls);
+            ("pull_misses", Jsonl.Int r.Cert_store.pull_misses);
+            ("installs", Jsonl.Int r.Cert_store.installs);
+            ("rejects", Jsonl.Int r.Cert_store.rejects);
+          ] );
       ( "pool",
         let p = Pool.stats () in
         Jsonl.Obj

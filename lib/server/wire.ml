@@ -11,6 +11,16 @@ let code_string = function
   | Internal -> "internal"
   | Shutting_down -> "shutting_down"
 
+(* Inverse of [code_string], for the fleet router mapping a backend's
+   error reply onto its own. *)
+let code_of_string = function
+  | "bad_request" -> Some Bad_request
+  | "overloaded" -> Some Overloaded
+  | "timeout" -> Some Timeout
+  | "internal" -> Some Internal
+  | "shutting_down" -> Some Shutting_down
+  | _ -> None
+
 type request = {
   id : Jsonl.t;
   meth : string;
@@ -73,6 +83,21 @@ let error_reply ~id code message =
        ])
 
 let params_digest params = Digest.to_hex (Digest.string (Jsonl.to_string params))
+
+(* The fleet routing key: a digest every front computes identically
+   for semantically identical requests, whatever the client's field
+   order.  Top-level param keys are sorted before rendering; [id] and
+   [deadline_ms] are deliberately excluded (they vary per call without
+   changing what is computed). *)
+let canonical_digest ~meth params =
+  let params =
+    match params with
+    | Jsonl.Obj fields ->
+        Jsonl.Obj
+          (List.sort (fun (a, _) (b, _) -> String.compare a b) fields)
+    | other -> other
+  in
+  Digest.to_hex (Digest.string (meth ^ "\n" ^ Jsonl.to_string params))
 
 (* ---- parameter extraction ---- *)
 
@@ -343,6 +368,46 @@ let equiv ~should_stop p =
                 outcome.Equiv.probes) );
        ])
 
+(* ---- replication methods (docs/FLEET.md) ----
+
+   [cert-pull] serves a store entry by digest; a miss is a normal
+   [found=false] reply, never an error, so a pulling peer can fall
+   through to enumeration.  [cert-push] installs a pushed entry through
+   [Cert_sync.install] — re-derived content address, full re-verify —
+   and reports a rejection in the reply body (the push was delivered;
+   what this node thinks of the bytes is its own accounting). *)
+
+let cert_pull p =
+  let* key = str_param "key" p in
+  match Cert_sync.export key with
+  | Ok text ->
+      Ok (Jsonl.Obj [ ("found", Jsonl.Bool true); ("cert", Jsonl.String text) ])
+  | Error _ -> Ok (Jsonl.Obj [ ("found", Jsonl.Bool false) ])
+
+let cert_push p =
+  let* key = str_param "key" p in
+  let* text = str_param "cert" p in
+  if not (Cert_store.enabled ()) then
+    Ok
+      (Jsonl.Obj
+         [
+           ("installed", Jsonl.Bool false);
+           ("reason", Jsonl.String "store disabled");
+         ])
+  else
+    match Cert_sync.install ~key text with
+    | Ok cert ->
+        Ok
+          (Jsonl.Obj
+             [
+               ("installed", Jsonl.Bool true);
+               ("kind", Jsonl.String (Cert.kind_name cert));
+             ])
+    | Error msg ->
+        Ok
+          (Jsonl.Obj
+             [ ("installed", Jsonl.Bool false); ("reason", Jsonl.String msg) ])
+
 let compute ~should_stop req =
   let dispatch () =
     match req.meth with
@@ -351,11 +416,13 @@ let compute ~should_stop req =
     | "equiv" -> equiv ~should_stop req.params
     | "experiment" -> experiment req.params
     | "complex-stats" -> complex_stats req.params
+    | "cert-pull" -> cert_pull req.params
+    | "cert-push" -> cert_push req.params
     | other ->
         Error
           (Printf.sprintf
              "unknown method %S (try ping, stats, solvable, closure, equiv, \
-              experiment, complex-stats, shutdown)"
+              experiment, complex-stats, cert-pull, cert-push, shutdown)"
              other)
   in
   if should_stop () then Error (Timeout, "deadline exceeded before execution")

@@ -13,8 +13,9 @@
 
     This module is transport-free: it decodes/validates requests,
     renders replies, and evaluates the compute methods ([solvable],
-    [closure], [equiv], [experiment], [complex-stats]) against the
-    engine.  Model fields accept built-in names or model-algebra terms
+    [closure], [equiv], [experiment], [complex-stats]) and the
+    replication methods ([cert-pull], [cert-push], docs/FLEET.md)
+    against the engine.  Model fields accept built-in names or model-algebra terms
     (docs/MODELS.md); a malformed term yields a [bad_request] reply,
     never a dropped connection.  The
     loop-level methods ([ping], [stats], [shutdown]) and everything
@@ -26,6 +27,10 @@ type error_code = Bad_request | Overloaded | Timeout | Internal | Shutting_down
 val code_string : error_code -> string
 (** ["bad_request"], ["overloaded"], ["timeout"], ["internal"],
     ["shutting_down"]. *)
+
+val code_of_string : string -> error_code option
+(** Inverse of {!code_string} — the fleet router maps a backend's
+    error code onto its own reply with it. *)
 
 type request = {
   id : Jsonl.t;  (** [Int], [String], or [Null] (absent) *)
@@ -46,6 +51,12 @@ val error_reply : id:Jsonl.t -> error_code -> string -> string
 val params_digest : Jsonl.t -> string
 (** Hex digest of the rendered params, for access-log correlation
     without logging full (possibly large) parameter objects. *)
+
+val canonical_digest : meth:string -> Jsonl.t -> string
+(** The fleet routing key: digest of the method name and the params
+    with sorted top-level keys, so every front maps a semantically
+    identical request to the same ring position regardless of client
+    field order.  [id] and [deadline_ms] are excluded. *)
 
 val compute : should_stop:(unit -> bool) -> request -> (Jsonl.t, error_code * string) result
 (** Evaluates a compute method.  Unknown methods and invalid parameters

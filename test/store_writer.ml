@@ -1,19 +1,26 @@
-(* Helper process for the cross-process certificate-store race test
-   (test_cert.ml).  Two instances run concurrently against the same
-   store root: each first drives the real production path (a closure
+(* Helper process for the cross-process certificate-store race tests
+   (test_cert.ml).
+
+   Writer mode — two instances run concurrently against the same store
+   root: each first drives the real production path (a closure
    enumeration that persists membership/enumeration certificates),
    then re-saves every entry [iters] times so the tmp-file + atomic
    rename sequence races on the same keys across processes.  The
    parent asserts the surviving entries are valid and re-verifiable.
 
-   Usage: store_writer.exe DIR ITERS *)
+   Pull mode — simulates a fleet replication puller: every entry of a
+   source store is repeatedly installed into the destination store
+   through [Cert_sync.install], i.e. the wire trust boundary
+   (re-derived content address + full re-verification + canonical
+   re-encode), racing the writers and any concurrent [cert gc].
 
-let () =
-  if Array.length Sys.argv <> 3 then (
-    prerr_endline "usage: store_writer.exe DIR ITERS";
-    exit 2);
-  let dir = Sys.argv.(1) in
-  let iters = int_of_string Sys.argv.(2) in
+   Usage: store_writer.exe DIR ITERS
+          store_writer.exe --pull DST SRC ITERS *)
+
+let read_file path =
+  In_channel.with_open_bin path In_channel.input_all
+
+let writer dir iters =
   Cert_store.set_dir (Some dir);
   let task = Consensus.binary ~n:2 in
   let op = Round_op.plain Model.Immediate in
@@ -33,3 +40,34 @@ let () =
       entries
   done;
   print_string "ok"
+
+let puller dst src iters =
+  (* Snapshot the source entries as wire text, then replay them into
+     the destination through the replication install path. *)
+  Cert_store.set_dir (Some src);
+  let payload =
+    List.map (fun (key, path) -> (key, read_file path)) (Cert_store.entries ())
+  in
+  Cert_store.set_dir (Some dst);
+  let installed = ref 0 in
+  for _ = 1 to iters do
+    List.iter
+      (fun (key, text) ->
+        match Cert_sync.install ~key text with
+        | Ok _ -> incr installed
+        | Error msg ->
+            Printf.eprintf "pull install %s: %s\n" key msg;
+            exit 1)
+      payload
+  done;
+  Printf.printf "ok %d" !installed
+
+let () =
+  match Sys.argv with
+  | [| _; dir; iters |] -> writer dir (int_of_string iters)
+  | [| _; "--pull"; dst; src; iters |] -> puller dst src (int_of_string iters)
+  | _ ->
+      prerr_endline
+        "usage: store_writer.exe DIR ITERS | store_writer.exe --pull DST SRC \
+         ITERS";
+      exit 2

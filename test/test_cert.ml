@@ -518,6 +518,74 @@ let test_concurrent_process_writers () =
       Alcotest.(check bool) "verify-store reports 0 failed" true
         (List.exists (contains_substring "0 failed") lines))
 
+(* GC racing live writers and a replication puller: two writer
+   processes hammer re-saves of one task's keys, a puller re-installs
+   a second task's entries through [Cert_sync.install] (the fleet
+   trust boundary), and the parent runs [cert gc] passes in the
+   middle.  Atomic renames mean gc only ever sees complete entries
+   (it may zap an in-flight [.tmp], which the writer's save path
+   absorbs), so the store must come out clean and fully verifiable. *)
+let test_gc_races_writers_and_puller () =
+  with_store (fun dir ->
+      (* Seed a source store with a different task's entries so the
+         pull adds keys the writers never produce. *)
+      let src = mk_temp_dir () in
+      Fun.protect ~finally:(fun () -> rm_rf src) @@ fun () ->
+      Cert_store.set_dir (Some src);
+      let aa = Approx_agreement.task ~n:2 ~m:2 ~eps:Frac.half in
+      let op = Round_op.plain Model.Immediate in
+      List.iter
+        (fun sigma -> ignore (Closure.delta ~memo:false ~op aa sigma))
+        (Task.input_simplices aa);
+      let src_keys = List.map fst (Cert_store.entries ()) in
+      Alcotest.(check bool) "source store seeded" true (src_keys <> []);
+      Cert_store.set_dir (Some dir);
+      let here = Filename.dirname Sys.executable_name in
+      let writer = Filename.concat here "store_writer.exe" in
+      let bin = Filename.concat here "../bin/main.exe" in
+      let spawn args =
+        Unix.create_process writer (Array.append [| writer |] args) Unix.stdin
+          Unix.stdout Unix.stderr
+      in
+      let pids =
+        [
+          spawn [| dir; "120" |];
+          spawn [| dir; "120" |];
+          spawn [| "--pull"; dir; src; "120" |];
+        ]
+      in
+      (* Concurrent gc passes: each re-verifies every complete entry
+         while saves and installs are still landing. *)
+      for _ = 1 to 3 do
+        let code, _ =
+          run_process
+            (String.concat " "
+               [ Filename.quote bin; "cert"; "gc"; "--dir"; Filename.quote dir ])
+        in
+        Alcotest.(check int) "concurrent gc exits 0" 0 code
+      done;
+      List.iter
+        (fun p ->
+          match Unix.waitpid [] p with
+          | _, Unix.WEXITED 0 -> ()
+          | _, _ -> Alcotest.fail "store writer/puller process failed")
+        pids;
+      (* Replicated keys survived gc (valid entries are kept) ... *)
+      Alcotest.(check bool) "pulled keys present after gc" true
+        (List.for_all Cert_store.mem src_keys);
+      (* ... and the whole store re-validates through the CLI. *)
+      let code, lines =
+        run_process
+          (String.concat " "
+             [
+               Filename.quote bin; "cert"; "verify-store"; "--dir";
+               Filename.quote dir;
+             ])
+      in
+      Alcotest.(check int) "verify-store exits 0" 0 code;
+      Alcotest.(check bool) "verify-store reports 0 failed" true
+        (List.exists (contains_substring "0 failed") lines))
+
 let suite =
   ( "cert",
     [
@@ -559,4 +627,6 @@ let suite =
         test_unpersistent_ops_stay_out;
       Alcotest.test_case "store: concurrent process writers" `Quick
         test_concurrent_process_writers;
+      Alcotest.test_case "store: gc races writers and replication pull" `Quick
+        test_gc_races_writers_and_puller;
     ] )

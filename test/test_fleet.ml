@@ -1,0 +1,447 @@
+(* Tests for lib/fleet: the consistent-hash ring (pure, deterministic
+   routing with rendezvous failover), peer-spec parsing, and two
+   end-to-end scenarios against real daemon subprocesses — a 3-node
+   fleet with push/pull store replication behind an in-process router
+   (byte-identical replies, re-routing around a killed peer, zero
+   failed queries), and atlas-warmed serving with zero enumerations. *)
+
+let mk_temp_dir () =
+  let path = Filename.temp_file "speedup-fleet-test" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rec rm_rf path =
+  match (Unix.lstat path).Unix.st_kind with
+  | Unix.S_DIR ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let run_process cmd =
+  let ic = Unix.open_process_in cmd in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  let code =
+    match Unix.close_process_in ic with Unix.WEXITED n -> n | _ -> -1
+  in
+  (code, List.rev !lines)
+
+let contains_substring needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0
+
+(* ---- peer specs ---- *)
+
+let test_peer_parse () =
+  (match Peer.parse "unix:/tmp/x.sock" with
+  | Ok p -> (
+      Alcotest.(check string) "name is the spec" "unix:/tmp/x.sock"
+        (Peer.to_string p);
+      match p.Peer.addr with
+      | Server.Unix_path path ->
+          Alcotest.(check string) "unix path" "/tmp/x.sock" path
+      | Server.Tcp _ -> Alcotest.fail "expected a unix address")
+  | Error e -> Alcotest.fail e);
+  (match Peer.parse "127.0.0.1:7400" with
+  | Ok p -> (
+      match p.Peer.addr with
+      | Server.Tcp (host, port) ->
+          Alcotest.(check string) "tcp host" "127.0.0.1" host;
+          Alcotest.(check int) "tcp port" 7400 port
+      | Server.Unix_path _ -> Alcotest.fail "expected a tcp address")
+  | Error e -> Alcotest.fail e);
+  (match Peer.parse "nonsense" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "spec without a colon accepted");
+  match Peer.parse_list [ "unix:/a"; "nonsense" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "list with a bad spec accepted"
+
+(* ---- ring ---- *)
+
+let keys = List.init 200 (fun i -> Printf.sprintf "key-%d" i)
+
+let test_ring_deterministic () =
+  let r1 = Ring.make [ "a"; "b"; "c" ] in
+  let r2 = Ring.make [ "a"; "b"; "c" ] in
+  List.iter
+    (fun k ->
+      let owner = Ring.route r1 k in
+      Alcotest.(check string) "same owner on both rings" owner
+        (Ring.route r2 k);
+      Alcotest.(check bool) "owner is a member" true
+        (List.mem owner (Ring.members r1)))
+    keys
+
+let test_ring_route_order () =
+  let r = Ring.make [ "a"; "b"; "c"; "d" ] in
+  let members = List.sort compare (Ring.members r) in
+  List.iter
+    (fun k ->
+      match Ring.route_order r k with
+      | owner :: _ as order ->
+          Alcotest.(check string) "head is the owner" (Ring.route r k) owner;
+          Alcotest.(check (list string))
+            "failover order is a permutation of the members" members
+            (List.sort compare order)
+      | [] -> Alcotest.fail "empty route order")
+    keys
+
+let test_ring_distribution () =
+  let names = [ "a"; "b"; "c" ] in
+  let r = Ring.make names in
+  let total = 3000 in
+  let counts = Hashtbl.create 7 in
+  for i = 0 to total - 1 do
+    let owner = Ring.route r (Printf.sprintf "dist-%d" i) in
+    Hashtbl.replace counts owner
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts owner))
+  done;
+  List.iter
+    (fun name ->
+      let share = Option.value ~default:0 (Hashtbl.find_opt counts name) in
+      Alcotest.(check bool)
+        (Printf.sprintf "peer %s owns a fair share (%d/%d)" name share total)
+        true
+        (share > total / 10))
+    names
+
+(* A dead owner's keys must spread over all survivors, not dog-pile
+   onto one neighbour: every (owner, first-failover) pair occurs. *)
+let test_ring_failover_spread () =
+  let r = Ring.make [ "a"; "b"; "c" ] in
+  let pairs = Hashtbl.create 16 in
+  for i = 0 to 1999 do
+    match Ring.route_order r (Printf.sprintf "spread-%d" i) with
+    | owner :: second :: _ -> Hashtbl.replace pairs (owner, second) ()
+    | _ -> Alcotest.fail "route order shorter than two"
+  done;
+  List.iter
+    (fun owner ->
+      List.iter
+        (fun alt ->
+          if alt <> owner then
+            Alcotest.(check bool)
+              (Printf.sprintf "some key of %s fails over to %s" owner alt)
+              true
+              (Hashtbl.mem pairs (owner, alt)))
+        (Ring.members r))
+    (Ring.members r)
+
+(* ---- end-to-end: daemon subprocesses ---- *)
+
+let here () = Filename.dirname Sys.executable_name
+let daemon_bin () = Filename.concat (here ()) "../bin/main.exe"
+
+let mk_sock () =
+  let path = Filename.temp_file "speedup-fleet" ".sock" in
+  Sys.remove path;
+  path
+
+(* Each daemon gets its own store root and a small domain budget; the
+   parent's CERT_CACHE_DIR (the CI fixture store) must not leak in. *)
+let daemon_env ~dir =
+  let keep e =
+    not
+      (List.exists
+         (fun p -> String.starts_with ~prefix:p e)
+         [ "CERT_CACHE_DIR="; "SPEEDUP_STATS="; "SPEEDUP_JOBS=" ])
+  in
+  Array.append
+    (Array.of_list (List.filter keep (Array.to_list (Unix.environment ()))))
+    [| "CERT_CACHE_DIR=" ^ dir; "SPEEDUP_JOBS=2" |]
+
+let spawn_daemon ~dir ~sock ~peers =
+  let bin = daemon_bin () in
+  let args =
+    [ bin; "serve"; "--socket"; sock ]
+    @ (match peers with [] -> [] | ps -> [ "--peers"; String.concat "," ps ])
+  in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close devnull)
+    (fun () ->
+      Unix.create_process_env bin (Array.of_list args) (daemon_env ~dir)
+        Unix.stdin devnull devnull)
+
+let wait_ready sock =
+  match
+    Client.connect_retry ~attempts:40 ~delay:0.02 ~max_delay:0.25
+      (Server.Unix_path sock)
+  with
+  | Error e -> Alcotest.fail ("daemon did not come up: " ^ e)
+  | Ok c -> (
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      match Client.rpc c ~id:Jsonl.Null ~meth:"ping" ~params:[] with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("daemon did not answer ping: " ^ e))
+
+let shutdown_quietly sock =
+  match Client.connect_retry ~attempts:3 ~delay:0.05 (Server.Unix_path sock) with
+  | Error _ -> ()
+  | Ok c ->
+      ignore (Client.rpc c ~id:Jsonl.Null ~meth:"shutdown" ~params:[]);
+      Client.close c
+
+let reap pid =
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+(* The scripted query mix: compute methods only (loop-level methods
+   are answered by the front itself, not routed). *)
+let mix =
+  [
+    ("closure", [ ("task", Jsonl.String "consensus"); ("n", Jsonl.Int 2) ]);
+    ( "solvable",
+      [
+        ("task", Jsonl.String "consensus");
+        ("n", Jsonl.Int 2);
+        ("rounds", Jsonl.Int 1);
+      ] );
+    ( "closure",
+      [
+        ("task", Jsonl.String "aa");
+        ("n", Jsonl.Int 2);
+        ("m", Jsonl.Int 3);
+        ("eps", Jsonl.String "1/3");
+      ] );
+    ( "complex-stats",
+      [ ("task", Jsonl.String "aa"); ("n", Jsonl.Int 2); ("m", Jsonl.Int 4) ] );
+  ]
+
+let run_mix sock =
+  match Client.connect_retry ~attempts:5 ~delay:0.05 (Server.Unix_path sock) with
+  | Error e -> Alcotest.fail e
+  | Ok c ->
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      List.mapi
+        (fun i (meth, params) ->
+          match Client.request c ~id:(Jsonl.Int i) ~meth ~params with
+          | Ok line -> line
+          | Error e -> Alcotest.fail (meth ^ ": " ^ e))
+        mix
+
+let member path v =
+  List.fold_left
+    (fun acc name ->
+      match Option.bind acc (Jsonl.member name) with
+      | Some _ as v -> v
+      | None -> Alcotest.fail ("stats reply lacks " ^ String.concat "." path))
+    (Some v) path
+
+let member_int path v =
+  match Option.bind (member path v) Jsonl.to_int with
+  | Some n -> n
+  | None -> Alcotest.fail ("non-integer " ^ String.concat "." path)
+
+let daemon_stats sock =
+  match Client.connect_retry ~attempts:5 ~delay:0.05 (Server.Unix_path sock) with
+  | Error e -> Alcotest.fail e
+  | Ok c -> (
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      match Client.rpc c ~id:Jsonl.Null ~meth:"stats" ~params:[] with
+      | Ok v -> v
+      | Error e -> Alcotest.fail ("stats: " ^ e))
+
+(* The 3-node fleet: d1 is seeded by serving the mix first (it has no
+   peers, so nothing is pushed); d2 and d3 start cold with peer lists
+   pointing at the others.  d2 must answer the same mix byte-for-byte
+   by pulling every certificate from d1 on miss (zero enumerations),
+   the in-process router must relay byte-identical replies, and after
+   d3 is killed every routed query must still succeed. *)
+let test_fleet_three_nodes () =
+  let d1 = mk_temp_dir () and d2 = mk_temp_dir () and d3 = mk_temp_dir () in
+  let s1 = mk_sock () and s2 = mk_sock () and s3 = mk_sock () in
+  let rsock = mk_sock () in
+  let spec s = "unix:" ^ s in
+  let pids = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter reap !pids;
+      List.iter rm_rf [ d1; d2; d3 ];
+      List.iter
+        (fun s -> try Sys.remove s with Sys_error _ -> ())
+        [ s1; s2; s3; rsock ])
+    (fun () ->
+      let p1 = spawn_daemon ~dir:d1 ~sock:s1 ~peers:[] in
+      let p2 = spawn_daemon ~dir:d2 ~sock:s2 ~peers:[ spec s1; spec s3 ] in
+      let p3 = spawn_daemon ~dir:d3 ~sock:s3 ~peers:[ spec s1; spec s2 ] in
+      pids := [ p1; p2; p3 ];
+      List.iter wait_ready [ s1; s2; s3 ];
+      (* Seed d1 through the production path. *)
+      let direct = run_mix s1 in
+      (* d2 answers identically by pulling everything from d1. *)
+      let via_d2 = run_mix s2 in
+      Alcotest.(check (list string))
+        "d2 replies byte-identical to d1" direct via_d2;
+      let stats2 = daemon_stats s2 in
+      Alcotest.(check bool) "d2 pulled on miss" true
+        (member_int [ "replication"; "pulls" ] stats2 >= 1);
+      Alcotest.(check bool) "d2 installed re-verified entries" true
+        (member_int [ "replication"; "installs" ] stats2 >= 1);
+      Alcotest.(check int) "d2 rejected nothing" 0
+        (member_int [ "replication"; "rejects" ] stats2);
+      Alcotest.(check int) "d2 recomputed nothing" 0
+        (member_int [ "memo"; "enumerations" ] stats2);
+      (* Router over all three, in-process. *)
+      let peers =
+        match Peer.parse_list [ spec s1; spec s2; spec s3 ] with
+        | Ok ps -> ps
+        | Error e -> Alcotest.fail e
+      in
+      let proxy = Proxy.create peers in
+      let cfg =
+        {
+          Server.addr = Server.Unix_path rsock;
+          workers = 2;
+          queue_limit = 64;
+          default_deadline_ms = None;
+          access_log = None;
+          handler = Some (Proxy.handler proxy);
+        }
+      in
+      let srv = Domain.spawn (fun () -> Server.run cfg) in
+      Fun.protect
+        ~finally:(fun () -> shutdown_quietly rsock)
+        (fun () ->
+          wait_ready rsock;
+          let routed = run_mix rsock in
+          Alcotest.(check (list string))
+            "routed replies byte-identical to direct" direct routed;
+          (* Kill one backend outright: every subsequent routed query
+             must re-route along the rendezvous order and succeed. *)
+          reap p3;
+          pids := [ p1; p2 ];
+          for round = 1 to 3 do
+            let again = run_mix rsock in
+            Alcotest.(check (list string))
+              (Printf.sprintf
+                 "round %d after peer death: replies identical, none failed"
+                 round)
+              direct again
+          done);
+      let summary = Domain.join srv in
+      Alcotest.(check bool) "router drained" true summary.Server.drained;
+      (* The replicated store re-validates from scratch. *)
+      List.iter shutdown_quietly [ s1; s2 ];
+      List.iter
+        (fun p ->
+          match Unix.waitpid [] p with
+          | _, Unix.WEXITED 0 -> ()
+          | _ -> Alcotest.fail "daemon exited non-zero")
+        [ p1; p2 ];
+      pids := [];
+      let code, lines =
+        run_process
+          (String.concat " "
+             [
+               Filename.quote (daemon_bin ());
+               "cert"; "verify-store"; "--dir"; Filename.quote d2;
+             ])
+      in
+      Alcotest.(check int) "verify-store on the replica exits 0" 0 code;
+      Alcotest.(check bool) "replicated entries all re-verify" true
+        (List.exists (contains_substring "0 failed") lines))
+
+(* Atlas-warmed serving: build a small atlas via the CLI (twice — the
+   second run must find every cell present), audit it, then serve
+   covered queries from the warm store with zero enumerations. *)
+let test_atlas_warm_serving () =
+  let dir = mk_temp_dir () in
+  let sock = mk_sock () in
+  let pid = ref None in
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter reap !pid;
+      rm_rf dir;
+      try Sys.remove sock with Sys_error _ -> ())
+    (fun () ->
+      let bin = daemon_bin () in
+      let atlas sub =
+        run_process
+          (String.concat " "
+             [
+               Filename.quote bin; "atlas"; sub; "--dir"; Filename.quote dir;
+               "--name"; "warm"; "--max-n"; "2";
+             ])
+      in
+      let code, lines = atlas "build" in
+      Alcotest.(check int) "atlas build exits 0" 0 code;
+      Alcotest.(check bool) "first build enumerates cells" true
+        (List.exists (contains_substring "cell(s)") lines);
+      let code, lines = atlas "build" in
+      Alcotest.(check int) "atlas rebuild exits 0" 0 code;
+      Alcotest.(check bool) "rebuild is a no-op (resumable)" true
+        (List.exists (contains_substring "(0 built") lines);
+      let code, _ =
+        run_process
+          (String.concat " "
+             [
+               Filename.quote bin; "atlas"; "verify"; "--dir";
+               Filename.quote dir; "--name"; "warm";
+             ])
+      in
+      Alcotest.(check int) "atlas verify exits 0" 0 code;
+      pid := Some (spawn_daemon ~dir ~sock ~peers:[]);
+      wait_ready sock;
+      (match
+         Client.connect_retry ~attempts:5 ~delay:0.05 (Server.Unix_path sock)
+       with
+      | Error e -> Alcotest.fail e
+      | Ok c ->
+          Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+          List.iteri
+            (fun i (meth, params) ->
+              match Client.rpc c ~id:(Jsonl.Int i) ~meth ~params with
+              | Ok _ -> ()
+              | Error e -> Alcotest.fail (meth ^ ": " ^ e))
+            [
+              ( "closure",
+                [ ("task", Jsonl.String "consensus"); ("n", Jsonl.Int 2) ] );
+              ( "closure",
+                [
+                  ("task", Jsonl.String "aa");
+                  ("n", Jsonl.Int 2);
+                  ("m", Jsonl.Int 4);
+                  ("eps", Jsonl.String "1/4");
+                ] );
+            ]);
+      let stats = daemon_stats sock in
+      Alcotest.(check int) "warm atlas: zero enumerations" 0
+        (member_int [ "memo"; "enumerations" ] stats);
+      Alcotest.(check bool) "warm atlas: store hits" true
+        (member_int [ "store"; "hits" ] stats >= 1);
+      shutdown_quietly sock;
+      Option.iter
+        (fun p ->
+          match Unix.waitpid [] p with
+          | _, Unix.WEXITED 0 -> pid := None
+          | _ -> Alcotest.fail "daemon exited non-zero")
+        !pid)
+
+let suite =
+  ( "fleet",
+    [
+      Alcotest.test_case "peer specs parse" `Quick test_peer_parse;
+      Alcotest.test_case "ring: deterministic routing" `Quick
+        test_ring_deterministic;
+      Alcotest.test_case "ring: failover order is a permutation" `Quick
+        test_ring_route_order;
+      Alcotest.test_case "ring: keys spread over peers" `Quick
+        test_ring_distribution;
+      Alcotest.test_case "ring: failover spreads over survivors" `Quick
+        test_ring_failover_spread;
+      Alcotest.test_case "3-node fleet: replicate, route, survive" `Quick
+        test_fleet_three_nodes;
+      Alcotest.test_case "atlas-warmed daemon serves without enumerating"
+        `Quick test_atlas_warm_serving;
+    ] )

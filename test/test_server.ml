@@ -49,6 +49,7 @@ let with_server ?(workers = 2) ?(queue_limit = 64) ?default_deadline_ms f =
       queue_limit;
       default_deadline_ms;
       access_log = None;
+      handler = None;
     }
   in
   let srv = Domain.spawn (fun () -> Server.run cfg) in

@@ -25,9 +25,9 @@
    _build/default). *)
 let parallel_reachable =
   [
-    "algorithms"; "cert"; "closure"; "core"; "experiments"; "frac"; "models";
-    "models/algebra"; "parallel"; "runtime"; "server"; "solver"; "tasks";
-    "topology";
+    "algorithms"; "cert"; "closure"; "core"; "experiments"; "fleet"; "frac";
+    "models"; "models/algebra"; "parallel"; "runtime"; "server"; "solver";
+    "tasks"; "topology";
   ]
 
 (* Libraries defining the dedicated comparator types: inside them the
@@ -38,10 +38,16 @@ let dedicated_layer = [ "topology"; "frac" ]
    specific library may use without per-site [@lint.allow]
    attributes.  lib/server needs wall-clock reads for per-request
    deadlines, queue/wall latency accounting, and client retry
-   back-off; everything the clock feeds stays outside reproduced
-   results (replies carry no timestamps), so determinism of the
-   engine's answers is unaffected.  Documented in docs/LINT.md. *)
-let r5_allowlist = [ ("server", [ [ "Unix"; "gettimeofday" ] ]) ]
+   back-off; lib/fleet needs them for peer-health backoff windows and
+   remaining-deadline propagation through the router.  Everything the
+   clock feeds stays outside reproduced results (replies carry no
+   timestamps), so determinism of the engine's answers is unaffected.
+   Documented in docs/LINT.md. *)
+let r5_allowlist =
+  [
+    ("server", [ [ "Unix"; "gettimeofday" ] ]);
+    ("fleet", [ [ "Unix"; "gettimeofday" ] ]);
+  ]
 
 type scope = {
   label : string;
